@@ -1,0 +1,66 @@
+//! The common engine interface driven by the benchmark harness.
+
+/// Error surfaced by any engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError(pub String);
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<dlsm::DbError> for EngineError {
+    fn from(e: dlsm::DbError) -> Self {
+        EngineError(e.to_string())
+    }
+}
+
+impl From<rdma_sim::RdmaError> for EngineError {
+    fn from(e: rdma_sim::RdmaError) -> Self {
+        EngineError(e.to_string())
+    }
+}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// A key-value engine under test: dLSM, one of the RocksDB-RDMA ports,
+/// Nova-LSM-style, or Sherman.
+pub trait Engine: Send + Sync {
+    /// Display name used in benchmark reports.
+    fn name(&self) -> &str;
+
+    /// Insert or overwrite.
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()>;
+
+    /// Delete.
+    fn delete(&self, key: &[u8]) -> Result<()>;
+
+    /// A thread-local read handle.
+    fn reader(&self) -> Box<dyn EngineReader + '_>;
+
+    /// Block until background work (flush/compaction) settles.
+    fn wait_until_quiescent(&self) {}
+
+    /// Stop background work.
+    fn shutdown(&self) {}
+
+    /// Remote-memory bytes currently consumed (the paper's Fig. 9 space
+    /// report).
+    fn remote_space_used(&self) -> u64 {
+        0
+    }
+}
+
+/// Thread-local read handle.
+pub trait EngineReader {
+    /// Point lookup.
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>>;
+
+    /// Full forward scan; returns the number of live entries visited
+    /// (the `readseq` benchmark).
+    fn scan_all(&mut self) -> Result<u64>;
+}

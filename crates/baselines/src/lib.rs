@@ -1,0 +1,35 @@
+//! # dlsm-baselines — the paper's five comparison systems, plus dLSM itself
+//! behind one interface
+//!
+//! Sec. XI-A of the paper evaluates dLSM against:
+//!
+//! 1. **RocksDB-RDMA (8 KB)** — a conventional block-based LSM ported onto
+//!    RDMA-extended remote memory: block SSTables read/written through an
+//!    RDMA "file system", single-writer-queue software overhead,
+//!    compute-side compaction.
+//! 2. **RocksDB-RDMA (2 KB)** — same, smaller blocks.
+//! 3. **Memory-RocksDB-RDMA** — block size equal to one key-value pair,
+//!    SSTable indexes cached on the compute node, prefetching on.
+//! 4. **Nova-LSM** — an LSM for *storage* disaggregation run over a
+//!    tmpfs-like remote file API: two-sided RPC reads/writes with the extra
+//!    server-side memory copy, 64 subranges for compaction parallelism.
+//! 5. **Sherman** — a write-optimized B+-tree for disaggregated memory:
+//!    internal nodes cached in compute memory, 1 KB leaves in remote
+//!    memory; reads cost one RDMA read, writes cost lock + read + write-back.
+//!
+//! Baselines 1–4 are architectural configurations of the same LSM engine
+//! (the knobs they differ in are exactly what the paper credits/blames);
+//! Sherman is its own tree implementation in [`sherman`]. Everything is
+//! exposed through the [`Engine`] trait so the benchmark harness drives all
+//! systems identically.
+
+pub mod engine;
+pub mod presets;
+pub mod sherman;
+
+pub use engine::{Engine, EngineError, EngineReader};
+pub use presets::{
+    build_dlsm, build_dlsm_block, build_memory_rocksdb, build_nova_lsm, build_rocksdb_rdma,
+    DlsmEngine, EngineDeps,
+};
+pub use sherman::Sherman;

@@ -1,0 +1,157 @@
+//! Cross-engine coverage beyond the presets' own tests: Sherman leaf-size
+//! variants, multi-dispatcher memory nodes, uneven cluster topologies, and
+//! engine behaviour under a slowed fabric.
+
+use std::sync::Arc;
+
+use dlsm::{Cluster, ClusterConfig, ComputeContext, DbConfig, MemNodeHandle};
+use dlsm_baselines::{build_dlsm, Engine, EngineDeps, Sherman};
+use dlsm_memnode::{MemServer, MemServerConfig};
+use rdma_sim::{Fabric, NetworkProfile};
+
+fn server_with(fabric: &Arc<Fabric>, dispatchers: usize) -> MemServer {
+    MemServer::start(
+        fabric,
+        MemServerConfig {
+            region_size: 128 << 20,
+            flush_zone: 96 << 20,
+            compaction_workers: 2,
+            dispatchers,
+        },
+    )
+}
+
+#[test]
+fn sherman_works_across_leaf_sizes() {
+    for leaf in [256usize, 1024, 4096] {
+        let fabric = Fabric::new(NetworkProfile::instant());
+        let server = server_with(&fabric, 1);
+        let ctx = ComputeContext::new(&fabric);
+        let mem = MemNodeHandle::from_server(&server);
+        let tree = Sherman::with_leaf_size(ctx, mem, leaf).unwrap();
+        assert_eq!(tree.leaf_size(), leaf);
+        let n = 600u64;
+        for i in 0..n {
+            tree.put(&i.wrapping_mul(0x9E37_79B9).to_be_bytes(), format!("L{leaf}-{i}").as_bytes())
+                .unwrap();
+        }
+        for i in (0..n).step_by(29) {
+            assert_eq!(
+                tree.get(&i.wrapping_mul(0x9E37_79B9).to_be_bytes()).unwrap(),
+                Some(format!("L{leaf}-{i}").into_bytes()),
+                "leaf={leaf} key {i}"
+            );
+        }
+        // Smaller leaves split more.
+        if leaf == 256 {
+            assert!(tree.leaf_count() > 40, "got {}", tree.leaf_count());
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn sherman_rejects_oversized_entries() {
+    let fabric = Fabric::new(NetworkProfile::instant());
+    let server = server_with(&fabric, 1);
+    let ctx = ComputeContext::new(&fabric);
+    let mem = MemNodeHandle::from_server(&server);
+    let tree = Sherman::with_leaf_size(ctx, mem, 256).unwrap();
+    // An entry that cannot fit a 256-byte leaf must fail loudly, not loop.
+    assert!(tree.put(b"big", &[0u8; 300]).is_err());
+    // The tree remains usable.
+    tree.put(b"ok", b"small").unwrap();
+    assert_eq!(tree.get(b"ok").unwrap(), Some(b"small".to_vec()));
+    server.shutdown();
+}
+
+#[test]
+fn multi_dispatcher_memory_node_serves_concurrent_rpcs() {
+    let fabric = Fabric::new(NetworkProfile::instant());
+    let server = server_with(&fabric, 3);
+    let ctx = ComputeContext::new(&fabric);
+    let node_id = server.node_id();
+    std::thread::scope(|s| {
+        for t in 0..6u64 {
+            let fabric = Arc::clone(&fabric);
+            let compute = Arc::clone(ctx.node());
+            s.spawn(move || {
+                let mut client =
+                    dlsm_memnode::RpcClient::new(&fabric, &compute, node_id, 4096).unwrap();
+                for i in 0..200u64 {
+                    let msg = format!("t{t}-{i}");
+                    let echo = client
+                        .ping(msg.as_bytes(), std::time::Duration::from_secs(10))
+                        .unwrap();
+                    assert_eq!(echo, msg.as_bytes());
+                }
+            });
+        }
+    });
+    assert!(server.stats().rpcs.load(std::sync::atomic::Ordering::Relaxed) >= 1200);
+    server.shutdown();
+}
+
+#[test]
+fn uneven_cluster_topologies_round_robin_correctly() {
+    // 3 compute nodes x 2 memory nodes with λ = 3: 9 shards over 2 servers —
+    // uneven division exercises the flush-window partitioning.
+    let fabric = Fabric::new(NetworkProfile::instant());
+    let cluster = Cluster::start(
+        &fabric,
+        ClusterConfig {
+            compute_nodes: 3,
+            memory_nodes: 2,
+            lambda: 3,
+            mem_cfg: MemServerConfig {
+                region_size: 96 << 20,
+                flush_zone: 48 << 20,
+                compaction_workers: 2,
+                dispatchers: 1,
+            },
+            db_cfg: DbConfig::small(),
+        },
+    )
+    .unwrap();
+    let n = 1_200u64;
+    for (c, compute) in cluster.computes().iter().enumerate() {
+        for i in 0..n {
+            let mut k = i.wrapping_mul(0x9E3779B97F4A7C15).to_be_bytes().to_vec();
+            k.push(c as u8);
+            compute.db.put(&k, format!("c{c}i{i}").as_bytes()).unwrap();
+        }
+    }
+    cluster.wait_until_quiescent();
+    for (c, compute) in cluster.computes().iter().enumerate() {
+        let mut r = compute.db.reader();
+        for i in (0..n).step_by(37) {
+            let mut k = i.wrapping_mul(0x9E3779B97F4A7C15).to_be_bytes().to_vec();
+            k.push(c as u8);
+            assert_eq!(r.get(&k).unwrap(), Some(format!("c{c}i{i}").into_bytes()));
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn engines_survive_a_slow_fabric() {
+    // A 20x slower network: everything still works, just slower — catches
+    // timeout assumptions hidden in the engine paths.
+    let fabric = Fabric::new(NetworkProfile::edr_100g().scaled(20.0));
+    let server = server_with(&fabric, 1);
+    let deps = EngineDeps {
+        ctx: ComputeContext::new(&fabric),
+        memnodes: vec![MemNodeHandle::from_server(&server)],
+    };
+    let engine = build_dlsm(&deps, DbConfig::small(), 1).unwrap();
+    for i in 0..400u64 {
+        engine.put(&i.to_be_bytes(), b"slow").unwrap();
+    }
+    engine.wait_until_quiescent();
+    let mut r = engine.reader();
+    for i in (0..400u64).step_by(23) {
+        assert_eq!(r.get(&i.to_be_bytes()).unwrap(), Some(b"slow".to_vec()));
+    }
+    engine.shutdown();
+    server.shutdown();
+}

@@ -1,0 +1,246 @@
+//! Criterion micro-benchmarks for the substrates: fabric verbs, skip list,
+//! bloom filters, table formats, RPC.
+//!
+//! These measure the building blocks the figures are built from — e.g. the
+//! per-size RDMA read cost is the denominator of every read-amplification
+//! argument in the paper.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlsm_memnode::{MemServer, MemServerConfig, RpcClient};
+use dlsm_skiplist::{BytewiseComparator, SkipList};
+use dlsm_sstable::block::{BlockTableBuilder, BlockTableReader};
+use dlsm_sstable::bloom::BloomFilter;
+use dlsm_sstable::byte_addr::{ByteAddrBuilder, ByteAddrReader};
+use dlsm_sstable::key::{InternalKey, ValueType};
+use dlsm_sstable::source::SliceSource;
+use rdma_sim::{Fabric, NetworkProfile};
+
+fn bench_rdma_ops(c: &mut Criterion) {
+    let fabric = Fabric::new(NetworkProfile::edr_100g());
+    let compute = fabric.add_node();
+    let memory = fabric.add_node();
+    let region = memory.register_region(8 << 20);
+    let mut qp = fabric.create_qp(compute.id(), memory.id()).unwrap();
+
+    let mut group = c.benchmark_group("rdma_read_sync_edr");
+    for size in [64usize, 1 << 10, 64 << 10, 1 << 20] {
+        group.throughput(Throughput::Bytes(size as u64));
+        let mut buf = vec![0u8; size];
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| qp.read_sync(region.addr(0), &mut buf).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("rdma_atomics_edr");
+    group.bench_function("fetch_add", |b| {
+        b.iter(|| qp.fetch_add(region.addr(0), 1).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_skiplist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skiplist");
+    group.bench_function("insert_20b_key_100b_value", |b| {
+        let mut i = 0u64;
+        let mut list = SkipList::with_capacity(BytewiseComparator, 512 << 20);
+        b.iter(|| {
+            let key = format!("{:020}", i);
+            i += 1;
+            if list.memory_usage() + 1024 > list.capacity() {
+                list = SkipList::with_capacity(BytewiseComparator, 512 << 20);
+            }
+            list.insert(key.as_bytes(), &[7u8; 100]).unwrap();
+        });
+    });
+    let list = SkipList::with_capacity(BytewiseComparator, 64 << 20);
+    for i in 0..100_000u64 {
+        list.insert(format!("{:020}", i * 7 % 100_000).as_bytes(), b"v").unwrap();
+    }
+    let mut i = 0u64;
+    group.bench_function("get_hit_100k_entries", |b| {
+        b.iter(|| {
+            i = (i + 31) % 100_000;
+            assert!(list.get(format!("{:020}", i).as_bytes()).is_some());
+        });
+    });
+    group.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let keys: Vec<Vec<u8>> = (0..50_000u64).map(|i| format!("key{i:09}").into_bytes()).collect();
+    let mut group = c.benchmark_group("bloom");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("build_50k_keys_10bpk", |b| {
+        b.iter(|| BloomFilter::build(keys.iter().map(|k| k.as_slice()), 10));
+    });
+    let filter = BloomFilter::build(keys.iter().map(|k| k.as_slice()), 10);
+    let mut i = 0usize;
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("probe", |b| {
+        b.iter(|| {
+            i = (i + 97) % keys.len();
+            filter.may_contain(&keys[i])
+        });
+    });
+    group.finish();
+}
+
+fn table_entries(n: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+    (0..n)
+        .map(|i| {
+            (
+                InternalKey::new(format!("key{i:09}").as_bytes(), 5, ValueType::Value).into_bytes(),
+                vec![0x42u8; 400],
+            )
+        })
+        .collect()
+}
+
+fn bench_table_builders(c: &mut Criterion) {
+    let entries = table_entries(10_000);
+    let bytes: u64 = entries.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
+    let mut group = c.benchmark_group("table_build_10k_records");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("byte_addressable", |b| {
+        b.iter(|| {
+            let mut builder = ByteAddrBuilder::new(Vec::with_capacity(bytes as usize), 10);
+            for (k, v) in &entries {
+                builder.add(k, v).unwrap();
+            }
+            builder.finish()
+        });
+    });
+    group.bench_function("block_8k", |b| {
+        b.iter(|| {
+            let mut builder = BlockTableBuilder::new(Vec::with_capacity(bytes as usize), 8192, 10);
+            for (k, v) in &entries {
+                builder.add(k, v).unwrap();
+            }
+            builder.finish().unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_table_gets(c: &mut Criterion) {
+    let entries = table_entries(10_000);
+    let mut group = c.benchmark_group("table_point_get_local");
+
+    let mut builder = ByteAddrBuilder::new(Vec::new(), 10);
+    for (k, v) in &entries {
+        builder.add(k, v).unwrap();
+    }
+    let (data, meta) = builder.finish();
+    let reader = ByteAddrReader::new(Arc::new(meta), SliceSource(data));
+    let mut i = 0u64;
+    group.bench_function("byte_addressable", |b| {
+        b.iter(|| {
+            i = (i + 61) % 10_000;
+            reader.get(format!("key{i:09}").as_bytes(), 100).unwrap()
+        });
+    });
+
+    let mut builder = BlockTableBuilder::new(Vec::new(), 8192, 10);
+    for (k, v) in &entries {
+        builder.add(k, v).unwrap();
+    }
+    let (data, _) = builder.finish().unwrap();
+    let reader = BlockTableReader::open(SliceSource(data)).unwrap();
+    let mut i = 0u64;
+    group.bench_function("block_8k", |b| {
+        b.iter(|| {
+            i = (i + 61) % 10_000;
+            reader.get(format!("key{i:09}").as_bytes(), 100).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_rpc(c: &mut Criterion) {
+    let fabric = Fabric::new(NetworkProfile::edr_100g());
+    let compute = fabric.add_node();
+    let server = MemServer::start(
+        &fabric,
+        MemServerConfig {
+            region_size: 32 << 20,
+            flush_zone: 16 << 20,
+            compaction_workers: 1,
+            dispatchers: 1,
+        },
+    );
+    let mut client = RpcClient::new(&fabric, &compute, server.node_id(), 64 << 10).unwrap();
+    let mut group = c.benchmark_group("rpc_edr");
+    group.bench_function("ping_16b", |b| {
+        b.iter(|| client.ping(b"0123456789abcdef", std::time::Duration::from_secs(5)).unwrap());
+    });
+    group.bench_function("read_file_4k", |b| {
+        b.iter(|| client.read_file(0, 4096, std::time::Duration::from_secs(5)).unwrap());
+    });
+    group.finish();
+    drop(client);
+    server.shutdown();
+}
+
+fn bench_db_reads(c: &mut Criterion) {
+    use dlsm::{ComputeContext, Db, DbConfig, MemNodeHandle};
+    let fabric = Fabric::new(NetworkProfile::edr_100g());
+    let server = MemServer::start(
+        &fabric,
+        MemServerConfig {
+            region_size: 256 << 20,
+            flush_zone: 128 << 20,
+            compaction_workers: 2,
+            dispatchers: 1,
+        },
+    );
+    let ctx = ComputeContext::new(&fabric);
+    let mem = MemNodeHandle::from_server(&server);
+    let db = Db::open(ctx, mem, DbConfig::default()).unwrap();
+    let n = 20_000u64;
+    let key = |i: u64| -> Vec<u8> {
+        let mut k = i.wrapping_mul(0x9E3779B97F4A7C15).to_be_bytes().to_vec();
+        k.extend_from_slice(b"-bench-key");
+        k
+    };
+    for i in 0..n {
+        db.put(&key(i), &[7u8; 400]).unwrap();
+    }
+    db.force_flush().unwrap();
+    db.wait_until_quiescent();
+    let mut reader = db.reader();
+
+    let mut group = c.benchmark_group("db_point_reads_edr");
+    let mut i = 0u64;
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("get", |b| {
+        b.iter(|| {
+            i = (i + 4099) % n;
+            reader.get(&key(i)).unwrap().expect("present")
+        });
+    });
+    // 32 keys per call: the batched path amortizes per-read latency.
+    group.throughput(Throughput::Elements(32));
+    group.bench_function("multi_get_32", |b| {
+        b.iter(|| {
+            i = (i + 4099) % n;
+            let keys: Vec<Vec<u8>> = (0..32).map(|d| key((i + d * 601) % n)).collect();
+            let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+            let got = reader.multi_get(&refs).unwrap();
+            assert!(got.iter().all(Option::is_some));
+            got
+        });
+    });
+    group.finish();
+    db.shutdown();
+    server.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_rdma_ops, bench_skiplist, bench_bloom, bench_table_builders, bench_table_gets, bench_rpc, bench_db_reads
+}
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! A `db_bench`-style tool (the paper drives all experiments with RocksDB's
+//! `db_bench`; this is the equivalent for this repository's engines).
+//!
+//! ```text
+//! db_bench --system dlsm --benchmarks randomfill,randomread,readseq \
+//!          --num 200000 --threads 8 --value-size 400 --lambda 1
+//!
+//!   --system      dlsm | dlsm-block | rocksdb-8k | rocksdb-2k |
+//!                 memory-rocksdb | nova | sherman        (default dlsm)
+//!   --benchmarks  comma list of: randomfill randomread readseq
+//!                 readrandomwriterandom mixed-rNN          (default all three)
+//!   --num         key-value pairs                          (default 200000)
+//!   --threads     front-end threads                        (default 8)
+//!   --key-size    bytes                                    (default 20)
+//!   --value-size  bytes                                    (default 400)
+//!   --lambda      dLSM shards                              (default 1)
+//!   --reads       ops for read/mixed phases                (default = num)
+//!   --scale       network cost scale (1.0 = EDR)           (default 1.0)
+//!   --cores       memory-node compaction cores             (default 12)
+//! ```
+
+use dlsm_bench::harness::{run_fill, run_mixed, run_random_read, run_scan};
+use dlsm_bench::report::fmt_mops;
+use dlsm_bench::setup::{build_scenario, SystemKind};
+use dlsm_bench::workload::WorkloadSpec;
+use rdma_sim::{NetworkProfile, Verb};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut system = "dlsm".to_string();
+    let mut benchmarks = vec![
+        "randomfill".to_string(),
+        "randomread".to_string(),
+        "readseq".to_string(),
+    ];
+    let mut num = 200_000u64;
+    let mut threads = 8usize;
+    let mut key_size = 20usize;
+    let mut value_size = 400usize;
+    let mut lambda = 1usize;
+    let mut reads: Option<u64> = None;
+    let mut scale = 1.0f64;
+    let mut cores = 12usize;
+
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).cloned().unwrap_or_default();
+        match args[i].as_str() {
+            "--system" => system = value,
+            "--benchmarks" => benchmarks = value.split(',').map(|s| s.trim().to_string()).collect(),
+            "--num" => num = value.parse().expect("--num"),
+            "--threads" => threads = value.parse().expect("--threads"),
+            "--key-size" => key_size = value.parse().expect("--key-size"),
+            "--value-size" => value_size = value.parse().expect("--value-size"),
+            "--lambda" => lambda = value.parse().expect("--lambda"),
+            "--reads" => reads = Some(value.parse().expect("--reads")),
+            "--scale" => scale = value.parse().expect("--scale"),
+            "--cores" => cores = value.parse().expect("--cores"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    let kind = match system.as_str() {
+        "dlsm" => SystemKind::Dlsm { lambda },
+        "dlsm-block" => SystemKind::DlsmBlock,
+        "rocksdb-8k" => SystemKind::RocksDbRdma { block: 8192 },
+        "rocksdb-2k" => SystemKind::RocksDbRdma { block: 2048 },
+        "memory-rocksdb" => SystemKind::MemoryRocksDb,
+        "nova" => SystemKind::NovaLsm,
+        "sherman" => SystemKind::Sherman,
+        other => {
+            eprintln!("unknown system {other}");
+            std::process::exit(2);
+        }
+    };
+    let spec = WorkloadSpec { num_kv: num, key_size, value_size };
+    let read_ops = reads.unwrap_or(num);
+    let profile = NetworkProfile::edr_100g().scaled(scale);
+
+    println!(
+        "db_bench: system={system} num={num} threads={threads} kv={key_size}+{value_size}B scale={scale}"
+    );
+    let sc = build_scenario(kind, &spec, profile, cores);
+    let before = sc.fabric.stats().snapshot();
+    let mut filled = false;
+    for bench in &benchmarks {
+        let result = match bench.as_str() {
+            "randomfill" => {
+                let r = run_fill(sc.engine.as_ref(), &spec, threads);
+                filled = true;
+                r
+            }
+            "randomread" => {
+                ensure_filled(&sc, &spec, &mut filled, threads);
+                sc.engine.wait_until_quiescent();
+                run_random_read(sc.engine.as_ref(), &spec, threads, read_ops)
+            }
+            "readseq" => {
+                ensure_filled(&sc, &spec, &mut filled, threads);
+                sc.engine.wait_until_quiescent();
+                run_scan(sc.engine.as_ref(), spec.num_kv)
+            }
+            mixed if mixed.starts_with("mixed-r") || mixed == "readrandomwriterandom" => {
+                ensure_filled(&sc, &spec, &mut filled, threads);
+                let pct: u8 = mixed.strip_prefix("mixed-r").and_then(|p| p.parse().ok()).unwrap_or(50);
+                run_mixed(sc.engine.as_ref(), &spec, threads, read_ops, pct)
+            }
+            other => {
+                eprintln!("unknown benchmark {other}");
+                continue;
+            }
+        };
+        println!(
+            "{:<24} {:>10} ops in {:>8.3}s = {:>8} Mops/s",
+            result.phase,
+            result.ops,
+            result.elapsed.as_secs_f64(),
+            fmt_mops(result.mops()),
+        );
+    }
+    let traffic = sc.fabric.stats().snapshot().delta(&before);
+    println!(
+        "network: {:.1} MiB read / {:.1} MiB written / {} sends; remote space {:.1} MiB",
+        traffic.bytes(Verb::Read) as f64 / (1 << 20) as f64,
+        (traffic.bytes(Verb::Write) + traffic.bytes(Verb::WriteImm)) as f64 / (1 << 20) as f64,
+        traffic.ops(Verb::Send),
+        (sc.engine.remote_space_used()
+            + sc.servers.iter().map(|s| s.compaction_zone_in_use()).sum::<u64>()) as f64
+            / (1 << 20) as f64,
+    );
+    sc.shutdown();
+}
+
+fn ensure_filled(
+    sc: &dlsm_bench::setup::Scenario,
+    spec: &WorkloadSpec,
+    filled: &mut bool,
+    threads: usize,
+) {
+    if !*filled {
+        println!("(loading {} pairs first)", spec.num_kv);
+        run_fill(sc.engine.as_ref(), spec, threads);
+        *filled = true;
+    }
+}

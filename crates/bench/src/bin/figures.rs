@@ -1,0 +1,58 @@
+//! The `figures` binary: regenerate any table/figure of the dLSM paper.
+//!
+//! ```text
+//! figures <name> [--kv N] [--value N] [--threads a,b,c] [--scale F] [--reads N]
+//!
+//!   name     one of: netgap fig7a fig7b fig8 fig9 fig10 fig11 fig12 fig13
+//!            fig14a fig14b fig15 ablate-switch ablate-flush all
+//!   --kv     key-value pairs to load            (default 150000)
+//!   --value  value size in bytes                (default 400)
+//!   --threads front-end thread sweep            (default 1,2,4,8,16)
+//!   --scale  network cost scale, 1.0 = EDR      (default 1.0)
+//!   --reads  ops for read/mixed phases          (default = --kv)
+//! ```
+//!
+//! Results print as tables and land as CSVs under `results/`.
+
+use dlsm_bench::figures::{run, Opts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: figures <name> [--kv N] [--value N] [--threads a,b,c] [--scale F] [--reads N]");
+        eprintln!("names: netgap fig7a fig7b fig8 fig9 fig10 fig11 fig12 fig13 fig14a fig14b fig15 ablate-switch ablate-flush all");
+        std::process::exit(2);
+    }
+    let name = args[0].clone();
+    let mut opts = Opts::default();
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).cloned().unwrap_or_default();
+        match flag {
+            "--kv" => opts.num_kv = value.parse().expect("--kv takes a number"),
+            "--value" => opts.value_size = value.parse().expect("--value takes a number"),
+            "--threads" => {
+                opts.threads = value
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads takes e.g. 1,2,4"))
+                    .collect();
+            }
+            "--scale" => opts.scale = value.parse().expect("--scale takes a float"),
+            "--reads" => opts.read_ops = Some(value.parse().expect("--reads takes a number")),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    println!(
+        "figures: {name} (kv={}, value={}B, threads={:?}, scale={})",
+        opts.num_kv, opts.value_size, opts.threads, opts.scale
+    );
+    if let Err(e) = run(&name, &opts) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

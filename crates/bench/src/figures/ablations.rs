@@ -1,0 +1,100 @@
+//! Ablations beyond the paper's figures, for design choices DESIGN.md calls
+//! out.
+//!
+//! * `ablate-switch`: the MemTable switch protocol (Sec. IV). Compares
+//!   dLSM's sequence-range switch against the naive double-checked-locking
+//!   straw man and against a fully serialized write path (the disk-era
+//!   single-writer queue), in bulkload mode so only write-path software
+//!   overhead is measured.
+//! * `ablate-flush`: the asynchronous flush pipeline (Sec. X-C). Compares
+//!   the FIFO buffer ring (8 in-flight buffers) against a synchronous
+//!   pipeline (ring depth 2 — post then immediately wait).
+
+use dlsm::{DbConfig, SwitchProtocol};
+
+use crate::figures::Opts;
+use crate::harness::run_fill;
+use crate::report::{fmt_mops, Table};
+use crate::setup::{build_scenario_with, SystemKind};
+
+fn bulkload(cfg: DbConfig) -> DbConfig {
+    DbConfig { l0_stop_writes_trigger: None, max_immutables: usize::MAX / 2, ..cfg }
+}
+
+/// A named configuration mutation.
+type Variant = (&'static str, Box<dyn Fn(DbConfig) -> DbConfig>);
+
+/// `ablate-switch`.
+pub fn run_switch(opts: &Opts) -> Result<(), String> {
+    let spec = opts.spec();
+    let variants: Vec<Variant> = vec![
+        ("seq-range (dLSM)", Box::new(bulkload)),
+        (
+            "naive double-checked",
+            Box::new(|cfg| DbConfig {
+                switch_protocol: SwitchProtocol::NaiveDoubleChecked,
+                ..bulkload(cfg)
+            }),
+        ),
+        (
+            "serialized writers",
+            Box::new(|cfg| DbConfig { serialized_writes: true, ..bulkload(cfg) }),
+        ),
+    ];
+    let mut columns: Vec<String> = vec!["threads".into()];
+    columns.extend(variants.iter().map(|(n, _)| n.to_string()));
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "ablate-switch: MemTable switch protocol, bulkload fill (Mops/s)",
+        &column_refs,
+    );
+    for &threads in &opts.threads {
+        let mut row = vec![threads.to_string()];
+        for (name, mutate) in &variants {
+            let sc = build_scenario_with(
+                SystemKind::Dlsm { lambda: 1 },
+                &spec,
+                opts.profile(),
+                12,
+                mutate,
+            );
+            let fill = run_fill(sc.engine.as_ref(), &spec, threads);
+            eprintln!(
+                "  [ablate-switch] {name} threads={threads}: {} Mops/s",
+                fmt_mops(fill.mops())
+            );
+            row.push(fmt_mops(fill.mops()));
+            sc.shutdown();
+        }
+        table.row(row);
+    }
+    table.print();
+    table.write_csv("ablate_switch").map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// `ablate-flush`.
+pub fn run_flush(opts: &Opts) -> Result<(), String> {
+    let spec = opts.spec();
+    let threads = *opts.threads.iter().max().unwrap_or(&8);
+    let mut table = Table::new(
+        "ablate-flush: asynchronous vs synchronous flush pipeline (Mops/s)",
+        &["flush ring depth", "fill Mops/s"],
+    );
+    for depth in [2usize, 4, 8, 16] {
+        let sc = build_scenario_with(
+            SystemKind::Dlsm { lambda: 1 },
+            &spec,
+            opts.profile(),
+            12,
+            |cfg| DbConfig { flush_buf_count: depth, ..cfg },
+        );
+        let fill = run_fill(sc.engine.as_ref(), &spec, threads);
+        eprintln!("  [ablate-flush] depth={depth}: {} Mops/s", fmt_mops(fill.mops()));
+        table.row(vec![depth.to_string(), fmt_mops(fill.mops())]);
+        sc.shutdown();
+    }
+    table.print();
+    table.write_csv("ablate_flush").map_err(|e| e.to_string())?;
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Fig. 12 — near-data compaction vs remote CPU cores.
+//!
+//! `randomfill` (normal mode) with the memory node's compaction-worker
+//! budget swept over {1, 2, 4, 8, 12} cores, plus the "compaction on the
+//! compute node" configuration, under 1 / 8 / 16 front-end writers. The
+//! bar labels in the paper report remote CPU utilization; we compute it
+//! from the server's busy-time counters. Expected shape: with few cores the
+//! remote CPU saturates and throughput is compaction-bound; it improves up
+//! to ~12 cores; with 1 writer near-data compaction barely matters; at high
+//! writer counts it buys ~60 % over compute-side compaction.
+
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use dlsm_memnode::ServerStats;
+
+use crate::figures::Opts;
+use crate::harness::run_fill;
+use crate::report::{fmt_mops, Table};
+use crate::setup::{build_scenario, SystemKind};
+
+const CORES: [usize; 5] = [1, 2, 4, 8, 12];
+
+/// Run Fig. 12.
+pub fn run(opts: &Opts) -> Result<(), String> {
+    let spec = opts.spec();
+    let writer_counts: Vec<usize> =
+        opts.threads.iter().copied().filter(|&t| [1, 8, 16].contains(&t)).collect();
+    let writer_counts = if writer_counts.is_empty() { vec![1, 8] } else { writer_counts };
+
+    let mut table = Table::new(
+        "fig12: near-data compaction vs remote cores",
+        &["writers", "remote cores", "fill Mops/s", "remote CPU util %"],
+    );
+    for &writers in &writer_counts {
+        for &cores in &CORES {
+            let sc =
+                build_scenario(SystemKind::Dlsm { lambda: 1 }, &spec, opts.profile(), cores);
+            let busy0 = sc.servers[0].stats().busy_nanos.load(Ordering::Relaxed);
+            let t0 = Instant::now();
+            let fill = run_fill(sc.engine.as_ref(), &spec, writers);
+            sc.engine.wait_until_quiescent();
+            let wall = t0.elapsed();
+            let busy = sc.servers[0].stats().busy_nanos.load(Ordering::Relaxed) - busy0;
+            let util = ServerStats::utilization(busy, cores, wall) * 100.0;
+            eprintln!(
+                "  [fig12] writers={writers} cores={cores}: {} Mops/s, util {util:.0}%",
+                fmt_mops(fill.mops())
+            );
+            table.row(vec![
+                writers.to_string(),
+                cores.to_string(),
+                fmt_mops(fill.mops()),
+                format!("{util:.0}"),
+            ]);
+            sc.shutdown();
+        }
+        // The comparison bar: compaction runs on the compute node.
+        let sc = build_scenario(
+            SystemKind::DlsmComputeCompaction,
+            &spec,
+            opts.profile(),
+            1, // remote cores are idle in this mode
+        );
+        let fill = run_fill(sc.engine.as_ref(), &spec, writers);
+        sc.engine.wait_until_quiescent();
+        eprintln!(
+            "  [fig12] writers={writers} compute-side: {} Mops/s",
+            fmt_mops(fill.mops())
+        );
+        table.row(vec![
+            writers.to_string(),
+            "compute-side".into(),
+            fmt_mops(fill.mops()),
+            "0".into(),
+        ]);
+        sc.shutdown();
+    }
+    table.print();
+    table.write_csv("fig12").map_err(|e| e.to_string())?;
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Fig. 10 — mixed read/write workloads and the sharding knob λ (Sec. VII).
+//!
+//! `readrandomwriterandom` at read ratios 0–100 %. dLSM-λ variants show
+//! sharding's benefit: more parallel L0 compaction and fewer overlapping L0
+//! tables per read (the paper: dLSM-8 ≈ 1.7x dLSM-1 at 50 % reads); Sherman
+//! edges ahead only at 95–100 % reads.
+
+use crate::figures::Opts;
+use crate::harness::{run_fill, run_mixed};
+use crate::report::{fmt_mops, Table};
+use crate::setup::{build_scenario, SystemKind};
+
+const RATIOS: [u8; 6] = [0, 25, 50, 75, 95, 100];
+
+/// Run Fig. 10.
+pub fn run(opts: &Opts) -> Result<(), String> {
+    let spec = opts.spec();
+    let threads = *opts.threads.iter().max().unwrap_or(&8);
+    let systems: Vec<SystemKind> = vec![
+        SystemKind::Dlsm { lambda: 1 },
+        SystemKind::Dlsm { lambda: 2 },
+        SystemKind::Dlsm { lambda: 4 },
+        SystemKind::Dlsm { lambda: 8 },
+        SystemKind::RocksDbRdma { block: 8192 },
+        SystemKind::RocksDbRdma { block: 2048 },
+        SystemKind::MemoryRocksDb,
+        SystemKind::NovaLsm,
+        SystemKind::Sherman,
+    ];
+
+    let mut columns: Vec<String> = vec!["read %".into()];
+    let mut rows: Vec<Vec<String>> = RATIOS.iter().map(|r| vec![r.to_string()]).collect();
+
+    for kind in systems {
+        // Fresh database per system: load, then sweep ratios ascending (the
+        // mixed phases keep the database near its loaded steady state).
+        let sc = build_scenario(kind, &spec, opts.profile(), 12);
+        let fill = run_fill(sc.engine.as_ref(), &spec, threads);
+        sc.engine.wait_until_quiescent();
+        columns.push(fill.engine.clone());
+        for (ri, &ratio) in RATIOS.iter().enumerate() {
+            let r = run_mixed(sc.engine.as_ref(), &spec, threads, opts.read_ops(), ratio);
+            eprintln!(
+                "  [fig10] {} read%={ratio}: {} Mops/s",
+                r.engine,
+                fmt_mops(r.mops())
+            );
+            rows[ri].push(fmt_mops(r.mops()));
+        }
+        sc.shutdown();
+    }
+
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = Table::new("fig10: mixed read/write throughput (Mops/s)", &column_refs);
+    for row in rows {
+        table.row(row);
+    }
+    table.print();
+    table.write_csv("fig10").map_err(|e| e.to_string())?;
+    Ok(())
+}

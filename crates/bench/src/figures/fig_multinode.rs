@@ -1,0 +1,326 @@
+//! Fig. 14 and Fig. 15 — multi-compute / multi-memory-node scalability
+//! (paper Sec. IX, XI-C8).
+//!
+//! * Fig. 14(a): 1 compute node, m ∈ {1, 2, 4, 8} memory nodes, data ∝ m;
+//!   the dotted comparison line holds the same data in a single memory
+//!   node. Expected: performance declines with data size, but multi-node
+//!   declines *more slowly* — extra memory nodes bring extra compaction
+//!   cores.
+//! * Fig. 14(b): m = 1, c ∈ {1, 2, 4} compute nodes sharing one memory
+//!   node, fixed data. Writes scale better than reads (large sequential
+//!   flush I/O uses bandwidth that random reads cannot).
+//! * Fig. 15: xC-xM for x ∈ {1, 2, 4} with λ = 8, data ∝ x, for dLSM,
+//!   Nova-LSM and Sherman.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dlsm::{Cluster, ClusterConfig, ComputeContext, MemNodeHandle, ShardedDb};
+use dlsm_baselines::{build_nova_lsm, DlsmEngine, Engine, EngineDeps, Sherman};
+use dlsm_memnode::MemServer;
+use rdma_sim::Fabric;
+
+use crate::figures::Opts;
+use crate::report::{fmt_mops, Table};
+use crate::setup::{scaled_db_config, server_config};
+use crate::workload::{WorkloadRng, WorkloadSpec};
+
+/// Fill indices `[lo, hi)` of `spec` into `engine` with `threads` writers.
+fn fill_range(engine: &dyn Engine, spec: &WorkloadSpec, lo: u64, hi: u64, threads: usize) {
+    std::thread::scope(|s| {
+        for t in 0..threads as u64 {
+            s.spawn(move || {
+                let mut i = lo + t;
+                while i < hi {
+                    engine.put(&spec.key(i), &spec.value(i, 0)).expect("fill");
+                    i += threads as u64;
+                }
+            });
+        }
+    });
+}
+
+/// Read `ops` random keys from `[lo, hi)`.
+fn read_range(engine: &dyn Engine, spec: &WorkloadSpec, lo: u64, hi: u64, threads: usize, ops: u64) {
+    std::thread::scope(|s| {
+        for t in 0..threads as u64 {
+            s.spawn(move || {
+                let mut rng = WorkloadRng::new(0xF16 + t);
+                let mut reader = engine.reader();
+                for _ in 0..ops / threads as u64 {
+                    let i = lo + rng.below(hi - lo);
+                    let _ = reader.get(&spec.key(i)).expect("read");
+                }
+            });
+        }
+    });
+}
+
+/// Fig. 14(a): scale out memory nodes with the data.
+pub fn run_scale_memory(opts: &Opts) -> Result<(), String> {
+    let opts = opts.shrunk(2);
+    let threads = *opts.threads.iter().max().unwrap_or(&8);
+    let mut table = Table::new(
+        "fig14a: scaling memory nodes (1 compute node)",
+        &["memory nodes", "kv pairs", "multi fill Mops/s", "multi read Mops/s", "1-node fill Mops/s", "1-node read Mops/s"],
+    );
+    for m in [1usize, 2, 4, 8] {
+        let spec = WorkloadSpec { num_kv: opts.num_kv * m as u64, ..opts.spec() };
+        let mut cells = vec![m.to_string(), spec.num_kv.to_string()];
+        for single in [false, true] {
+            if m == 1 && single {
+                // Identical to the multi-node m = 1 point.
+                cells.push(cells[2].clone());
+                cells.push(cells[3].clone());
+                break;
+            }
+            let nodes = if single { 1 } else { m };
+            let fabric = Fabric::new(opts.profile());
+            let per_node = spec.data_bytes() / nodes as u64;
+            let servers: Vec<MemServer> = (0..nodes)
+                .map(|_| MemServer::start(&fabric, server_config(per_node, 12)))
+                .collect();
+            let ctx = ComputeContext::new(&fabric);
+            let handles: Vec<Arc<MemNodeHandle>> =
+                servers.iter().map(MemNodeHandle::from_server).collect();
+            let db = ShardedDb::open(ctx, &handles, scaled_db_config(&spec), m)
+                .map_err(|e| e.to_string())?;
+            let engine = DlsmEngine::new("dLSM", db);
+
+            let t0 = Instant::now();
+            fill_range(&engine, &spec, 0, spec.num_kv, threads);
+            let fill_mops = spec.num_kv as f64 / t0.elapsed().as_secs_f64() / 1e6;
+            engine.wait_until_quiescent();
+            let ops = opts.read_ops();
+            let t0 = Instant::now();
+            read_range(&engine, &spec, 0, spec.num_kv, threads, ops);
+            let read_mops = ops as f64 / t0.elapsed().as_secs_f64() / 1e6;
+
+            let label = if single { "single-node" } else { "multi-node" };
+            eprintln!(
+                "  [fig14a] m={m} {label}: fill {} read {}",
+                fmt_mops(fill_mops),
+                fmt_mops(read_mops)
+            );
+            cells.push(fmt_mops(fill_mops));
+            cells.push(fmt_mops(read_mops));
+            engine.shutdown();
+            for s in servers {
+                s.shutdown();
+            }
+        }
+        table.row(cells);
+    }
+    table.print();
+    table.write_csv("fig14a").map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Fig. 14(b): scale out compute nodes against one memory node.
+pub fn run_scale_compute(opts: &Opts) -> Result<(), String> {
+    let opts = opts.shrunk(2);
+    let total_threads = *opts.threads.iter().max().unwrap_or(&8);
+    let spec = opts.spec();
+    let mut table = Table::new(
+        "fig14b: scaling compute nodes (1 memory node)",
+        &["compute nodes", "fill Mops/s", "read Mops/s"],
+    );
+    for c in [1usize, 2, 4, 8] {
+        let fabric = Fabric::new(opts.profile());
+        // One memory node sized for the whole dataset plus per-compute
+        // amplification headroom (the paper ran out of memory at 8 nodes).
+        let server = MemServer::start(
+            &fabric,
+            server_config(spec.data_bytes() + (c as u64) * (16 << 20), 12),
+        );
+        let zone = server.flush_zone() / c as u64;
+        let engines: Vec<DlsmEngine> = (0..c)
+            .map(|j| {
+                let ctx = ComputeContext::new(&fabric);
+                let handle = MemNodeHandle::with_window(
+                    dlsm::context::RemoteRegion::of(server.region()),
+                    j as u64 * zone,
+                    (j as u64 + 1) * zone,
+                );
+                let db = ShardedDb::open(ctx, &[handle], scaled_db_config(&spec), 2)
+                    .expect("open compute shard");
+                DlsmEngine::new("dLSM", db)
+            })
+            .collect();
+
+        // Each compute node owns a contiguous slice of the logical indices.
+        let per = spec.num_kv / c as u64;
+        let threads_per = (total_threads / c).max(1);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for (j, e) in engines.iter().enumerate() {
+                let spec = &spec;
+                s.spawn(move || {
+                    fill_range(e, spec, j as u64 * per, (j as u64 + 1) * per, threads_per);
+                });
+            }
+        });
+        let fill_mops = (per * c as u64) as f64 / t0.elapsed().as_secs_f64() / 1e6;
+        for e in &engines {
+            e.wait_until_quiescent();
+        }
+        let ops = opts.read_ops() / c as u64;
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for (j, e) in engines.iter().enumerate() {
+                let spec = &spec;
+                s.spawn(move || {
+                    read_range(e, spec, j as u64 * per, (j as u64 + 1) * per, threads_per, ops);
+                });
+            }
+        });
+        let read_mops = (ops * c as u64) as f64 / t0.elapsed().as_secs_f64() / 1e6;
+        eprintln!("  [fig14b] c={c}: fill {} read {}", fmt_mops(fill_mops), fmt_mops(read_mops));
+        table.row(vec![c.to_string(), fmt_mops(fill_mops), fmt_mops(read_mops)]);
+        for e in engines {
+            e.shutdown();
+        }
+        server.shutdown();
+    }
+    table.print();
+    table.write_csv("fig14b").map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Fig. 15: scale compute and memory nodes together (xC-xM, λ = 8).
+pub fn run_scale_both(opts: &Opts) -> Result<(), String> {
+    let opts = opts.shrunk(2);
+    let total_threads = *opts.threads.iter().max().unwrap_or(&8);
+    let mut table = Table::new(
+        "fig15: scaling compute+memory nodes together (xC-xM, λ=8)",
+        &["x", "system", "fill Mops/s", "read Mops/s"],
+    );
+    for x in [1usize, 2, 4] {
+        let spec = WorkloadSpec { num_kv: opts.num_kv * x as u64, ..opts.spec() };
+        let per = spec.num_kv / x as u64;
+        let threads_per = (total_threads / x).max(1);
+
+        // dLSM: the Cluster wiring from Sec. IX.
+        {
+            let fabric = Fabric::new(opts.profile());
+            let cluster = Cluster::start(
+                &fabric,
+                ClusterConfig {
+                    compute_nodes: x,
+                    memory_nodes: x,
+                    lambda: 8,
+                    mem_cfg: server_config(spec.data_bytes() / x as u64, 12),
+                    db_cfg: scaled_db_config(&spec),
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for (j, c) in cluster.computes().iter().enumerate() {
+                    let spec = &spec;
+                    s.spawn(move || {
+                        let (lo, hi) = (j as u64 * per, (j as u64 + 1) * per);
+                        std::thread::scope(|s2| {
+                            for t in 0..threads_per as u64 {
+                                s2.spawn(move || {
+                                    let mut i = lo + t;
+                                    while i < hi {
+                                        c.db.put(&spec.key(i), &spec.value(i, 0)).expect("fill");
+                                        i += threads_per as u64;
+                                    }
+                                });
+                            }
+                        });
+                    });
+                }
+            });
+            let fill_mops = (per * x as u64) as f64 / t0.elapsed().as_secs_f64() / 1e6;
+            cluster.wait_until_quiescent();
+            let ops = opts.read_ops() / x as u64;
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for (j, c) in cluster.computes().iter().enumerate() {
+                    let spec = &spec;
+                    s.spawn(move || {
+                        let (lo, hi) = (j as u64 * per, (j as u64 + 1) * per);
+                        std::thread::scope(|s2| {
+                            for t in 0..threads_per as u64 {
+                                s2.spawn(move || {
+                                    let mut rng = WorkloadRng::new(0xF15 + t);
+                                    let mut reader = c.db.reader();
+                                    for _ in 0..ops / threads_per as u64 {
+                                        let i = lo + rng.below(hi - lo);
+                                        let _ = reader.get(&spec.key(i)).expect("read");
+                                    }
+                                });
+                            }
+                        });
+                    });
+                }
+            });
+            let read_mops = (ops * x as u64) as f64 / t0.elapsed().as_secs_f64() / 1e6;
+            eprintln!("  [fig15] x={x} dLSM: fill {} read {}", fmt_mops(fill_mops), fmt_mops(read_mops));
+            table.row(vec![x.to_string(), "dLSM".into(), fmt_mops(fill_mops), fmt_mops(read_mops)]);
+            cluster.shutdown();
+        }
+
+        // Nova-LSM and Sherman: one engine per compute node, 1:1 with its
+        // memory node.
+        for system in ["Nova-LSM", "Sherman"] {
+            let fabric = Fabric::new(opts.profile());
+            let servers: Vec<MemServer> = (0..x)
+                .map(|_| MemServer::start(&fabric, server_config(spec.data_bytes() / x as u64, 12)))
+                .collect();
+            let engines: Vec<Box<dyn Engine>> = (0..x)
+                .map(|j| {
+                    let ctx = ComputeContext::new(&fabric);
+                    let mem = MemNodeHandle::from_server(&servers[j]);
+                    match system {
+                        "Nova-LSM" => {
+                            let deps = EngineDeps { ctx, memnodes: vec![mem] };
+                            Box::new(
+                                build_nova_lsm(&deps, scaled_db_config(&spec), 8).expect("nova"),
+                            ) as Box<dyn Engine>
+                        }
+                        _ => Box::new(Sherman::new(ctx, mem).expect("sherman")),
+                    }
+                })
+                .collect();
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for (j, e) in engines.iter().enumerate() {
+                    let spec = &spec;
+                    s.spawn(move || {
+                        fill_range(e.as_ref(), spec, j as u64 * per, (j as u64 + 1) * per, threads_per);
+                    });
+                }
+            });
+            let fill_mops = (per * x as u64) as f64 / t0.elapsed().as_secs_f64() / 1e6;
+            for e in &engines {
+                e.wait_until_quiescent();
+            }
+            let ops = opts.read_ops() / x as u64;
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for (j, e) in engines.iter().enumerate() {
+                    let spec = &spec;
+                    s.spawn(move || {
+                        read_range(e.as_ref(), spec, j as u64 * per, (j as u64 + 1) * per, threads_per, ops);
+                    });
+                }
+            });
+            let read_mops = (ops * x as u64) as f64 / t0.elapsed().as_secs_f64() / 1e6;
+            eprintln!("  [fig15] x={x} {system}: fill {} read {}", fmt_mops(fill_mops), fmt_mops(read_mops));
+            table.row(vec![x.to_string(), system.into(), fmt_mops(fill_mops), fmt_mops(read_mops)]);
+            for e in engines {
+                e.shutdown();
+            }
+            for s in servers {
+                s.shutdown();
+            }
+        }
+    }
+    table.print();
+    table.write_csv("fig15").map_err(|e| e.to_string())?;
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Fig. 8 — random-read performance.
+//!
+//! `randomread` over the loaded key range, starting only after all
+//! background compaction has finished (as the paper does, to remove the
+//! impact of overlapping L0 tables). Expected shape: dLSM beats every LSM
+//! baseline (single-record reads, no block unwrapping); Sherman is slightly
+//! ahead of dLSM (exactly one RDMA read per lookup vs possibly several).
+
+use crate::figures::Opts;
+use crate::harness::{run_fill, run_random_read};
+use crate::report::{fmt_mops, Table};
+use crate::setup::{build_scenario, SystemKind};
+
+/// Run Fig. 8.
+pub fn run(opts: &Opts) -> Result<(), String> {
+    let spec = opts.spec();
+    let mut columns: Vec<String> = vec!["threads".into()];
+    let mut rows: Vec<Vec<String>> =
+        opts.threads.iter().map(|t| vec![t.to_string()]).collect();
+
+    for kind in SystemKind::lineup() {
+        // One database per system: load once, then sweep reader counts
+        // (reads do not mutate state).
+        let sc = build_scenario(kind, &spec, opts.profile(), 12);
+        let fill = run_fill(sc.engine.as_ref(), &spec, 8);
+        sc.engine.wait_until_quiescent();
+        columns.push(fill.engine.clone());
+        for (ti, &threads) in opts.threads.iter().enumerate() {
+            let read = run_random_read(sc.engine.as_ref(), &spec, threads, opts.read_ops());
+            eprintln!(
+                "  [fig8] {} threads={threads}: {} Mops/s",
+                read.engine,
+                fmt_mops(read.mops())
+            );
+            rows[ti].push(fmt_mops(read.mops()));
+        }
+        sc.shutdown();
+    }
+
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = Table::new("fig8: random read throughput (Mops/s)", &column_refs);
+    for row in rows {
+        table.row(row);
+    }
+    table.print();
+    table.write_csv("fig8").map_err(|e| e.to_string())?;
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Fig. 9 — varied data sizes.
+//!
+//! `randomfill` then `randomread` with a growing number of key-value pairs;
+//! the paper observes throughput decline for all systems (more compaction
+//! work, more levels → more RDMA reads) and also reports per-system space
+//! usage in remote memory (RocksDB 8 KB < 2 KB < Memory < dLSM < Sherman).
+
+use crate::figures::Opts;
+use crate::harness::{run_fill, run_random_read};
+use crate::report::{fmt_mops, Table};
+use crate::setup::{build_scenario, SystemKind};
+use crate::workload::WorkloadSpec;
+
+/// Run Fig. 9: sizes = {1/4, 1/2, 1, 2} × the configured `num_kv`.
+pub fn run(opts: &Opts) -> Result<(), String> {
+    let sizes: Vec<u64> = [4u64, 2, 1]
+        .iter()
+        .map(|d| (opts.num_kv / d).max(10_000))
+        .chain([opts.num_kv * 2])
+        .collect();
+    let threads = *opts.threads.iter().max().unwrap_or(&8);
+
+    let mut table = Table::new(
+        "fig9: varied data sizes",
+        &["kv_pairs", "system", "fill Mops/s", "read Mops/s", "space MiB"],
+    );
+    for &n in &sizes {
+        let spec = WorkloadSpec { num_kv: n, ..opts.spec() };
+        for kind in SystemKind::lineup() {
+            let sc = build_scenario(kind, &spec, opts.profile(), 12);
+            let fill = run_fill(sc.engine.as_ref(), &spec, threads);
+            sc.engine.wait_until_quiescent();
+            let read = run_random_read(
+                sc.engine.as_ref(),
+                &spec,
+                threads,
+                opts.read_ops().min(n),
+            );
+            let space = sc.engine.remote_space_used()
+                + sc.servers.iter().map(|s| s.compaction_zone_in_use()).sum::<u64>();
+            eprintln!(
+                "  [fig9] n={n} {}: fill {} read {} space {} MiB",
+                fill.engine,
+                fmt_mops(fill.mops()),
+                fmt_mops(read.mops()),
+                space >> 20
+            );
+            table.row(vec![
+                n.to_string(),
+                fill.engine.clone(),
+                fmt_mops(fill.mops()),
+                fmt_mops(read.mops()),
+                (space >> 20).to_string(),
+            ]);
+            sc.shutdown();
+        }
+    }
+    table.print();
+    table.write_csv("fig9").map_err(|e| e.to_string())?;
+    Ok(())
+}

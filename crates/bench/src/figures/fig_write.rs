@@ -1,0 +1,107 @@
+//! Fig. 7 — write performance — and Fig. 13 — the byte-addressability
+//! ablation.
+//!
+//! * Fig. 7(a) "Normal mode": `randomfill` with `level0_stop_writes_trigger
+//!   = 36`; write stalls from L0 backlog shape the curves. dLSM should beat
+//!   every baseline (paper: 1.6–11.7x).
+//! * Fig. 7(b) "Bulkload mode": trigger = ∞, so throughput reflects pure
+//!   in-memory write-path software overhead (Sec. IV). Sherman is not
+//!   applicable (no buffered writes to "bulk" — every write is remote).
+//! * Fig. 13: dLSM vs dLSM-Block on `randomfill` + `randomread`.
+
+use dlsm::DbConfig;
+
+use crate::figures::Opts;
+use crate::harness::{run_fill, run_random_read};
+use crate::report::{fmt_mops, Table};
+use crate::setup::{build_scenario, build_scenario_with, SystemKind};
+
+/// Fig. 7(a): randomfill throughput by thread count, normal mode.
+pub fn run_normal(opts: &Opts) -> Result<(), String> {
+    sweep_fill("fig7a: write throughput, normal mode (Mops/s)", "fig7a", opts, false)
+}
+
+/// Fig. 7(b): randomfill throughput by thread count, bulkload mode.
+pub fn run_bulkload(opts: &Opts) -> Result<(), String> {
+    sweep_fill("fig7b: write throughput, bulkload mode (Mops/s)", "fig7b", opts, true)
+}
+
+fn sweep_fill(title: &str, csv: &str, opts: &Opts, bulkload: bool) -> Result<(), String> {
+    let spec = opts.spec();
+    let mut systems = SystemKind::lineup();
+    if bulkload {
+        // "Note that Sherman is not applicable to this mode."
+        systems.retain(|s| *s != SystemKind::Sherman);
+    }
+    let mut columns: Vec<&str> = vec!["threads"];
+    let names: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<String>> = opts
+        .threads
+        .iter()
+        .map(|t| vec![t.to_string()])
+        .collect();
+    let mut header: Vec<String> = Vec::new();
+    drop(names);
+    for kind in systems {
+        let mut name = String::new();
+        for (ti, &threads) in opts.threads.iter().enumerate() {
+            let sc = build_scenario_with(kind, &spec, opts.profile(), 12, |cfg| {
+                if bulkload {
+                    DbConfig {
+                        l0_stop_writes_trigger: None,
+                        max_immutables: usize::MAX / 2,
+                        ..cfg
+                    }
+                } else {
+                    cfg
+                }
+            });
+            let result = run_fill(sc.engine.as_ref(), &spec, threads);
+            name = result.engine.clone();
+            eprintln!(
+                "  [{csv}] {name} threads={threads}: {} Mops/s",
+                fmt_mops(result.mops())
+            );
+            rows[ti].push(fmt_mops(result.mops()));
+            sc.shutdown();
+        }
+        header.push(name);
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    columns.extend(header_refs);
+    let mut table = Table::new(title, &columns);
+    for row in rows {
+        table.row(row);
+    }
+    table.print();
+    table.write_csv(csv).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Fig. 13: byte-addressable SSTables (dLSM) vs block SSTables (dLSM-Block),
+/// randomfill then randomread.
+pub fn run_byte_addr_ablation(opts: &Opts) -> Result<(), String> {
+    let spec = opts.spec();
+    let threads = *opts.threads.iter().max().unwrap_or(&8);
+    let mut table = Table::new(
+        "fig13: byte-addressable vs block SSTables (Mops/s)",
+        &["system", "randomfill", "randomread"],
+    );
+    for kind in [SystemKind::Dlsm { lambda: 1 }, SystemKind::DlsmBlock] {
+        let sc = build_scenario(kind, &spec, opts.profile(), 12);
+        let fill = run_fill(sc.engine.as_ref(), &spec, threads);
+        sc.engine.wait_until_quiescent();
+        let read = run_random_read(sc.engine.as_ref(), &spec, threads, opts.read_ops());
+        eprintln!(
+            "  [fig13] {}: fill {} read {}",
+            fill.engine,
+            fmt_mops(fill.mops()),
+            fmt_mops(read.mops())
+        );
+        table.row(vec![fill.engine.clone(), fmt_mops(fill.mops()), fmt_mops(read.mops())]);
+        sc.shutdown();
+    }
+    table.print();
+    table.write_csv("fig13").map_err(|e| e.to_string())?;
+    Ok(())
+}

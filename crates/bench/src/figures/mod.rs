@@ -1,0 +1,105 @@
+//! One runner per figure of the paper's evaluation (Sec. XI), plus the
+//! Sec. I network-gap microbenchmark and two ablations beyond the paper.
+//!
+//! Each runner prints an aligned table (the numbers behind the paper's bar
+//! charts/lines) and writes a CSV under `results/`.
+
+pub mod ablations;
+pub mod fig_compaction;
+pub mod fig_mixed;
+pub mod fig_multinode;
+pub mod fig_read;
+pub mod fig_scan;
+pub mod fig_size;
+pub mod fig_write;
+pub mod netgap;
+pub mod netsweep;
+pub mod validate;
+
+use rdma_sim::NetworkProfile;
+
+use crate::workload::WorkloadSpec;
+
+/// Common figure options (from the CLI).
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Key-value pairs to load (paper: 100 M; scaled default 150 k).
+    pub num_kv: u64,
+    /// Value size (paper: 400 B).
+    pub value_size: usize,
+    /// Front-end thread counts to sweep (paper: 1..16).
+    pub threads: Vec<usize>,
+    /// Network cost scale (1.0 = calibrated EDR model).
+    pub scale: f64,
+    /// Read/mixed phases issue this many operations (default: `num_kv`).
+    pub read_ops: Option<u64>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            num_kv: 150_000,
+            value_size: 400,
+            threads: vec![1, 2, 4, 8, 16],
+            scale: 1.0,
+            read_ops: None,
+        }
+    }
+}
+
+impl Opts {
+    /// The workload spec for these options.
+    pub fn spec(&self) -> WorkloadSpec {
+        WorkloadSpec { num_kv: self.num_kv, key_size: 20, value_size: self.value_size }
+    }
+
+    /// The fabric cost model (EDR, optionally scaled).
+    pub fn profile(&self) -> NetworkProfile {
+        NetworkProfile::edr_100g().scaled(self.scale)
+    }
+
+    /// Operations for read/mixed phases.
+    pub fn read_ops(&self) -> u64 {
+        self.read_ops.unwrap_or(self.num_kv)
+    }
+
+    /// A smaller copy for expensive multi-node figures.
+    pub fn shrunk(&self, factor: u64) -> Opts {
+        Opts { num_kv: (self.num_kv / factor).max(10_000), ..self.clone() }
+    }
+}
+
+/// All figure names in run order.
+pub const ALL_FIGURES: &[&str] = &[
+    "netgap", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14a",
+    "fig14b", "fig15", "ablate-switch", "ablate-flush", "netsweep", "validate",
+];
+
+/// Dispatch one figure by name.
+pub fn run(name: &str, opts: &Opts) -> Result<(), String> {
+    match name {
+        "netgap" => netgap::run(opts),
+        "fig7a" => fig_write::run_normal(opts),
+        "fig7b" => fig_write::run_bulkload(opts),
+        "fig8" => fig_read::run(opts),
+        "fig9" => fig_size::run(opts),
+        "fig10" => fig_mixed::run(opts),
+        "fig11" => fig_scan::run(opts),
+        "fig12" => fig_compaction::run(opts),
+        "fig13" => fig_write::run_byte_addr_ablation(opts),
+        "fig14a" => fig_multinode::run_scale_memory(opts),
+        "fig14b" => fig_multinode::run_scale_compute(opts),
+        "fig15" => fig_multinode::run_scale_both(opts),
+        "netsweep" => netsweep::run(opts),
+        "validate" => validate::run(opts),
+        "ablate-switch" => ablations::run_switch(opts),
+        "ablate-flush" => ablations::run_flush(opts),
+        "all" => {
+            for f in ALL_FIGURES {
+                run(f, opts)?;
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown figure '{other}'; known: {ALL_FIGURES:?} or 'all'")),
+    }
+}

@@ -1,0 +1,59 @@
+//! The Sec. I motivation microbenchmark: transfer-granularity efficiency.
+//!
+//! "There is a 100x performance gap between transferring the same amount of
+//! data in 64 byte units vs 1 MB units" — the reason LSM-style batched
+//! sequential writes fit fast networks. This runner moves the same total
+//! volume in varying unit sizes and reports effective bandwidth.
+
+use std::time::Instant;
+
+use rdma_sim::Fabric;
+
+use crate::figures::Opts;
+use crate::report::Table;
+
+const UNITS: [usize; 8] = [64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20];
+
+/// Run the network-gap microbenchmark.
+pub fn run(opts: &Opts) -> Result<(), String> {
+    let fabric = Fabric::new(opts.profile());
+    let compute = fabric.add_node();
+    let memory = fabric.add_node();
+    let region = memory.register_region(2 << 20);
+    let mut qp = fabric.create_qp(compute.id(), memory.id()).map_err(|e| e.to_string())?;
+
+    let total: usize = 16 << 20; // move 16 MiB per unit size
+    let mut table = Table::new(
+        "netgap: effective bandwidth vs transfer unit (Sec. I)",
+        &["unit bytes", "ops", "MB/s", "us/op"],
+    );
+    let mut first_bw = 0.0;
+    let mut last_bw = 0.0;
+    for unit in UNITS {
+        let buf = vec![0x5Au8; unit];
+        let ops = (total / unit) as u64;
+        let t0 = Instant::now();
+        for i in 0..ops {
+            let off = (i as usize * unit) % ((2 << 20) - unit);
+            qp.write_sync(&buf, region.addr(off as u64)).map_err(|e| e.to_string())?;
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let bw = total as f64 / secs / 1e6;
+        let us_per_op = secs * 1e6 / ops as f64;
+        if unit == UNITS[0] {
+            first_bw = bw;
+        }
+        last_bw = bw;
+        eprintln!("  [netgap] unit={unit}: {bw:.0} MB/s, {us_per_op:.2} us/op");
+        table.row(vec![
+            unit.to_string(),
+            ops.to_string(),
+            format!("{bw:.0}"),
+            format!("{us_per_op:.2}"),
+        ]);
+    }
+    table.print();
+    println!("gap (1 MiB vs 64 B units): {:.0}x", last_bw / first_bw.max(1e-9));
+    table.write_csv("netgap").map_err(|e| e.to_string())?;
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Beyond the paper: network-sensitivity sweep.
+//!
+//! The paper's conclusion argues that "ultra-fast communication technologies
+//! play an important role in the performance and optimization of indexes
+//! over disaggregated memory" and that the ideas carry to CXL. This runner
+//! quantifies that: the same fill/read workload on dLSM and Sherman across
+//! network cost models — a slowed-down EDR (2x), EDR (the paper's NIC), FDR
+//! (the paper's CloudLab NIC) and a CXL-like profile — showing how the
+//! LSM-vs-B-tree write gap tracks the per-operation network cost.
+
+use rdma_sim::NetworkProfile;
+
+use crate::figures::Opts;
+use crate::harness::{run_fill, run_random_read};
+use crate::report::{fmt_mops, Table};
+use crate::setup::{build_scenario, SystemKind};
+
+/// Run the network sweep.
+pub fn run(opts: &Opts) -> Result<(), String> {
+    let spec = opts.spec();
+    let threads = *opts.threads.iter().max().unwrap_or(&8);
+    let profiles: [(&str, NetworkProfile); 4] = [
+        ("EDR x0.5 speed", NetworkProfile::edr_100g().scaled(2.0)),
+        ("EDR 100Gb/s", NetworkProfile::edr_100g()),
+        ("FDR 56Gb/s", NetworkProfile::fdr_56g()),
+        ("CXL-like", NetworkProfile::cxl()),
+    ];
+    let mut table = Table::new(
+        "netsweep: network model vs dLSM / Sherman throughput (Mops/s)",
+        &["network", "system", "fill", "read", "write gap dLSM/Sherman"],
+    );
+    for (name, profile) in profiles {
+        let mut fills = Vec::new();
+        for kind in [SystemKind::Dlsm { lambda: 1 }, SystemKind::Sherman] {
+            let sc = build_scenario(kind, &spec, profile, 12);
+            let fill = run_fill(sc.engine.as_ref(), &spec, threads);
+            sc.engine.wait_until_quiescent();
+            let read = run_random_read(sc.engine.as_ref(), &spec, threads, opts.read_ops());
+            eprintln!(
+                "  [netsweep] {name} {}: fill {} read {}",
+                fill.engine,
+                fmt_mops(fill.mops()),
+                fmt_mops(read.mops())
+            );
+            fills.push(fill.mops());
+            table.row(vec![
+                name.to_string(),
+                fill.engine.clone(),
+                fmt_mops(fill.mops()),
+                fmt_mops(read.mops()),
+                String::new(),
+            ]);
+            sc.shutdown();
+        }
+        table.row(vec![
+            name.to_string(),
+            "—".into(),
+            String::new(),
+            String::new(),
+            format!("{:.1}x", fills[0] / fills[1].max(1e-9)),
+        ]);
+    }
+    table.print();
+    table.write_csv("netsweep").map_err(|e| e.to_string())?;
+    Ok(())
+}

@@ -1,0 +1,147 @@
+//! `figures validate` — the paper's qualitative claims as executable
+//! assertions.
+//!
+//! EXPERIMENTS.md records *numbers*; this runner asserts the *shapes* that
+//! must hold on any host, at a miniature scale, and fails loudly if a
+//! regression breaks one:
+//!
+//! 1. dLSM beats Sherman on writes by a wide margin (Fig. 7a's headline).
+//! 2. Sherman is at least competitive with dLSM on random reads (Fig. 8).
+//! 3. dLSM beats every block baseline on random reads (Fig. 8).
+//! 4. dLSM beats Sherman on scans (Fig. 11).
+//! 5. Near-data compaction moves far fewer remote-read bytes than
+//!    compute-side compaction for the same workload (Fig. 12's mechanism).
+//! 6. Byte-addressable tables read faster than 8 KB-block tables (Fig. 13).
+
+use rdma_sim::Verb;
+
+use crate::figures::Opts;
+use crate::harness::{run_fill, run_random_read, run_scan};
+use crate::report::{fmt_mops, Table};
+use crate::setup::{build_scenario, SystemKind};
+use crate::workload::WorkloadSpec;
+
+struct Measured {
+    fill: f64,
+    read: f64,
+    scan: f64,
+    /// One-sided read bytes during fill + compaction only (the Fig. 12
+    /// traffic window), before any read/scan phase muddies it.
+    compaction_read_bytes: u64,
+}
+
+fn measure(kind: SystemKind, spec: &WorkloadSpec, opts: &Opts) -> Measured {
+    let sc = build_scenario(kind, spec, opts.profile(), 4);
+    let before = sc.fabric.stats().snapshot();
+    let fill = run_fill(sc.engine.as_ref(), spec, 4);
+    sc.engine.wait_until_quiescent();
+    let compaction_read_bytes =
+        sc.fabric.stats().snapshot().delta(&before).bytes(Verb::Read);
+    let read = run_random_read(sc.engine.as_ref(), spec, 4, spec.num_kv / 2);
+    let scan = run_scan(sc.engine.as_ref(), spec.num_kv);
+    let m = Measured {
+        fill: fill.mops(),
+        read: read.mops(),
+        scan: scan.mops(),
+        compaction_read_bytes,
+    };
+    eprintln!(
+        "  [validate] {}: fill {} read {} scan {} (compaction-window reads {} KiB)",
+        sc.engine.name(),
+        fmt_mops(m.fill),
+        fmt_mops(m.read),
+        fmt_mops(m.scan),
+        m.compaction_read_bytes >> 10,
+    );
+    sc.shutdown();
+    m
+}
+
+/// Run the shape validation suite; returns an error naming every violated
+/// claim.
+pub fn run(opts: &Opts) -> Result<(), String> {
+    // Miniature but non-trivial: enough data for flushes and compactions.
+    let spec = WorkloadSpec { num_kv: opts.num_kv.min(30_000), ..opts.spec() };
+
+    let dlsm = measure(SystemKind::Dlsm { lambda: 1 }, &spec, opts);
+    let dlsm_block = measure(SystemKind::DlsmBlock, &spec, opts);
+    let rocks8k = measure(SystemKind::RocksDbRdma { block: 8192 }, &spec, opts);
+    let sherman = measure(SystemKind::Sherman, &spec, opts);
+    let compute_side = measure(SystemKind::DlsmComputeCompaction, &spec, opts);
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut check = |name: &str, ok: bool, detail: String| {
+        if !ok {
+            violations.push(format!("{name}: {detail}"));
+        }
+        (ok.then_some("PASS").unwrap_or("FAIL").to_string(), detail)
+    };
+
+    let mut table = Table::new("validate: paper-shape assertions", &["claim", "status", "detail"]);
+    let rows = [
+        (
+            "fig7a: dLSM >> Sherman writes (>= 3x)",
+            check(
+                "writes",
+                dlsm.fill > sherman.fill * 3.0,
+                format!("dLSM {} vs Sherman {}", fmt_mops(dlsm.fill), fmt_mops(sherman.fill)),
+            ),
+        ),
+        (
+            "fig8: Sherman reads >= 0.8x dLSM",
+            check(
+                "sherman-reads",
+                sherman.read >= dlsm.read * 0.8,
+                format!("Sherman {} vs dLSM {}", fmt_mops(sherman.read), fmt_mops(dlsm.read)),
+            ),
+        ),
+        (
+            "fig8: dLSM reads > 8KB-block baseline",
+            check(
+                "dlsm-reads",
+                dlsm.read > rocks8k.read,
+                format!("dLSM {} vs 8KB {}", fmt_mops(dlsm.read), fmt_mops(rocks8k.read)),
+            ),
+        ),
+        (
+            "fig11: dLSM scans >> Sherman (>= 2x)",
+            check(
+                "scans",
+                dlsm.scan > sherman.scan * 2.0,
+                format!("dLSM {} vs Sherman {}", fmt_mops(dlsm.scan), fmt_mops(sherman.scan)),
+            ),
+        ),
+        (
+            "fig12: near-data reads <= half of compute-side",
+            check(
+                "compaction-traffic",
+                dlsm.compaction_read_bytes * 2 <= compute_side.compaction_read_bytes,
+                format!(
+                    "near-data {} KiB vs compute-side {} KiB",
+                    dlsm.compaction_read_bytes >> 10,
+                    compute_side.compaction_read_bytes >> 10
+                ),
+            ),
+        ),
+        (
+            "fig13: byte-addressable reads > block reads",
+            check(
+                "byte-addr",
+                dlsm.read > dlsm_block.read,
+                format!("dLSM {} vs dLSM-Block {}", fmt_mops(dlsm.read), fmt_mops(dlsm_block.read)),
+            ),
+        ),
+    ];
+    for (claim, (status, detail)) in rows {
+        table.row(vec![claim.to_string(), status, detail]);
+    }
+    table.print();
+    table.write_csv("validate").map_err(|e| e.to_string())?;
+
+    if violations.is_empty() {
+        println!("all paper-shape assertions hold");
+        Ok(())
+    } else {
+        Err(format!("{} shape assertion(s) violated: {violations:?}", violations.len()))
+    }
+}

@@ -1,0 +1,211 @@
+//! Multi-threaded benchmark drivers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use dlsm_baselines::Engine;
+
+use crate::workload::{fill_indices, Phase, WorkloadRng, WorkloadSpec};
+
+/// Result of one measured phase.
+#[derive(Debug, Clone)]
+pub struct PhaseResult {
+    /// Which phase ran.
+    pub phase: String,
+    /// Engine name.
+    pub engine: String,
+    /// Front-end threads.
+    pub threads: usize,
+    /// Operations completed.
+    pub ops: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+}
+
+impl PhaseResult {
+    /// Throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Throughput in mega-ops per second (the paper's y-axes).
+    pub fn mops(&self) -> f64 {
+        self.ops_per_sec() / 1e6
+    }
+}
+
+/// `randomfill`: every key written exactly once, in spread-random order,
+/// from `threads` writers.
+pub fn run_fill(engine: &dyn Engine, spec: &WorkloadSpec, threads: usize) -> PhaseResult {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                for i in fill_indices(spec, t as u64, threads as u64) {
+                    let key = spec.key(i);
+                    let value = spec.value(i, 0);
+                    engine.put(&key, &value).expect("fill put");
+                }
+            });
+        }
+    });
+    PhaseResult {
+        phase: Phase::RandomFill.name(),
+        engine: engine.name().to_string(),
+        threads,
+        ops: spec.num_kv,
+        elapsed: t0.elapsed(),
+    }
+}
+
+/// `randomread`: `ops` point reads of uniformly random loaded keys.
+pub fn run_random_read(
+    engine: &dyn Engine,
+    spec: &WorkloadSpec,
+    threads: usize,
+    ops: u64,
+) -> PhaseResult {
+    let done = AtomicU64::new(0);
+    let misses = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let done = &done;
+            let misses = &misses;
+            s.spawn(move || {
+                let mut rng = WorkloadRng::new(0xBEE5 + t as u64);
+                let mut reader = engine.reader();
+                let per = ops / threads as u64 + u64::from(t as u64 == 0) * (ops % threads as u64);
+                for _ in 0..per {
+                    let i = rng.below(spec.num_kv);
+                    let key = spec.key(i);
+                    match reader.get(&key).expect("read") {
+                        Some(_) => {}
+                        None => {
+                            misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                done.fetch_add(per, Ordering::Relaxed);
+            });
+        }
+    });
+    let ops_done = done.load(Ordering::Relaxed);
+    let missed = misses.load(Ordering::Relaxed);
+    assert!(
+        missed * 20 < ops_done.max(1),
+        "{}: {missed}/{ops_done} reads missed — data loss?",
+        engine.name()
+    );
+    PhaseResult {
+        phase: Phase::RandomRead.name(),
+        engine: engine.name().to_string(),
+        threads,
+        ops: ops_done,
+        elapsed: t0.elapsed(),
+    }
+}
+
+/// `readseq`: one full forward scan; `ops` = entries visited.
+pub fn run_scan(engine: &dyn Engine, expected: u64) -> PhaseResult {
+    let t0 = Instant::now();
+    let mut reader = engine.reader();
+    let n = reader.scan_all().expect("scan");
+    assert!(
+        n >= expected / 2,
+        "{}: scan visited {n} of {expected} entries",
+        engine.name()
+    );
+    PhaseResult {
+        phase: Phase::ReadSeq.name(),
+        engine: engine.name().to_string(),
+        threads: 1,
+        ops: n,
+        elapsed: t0.elapsed(),
+    }
+}
+
+/// `readrandomwriterandom`: each thread issues `ops / threads` operations,
+/// each a read with probability `read_pct`% else an overwrite.
+pub fn run_mixed(
+    engine: &dyn Engine,
+    spec: &WorkloadSpec,
+    threads: usize,
+    ops: u64,
+    read_pct: u8,
+) -> PhaseResult {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let mut rng = WorkloadRng::new(0x5EED + t as u64);
+                let mut reader = engine.reader();
+                let per = ops / threads as u64;
+                for n in 0..per {
+                    let i = rng.below(spec.num_kv);
+                    if rng.below(100) < u64::from(read_pct) {
+                        let _ = reader.get(&spec.key(i)).expect("mixed read");
+                    } else {
+                        engine.put(&spec.key(i), &spec.value(i, n + 1)).expect("mixed write");
+                    }
+                }
+            });
+        }
+    });
+    PhaseResult {
+        phase: Phase::Mixed { read_pct }.name(),
+        engine: engine.name().to_string(),
+        threads,
+        ops: (ops / threads as u64) * threads as u64,
+        elapsed: t0.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlsm::{ComputeContext, DbConfig, MemNodeHandle};
+    use dlsm_baselines::{build_dlsm, EngineDeps};
+    use dlsm_memnode::{MemServer, MemServerConfig};
+    use rdma_sim::{Fabric, NetworkProfile};
+
+    #[test]
+    fn fill_read_scan_mixed_roundtrip() {
+        let fabric = Fabric::new(NetworkProfile::instant());
+        let server = MemServer::start(
+            &fabric,
+            MemServerConfig {
+                region_size: 96 << 20,
+                flush_zone: 40 << 20,
+                compaction_workers: 2,
+                dispatchers: 1,
+            },
+        );
+        let deps = EngineDeps {
+            ctx: ComputeContext::new(&fabric),
+            memnodes: vec![MemNodeHandle::from_server(&server)],
+        };
+        let engine = build_dlsm(&deps, DbConfig::small(), 1).unwrap();
+        let spec = WorkloadSpec { num_kv: 5_000, key_size: 20, value_size: 50 };
+
+        let fill = run_fill(&engine, &spec, 4);
+        assert_eq!(fill.ops, 5_000);
+        assert!(fill.mops() > 0.0);
+        engine.wait_until_quiescent();
+
+        let rr = run_random_read(&engine, &spec, 4, 2_000);
+        assert_eq!(rr.ops, 2_000);
+
+        let scan = run_scan(&engine, spec.num_kv);
+        assert_eq!(scan.ops, 5_000);
+
+        let mixed = run_mixed(&engine, &spec, 2, 1_000, 50);
+        assert_eq!(mixed.ops, 1_000);
+
+        engine.shutdown();
+        server.shutdown();
+    }
+}

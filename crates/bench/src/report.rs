@@ -1,0 +1,100 @@
+//! Result tables: aligned stdout output + CSV files under `results/`.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A simple result table: named columns, rows of strings.
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render aligned to stdout.
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", header.join("  "));
+        println!("{}", "-".repeat(header.join("  ").len()));
+        for row in &self.rows {
+            let line: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            println!("{}", line.join("  "));
+        }
+    }
+
+    /// Write as CSV to `results/<name>.csv`; returns the path.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("results");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", self.columns.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Format a throughput in M ops/s with sensible precision.
+pub fn fmt_mops(mops: f64) -> String {
+    if mops >= 10.0 {
+        format!("{mops:.1}")
+    } else if mops >= 0.1 {
+        format!("{mops:.2}")
+    } else {
+        format!("{mops:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_writes_csv() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "x".into()]);
+        t.row(vec!["22".into(), "yy".into()]);
+        t.print();
+        let path = t.write_csv("test_demo").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("a,b\n1,x\n22,yy\n"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn mops_formatting() {
+        assert_eq!(fmt_mops(12.345), "12.3");
+        assert_eq!(fmt_mops(1.234), "1.23");
+        assert_eq!(fmt_mops(0.01234), "0.0123");
+    }
+}

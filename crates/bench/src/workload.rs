@@ -1,0 +1,187 @@
+//! db_bench-style workload generation (paper Sec. XI-B).
+//!
+//! The paper's datasets: random key-value pairs with 20-byte keys and
+//! 400-byte values; `randomfill` inserts N of them, `randomread` issues N
+//! point queries over the same key range, `readseq` scans the whole table,
+//! `readrandomwriterandom` mixes reads and writes at a configured ratio.
+//!
+//! Keys embed an 8-byte big-endian multiplicative hash of the logical index
+//! so they are (a) uniformly spread across the key space — which both the
+//! range sharding and the sub-compaction splitting rely on — and
+//! (b) reproducible: `key(i)` is a pure function.
+
+/// Golden-ratio multiplicative hash constant.
+const SPREAD: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of distinct key-value pairs (the paper: 100 M; scaled down).
+    pub num_kv: u64,
+    /// Key size in bytes (paper default 20).
+    pub key_size: usize,
+    /// Value size in bytes (paper default 400).
+    pub value_size: usize,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec { num_kv: 200_000, key_size: 20, value_size: 400 }
+    }
+}
+
+impl WorkloadSpec {
+    /// Logical dataset size in bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.num_kv * (self.key_size + self.value_size) as u64
+    }
+
+    /// The `i`-th key: 8-byte spread prefix + ASCII index padding.
+    pub fn key(&self, i: u64) -> Vec<u8> {
+        debug_assert!(i < self.num_kv);
+        let mut k = Vec::with_capacity(self.key_size);
+        k.extend_from_slice(&i.wrapping_mul(SPREAD).to_be_bytes());
+        // Deterministic filler to reach key_size (db_bench keys are 20 B).
+        let mut x = i;
+        while k.len() < self.key_size {
+            k.push(b'a' + (x % 26) as u8);
+            x = x / 26 + 1;
+        }
+        k.truncate(self.key_size);
+        k
+    }
+
+    /// The value written for key `i` at version `v` (verifiable pattern).
+    pub fn value(&self, i: u64, v: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.value_size);
+        let seed = i.wrapping_mul(31).wrapping_add(v).to_le_bytes();
+        while out.len() < self.value_size {
+            out.extend_from_slice(&seed);
+        }
+        out.truncate(self.value_size);
+        out
+    }
+}
+
+/// A tiny, fast, seedable RNG (xorshift64*) for workload index sequences —
+/// deterministic per thread, no shared state.
+#[derive(Debug, Clone)]
+pub struct WorkloadRng(u64);
+
+impl WorkloadRng {
+    /// Seed the RNG (0 is patched to a fixed constant).
+    pub fn new(seed: u64) -> WorkloadRng {
+        WorkloadRng(if seed == 0 { 0xDEAD_BEEF_CAFE_F00D } else { seed })
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(SPREAD)
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// The access pattern of one benchmark phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// `randomfill`: insert all keys in random order.
+    RandomFill,
+    /// `randomread`: point-read random keys from the loaded range.
+    RandomRead,
+    /// `readseq`: one full forward scan.
+    ReadSeq,
+    /// `readrandomwriterandom` with the given read percentage.
+    Mixed {
+        /// Percentage of operations that are reads (0–100).
+        read_pct: u8,
+    },
+}
+
+impl Phase {
+    /// Human-readable db_bench-style name.
+    pub fn name(&self) -> String {
+        match self {
+            Phase::RandomFill => "randomfill".into(),
+            Phase::RandomRead => "randomread".into(),
+            Phase::ReadSeq => "readseq".into(),
+            Phase::Mixed { read_pct } => format!("mixed-r{read_pct}"),
+        }
+    }
+}
+
+/// A random permutation-ish fill order: thread `t` of `n` inserts the
+/// indices `t, t + n, t + 2n, ...` each spread by the hash inside
+/// [`WorkloadSpec::key`], giving uniformly random key order with every key
+/// written exactly once.
+pub fn fill_indices(spec: &WorkloadSpec, thread: u64, threads: u64) -> impl Iterator<Item = u64> {
+    let num = spec.num_kv;
+    (thread..num).step_by(threads as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn keys_are_fixed_size_and_unique() {
+        let spec = WorkloadSpec { num_kv: 10_000, ..Default::default() };
+        let mut seen = HashSet::new();
+        for i in 0..spec.num_kv {
+            let k = spec.key(i);
+            assert_eq!(k.len(), spec.key_size);
+            assert!(seen.insert(k), "duplicate key for {i}");
+        }
+    }
+
+    #[test]
+    fn keys_spread_uniformly() {
+        let spec = WorkloadSpec { num_kv: 40_000, ..Default::default() };
+        // Bucket by top byte: every bucket should be populated.
+        let mut buckets = [0u32; 16];
+        for i in 0..spec.num_kv {
+            buckets[(spec.key(i)[0] >> 4) as usize] += 1;
+        }
+        for (b, &c) in buckets.iter().enumerate() {
+            assert!(c > 1_000, "bucket {b} underpopulated: {buckets:?}");
+        }
+    }
+
+    #[test]
+    fn values_sized_and_deterministic() {
+        let spec = WorkloadSpec::default();
+        assert_eq!(spec.value(7, 0).len(), 400);
+        assert_eq!(spec.value(7, 1), spec.value(7, 1));
+        assert_ne!(spec.value(7, 1), spec.value(7, 2));
+    }
+
+    #[test]
+    fn fill_indices_partition_exactly() {
+        let spec = WorkloadSpec { num_kv: 1_000, ..Default::default() };
+        let mut all: Vec<u64> = (0..4).flat_map(|t| fill_indices(&spec, t, 4)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rng_below_is_in_range() {
+        let mut rng = WorkloadRng::new(42);
+        for _ in 0..10_000 {
+            assert!(rng.below(17) < 17);
+        }
+        // Different seeds → different streams.
+        let a: Vec<u64> = (0..5).map(|_| WorkloadRng::new(1).next_u64()).collect();
+        let b: Vec<u64> = (0..5).map(|_| WorkloadRng::new(2).next_u64()).collect();
+        assert_ne!(a, b);
+    }
+}

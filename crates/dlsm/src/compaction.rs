@@ -1,0 +1,583 @@
+//! Compaction picking and execution (paper Sec. V).
+//!
+//! The compute node owns the *policy* — it keeps the LSM metadata, decides
+//! which tables to compact and when — while the *mechanism* runs wherever
+//! configured:
+//!
+//! * **Near-data** (`near_data_compaction = true`, dLSM's design): the
+//!   compute node ships table extents + merge parameters over the
+//!   customized RPC; the memory node merges against its own DRAM and
+//!   replies with output metadata. Only metadata crosses the network.
+//! * **Compute-side** (`false`, the baselines and the Fig. 12 comparison):
+//!   inputs are pulled over the fabric, merged locally, and outputs are
+//!   written back — data crosses the network twice.
+//!
+//! Large compactions split into up to `compaction_subtasks` disjoint
+//! user-key ranges executed in parallel (the paper's sub-compaction,
+//! Sec. V-A); boundaries come from the compute-node-resident index, so
+//! splitting costs no remote I/O.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dlsm_memnode::{CompactArgs, InputTable, RpcClient, TableFormat};
+use dlsm_sstable::byte_addr::{ByteAddrBuilder, TableMeta};
+use dlsm_sstable::block::BlockTableBuilder;
+use dlsm_sstable::coding::get_len_prefixed;
+use dlsm_sstable::iter::{ClampIter, MergingIter};
+use dlsm_sstable::key::{self, SeqNo};
+use dlsm_sstable::merge::{CompactionIter, MergeConfig};
+use dlsm_sstable::ForwardIter;
+
+use crate::config::DbConfig;
+use crate::context::{ComputeContext, MemNodeHandle};
+use crate::handle::{Extent, GcSink, MetaKind, Origin, TableHandle};
+use crate::version::Version;
+use crate::{DbError, Result};
+
+/// A picked compaction: inputs from `level`, overlapping inputs from
+/// `level + 1`, outputs into `level + 1`.
+pub struct CompactionJob {
+    /// Input level (0 for L0 → L1).
+    pub level: usize,
+    /// Tables from `level` (L0: newest first — merge priority order).
+    pub inputs_lo: Vec<Arc<TableHandle>>,
+    /// Overlapping tables from `level + 1` (key order).
+    pub inputs_hi: Vec<Arc<TableHandle>>,
+    /// Whether tombstones may be dropped (nothing overlaps below the
+    /// output level).
+    pub drop_deletions: bool,
+}
+
+impl CompactionJob {
+    /// The output level.
+    pub fn output_level(&self) -> usize {
+        self.level + 1
+    }
+
+    /// All inputs in merge-priority order.
+    pub fn all_inputs(&self) -> impl Iterator<Item = &Arc<TableHandle>> {
+        self.inputs_lo.iter().chain(self.inputs_hi.iter())
+    }
+
+    /// Total input bytes.
+    pub fn input_bytes(&self) -> u64 {
+        self.all_inputs().map(|t| t.extent.len).sum()
+    }
+
+    /// Union user-key range of the inputs.
+    pub fn user_range(&self) -> (Vec<u8>, Vec<u8>) {
+        let mut lo: Option<&[u8]> = None;
+        let mut hi: Option<&[u8]> = None;
+        for t in self.all_inputs() {
+            let (s, l) = (t.smallest_user(), t.largest_user());
+            if lo.is_none_or(|cur| s < cur) {
+                lo = Some(s);
+            }
+            if hi.is_none_or(|cur| l > cur) {
+                hi = Some(l);
+            }
+        }
+        (lo.unwrap_or_default().to_vec(), hi.unwrap_or_default().to_vec())
+    }
+}
+
+/// Maximum bytes allowed at `level` (≥ 1) before it wants compaction.
+pub fn max_bytes_for_level(cfg: &DbConfig, level: usize) -> u64 {
+    debug_assert!(level >= 1);
+    let mut max = cfg.l1_max_bytes;
+    for _ in 1..level {
+        max = max.saturating_mul(cfg.level_multiplier);
+    }
+    max
+}
+
+/// Pick the most urgent compaction, if any level is over its trigger.
+///
+/// `compact_pointer` persists the round-robin cursor per level (LevelDB's
+/// `compact_pointer_`), so repeated Ln compactions sweep the key space.
+pub fn pick_compaction(
+    version: &Version,
+    cfg: &DbConfig,
+    compact_pointer: &mut Vec<Vec<u8>>,
+) -> Option<CompactionJob> {
+    compact_pointer.resize(version.level_count(), Vec::new());
+    // Score every level; L0 by file count, others by byte volume.
+    let mut best: Option<(f64, usize)> = None;
+    let l0_score = version.level(0).len() as f64 / cfg.l0_compaction_trigger as f64;
+    if l0_score >= 1.0 {
+        best = Some((l0_score, 0));
+    }
+    for level in 1..version.level_count() - 1 {
+        let score = version.level_bytes(level) as f64 / max_bytes_for_level(cfg, level) as f64;
+        if score >= 1.0 && best.is_none_or(|(s, _)| score > s) {
+            best = Some((score, level));
+        }
+    }
+    let (_, level) = best?;
+
+    let inputs_lo: Vec<Arc<TableHandle>> = if level == 0 {
+        version.level(0).to_vec() // newest first already
+    } else {
+        // Round-robin: the first table past the cursor, wrapping.
+        let tables = version.level(level);
+        let start = tables
+            .iter()
+            .position(|t| t.smallest > compact_pointer[level])
+            .unwrap_or(0);
+        vec![Arc::clone(&tables[start])]
+    };
+    if inputs_lo.is_empty() {
+        return None;
+    }
+
+    // Overlapping tables one level down.
+    let (lo, hi) = {
+        let job = CompactionJob { level, inputs_lo, inputs_hi: Vec::new(), drop_deletions: false };
+        let range = job.user_range();
+        (job.inputs_lo, range)
+    };
+    let (inputs_lo, (ulo, uhi)) = (lo, hi);
+    let inputs_hi = version.overlapping(level + 1, &ulo, &uhi);
+
+    if level >= 1 {
+        if let Some(last) = inputs_lo.last() {
+            compact_pointer[level] = last.smallest.clone();
+        }
+    }
+
+    // Tombstones can drop if no deeper level holds any overlapping key.
+    let mut drop_deletions = true;
+    for deeper in (level + 2)..version.level_count() {
+        if !version.overlapping(deeper, &ulo, &uhi).is_empty() {
+            drop_deletions = false;
+            break;
+        }
+    }
+
+    Some(CompactionJob { level, inputs_lo, inputs_hi, drop_deletions })
+}
+
+/// Choose up to `k - 1` user-key boundaries splitting the job into `k`
+/// disjoint sub-ranges, using the compute-node-resident index of the
+/// largest input (no remote I/O).
+pub fn pick_boundaries(job: &CompactionJob, k: usize) -> Vec<Vec<u8>> {
+    if k <= 1 {
+        return Vec::new();
+    }
+    let biggest = job
+        .all_inputs()
+        .max_by_key(|t| t.num_entries)
+        .expect("job has inputs");
+    let mut keys: Vec<Vec<u8>> = Vec::new();
+    match &biggest.meta {
+        MetaKind::ByteAddr(meta) => {
+            let n = meta.index.len();
+            if n >= 2 * k {
+                for i in 1..k {
+                    keys.push(key::user_key(meta.index.key(i * n / k)).to_vec());
+                }
+            }
+        }
+        MetaKind::Block(cache, _) => {
+            // Sample the handle's own key range linearly (block caches do
+            // not expose per-record keys; an even split of the byte range is
+            // approximated by splitting the [smallest, largest] span of
+            // sampled records — fall back to no split for tiny tables).
+            let lo = biggest.smallest_user().to_vec();
+            let hi = biggest.largest_user().to_vec();
+            if cache.num_entries() >= (2 * k) as u64 && lo.len() == hi.len() && !lo.is_empty() {
+                // Interpolate numerically over the first 8 differing bytes.
+                keys = interpolate_keys(&lo, &hi, k);
+            }
+        }
+    }
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+/// Evenly interpolate `k - 1` keys between `lo` and `hi` (same length).
+fn interpolate_keys(lo: &[u8], hi: &[u8], k: usize) -> Vec<Vec<u8>> {
+    let width = lo.len().min(8);
+    let mut lo8 = [0u8; 8];
+    let mut hi8 = [0u8; 8];
+    lo8[..width].copy_from_slice(&lo[..width]);
+    hi8[..width].copy_from_slice(&hi[..width]);
+    let (a, b) = (u64::from_be_bytes(lo8), u64::from_be_bytes(hi8));
+    if b <= a {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 1..k {
+        let x = a + (b - a) / k as u64 * i as u64;
+        let mut keyb = lo.to_vec();
+        keyb[..width].copy_from_slice(&x.to_be_bytes()[..width]);
+        out.push(keyb);
+    }
+    out
+}
+
+/// Sub-range bounds from boundaries: `[(lo0, hi0), (lo1, hi1), ...]` with
+/// empty vectors meaning open ends.
+fn subranges(boundaries: &[Vec<u8>]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    if boundaries.is_empty() {
+        return vec![(Vec::new(), Vec::new())];
+    }
+    let mut out = Vec::with_capacity(boundaries.len() + 1);
+    let mut lo = Vec::new();
+    for b in boundaries {
+        out.push((lo.clone(), b.clone()));
+        lo = b.clone();
+    }
+    out.push((lo, Vec::new()));
+    out
+}
+
+/// Outcome of one executed compaction.
+pub struct CompactionOutcome {
+    /// New tables for the output level, in key order.
+    pub outputs: Vec<Arc<TableHandle>>,
+    /// Records read.
+    pub records_in: u64,
+    /// Records written.
+    pub records_out: u64,
+}
+
+/// Execute `job` by near-data compaction: one RPC per sub-range, all in
+/// flight concurrently, each executed by a memory-node worker core.
+///
+/// `clients` is a reusable pool of RPC clients (owned by the compaction
+/// coordinator): creating a client registers multi-MB reply/argument
+/// buffers with the NIC, which — per the paper's "register large regions
+/// once" rule (Sec. X-B) — must not happen per compaction.
+#[allow(clippy::too_many_arguments)]
+pub fn run_near_data(
+    job: &CompactionJob,
+    ctx: &ComputeContext,
+    memnode: &MemNodeHandle,
+    cfg: &DbConfig,
+    smallest_snapshot: SeqNo,
+    gc: &Arc<GcSink>,
+    next_id: &dyn Fn() -> u64,
+    clients: &mut Vec<RpcClient>,
+) -> Result<CompactionOutcome> {
+    let inputs: Vec<InputTable> = job
+        .all_inputs()
+        .map(|t| InputTable { offset: t.extent.offset, len: t.extent.len })
+        .collect();
+    let boundaries = pick_boundaries(job, cfg.compaction_subtasks.max(1));
+    let ranges = subranges(&boundaries);
+    while clients.len() < ranges.len() {
+        clients.push(RpcClient::new(
+            ctx.fabric(),
+            ctx.node(),
+            memnode.node_id(),
+            cfg.rpc_buf_size,
+        )?);
+    }
+
+    // One RPC per sub-range, issued from scoped threads: each requester
+    // sleeps until the memory node's WRITE-with-IMMEDIATE wakes it.
+    let replies: Vec<dlsm_memnode::CompactReply> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for ((lo, hi), client) in ranges.iter().zip(clients.iter_mut()) {
+            let args = CompactArgs {
+                format: cfg.format,
+                smallest_snapshot,
+                drop_deletions: job.drop_deletions,
+                max_output_bytes: cfg.sstable_size,
+                bits_per_key: cfg.bits_per_key as u32,
+                range_lo: lo.clone(),
+                range_hi: hi.clone(),
+                inputs: inputs.clone(),
+            };
+            handles.push(scope.spawn(move || -> Result<dlsm_memnode::CompactReply> {
+                Ok(client.compact(&args, ctx.waiter(), Duration::from_secs(120))?)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sub-compaction thread panicked"))
+            .collect::<Result<Vec<_>>>()
+    })?;
+
+    let mut outcome = CompactionOutcome { outputs: Vec::new(), records_in: 0, records_out: 0 };
+    for reply in replies {
+        outcome.records_in += reply.records_in;
+        outcome.records_out += reply.records_out;
+        for out in reply.outputs {
+            outcome.outputs.push(handle_from_output(ctx, memnode, cfg, gc, next_id(), out)?);
+        }
+    }
+    // Sub-ranges were issued in key order and each reply's outputs are in
+    // key order, so the concatenation is already sorted; assert in debug.
+    debug_assert!(outcome
+        .outputs
+        .windows(2)
+        .all(|w| w[0].largest_user() <= w[1].smallest_user()));
+    Ok(outcome)
+}
+
+/// Build a compute-side handle from one near-data output table.
+fn handle_from_output(
+    ctx: &ComputeContext,
+    memnode: &MemNodeHandle,
+    cfg: &DbConfig,
+    gc: &Arc<GcSink>,
+    id: u64,
+    out: dlsm_memnode::OutputTable,
+) -> Result<Arc<TableHandle>> {
+    let extent = Extent { offset: out.offset, len: out.len };
+    match cfg.format {
+        TableFormat::ByteAddr => {
+            let (meta, _) = TableMeta::decode(&out.meta)?;
+            let smallest = meta.smallest().expect("non-empty output").to_vec();
+            let largest = meta.largest().expect("non-empty output").to_vec();
+            let n = meta.num_entries;
+            Ok(TableHandle::new(
+                id,
+                memnode.remote(),
+                extent,
+                Origin::MemNode,
+                MetaKind::ByteAddr(Arc::new(meta)),
+                smallest,
+                largest,
+                n,
+                Some(Arc::clone(gc)),
+            ))
+        }
+        TableFormat::Block(block_size) => {
+            // Reply carries only the key bounds; fetch the table's index and
+            // filter (3 remote reads) to populate the compute-side cache.
+            let (smallest, n1) = get_len_prefixed(&out.meta, 0)
+                .map_err(|e| DbError::Sst(e.to_string()))?;
+            let (largest, _) = get_len_prefixed(&out.meta, n1)
+                .map_err(|e| DbError::Sst(e.to_string()))?;
+            let channel = crate::remote::ReadChannel::one_sided(
+                ctx.fabric().create_qp(ctx.node().id(), memnode.node_id())?,
+            );
+            let source = crate::remote::RemoteSource::new(
+                channel,
+                memnode.remote().addr(out.offset),
+                out.len,
+            );
+            let reader = dlsm_sstable::block::BlockTableReader::open(source)?;
+            let n = reader.num_entries();
+            Ok(TableHandle::new(
+                id,
+                memnode.remote(),
+                extent,
+                Origin::MemNode,
+                MetaKind::Block(reader.meta_cache(), block_size),
+                smallest.to_vec(),
+                largest.to_vec(),
+                n,
+                Some(Arc::clone(gc)),
+            ))
+        }
+    }
+}
+
+/// Execute `job` on the compute node: pull every input byte over the
+/// network, merge locally, push every output byte back. This is what the
+/// paper's baselines do, and what dLSM avoids.
+#[allow(clippy::too_many_arguments)]
+pub fn run_local(
+    job: &CompactionJob,
+    ctx: &ComputeContext,
+    memnode: &MemNodeHandle,
+    cfg: &DbConfig,
+    smallest_snapshot: SeqNo,
+    gc: &Arc<GcSink>,
+    next_id: &dyn Fn() -> u64,
+) -> Result<CompactionOutcome> {
+    let boundaries = pick_boundaries(job, cfg.compaction_subtasks.max(1));
+    let ranges = subranges(&boundaries);
+
+    /// (image, meta, smallest, largest) of a staged byte-addressable output.
+    type StagedByteAddr = (Vec<u8>, TableMeta, Vec<u8>, Vec<u8>);
+    /// (image, smallest, largest, entries) of a staged block output.
+    type StagedBlock = (Vec<u8>, Vec<u8>, Vec<u8>, u64);
+
+    struct SubResult {
+        staged: Vec<StagedByteAddr>,
+        block_staged: Vec<StagedBlock>,
+        records_in: u64,
+        records_out: u64,
+    }
+
+    let subresults: Vec<SubResult> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for (lo, hi) in &ranges {
+            let job = &*job;
+            handles.push(scope.spawn(move || -> Result<SubResult> {
+                let channel = read_channel_for(ctx, memnode, cfg)?;
+                let iters: Vec<Box<dyn ForwardIter>> = job
+                    .all_inputs()
+                    .map(|t| crate::remote::table_iter(&channel, t, cfg.scan_prefetch))
+                    .collect();
+                let merged =
+                    ClampIter::new(MergingIter::new(iters), lo.clone(), hi.clone());
+                let mut it = CompactionIter::new(
+                    merged,
+                    MergeConfig { smallest_snapshot, drop_deletions: job.drop_deletions },
+                );
+                it.seek_to_first()?;
+                let mut r = SubResult {
+                    staged: Vec::new(),
+                    block_staged: Vec::new(),
+                    records_in: 0,
+                    records_out: 0,
+                };
+                match cfg.format {
+                    TableFormat::ByteAddr => {
+                        while it.valid() {
+                            let mut b = ByteAddrBuilder::new(Vec::new(), cfg.bits_per_key);
+                            while it.valid() && b.data_len() < cfg.sstable_size {
+                                b.add(it.key(), it.value())?;
+                                r.records_out += 1;
+                                it.next()?;
+                            }
+                            let (image, meta) = b.finish();
+                            let s = meta.smallest().expect("non-empty").to_vec();
+                            let l = meta.largest().expect("non-empty").to_vec();
+                            r.staged.push((image, meta, s, l));
+                        }
+                    }
+                    TableFormat::Block(bs) => {
+                        while it.valid() {
+                            let mut b =
+                                BlockTableBuilder::new(Vec::new(), bs as usize, cfg.bits_per_key);
+                            let mut s = Vec::new();
+                            let mut l = Vec::new();
+                            while it.valid() && b.data_len() < cfg.sstable_size {
+                                if s.is_empty() {
+                                    s = it.key().to_vec();
+                                }
+                                l.clear();
+                                l.extend_from_slice(it.key());
+                                b.add(it.key(), it.value())?;
+                                r.records_out += 1;
+                                it.next()?;
+                            }
+                            let n = b.num_entries();
+                            let (image, _) = b.finish()?;
+                            r.block_staged.push((image, s, l, n));
+                        }
+                    }
+                }
+                r.records_in = it.records_seen();
+                Ok(r)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("local sub-compaction thread panicked"))
+            .collect::<Result<Vec<_>>>()
+    })?;
+
+    // Write staged outputs back to the flush zone (compute-owned memory),
+    // through the configured data path.
+    let mut qp = match cfg.data_path {
+        crate::config::DataPath::OneSided => {
+            Some(ctx.fabric().create_qp(ctx.node().id(), memnode.node_id())?)
+        }
+        crate::config::DataPath::TwoSidedRpc => None,
+    };
+    let mut rpc = match cfg.data_path {
+        crate::config::DataPath::OneSided => None,
+        crate::config::DataPath::TwoSidedRpc => Some(RpcClient::new(
+            ctx.fabric(),
+            ctx.node(),
+            memnode.node_id(),
+            (1 << 20) + (64 << 10),
+        )?),
+    };
+    let mut outcome = CompactionOutcome { outputs: Vec::new(), records_in: 0, records_out: 0 };
+    let alloc = memnode.flush_alloc();
+    let mut write_back = |image: &[u8]| -> Result<Extent> {
+        let len = image.len() as u64;
+        let offset = alloc.alloc(len).ok_or(DbError::OutOfRemoteMemory { requested: len })?;
+        // Large sequential writes in 1 MiB units.
+        let mut pos = 0usize;
+        while pos < image.len() {
+            let chunk = (image.len() - pos).min(1 << 20);
+            let slice = &image[pos..pos + chunk];
+            let dst = offset + pos as u64;
+            match (&mut qp, &mut rpc) {
+                (Some(qp), _) => qp.write_sync(slice, memnode.remote().addr(dst))?,
+                (None, Some(rpc)) => rpc
+                    .write_file(dst, slice, std::time::Duration::from_secs(10))
+                    .map_err(crate::DbError::from)?,
+                (None, None) => unreachable!(),
+            }
+            pos += chunk;
+        }
+        Ok(Extent { offset, len })
+    };
+    for sr in subresults {
+        outcome.records_in += sr.records_in;
+        outcome.records_out += sr.records_out;
+        for (image, meta, s, l) in sr.staged {
+            let extent = write_back(&image)?;
+            let n = meta.num_entries;
+            outcome.outputs.push(TableHandle::new(
+                next_id(),
+                memnode.remote(),
+                extent,
+                Origin::Compute,
+                MetaKind::ByteAddr(Arc::new(meta)),
+                s,
+                l,
+                n,
+                Some(Arc::clone(gc)),
+            ));
+        }
+        for (image, s, l, n) in sr.block_staged {
+            let extent = write_back(&image)?;
+            let TableFormat::Block(bs) = cfg.format else { unreachable!() };
+            let channel = read_channel_for(ctx, memnode, cfg)?;
+            let source = crate::remote::RemoteSource::new(
+                channel,
+                memnode.remote().addr(extent.offset),
+                extent.len,
+            );
+            let reader = dlsm_sstable::block::BlockTableReader::open(source)?;
+            outcome.outputs.push(TableHandle::new(
+                next_id(),
+                memnode.remote(),
+                extent,
+                Origin::Compute,
+                MetaKind::Block(reader.meta_cache(), bs),
+                s,
+                l,
+                n,
+                Some(Arc::clone(gc)),
+            ));
+        }
+    }
+    Ok(outcome)
+}
+
+/// Build a [`crate::remote::ReadChannel`] for compaction I/O per the
+/// configured data path.
+fn read_channel_for(
+    ctx: &ComputeContext,
+    memnode: &MemNodeHandle,
+    cfg: &DbConfig,
+) -> Result<crate::remote::ReadChannel> {
+    match cfg.data_path {
+        crate::config::DataPath::OneSided => Ok(crate::remote::ReadChannel::one_sided(
+            ctx.fabric().create_qp(ctx.node().id(), memnode.node_id())?,
+        )),
+        crate::config::DataPath::TwoSidedRpc => {
+            Ok(crate::remote::ReadChannel::two_sided(RpcClient::new(
+                ctx.fabric(),
+                ctx.node(),
+                memnode.node_id(),
+                cfg.scan_prefetch + (64 << 10),
+            )?))
+        }
+    }
+}

@@ -1,0 +1,1424 @@
+//! The dLSM database: write path, read path, background work, snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dlsm_memnode::RpcClient;
+use dlsm_sstable::byte_addr::{TableGet, TableMeta};
+use dlsm_sstable::coding::{get_len_prefixed, get_u32, get_u64, put_len_prefixed, put_u32, put_u64};
+use dlsm_sstable::key::{SeqNo, ValueType};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::compaction::{pick_compaction, run_local, run_near_data};
+use crate::config::{DataPath, DbConfig, SwitchProtocol};
+use crate::context::{ComputeContext, MemNodeHandle};
+use crate::flush::{flush_memtable, FlushTransport};
+use crate::handle::{Extent, GcSink, MetaKind, Origin, TableHandle};
+use crate::memtable::{MemGet, MemTable};
+use crate::remote::{table_get, ReadChannel};
+use dlsm_sstable::source::DataSource as _;
+use crate::scan::DbScan;
+use crate::stats::DbStats;
+use crate::version::{VersionEdit, VersionSet};
+use crate::{DbError, Result};
+
+/// Expected bytes per entry used to derive the sequence-range width when the
+/// config leaves it at 0 (paper workload: 20 B key + 400 B value + trailer).
+const DEFAULT_ENTRY_BYTES: usize = 470;
+
+pub(crate) struct Shared {
+    pub(crate) ctx: Arc<ComputeContext>,
+    pub(crate) memnode: Arc<MemNodeHandle>,
+    pub(crate) cfg: DbConfig,
+    /// Next sequence number to assign.
+    seq: AtomicU64,
+    current: RwLock<Arc<MemTable>>,
+    /// Immutable MemTables awaiting flush, oldest first.
+    immutables: Mutex<Vec<Arc<MemTable>>>,
+    imm_count: AtomicUsize,
+    flush_queue_len: AtomicUsize,
+    switch_lock: Mutex<()>,
+    /// Table/MemTable id generator (L0 ordering relies on flush ids).
+    next_id: AtomicU64,
+    pub(crate) versions: VersionSet,
+    l0_count: AtomicUsize,
+    stall_lock: Mutex<()>,
+    stall_cv: Condvar,
+    work_lock: Mutex<()>,
+    work_cv: Condvar,
+    flush_tx: Sender<Arc<MemTable>>,
+    pub(crate) gc: Arc<GcSink>,
+    pub(crate) stats: DbStats,
+    stopping: AtomicBool,
+    snapshots: Mutex<BTreeMap<SeqNo, usize>>,
+    compaction_idle: AtomicBool,
+    /// Global write mutex for `serialized_writes` (baseline emulation).
+    write_serializer: Mutex<()>,
+    /// In-order sequence publication (the visible snapshot horizon).
+    publication: crate::publication::Publication,
+    /// Remaining budget for the compute-local hot-L0 table cache.
+    l0_cache_budget: Arc<AtomicU64>,
+    /// Next retirement order to assign (at switch time).
+    retire_counter: AtomicU64,
+    /// Retirement order whose flush should install next; flush workers
+    /// serialize on this so L0 receives tables strictly in MemTable order
+    /// even though serialization runs in parallel.
+    install_turn: Mutex<u64>,
+    install_cv: Condvar,
+}
+
+impl Shared {
+    fn new_memtable(&self, start: SeqNo) -> Arc<MemTable> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // The naive protocol has no range discipline: any sequence number
+        // may land in whatever table is current, so the table must cover
+        // the whole sequence space.
+        let range = match self.cfg.switch_protocol {
+            SwitchProtocol::SeqRange => start..start + self.cfg.seq_range_width,
+            SwitchProtocol::NaiveDoubleChecked => 0..dlsm_sstable::key::MAX_SEQ,
+        };
+        Arc::new(MemTable::new(id, range, self.cfg.memtable_size, self.cfg.arena_capacity()))
+    }
+
+    /// Oldest sequence number any live snapshot may still read.
+    fn smallest_snapshot(&self) -> SeqNo {
+        self.snapshots
+            .lock()
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| self.read_horizon())
+    }
+
+    /// The read horizon: the largest *published* sequence number. Every
+    /// write at or below it is fully inserted (or permanently unused), so
+    /// reads are monotone and snapshots are consistent even with concurrent
+    /// out-of-order writers.
+    fn read_horizon(&self) -> SeqNo {
+        self.publication.horizon()
+    }
+
+    pub(crate) fn read_channel(&self) -> Result<ReadChannel> {
+        match self.cfg.data_path {
+            DataPath::OneSided => Ok(ReadChannel::one_sided(
+                self.ctx.fabric().create_qp(self.ctx.node().id(), self.memnode.node_id())?,
+            )),
+            DataPath::TwoSidedRpc => Ok(ReadChannel::two_sided(RpcClient::new(
+                self.ctx.fabric(),
+                self.ctx.node(),
+                self.memnode.node_id(),
+                self.cfg.scan_prefetch + (64 << 10),
+            )?)),
+        }
+    }
+
+    fn notify_stall(&self) {
+        let _g = self.stall_lock.lock();
+        self.stall_cv.notify_all();
+    }
+
+    fn notify_work(&self) {
+        let _g = self.work_lock.lock();
+        self.work_cv.notify_all();
+    }
+
+    /// Pin the MemTables (newest first) then the version — in that order, so
+    /// a concurrent flush (which installs the version *before* removing the
+    /// MemTable) can never hide a table from the reader.
+    fn pin(&self) -> (Vec<Arc<MemTable>>, Arc<crate::version::Version>) {
+        let mut mems = Vec::with_capacity(4);
+        mems.push(Arc::clone(&self.current.read()));
+        {
+            let imms = self.immutables.lock();
+            for m in imms.iter().rev() {
+                mems.push(Arc::clone(m));
+            }
+        }
+        let version = self.versions.current();
+        (mems, version)
+    }
+
+    /// Switch because `seq` ran past the current range's end `expected_end`
+    /// (the dLSM protocol, Sec. IV) — double-checked under the switch lock.
+    fn switch_at(&self, expected_end: SeqNo) {
+        let _g = self.switch_lock.lock();
+        {
+            let cur = self.current.read();
+            if cur.range.end != expected_end {
+                return; // somebody already switched
+            }
+        }
+        self.do_switch(expected_end);
+    }
+
+    /// Switch because the table filled early (size trigger or arena-full).
+    fn switch_full(&self, full_id: u64) {
+        let _g = self.switch_lock.lock();
+        let end = {
+            let cur = self.current.read();
+            if cur.id != full_id {
+                return; // already switched past the full table
+            }
+            cur.range.end
+        };
+        self.do_switch(end);
+    }
+
+    /// Must hold `switch_lock`. Installs a new table whose range starts at
+    /// `start` (= old range end, keeping ranges consecutive and disjoint)
+    /// and bumps the sequence counter past it so stale writers re-fetch
+    /// instead of targeting the retired table.
+    fn do_switch(&self, start: SeqNo) {
+        let new = self.new_memtable(start);
+        // Hold the immutables lock *across* the swap: a reader pins the
+        // current table first and the immutable list second, so the retired
+        // table must already be in the list by the time the list becomes
+        // readable — otherwise there is a window where it is neither
+        // current nor immutable and its data vanishes from reads.
+        let mut imms = self.immutables.lock();
+        let old = {
+            let mut w = self.current.write();
+            std::mem::replace(&mut *w, new)
+        };
+        // Jump the counter so no future fetch lands in the old range (only
+        // meaningful for the range-disciplined protocol — naive tables all
+        // cover the full sequence space).
+        if self.cfg.switch_protocol == SwitchProtocol::SeqRange {
+            let prev = self.seq.fetch_max(start, Ordering::AcqRel);
+            if prev < start {
+                // The skipped range [prev, start) was never handed to any
+                // writer; publish it so the horizon can advance past it.
+                self.publication.publish(prev, start - prev);
+            }
+        }
+        DbStats::bump(&self.stats.switches);
+        if !old.is_empty() {
+            let order = self.retire_counter.fetch_add(1, Ordering::AcqRel);
+            old.flush_order.store(order, Ordering::Release);
+            imms.push(Arc::clone(&old));
+            drop(imms);
+            self.imm_count.fetch_add(1, Ordering::Release);
+            self.flush_queue_len.fetch_add(1, Ordering::Release);
+            let _ = self.flush_tx.send(old);
+        }
+    }
+
+    /// Block until it is `order`'s turn to install a flush result, then run
+    /// `install` and pass the turn on. Serializing installs (not the
+    /// serialization work itself) preserves the LSM level invariant under
+    /// parallel flush threads.
+    fn install_in_order(&self, order: u64, install: impl FnOnce()) {
+        let mut turn = self.install_turn.lock();
+        while *turn != order {
+            self.install_cv.wait_for(&mut turn, Duration::from_millis(50));
+            if self.stopping.load(Ordering::Acquire) && *turn != order {
+                // Give up ordering during shutdown rather than deadlocking
+                // on a worker that already exited.
+                break;
+            }
+        }
+        install();
+        *turn = (*turn).max(order) + 1;
+        self.install_cv.notify_all();
+    }
+
+    fn write_stall_check(&self) -> bool {
+        let imm_ok = self.imm_count.load(Ordering::Acquire) < self.cfg.max_immutables;
+        let l0_ok = self
+            .cfg
+            .l0_stop_writes_trigger
+            .is_none_or(|t| self.l0_count.load(Ordering::Acquire) < t);
+        imm_ok && l0_ok
+    }
+
+    fn wait_for_write_room(&self) -> Result<()> {
+        if self.write_stall_check() {
+            return Ok(());
+        }
+        DbStats::bump(&self.stats.stall_events);
+        let t0 = Instant::now();
+        let mut guard = self.stall_lock.lock();
+        while !self.write_stall_check() {
+            if self.stopping.load(Ordering::Acquire) {
+                return Err(DbError::ShuttingDown);
+            }
+            self.stall_cv.wait_for(&mut guard, Duration::from_millis(2));
+        }
+        drop(guard);
+        DbStats::add(&self.stats.stall_nanos, t0.elapsed().as_nanos() as u64);
+        Ok(())
+    }
+
+    /// Apply a batch under one consecutive sequence block. All entries land
+    /// in the same MemTable; if the block would straddle a range boundary
+    /// (or the arena fills mid-batch) the whole batch re-fetches a fresh
+    /// block — the abandoned prefix is shadowed by the retry's higher
+    /// sequence numbers, so readers converge on the full batch.
+    fn write_batch(&self, batch: &crate::batch::WriteBatch) -> Result<crate::batch::BatchCommit> {
+        let n = batch.entries.len() as u64;
+        if n == 0 {
+            return Ok(crate::batch::BatchCommit { first_seq: 0, count: 0 });
+        }
+        assert!(
+            n < self.cfg.seq_range_width.max(2),
+            "batch of {n} entries exceeds the MemTable sequence-range width"
+        );
+        self.wait_for_write_room()?;
+        let _serializer = self.cfg.serialized_writes.then(|| self.write_serializer.lock());
+        'refetch: loop {
+            let base = self.seq.fetch_add(n, Ordering::AcqRel);
+            loop {
+                let guard = self.current.read();
+                if base < guard.range.start {
+                    drop(guard);
+                    DbStats::bump(&self.stats.reseqs);
+                    self.publication.publish(base, n);
+                    continue 'refetch;
+                }
+                if base + n > guard.range.end {
+                    // The block must fit entirely inside one table.
+                    let end = guard.range.end;
+                    drop(guard);
+                    self.switch_at(end);
+                    if base >= end {
+                        continue; // retry the same block against the new table
+                    }
+                    DbStats::bump(&self.stats.reseqs);
+                    self.publication.publish(base, n);
+                    continue 'refetch; // block straddles: take a fresh one
+                }
+                let mut failed = false;
+                for (i, (vt, key, value)) in batch.entries.iter().enumerate() {
+                    if guard.add(base + i as u64, *vt, key, value).is_err() {
+                        failed = true;
+                        break;
+                    }
+                }
+                if failed {
+                    // Arena full mid-batch: rotate and re-apply the whole
+                    // batch (the inserted prefix is shadowed by the retry).
+                    let id = guard.id;
+                    drop(guard);
+                    DbStats::bump(&self.stats.reseqs);
+                    self.publication.publish(base, n);
+                    self.switch_full(id);
+                    continue 'refetch;
+                }
+                let rotate = guard.is_full().then(|| guard.id);
+                drop(guard);
+                self.publication.publish(base, n);
+                if let Some(id) = rotate {
+                    self.switch_full(id);
+                }
+                self.publication.wait_visible(base + n - 1);
+                for (vt, _, _) in &batch.entries {
+                    match vt {
+                        ValueType::Value => DbStats::bump(&self.stats.puts),
+                        ValueType::Deletion => DbStats::bump(&self.stats.deletes),
+                    }
+                }
+                return Ok(crate::batch::BatchCommit { first_seq: base, count: n });
+            }
+        }
+    }
+
+    fn write(&self, user_key: &[u8], value: &[u8], vt: ValueType) -> Result<SeqNo> {
+        self.wait_for_write_room()?;
+        let _serializer = self.cfg.serialized_writes.then(|| self.write_serializer.lock());
+        match self.cfg.switch_protocol {
+            SwitchProtocol::SeqRange => self.write_seq_range(user_key, value, vt),
+            SwitchProtocol::NaiveDoubleChecked => self.write_naive(user_key, value, vt),
+        }
+    }
+
+    /// The dLSM write path (Sec. IV): the pre-assigned range decides which
+    /// table a sequence number belongs to. In-range writers never lock;
+    /// out-of-range writers race through double-checked locking to switch.
+    fn write_seq_range(&self, user_key: &[u8], value: &[u8], vt: ValueType) -> Result<SeqNo> {
+        'refetch: loop {
+            let seq = self.seq.fetch_add(1, Ordering::AcqRel);
+            loop {
+                let guard = self.current.read();
+                if seq < guard.range.start {
+                    // The table for this seq was already retired: abandon the
+                    // number (nothing was inserted under it) and take a new
+                    // one. Gaps in the sequence space are harmless.
+                    drop(guard);
+                    DbStats::bump(&self.stats.reseqs);
+                    self.publication.publish(seq, 1);
+                    continue 'refetch;
+                }
+                if seq >= guard.range.end {
+                    let end = guard.range.end;
+                    drop(guard);
+                    self.switch_at(end);
+                    continue; // retry the same seq against the new table
+                }
+                // In range: insert while holding the read guard so a switch
+                // (write lock) cannot complete mid-insert.
+                match guard.add(seq, vt, user_key, value) {
+                    Ok(()) => {
+                        let rotate = guard.is_full().then(|| guard.id);
+                        drop(guard);
+                        self.publication.publish(seq, 1);
+                        if let Some(id) = rotate {
+                            self.switch_full(id);
+                        }
+                        // Read-your-writes: return once the write is visible.
+                        self.publication.wait_visible(seq);
+                        return Ok(seq);
+                    }
+                    Err(_full) => {
+                        let id = guard.id;
+                        drop(guard);
+                        DbStats::bump(&self.stats.reseqs);
+                        self.publication.publish(seq, 1);
+                        self.switch_full(id);
+                        continue 'refetch;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The straw-man switch protocol the paper argues against (size check +
+    /// double-checked locking). Retained for the ablation benchmark; it can
+    /// place a newer version in an older table under concurrency.
+    fn write_naive(&self, user_key: &[u8], value: &[u8], vt: ValueType) -> Result<SeqNo> {
+        loop {
+            let seq = self.seq.fetch_add(1, Ordering::AcqRel);
+            let guard = self.current.read();
+            // No range discipline: insert into whatever is current.
+            match guard.add(seq, vt, user_key, value) {
+                Ok(()) => {
+                    let rotate = guard.is_full().then(|| guard.id);
+                    drop(guard);
+                    self.publication.publish(seq, 1);
+                    if let Some(id) = rotate {
+                        self.switch_full(id);
+                    }
+                    self.publication.wait_visible(seq);
+                    return Ok(seq);
+                }
+                Err(_full) => {
+                    let id = guard.id;
+                    drop(guard);
+                    self.publication.publish(seq, 1);
+                    self.switch_full(id);
+                }
+            }
+        }
+    }
+}
+
+/// A dLSM database instance — one shard: one LSM-tree whose MemTables live
+/// on this compute node and whose SSTables live on one memory node.
+pub struct Db {
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    down: AtomicBool,
+}
+
+impl Db {
+    /// Open a database against `memnode`, spawning flush threads and the
+    /// compaction coordinator.
+    pub fn open(
+        ctx: Arc<ComputeContext>,
+        memnode: Arc<MemNodeHandle>,
+        cfg: DbConfig,
+    ) -> Result<Db> {
+        let cfg = cfg.normalized(DEFAULT_ENTRY_BYTES);
+        let (flush_tx, flush_rx) = unbounded();
+        let gc = GcSink::new(Arc::clone(memnode.flush_alloc()));
+        let shared = Arc::new(Shared {
+            ctx,
+            memnode,
+            seq: AtomicU64::new(1),
+            current: RwLock::new(Arc::new(MemTable::new(
+                0,
+                match cfg.switch_protocol {
+                    SwitchProtocol::SeqRange => 1..1 + cfg.seq_range_width,
+                    SwitchProtocol::NaiveDoubleChecked => 0..dlsm_sstable::key::MAX_SEQ,
+                },
+                cfg.memtable_size,
+                cfg.arena_capacity(),
+            ))),
+            immutables: Mutex::new(Vec::new()),
+            imm_count: AtomicUsize::new(0),
+            flush_queue_len: AtomicUsize::new(0),
+            switch_lock: Mutex::new(()),
+            next_id: AtomicU64::new(1),
+            versions: VersionSet::new(cfg.max_levels),
+            l0_count: AtomicUsize::new(0),
+            stall_lock: Mutex::new(()),
+            stall_cv: Condvar::new(),
+            work_lock: Mutex::new(()),
+            work_cv: Condvar::new(),
+            flush_tx,
+            gc,
+            stats: DbStats::default(),
+            stopping: AtomicBool::new(false),
+            snapshots: Mutex::new(BTreeMap::new()),
+            compaction_idle: AtomicBool::new(true),
+            write_serializer: Mutex::new(()),
+            publication: crate::publication::Publication::new(1),
+            l0_cache_budget: Arc::new(AtomicU64::new(cfg.local_l0_cache_bytes)),
+            retire_counter: AtomicU64::new(0),
+            install_turn: Mutex::new(0),
+            install_cv: Condvar::new(),
+            cfg,
+        });
+
+        let mut threads = Vec::new();
+        for _ in 0..shared.cfg.flush_threads.max(1) {
+            let s = Arc::clone(&shared);
+            let rx = flush_rx.clone();
+            threads.push(std::thread::spawn(move || flush_loop(s, rx)));
+        }
+        {
+            let s = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || compaction_loop(s)));
+        }
+        Ok(Db { shared, threads: Mutex::new(threads), down: AtomicBool::new(false) })
+    }
+
+    /// Insert or overwrite `key`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<SeqNo> {
+        let seq = self.shared.write(key, value, ValueType::Value)?;
+        DbStats::bump(&self.shared.stats.puts);
+        Ok(seq)
+    }
+
+    /// Apply `batch` atomically-in-order under one consecutive sequence
+    /// block (paper Sec. II-C).
+    pub fn write(&self, batch: &crate::batch::WriteBatch) -> Result<crate::batch::BatchCommit> {
+        self.shared.write_batch(batch)
+    }
+
+    /// Delete `key` (writes a tombstone).
+    pub fn delete(&self, key: &[u8]) -> Result<SeqNo> {
+        let seq = self.shared.write(key, b"", ValueType::Deletion)?;
+        DbStats::bump(&self.shared.stats.deletes);
+        Ok(seq)
+    }
+
+    /// The current sequence horizon (reads at this snapshot see every
+    /// completed write).
+    pub fn current_seq(&self) -> SeqNo {
+        self.shared.read_horizon()
+    }
+
+    /// A thread-local read handle with its own queue pair (or RPC client,
+    /// for the two-sided data path).
+    pub fn reader(&self) -> DbReader {
+        let channel = self.shared.read_channel().expect("reader channel");
+        DbReader { shared: Arc::clone(&self.shared), channel }
+    }
+
+    /// Pin a consistent snapshot (Sec. V-B: the pinned metadata pins every
+    /// SSTable it references).
+    pub fn snapshot(&self) -> Snapshot {
+        let seq = self.current_seq();
+        *self.shared.snapshots.lock().entry(seq).or_insert(0) += 1;
+        let (mems, version) = self.shared.pin();
+        Snapshot { seq, mems, version, shared: Arc::clone(&self.shared) }
+    }
+
+    /// Database counters.
+    pub fn stats(&self) -> &DbStats {
+        &self.shared.stats
+    }
+
+    /// Tables per level of the current version.
+    pub fn level_shape(&self) -> Vec<usize> {
+        self.shared.versions.current().shape()
+    }
+
+    /// Bytes resident in the remote flush zone + compute-visible metadata.
+    pub fn remote_flush_in_use(&self) -> u64 {
+        self.shared.memnode.flush_alloc().in_use()
+    }
+
+    /// Force the current MemTable out and wait until every immutable
+    /// MemTable has been flushed.
+    pub fn force_flush(&self) -> Result<()> {
+        {
+            let cur = self.shared.current.read();
+            if !cur.is_empty() {
+                let id = cur.id;
+                drop(cur);
+                self.shared.switch_full(id);
+            }
+        }
+        while self.shared.imm_count.load(Ordering::Acquire) > 0
+            || self.shared.flush_queue_len.load(Ordering::Acquire) > 0
+        {
+            if self.shared.stopping.load(Ordering::Acquire) {
+                return Err(DbError::ShuttingDown);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Ok(())
+    }
+
+    /// Block until no flush or compaction work remains (used by read-only
+    /// benchmarks that start "after all background compaction finishes").
+    pub fn wait_until_quiescent(&self) {
+        loop {
+            let flushed = self.shared.imm_count.load(Ordering::Acquire) == 0
+                && self.shared.flush_queue_len.load(Ordering::Acquire) == 0;
+            let idle = self.shared.compaction_idle.load(Ordering::Acquire);
+            let mut ptr = Vec::new();
+            let pending =
+                pick_compaction(&self.shared.versions.current(), &self.shared.cfg, &mut ptr)
+                    .is_some();
+            if flushed && idle && !pending {
+                return;
+            }
+            self.shared.notify_work();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Serialize a transactionally-consistent checkpoint of the table layout
+    /// (call [`Db::force_flush`] first to include MemTable contents). The
+    /// checkpoint references remote extents in place; restoring yields
+    /// handles that are never garbage-collected ([`Origin::External`]).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let snap = self.snapshot();
+        let mut out = Vec::new();
+        put_u64(&mut out, snap.seq);
+        put_u32(&mut out, snap.version.level_count() as u32);
+        for level in 0..snap.version.level_count() {
+            let tables = snap.version.level(level);
+            put_u32(&mut out, tables.len() as u32);
+            for t in tables {
+                put_u64(&mut out, t.id);
+                put_u64(&mut out, t.extent.offset);
+                put_u64(&mut out, t.extent.len);
+                put_len_prefixed(&mut out, &t.smallest);
+                put_len_prefixed(&mut out, &t.largest);
+                put_u64(&mut out, t.num_entries);
+                match &t.meta {
+                    MetaKind::ByteAddr(meta) => {
+                        out.push(0);
+                        put_len_prefixed(&mut out, &meta.encode());
+                    }
+                    MetaKind::Block(_, bs) => {
+                        out.push(1);
+                        put_u32(&mut out, *bs);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuild a database from a checkpoint produced by [`Db::checkpoint`]
+    /// against the same memory node. Restored tables are `External` (not
+    /// GC'd), mirroring recovery from a command log + checkpoint (Sec. VIII).
+    pub fn restore(
+        ctx: Arc<ComputeContext>,
+        memnode: Arc<MemNodeHandle>,
+        cfg: DbConfig,
+        checkpoint: &[u8],
+    ) -> Result<Db> {
+        let db = Db::open(ctx, memnode, cfg)?;
+        let shared = &db.shared;
+        let seq = get_u64(checkpoint, 0)?;
+        let levels = get_u32(checkpoint, 8)? as usize;
+        let mut off = 12;
+        let mut edit = VersionEdit::default();
+        let mut max_id = 0u64;
+        for level in 0..levels.min(shared.cfg.max_levels) {
+            let count = get_u32(checkpoint, off)? as usize;
+            off += 4;
+            for _ in 0..count {
+                let id = get_u64(checkpoint, off)?;
+                let offset = get_u64(checkpoint, off + 8)?;
+                let len = get_u64(checkpoint, off + 16)?;
+                off += 24;
+                let (smallest, n) = get_len_prefixed(checkpoint, off)?;
+                off += n;
+                let (largest, n) = get_len_prefixed(checkpoint, off)?;
+                off += n;
+                let num_entries = get_u64(checkpoint, off)?;
+                off += 8;
+                let kind = checkpoint
+                    .get(off)
+                    .copied()
+                    .ok_or_else(|| DbError::Sst("truncated checkpoint".into()))?;
+                off += 1;
+                let meta = match kind {
+                    0 => {
+                        let (bytes, n) = get_len_prefixed(checkpoint, off)?;
+                        off += n;
+                        let (meta, _) = TableMeta::decode(bytes)?;
+                        MetaKind::ByteAddr(Arc::new(meta))
+                    }
+                    1 => {
+                        let bs = get_u32(checkpoint, off)?;
+                        off += 4;
+                        let source = crate::remote::RemoteSource::new(
+                            shared.read_channel()?,
+                            shared.memnode.remote().addr(offset),
+                            len,
+                        );
+                        let reader = dlsm_sstable::block::BlockTableReader::open(source)?;
+                        MetaKind::Block(reader.meta_cache(), bs)
+                    }
+                    other => return Err(DbError::Sst(format!("bad meta kind {other}"))),
+                };
+                max_id = max_id.max(id);
+                edit.add(
+                    level,
+                    TableHandle::new(
+                        id,
+                        shared.memnode.remote(),
+                        Extent { offset, len },
+                        Origin::External,
+                        meta,
+                        smallest.to_vec(),
+                        largest.to_vec(),
+                        num_entries,
+                        None,
+                    ),
+                );
+            }
+        }
+        let v = shared.versions.install(&edit);
+        shared.l0_count.store(v.level(0).len(), Ordering::Release);
+        let prev = shared.seq.fetch_max(seq, Ordering::AcqRel);
+        if prev < seq {
+            shared.publication.publish(prev, seq - prev);
+        }
+        shared.next_id.fetch_max(max_id + 1, Ordering::AcqRel);
+        // The restored sequence horizon starts a fresh MemTable range.
+        let start = shared.seq.load(Ordering::Acquire);
+        {
+            let _g = shared.switch_lock.lock();
+            let new = shared.new_memtable(start);
+            let mut w = shared.current.write();
+            *w = new;
+        }
+        Ok(db)
+    }
+
+    /// Diagnostic: report, per pinned source, what it holds for `key` at the
+    /// current horizon. For debugging visibility issues; not a public API.
+    #[doc(hidden)]
+    pub fn debug_lookup(&self, key: &[u8]) -> String {
+        use std::fmt::Write as _;
+        let seq = self.shared.read_horizon();
+        let (mems, version) = self.shared.pin();
+        let mut out = String::new();
+        let _ = writeln!(out, "horizon={seq}");
+        for m in &mems {
+            let _ = writeln!(
+                out,
+                "  mem id={} range={:?} order={} len={} -> {:?}",
+                m.id,
+                m.range,
+                m.flush_order.load(Ordering::Acquire),
+                m.len(),
+                m.get(key, seq)
+            );
+        }
+        let channel = self.shared.read_channel().expect("debug channel");
+        for (li, _) in (0..version.level_count()).enumerate() {
+            for t in version.level(li) {
+                if t.smallest_user() <= key && key <= t.largest_user() {
+                    let got = crate::remote::table_get(&channel, t, key, seq);
+                    let _ = writeln!(
+                        out,
+                        "  L{li} table id={} [{:?}..{:?}] -> {:?}",
+                        t.id,
+                        String::from_utf8_lossy(&t.smallest[..t.smallest.len().min(12)]),
+                        String::from_utf8_lossy(&t.largest[..t.largest.len().min(12)]),
+                        got
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Stop background work, flush queued MemTables, drain remote GC, and
+    /// join all threads. Idempotent.
+    pub fn shutdown(&self) {
+        if self.down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.shared.stopping.store(true, Ordering::Release);
+        self.shared.notify_stall();
+        self.shared.notify_work();
+        let threads = std::mem::take(&mut *self.threads.lock());
+        for t in threads {
+            let _ = t.join();
+        }
+        // Final remote-GC drain.
+        if let Some(batch) = self.shared.gc.take_remote_batch(0) {
+            if let Ok(mut client) = RpcClient::new(
+                self.shared.ctx.fabric(),
+                self.shared.ctx.node(),
+                self.shared.memnode.node_id(),
+                64 << 10,
+            ) {
+                let _ = client.free_batch(&batch, Duration::from_secs(5));
+            }
+        }
+    }
+
+}
+
+impl Drop for Db {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A pinned, immutable view of the database at one sequence horizon.
+pub struct Snapshot {
+    seq: SeqNo,
+    mems: Vec<Arc<MemTable>>,
+    version: Arc<crate::version::Version>,
+    shared: Arc<Shared>,
+}
+
+impl Snapshot {
+    /// The snapshot's sequence horizon.
+    pub fn seq(&self) -> SeqNo {
+        self.seq
+    }
+
+    pub(crate) fn parts(&self) -> (&[Arc<MemTable>], &Arc<crate::version::Version>) {
+        (&self.mems, &self.version)
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        let mut snaps = self.shared.snapshots.lock();
+        if let Some(n) = snaps.get_mut(&self.seq) {
+            *n -= 1;
+            if *n == 0 {
+                snaps.remove(&self.seq);
+            }
+        }
+    }
+}
+
+/// A thread-local read handle: owns one queue pair shared by all table
+/// readers/iterators it creates (Sec. X-B: thread-local queue pairs).
+pub struct DbReader {
+    shared: Arc<Shared>,
+    channel: ReadChannel,
+}
+
+impl DbReader {
+    /// Read the newest visible version of `key` at the current horizon.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let seq = self.shared.read_horizon();
+        let (mems, version) = self.shared.pin();
+        self.get_pinned(key, seq, &mems, &version)
+    }
+
+    /// Diagnostic twin of [`DbReader::get`]: also returns a trace of every
+    /// source consulted. Test-only; not part of the public contract.
+    #[doc(hidden)]
+    pub fn get_traced(&mut self, key: &[u8]) -> Result<(Option<Vec<u8>>, String)> {
+        use std::fmt::Write as _;
+        let seq = self.shared.read_horizon();
+        let (mems, version) = self.shared.pin();
+        let mut trace = format!("horizon={seq}\n");
+        for mem in &mems {
+            let got = mem.get(key, seq);
+            let _ = writeln!(
+                trace,
+                "  mem id={} range={:?} len={} -> {:?}",
+                mem.id,
+                mem.range,
+                mem.len(),
+                got
+            );
+            match got {
+                MemGet::Found(v) => return Ok((Some(v), trace)),
+                MemGet::Deleted => return Ok((None, trace)),
+                MemGet::NotFound => {}
+            }
+        }
+        for t in version.level(0) {
+            if t.smallest_user() <= key && key <= t.largest_user() {
+                let got = table_get(&self.channel, t, key, seq)?;
+                let _ = writeln!(trace, "  L0 id={} -> {:?}", t.id, got);
+                match got {
+                    TableGet::Found(v) => return Ok((Some(v), trace)),
+                    TableGet::Deleted => return Ok((None, trace)),
+                    TableGet::NotFound => {}
+                }
+            }
+        }
+        for level in 1..version.level_count() {
+            if let Some(t) = version.table_for_key(level, key) {
+                let got = table_get(&self.channel, t, key, seq)?;
+                let _ = writeln!(trace, "  L{level} id={} -> {:?}", t.id, got);
+                match got {
+                    TableGet::Found(v) => return Ok((Some(v), trace)),
+                    TableGet::Deleted => return Ok((None, trace)),
+                    TableGet::NotFound => {}
+                }
+            }
+        }
+        Ok((None, trace))
+    }
+
+    /// Read at a pinned snapshot.
+    pub fn get_at(&mut self, snap: &Snapshot, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let (mems, version) = snap.parts();
+        self.get_pinned(key, snap.seq(), mems, version)
+    }
+
+    fn get_pinned(
+        &mut self,
+        key: &[u8],
+        seq: SeqNo,
+        mems: &[Arc<MemTable>],
+        version: &crate::version::Version,
+    ) -> Result<Option<Vec<u8>>> {
+        DbStats::bump(&self.shared.stats.gets);
+        // MemTables, newest first. The first table holding any visible
+        // version wins — correct because table seq ranges are disjoint and
+        // ordered (Sec. IV).
+        for mem in mems {
+            match mem.get(key, seq) {
+                MemGet::Found(v) => {
+                    DbStats::bump(&self.shared.stats.get_hits);
+                    return Ok(Some(v));
+                }
+                MemGet::Deleted => return Ok(None),
+                MemGet::NotFound => {}
+            }
+        }
+        // L0: overlapping tables, newest first.
+        for t in version.level(0) {
+            if t.smallest_user() <= key && key <= t.largest_user() {
+                match table_get(&self.channel, t, key, seq)? {
+                    TableGet::Found(v) => {
+                        DbStats::bump(&self.shared.stats.get_hits);
+                        return Ok(Some(v));
+                    }
+                    TableGet::Deleted => return Ok(None),
+                    TableGet::NotFound => {}
+                }
+            }
+        }
+        // Deeper levels: at most one candidate table per level.
+        for level in 1..version.level_count() {
+            if let Some(t) = version.table_for_key(level, key) {
+                match table_get(&self.channel, t, key, seq)? {
+                    TableGet::Found(v) => {
+                        DbStats::bump(&self.shared.stats.get_hits);
+                        return Ok(Some(v));
+                    }
+                    TableGet::Deleted => return Ok(None),
+                    TableGet::NotFound => {}
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Batched point lookups: all byte-addressable record fetches of one
+    /// probe wave are posted as asynchronous RDMA reads on the reader's
+    /// queue pair and polled together, amortizing per-operation latency —
+    /// the read-side counterpart of the asynchronous flush pipeline
+    /// (Sec. X-C). Results are positionally aligned with `keys`.
+    pub fn multi_get(&mut self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
+        use dlsm_sstable::byte_addr::Locate;
+
+        let seq = self.shared.read_horizon();
+        let (mems, version) = self.shared.pin();
+        let mut out: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+        let mut resolved = vec![false; keys.len()];
+        DbStats::add(&self.shared.stats.gets, keys.len() as u64);
+
+        // Phase 1: MemTables (local memory, no batching needed).
+        for (i, key) in keys.iter().enumerate() {
+            for mem in &mems {
+                match mem.get(key, seq) {
+                    MemGet::Found(v) => {
+                        DbStats::bump(&self.shared.stats.get_hits);
+                        out[i] = Some(v);
+                        resolved[i] = true;
+                        break;
+                    }
+                    MemGet::Deleted => {
+                        resolved[i] = true;
+                        break;
+                    }
+                    MemGet::NotFound => {}
+                }
+            }
+        }
+
+        // Phase 2: walk each key's source list (L0 tables newest-first, then
+        // one candidate per deeper level); each wave posts every pending
+        // byte-addressable record read at once.
+        let sources_for = |key: &[u8]| -> Vec<Arc<TableHandle>> {
+            let mut v: Vec<Arc<TableHandle>> = Vec::new();
+            for t in version.level(0) {
+                if t.smallest_user() <= key && key <= t.largest_user() {
+                    v.push(Arc::clone(t));
+                }
+            }
+            for level in 1..version.level_count() {
+                if let Some(t) = version.table_for_key(level, key) {
+                    v.push(Arc::clone(t));
+                }
+            }
+            v
+        };
+        let sources: Vec<Vec<Arc<TableHandle>>> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| if resolved[i] { Vec::new() } else { sources_for(k) })
+            .collect();
+        let mut cursor = vec![0usize; keys.len()];
+
+        struct Fetch {
+            key_idx: usize,
+            buf: Vec<u8>,
+            expected_index: usize,
+            table: Arc<TableHandle>,
+        }
+
+        loop {
+            let mut wave: Vec<Fetch> = Vec::new();
+            for i in 0..keys.len() {
+                if resolved[i] {
+                    continue;
+                }
+                // Advance through sources answerable from local metadata
+                // until this key needs a network fetch (or is resolved).
+                while cursor[i] < sources[i].len() {
+                    let table = &sources[i][cursor[i]];
+                    match &table.meta {
+                        MetaKind::ByteAddr(meta) => match meta.locate(keys[i], seq) {
+                            Locate::NotFound => cursor[i] += 1,
+                            Locate::Deleted => {
+                                resolved[i] = true;
+                                break;
+                            }
+                            Locate::Record { index, offset, len } => {
+                                if let Some(image) = table.local_copy() {
+                                    // Hot-cache hit: resolve locally.
+                                    let rec = &image[offset as usize..offset as usize + len];
+                                    let mut slice = vec![0u8; len];
+                                    slice.copy_from_slice(rec);
+                                    wave.push(Fetch {
+                                        key_idx: i,
+                                        buf: slice,
+                                        expected_index: index,
+                                        table: Arc::clone(table),
+                                    });
+                                } else {
+                                    wave.push(Fetch {
+                                        key_idx: i,
+                                        buf: vec![0u8; len],
+                                        expected_index: index,
+                                        table: Arc::clone(table),
+                                    });
+                                }
+                                break;
+                            }
+                        },
+                        // Block tables cannot split decision from fetch;
+                        // resolve synchronously.
+                        MetaKind::Block(_, _) => {
+                            match table_get(&self.channel, table, keys[i], seq)? {
+                                TableGet::Found(v) => {
+                                    DbStats::bump(&self.shared.stats.get_hits);
+                                    out[i] = Some(v);
+                                    resolved[i] = true;
+                                    break;
+                                }
+                                TableGet::Deleted => {
+                                    resolved[i] = true;
+                                    break;
+                                }
+                                TableGet::NotFound => cursor[i] += 1,
+                            }
+                        }
+                    }
+                }
+                if cursor[i] >= sources[i].len() {
+                    resolved[i] = true; // exhausted: stays None
+                }
+            }
+            if wave.is_empty() {
+                break;
+            }
+            // Post every fetch of this wave, then poll them all (skip the
+            // ones already satisfied from the local cache).
+            if let ReadChannel::OneSided(qp) = &self.channel {
+                // Post in bounded batches so the send queue never overflows.
+                const BATCH: usize = 128;
+                let mut qp = qp.borrow_mut();
+                let mut pending = 0usize;
+                for (wi, f) in wave.iter_mut().enumerate() {
+                    if f.table.local_copy().is_some() {
+                        continue; // buf already filled from the local image
+                    }
+                    let (off, len) = match &f.table.meta {
+                        MetaKind::ByteAddr(meta) => meta.index.record(f.expected_index),
+                        MetaKind::Block(..) => unreachable!("block fetches resolve inline"),
+                    };
+                    debug_assert_eq!(len, f.buf.len());
+                    let addr = f.table.home.addr(f.table.extent.offset + off);
+                    qp.post_read(addr, &mut f.buf, wi as u64)?;
+                    pending += 1;
+                    if pending >= BATCH {
+                        for _ in 0..pending {
+                            qp.poll_one_blocking(Duration::from_secs(10))?;
+                        }
+                        pending = 0;
+                    }
+                }
+                for _ in 0..pending {
+                    qp.poll_one_blocking(Duration::from_secs(10))?;
+                }
+            } else {
+                // Two-sided channel: no posting interface; fetch serially.
+                for f in wave.iter_mut() {
+                    if f.table.local_copy().is_some() {
+                        continue;
+                    }
+                    let (off, len) = match &f.table.meta {
+                        MetaKind::ByteAddr(meta) => meta.index.record(f.expected_index),
+                        MetaKind::Block(..) => unreachable!(),
+                    };
+                    debug_assert_eq!(len, f.buf.len());
+                    let source = crate::remote::RemoteSource::for_table(&self.channel, &f.table);
+                    source
+                        .read(off, &mut f.buf)
+                        .map_err(|e| DbError::Sst(e.to_string()))?;
+                }
+            }
+            // Parse the fetched records.
+            for f in wave {
+                let MetaKind::ByteAddr(meta) = &f.table.meta else { unreachable!() };
+                let expected_key = meta.index.key(f.expected_index);
+                match dlsm_sstable::byte_addr::parse_record_bytes(&f.buf) {
+                    Ok((ikey, value)) if ikey == expected_key => {
+                        DbStats::bump(&self.shared.stats.get_hits);
+                        out[f.key_idx] = Some(value.to_vec());
+                        resolved[f.key_idx] = true;
+                    }
+                    Ok(_) => {
+                        return Err(DbError::Sst("record key does not match index".into()))
+                    }
+                    Err(e) => return Err(DbError::Sst(e.to_string())),
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Range scan from `start` (inclusive) at the current horizon, with
+    /// chunked prefetching (Sec. VI).
+    pub fn scan(&mut self, start: &[u8]) -> Result<DbScan> {
+        let seq = self.shared.read_horizon();
+        let (mems, version) = self.shared.pin();
+        DbScan::build(
+            &self.shared,
+            &self.channel,
+            mems,
+            version,
+            seq,
+            start,
+            self.shared.cfg.scan_prefetch,
+        )
+    }
+
+    /// Bounded range scan: user keys in `[start, end)` at the current
+    /// horizon.
+    pub fn scan_range(&mut self, start: &[u8], end: &[u8]) -> Result<DbScan> {
+        Ok(self.scan(start)?.until(end))
+    }
+
+    /// Range scan at a pinned snapshot.
+    pub fn scan_at(&mut self, snap: &Snapshot, start: &[u8]) -> Result<DbScan> {
+        let (mems, version) = snap.parts();
+        DbScan::build(
+            &self.shared,
+            &self.channel,
+            mems.to_vec(),
+            Arc::clone(version),
+            snap.seq(),
+            start,
+            self.shared.cfg.scan_prefetch,
+        )
+    }
+}
+
+fn flush_loop(shared: Arc<Shared>, rx: Receiver<Arc<MemTable>>) {
+    let mut qp;
+    let mut rpc;
+    let two_sided = shared.cfg.data_path == DataPath::TwoSidedRpc;
+    if two_sided {
+        qp = None;
+        rpc = RpcClient::new(
+            shared.ctx.fabric(),
+            shared.ctx.node(),
+            shared.memnode.node_id(),
+            shared.cfg.flush_buf_size + (64 << 10),
+        )
+        .ok();
+        if rpc.is_none() {
+            return;
+        }
+    } else {
+        rpc = None;
+        qp = shared
+            .ctx
+            .fabric()
+            .create_qp(shared.ctx.node().id(), shared.memnode.node_id())
+            .ok();
+        if qp.is_none() {
+            return;
+        }
+    }
+    loop {
+        let mem = match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(m) => m,
+            Err(_) => {
+                if shared.stopping.load(Ordering::Acquire) && rx.is_empty() {
+                    return;
+                }
+                continue;
+            }
+        };
+        // Keep a local mirror of this table if the hot-L0 cache has budget
+        // (reserved up front; credited back when the table handle drops).
+        let want_local = shared.cfg.local_l0_cache_bytes > 0
+            && shared
+                .l0_cache_budget
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| {
+                    b.checked_sub(mem.memory_usage() as u64)
+                })
+                .is_ok();
+        // Retry on remote-memory pressure or transient RPC trouble: GC or
+        // compaction may free space, and a starved dispatcher recovers.
+        let mut attempts = 0u32;
+        let out = loop {
+            attempts += 1;
+            let mut transport = if two_sided {
+                FlushTransport::TwoSided(rpc.as_mut().expect("rpc client"))
+            } else {
+                FlushTransport::OneSided(qp.as_mut().expect("queue pair"))
+            };
+            match flush_memtable(
+                &mem,
+                &shared.memnode,
+                &mut transport,
+                shared.cfg.format,
+                shared.cfg.bits_per_key,
+                shared.cfg.flush_buf_size,
+                shared.cfg.flush_buf_count,
+                want_local,
+            ) {
+                Ok(out) => break Some(out),
+                Err(DbError::OutOfRemoteMemory { .. }) => {
+                    if shared.stopping.load(Ordering::Acquire) {
+                        break None;
+                    }
+                    shared.notify_work(); // nudge compaction/GC
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    if shared.stopping.load(Ordering::Acquire) {
+                        break None;
+                    }
+                    if attempts.is_multiple_of(8) || attempts <= 2 {
+                        eprintln!(
+                            "dlsm: flush of memtable {} failed (attempt {attempts}): {e}; retrying",
+                            mem.id
+                        );
+                    }
+                    // Losing a MemTable is never acceptable while running;
+                    // transient fabric/RPC trouble clears, so keep trying
+                    // with backoff.
+                    std::thread::sleep(Duration::from_millis((10 * attempts as u64).min(500)));
+                }
+            }
+        };
+        if let Some(out) = &out {
+            DbStats::add(&shared.stats.flush_bytes, out.extent.len);
+        }
+        // Serialization ran in parallel; installation happens strictly in
+        // MemTable retirement order (see `install_in_order`).
+        let order = mem.flush_order.load(Ordering::Acquire);
+        shared.install_in_order(order, || {
+            if let Some(mut out) = out {
+                let handle = TableHandle::new(
+                    mem.id,
+                    shared.memnode.remote(),
+                    out.extent,
+                    Origin::Compute,
+                    out.meta,
+                    std::mem::take(&mut out.smallest),
+                    std::mem::take(&mut out.largest),
+                    out.num_entries,
+                    Some(Arc::clone(&shared.gc)),
+                );
+                match (want_local, out.local_image.take()) {
+                    (true, Some(image)) => {
+                        // Adjust the reservation to the actual image size.
+                        let reserved = mem.memory_usage() as u64;
+                        let actual = image.len() as u64;
+                        if reserved > actual {
+                            shared
+                                .l0_cache_budget
+                                .fetch_add(reserved - actual, Ordering::AcqRel);
+                        }
+                        handle.attach_local_copy(
+                            Arc::new(image),
+                            Arc::clone(&shared.l0_cache_budget),
+                        );
+                    }
+                    (true, None) => {
+                        shared
+                            .l0_cache_budget
+                            .fetch_add(mem.memory_usage() as u64, Ordering::AcqRel);
+                    }
+                    _ => {}
+                }
+                let mut edit = VersionEdit::default();
+                edit.add(0, handle);
+                let v = shared.versions.install(&edit);
+                shared.l0_count.store(v.level(0).len(), Ordering::Release);
+                DbStats::bump(&shared.stats.flushes);
+            }
+            // Install first, then retire the MemTable (readers pin mems
+            // before the version, so the data is never invisible).
+            let mut imms = shared.immutables.lock();
+            imms.retain(|m| m.id != mem.id);
+            shared.imm_count.store(imms.len(), Ordering::Release);
+        });
+        shared.flush_queue_len.fetch_sub(1, Ordering::AcqRel);
+        shared.notify_stall();
+        shared.notify_work();
+    }
+}
+
+fn compaction_loop(shared: Arc<Shared>) {
+    let mut compact_pointer: Vec<Vec<u8>> = Vec::new();
+    let mut gc_client: Option<RpcClient> = None;
+    let mut consecutive_failures = 0u32;
+    // Reusable per-subtask RPC clients (registered buffers live as long as
+    // the coordinator; Sec. X-B).
+    let mut rpc_pool: Vec<RpcClient> = Vec::new();
+    loop {
+        // Batched remote GC (Sec. V-B): everything that accumulated since
+        // the last cycle ships as one FreeBatch RPC. Draining every cycle
+        // (rather than above a count threshold) keeps the compaction zone
+        // from filling with dead tables while compactions are in flight.
+        if let Some(batch) = shared.gc.take_remote_batch(1) {
+            if gc_client.is_none() {
+                gc_client = RpcClient::new(
+                    shared.ctx.fabric(),
+                    shared.ctx.node(),
+                    shared.memnode.node_id(),
+                    256 << 10,
+                )
+                .ok();
+            }
+            if let Some(c) = gc_client.as_mut() {
+                if c.free_batch(&batch, Duration::from_secs(10)).is_ok() {
+                    DbStats::bump(&shared.stats.gc_batches);
+                    DbStats::add(&shared.stats.gc_extents, batch.len() as u64);
+                }
+            }
+        }
+
+        if shared.stopping.load(Ordering::Acquire) {
+            return;
+        }
+
+        let version = shared.versions.current();
+        let job = pick_compaction(&version, &shared.cfg, &mut compact_pointer);
+        let Some(job) = job else {
+            shared.compaction_idle.store(true, Ordering::Release);
+            let mut g = shared.work_lock.lock();
+            shared.work_cv.wait_for(&mut g, Duration::from_millis(10));
+            continue;
+        };
+        shared.compaction_idle.store(false, Ordering::Release);
+
+        let smallest_snapshot = shared.smallest_snapshot();
+        let next_id = || shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let result = if shared.cfg.near_data_compaction {
+            run_near_data(
+                &job,
+                &shared.ctx,
+                &shared.memnode,
+                &shared.cfg,
+                smallest_snapshot,
+                &shared.gc,
+                &next_id,
+                &mut rpc_pool,
+            )
+        } else {
+            run_local(
+                &job,
+                &shared.ctx,
+                &shared.memnode,
+                &shared.cfg,
+                smallest_snapshot,
+                &shared.gc,
+                &next_id,
+            )
+        };
+        match result {
+            Ok(outcome) => {
+                consecutive_failures = 0;
+                let mut edit = VersionEdit::default();
+                edit.delete(job.level, job.inputs_lo.iter().map(|t| t.id).collect());
+                edit.delete(job.level + 1, job.inputs_hi.iter().map(|t| t.id).collect());
+                let subtasks = shared.cfg.compaction_subtasks.max(1) as u64;
+                for t in &outcome.outputs {
+                    edit.add(job.level + 1, Arc::clone(t));
+                }
+                let v = shared.versions.install(&edit);
+                shared.l0_count.store(v.level(0).len(), Ordering::Release);
+                DbStats::bump(&shared.stats.compactions);
+                DbStats::add(&shared.stats.compaction_subtasks, subtasks);
+                DbStats::add(&shared.stats.compaction_records_in, outcome.records_in);
+                DbStats::add(&shared.stats.compaction_records_out, outcome.records_out);
+                shared.notify_stall();
+            }
+            Err(e) => {
+                consecutive_failures += 1;
+                if consecutive_failures <= 3 || consecutive_failures.is_power_of_two() {
+                    let alloc = shared.memnode.flush_alloc();
+                    eprintln!(
+                        "dlsm: compaction at L{} failed ({} in a row): {e} \
+                         [flush zone {}/{} MiB in use, {} fragments; shape {:?}]",
+                        job.level,
+                        consecutive_failures,
+                        alloc.in_use() >> 20,
+                        alloc.capacity() >> 20,
+                        alloc.fragments(),
+                        shared.versions.current().shape(),
+                    );
+                }
+                // Back off: out-of-memory only clears once GC frees space.
+                let backoff = (20 * consecutive_failures as u64).min(1_000);
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
+        }
+    }
+}

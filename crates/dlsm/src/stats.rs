@@ -1,0 +1,100 @@
+//! Database counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Atomic counters exported by one [`crate::Db`].
+#[derive(Debug, Default)]
+pub struct DbStats {
+    /// Successful `put`s.
+    pub puts: AtomicU64,
+    /// Successful `delete`s.
+    pub deletes: AtomicU64,
+    /// `get` calls.
+    pub gets: AtomicU64,
+    /// `get` calls that found a live value.
+    pub get_hits: AtomicU64,
+    /// MemTable switches.
+    pub switches: AtomicU64,
+    /// Sequence numbers abandoned and re-fetched (stale or arena-full).
+    pub reseqs: AtomicU64,
+    /// Completed MemTable flushes.
+    pub flushes: AtomicU64,
+    /// Bytes written to remote memory by flushes.
+    pub flush_bytes: AtomicU64,
+    /// Completed compactions.
+    pub compactions: AtomicU64,
+    /// Sub-compaction tasks issued.
+    pub compaction_subtasks: AtomicU64,
+    /// Records read by compactions.
+    pub compaction_records_in: AtomicU64,
+    /// Records written by compactions.
+    pub compaction_records_out: AtomicU64,
+    /// Write-stall episodes.
+    pub stall_events: AtomicU64,
+    /// Total nanoseconds writers spent stalled.
+    pub stall_nanos: AtomicU64,
+    /// Batched remote-free RPCs issued.
+    pub gc_batches: AtomicU64,
+    /// Extents freed remotely.
+    pub gc_extents: AtomicU64,
+}
+
+impl DbStats {
+    pub(crate) fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Total time writers spent stalled.
+    pub fn stall_time(&self) -> Duration {
+        Duration::from_nanos(self.stall_nanos.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Display for DbStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "puts={} gets={} (hits={}) switches={} flushes={} ({} MiB) compactions={} (subtasks={}, {}→{} records) stalls={} ({:?}) gc_batches={}",
+            Self::get(&self.puts),
+            Self::get(&self.gets),
+            Self::get(&self.get_hits),
+            Self::get(&self.switches),
+            Self::get(&self.flushes),
+            Self::get(&self.flush_bytes) >> 20,
+            Self::get(&self.compactions),
+            Self::get(&self.compaction_subtasks),
+            Self::get(&self.compaction_records_in),
+            Self::get(&self.compaction_records_out),
+            Self::get(&self.stall_events),
+            self.stall_time(),
+            Self::get(&self.gc_batches),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = DbStats::default();
+        DbStats::bump(&s.puts);
+        DbStats::add(&s.flush_bytes, 1 << 21);
+        assert_eq!(DbStats::get(&s.puts), 1);
+        assert_eq!(DbStats::get(&s.flush_bytes), 1 << 21);
+        let text = s.to_string();
+        assert!(text.contains("puts=1"));
+        assert!(text.contains("2 MiB"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Deep-tree soak: enough churn to populate L2/L3, exercising multi-level
+//! reads, the round-robin compaction cursor, and long GC chains.
+
+use std::collections::BTreeMap;
+
+use dlsm::{ComputeContext, Db, DbConfig, MemNodeHandle};
+use dlsm_memnode::{MemServer, MemServerConfig};
+use rdma_sim::{Fabric, NetworkProfile};
+
+#[test]
+fn data_reaches_deep_levels_and_stays_correct() {
+    let fabric = Fabric::new(NetworkProfile::instant());
+    let server = MemServer::start(
+        &fabric,
+        MemServerConfig {
+            region_size: 256 << 20,
+            flush_zone: 128 << 20,
+            compaction_workers: 2,
+            dispatchers: 1,
+        },
+    );
+    let ctx = ComputeContext::new(&fabric);
+    let mem = MemNodeHandle::from_server(&server);
+    // Tiny tables and a tiny L1 budget so the tree grows deep quickly.
+    let cfg = DbConfig {
+        memtable_size: 16 << 10,
+        sstable_size: 16 << 10,
+        l1_max_bytes: 48 << 10,
+        level_multiplier: 4,
+        max_levels: 6,
+        ..DbConfig::small()
+    };
+    let db = Db::open(ctx, mem, cfg).unwrap();
+
+    let key = |i: u64| -> Vec<u8> {
+        let mut k = i.wrapping_mul(0x9E3779B97F4A7C15).to_be_bytes().to_vec();
+        k.extend_from_slice(format!("deep{i:06}").as_bytes());
+        k
+    };
+
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    // Several overwrite generations over a modest key space → heavy
+    // compaction churn pushing data down the tree.
+    for generation in 0..6u64 {
+        for i in 0..4_000u64 {
+            if (i + generation) % 11 == 0 {
+                db.delete(&key(i)).unwrap();
+                model.remove(&i);
+            } else {
+                db.put(&key(i), &generation.to_le_bytes()).unwrap();
+                model.insert(i, generation);
+            }
+        }
+        db.force_flush().unwrap();
+    }
+    db.wait_until_quiescent();
+
+    let shape = db.level_shape();
+    let deepest = shape.iter().rposition(|&c| c > 0).unwrap_or(0);
+    assert!(deepest >= 2, "tree never grew deep: {shape:?}");
+
+    // Every key agrees with the model through all the levels.
+    let mut reader = db.reader();
+    for (i, gen) in &model {
+        assert_eq!(
+            reader.get(&key(*i)).unwrap(),
+            Some(gen.to_le_bytes().to_vec()),
+            "key {i} wrong below L{deepest} (shape {shape:?})"
+        );
+    }
+    for i in (0..4_000u64).step_by(97) {
+        if !model.contains_key(&i) {
+            assert_eq!(reader.get(&key(i)).unwrap(), None, "deleted key {i} visible");
+        }
+    }
+    // Scan count matches the model exactly.
+    let scanned = reader.scan(b"").unwrap().count();
+    assert_eq!(scanned, model.len());
+    // multi_get over a deep tree agrees too.
+    let probes: Vec<Vec<u8>> = (0..4_000u64).step_by(53).map(key).collect();
+    let refs: Vec<&[u8]> = probes.iter().map(Vec::as_slice).collect();
+    let batched = reader.multi_get(&refs).unwrap();
+    for (k, got) in refs.iter().zip(&batched) {
+        assert_eq!(got, &reader.get(k).unwrap());
+    }
+    db.shutdown();
+    server.shutdown();
+}

@@ -1,0 +1,228 @@
+//! Free-list sub-allocation within a registered region.
+//!
+//! Large regions are registered with the NIC once (paper Sec. X-B: frequent
+//! small registrations are expensive) and then sub-allocated in user space.
+//! Both the compute node (flush zone) and the memory node (compaction zone)
+//! run one of these allocators over their half of the region; each side
+//! frees only what it allocated (paper Sec. V-B), with remote frees batched
+//! through the `FreeBatch` RPC.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+/// First-fit free-list allocator over `[base, base + len)`, 8-byte aligned,
+/// with coalescing on free.
+pub struct RegionAllocator {
+    base: u64,
+    len: u64,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    /// start -> length of each free extent (disjoint, non-adjacent).
+    free: BTreeMap<u64, u64>,
+    in_use: u64,
+}
+
+impl RegionAllocator {
+    /// Manage the extent `[base, base + len)`.
+    pub fn new(base: u64, len: u64) -> RegionAllocator {
+        let mut free = BTreeMap::new();
+        if len > 0 {
+            free.insert(base, len);
+        }
+        RegionAllocator { base, len, inner: Mutex::new(Inner { free, in_use: 0 }) }
+    }
+
+    /// Start of the managed extent.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Total managed bytes.
+    pub fn capacity(&self) -> u64 {
+        self.len
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.inner.lock().in_use
+    }
+
+    /// Allocate `size` bytes (rounded up to 8); returns the offset.
+    pub fn alloc(&self, size: u64) -> Option<u64> {
+        if size == 0 {
+            return None;
+        }
+        let size = size.next_multiple_of(8);
+        let mut inner = self.inner.lock();
+        // First fit.
+        let mut found = None;
+        for (&start, &flen) in inner.free.iter() {
+            if flen >= size {
+                found = Some((start, flen));
+                break;
+            }
+        }
+        let (start, flen) = found?;
+        inner.free.remove(&start);
+        if flen > size {
+            inner.free.insert(start + size, flen - size);
+        }
+        inner.in_use += size;
+        Some(start)
+    }
+
+    /// Free the extent previously returned by [`RegionAllocator::alloc`]
+    /// with the same `size` (pre-rounding is applied identically).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) on frees that overlap existing free space —
+    /// a double free.
+    pub fn free(&self, offset: u64, size: u64) {
+        if size == 0 {
+            return;
+        }
+        let size = size.next_multiple_of(8);
+        let mut inner = self.inner.lock();
+        debug_assert!(offset >= self.base && offset + size <= self.base + self.len);
+        inner.in_use = inner.in_use.saturating_sub(size);
+        let mut start = offset;
+        let mut len = size;
+        // Coalesce with the predecessor.
+        if let Some((&pstart, &plen)) = inner.free.range(..offset).next_back() {
+            debug_assert!(pstart + plen <= offset, "double free / overlap at {offset}");
+            if pstart + plen == offset {
+                inner.free.remove(&pstart);
+                start = pstart;
+                len += plen;
+            }
+        }
+        // Coalesce with the successor.
+        if let Some((&nstart, &nlen)) = inner.free.range(offset..).next() {
+            debug_assert!(offset + size <= nstart, "double free / overlap at {offset}");
+            if offset + size == nstart {
+                inner.free.remove(&nstart);
+                len += nlen;
+            }
+        }
+        inner.free.insert(start, len);
+    }
+
+    /// Number of free extents (fragmentation metric).
+    pub fn fragments(&self) -> usize {
+        self.inner.lock().free.len()
+    }
+}
+
+impl std::fmt::Debug for RegionAllocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegionAllocator")
+            .field("base", &self.base)
+            .field("capacity", &self.len)
+            .field("in_use", &self.in_use())
+            .field("fragments", &self.fragments())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let a = RegionAllocator::new(0, 1024);
+        let x = a.alloc(100).unwrap();
+        let y = a.alloc(100).unwrap();
+        assert_ne!(x, y);
+        assert_eq!(a.in_use(), 104 + 104); // rounded to 8
+        a.free(x, 100);
+        a.free(y, 100);
+        assert_eq!(a.in_use(), 0);
+        assert_eq!(a.fragments(), 1, "extents must coalesce back to one");
+    }
+
+    #[test]
+    fn allocations_are_disjoint() {
+        let a = RegionAllocator::new(0, 1 << 16);
+        let mut got: Vec<(u64, u64)> = Vec::new();
+        for i in 1..100u64 {
+            let size = (i * 7) % 200 + 1;
+            let off = a.alloc(size).unwrap();
+            for &(o, s) in &got {
+                assert!(off + size <= o || o + s <= off, "overlap");
+            }
+            got.push((off, size.next_multiple_of(8)));
+        }
+    }
+
+    #[test]
+    fn exhausted_region_returns_none() {
+        let a = RegionAllocator::new(0, 64);
+        assert!(a.alloc(64).is_some());
+        assert!(a.alloc(8).is_none());
+    }
+
+    #[test]
+    fn free_enables_reuse() {
+        let a = RegionAllocator::new(0, 128);
+        let x = a.alloc(128).unwrap();
+        assert!(a.alloc(8).is_none());
+        a.free(x, 128);
+        assert!(a.alloc(128).is_some());
+    }
+
+    #[test]
+    fn coalescing_defeats_fragmentation() {
+        let a = RegionAllocator::new(0, 1024);
+        let offs: Vec<u64> = (0..8).map(|_| a.alloc(128).unwrap()).collect();
+        // Free in an interleaved order.
+        for &o in offs.iter().step_by(2) {
+            a.free(o, 128);
+        }
+        for &o in offs.iter().skip(1).step_by(2) {
+            a.free(o, 128);
+        }
+        assert_eq!(a.fragments(), 1);
+        assert!(a.alloc(1024).is_some());
+    }
+
+    #[test]
+    fn nonzero_base_respected() {
+        let a = RegionAllocator::new(4096, 512);
+        let off = a.alloc(64).unwrap();
+        assert!(off >= 4096 && off + 64 <= 4096 + 512);
+        a.free(off, 64);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let a = RegionAllocator::new(0, 64);
+        assert!(a.alloc(0).is_none());
+    }
+
+    #[test]
+    fn concurrent_alloc_free() {
+        use std::sync::Arc;
+        let a = Arc::new(RegionAllocator::new(0, 1 << 20));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let a = Arc::clone(&a);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let size = i % 512 + 8;
+                    if let Some(off) = a.alloc(size) {
+                        a.free(off, size);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.in_use(), 0);
+        assert_eq!(a.fragments(), 1);
+    }
+}

@@ -1,0 +1,479 @@
+//! Compute-node side of the RPC protocol.
+//!
+//! [`RpcClient`] is thread-local (one queue pair and one registered
+//! reply/argument buffer per thread, per the dLSM RDMA-manager design,
+//! Sec. X-B). General-purpose calls poll a flag word at the end of the reply
+//! buffer (Sec. X-D1). Compaction calls sleep on a condition variable and
+//! are woken by [`ImmWaiter`] — the "thread notifier" that routes
+//! WRITE-with-IMMEDIATE events to requesters by unique id (Sec. X-D2).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use rdma_sim::{Fabric, MemoryRegion, Node, NodeId, QueuePair};
+
+use crate::wire::{BufDesc, CompactArgs, CompactReply, Request};
+use crate::{MemNodeError, Result};
+
+/// Thread-local RPC endpoint talking to one memory node.
+pub struct RpcClient {
+    fabric: Arc<Fabric>,
+    local_node: Arc<Node>,
+    remote: NodeId,
+    qp: QueuePair,
+    /// Registered local buffer: `[reply | args]`.
+    local: Arc<MemoryRegion>,
+    reply_len: u32,
+    arg_off: u64,
+    arg_len: u32,
+}
+
+impl RpcClient {
+    /// Create a client on `local_node` targeting `remote`. `buf_size` bytes
+    /// are registered for the reply buffer and as many again for the
+    /// argument buffer.
+    pub fn new(
+        fabric: &Arc<Fabric>,
+        local_node: &Arc<Node>,
+        remote: NodeId,
+        buf_size: usize,
+    ) -> Result<RpcClient> {
+        let buf_size = buf_size.next_multiple_of(8).max(64);
+        let local = local_node.register_region(buf_size * 2);
+        let qp = fabric.create_qp(local_node.id(), remote)?;
+        Ok(RpcClient {
+            fabric: Arc::clone(fabric),
+            local_node: Arc::clone(local_node),
+            remote,
+            qp,
+            local,
+            reply_len: buf_size as u32,
+            arg_off: buf_size as u64,
+            arg_len: buf_size as u32,
+        })
+    }
+
+    /// Create another client to the same memory node with the same buffer
+    /// sizes (each thread/task gets its own queue pair and buffers).
+    pub fn reopen(&self) -> Result<RpcClient> {
+        RpcClient::new(&self.fabric, &self.local_node, self.remote, self.reply_len as usize)
+    }
+
+    /// The memory node this client talks to.
+    pub fn remote_node(&self) -> NodeId {
+        self.remote
+    }
+
+    /// Descriptor of this client's reply buffer (attached to every request).
+    pub fn reply_desc(&self) -> BufDesc {
+        BufDesc {
+            mr: self.local.mr().0,
+            offset: 0,
+            rkey: self.local.rkey(),
+            len: self.reply_len,
+        }
+    }
+
+    fn flag_off(&self) -> u64 {
+        u64::from(self.reply_len) - 8
+    }
+
+    /// Issue `request` and poll the flag until the reply lands.
+    fn call(&mut self, request: &Request, timeout: Duration) -> Result<Vec<u8>> {
+        // Reset the flag before the responder can race us.
+        self.local.atomic_u64(self.flag_off())?.store(0, Ordering::Release);
+        self.qp.post_send(request.encode(), 7)?;
+        self.qp.poll_one_blocking(Duration::from_secs(10))?;
+        let deadline = Instant::now() + timeout;
+        let mut spins = 0u32;
+        loop {
+            if self.local.atomic_load(self.flag_off())? != 0 {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(MemNodeError::Timeout);
+            }
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        self.read_reply()
+    }
+
+    fn read_reply(&self) -> Result<Vec<u8>> {
+        let mut len_b = [0u8; 4];
+        self.local.local_read(0, &mut len_b)?;
+        let len = u32::from_le_bytes(len_b) as usize;
+        if len + 4 + 8 > self.reply_len as usize {
+            return Err(MemNodeError::BadMessage(format!("reply length {len} out of range")));
+        }
+        let mut payload = vec![0u8; len];
+        self.local.local_read(4, &mut payload)?;
+        Ok(payload)
+    }
+
+    /// Liveness/latency probe: echoes `payload`.
+    pub fn ping(&mut self, payload: &[u8], timeout: Duration) -> Result<Vec<u8>> {
+        self.call(&Request::Ping { reply: self.reply_desc(), payload: payload.to_vec() }, timeout)
+    }
+
+    /// Batched GC of extents in the memory node's compaction zone
+    /// (Sec. V-B: frees are grouped locally and shipped together).
+    pub fn free_batch(&mut self, extents: &[(u64, u64)], timeout: Duration) -> Result<()> {
+        let reply = self.call(
+            &Request::FreeBatch { reply: self.reply_desc(), extents: extents.to_vec() },
+            timeout,
+        )?;
+        if reply.first() != Some(&0) {
+            return Err(MemNodeError::RemoteError("free batch failed".into()));
+        }
+        Ok(())
+    }
+
+    /// Largest payload a single [`RpcClient::read_file`] can return.
+    pub fn max_read_len(&self) -> usize {
+        self.reply_len as usize - 12
+    }
+
+    /// Two-sided "file" read from the memory node's region (the Nova-LSM
+    /// tmpfs-style data path: request → server copy → reply).
+    pub fn read_file(&mut self, offset: u64, len: u32, timeout: Duration) -> Result<Vec<u8>> {
+        if u64::from(len) + 12 > u64::from(self.reply_len) {
+            return Err(MemNodeError::BadMessage("read larger than reply buffer".into()));
+        }
+        self.call(&Request::ReadFile { reply: self.reply_desc(), offset, len }, timeout)
+    }
+
+    /// Two-sided "file" write into the memory node's region.
+    pub fn write_file(&mut self, offset: u64, data: &[u8], timeout: Duration) -> Result<()> {
+        let reply = self.call(
+            &Request::WriteFile { reply: self.reply_desc(), offset, data: data.to_vec() },
+            timeout,
+        )?;
+        if reply.first() != Some(&0) {
+            return Err(MemNodeError::RemoteError("write failed".into()));
+        }
+        Ok(())
+    }
+
+    /// Near-data compaction: serialize `args` into the registered argument
+    /// buffer, send the small request, **sleep** until the memory node's
+    /// WRITE-with-IMMEDIATE wakes this thread via `waiter`, then decode the
+    /// reply.
+    pub fn compact(
+        &mut self,
+        args: &CompactArgs,
+        waiter: &ImmWaiter,
+        timeout: Duration,
+    ) -> Result<CompactReply> {
+        let encoded = args.encode();
+        if encoded.len() > self.arg_len as usize {
+            return Err(MemNodeError::BadMessage(format!(
+                "compaction args of {} bytes exceed the {}-byte argument buffer",
+                encoded.len(),
+                self.arg_len
+            )));
+        }
+        self.local.local_write(self.arg_off, &encoded)?;
+        let (unique_id, cell) = waiter.register();
+        let req = Request::Compact {
+            reply: self.reply_desc(),
+            unique_id,
+            args: BufDesc {
+                mr: self.local.mr().0,
+                offset: self.arg_off,
+                rkey: self.local.rkey(),
+                len: encoded.len() as u32,
+            },
+        };
+        self.qp.post_send(req.encode(), 8)?;
+        self.qp.poll_one_blocking(Duration::from_secs(10))?;
+        let woke = cell.wait(timeout);
+        waiter.unregister(unique_id);
+        if !woke {
+            return Err(MemNodeError::Timeout);
+        }
+        let payload = self.read_reply()?;
+        let (&status, body) = payload
+            .split_first()
+            .ok_or_else(|| MemNodeError::BadMessage("empty compaction reply".into()))?;
+        if status != 0 {
+            return Err(MemNodeError::RemoteError(String::from_utf8_lossy(body).into_owned()));
+        }
+        CompactReply::decode(body)
+    }
+}
+
+struct WaitCell {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl WaitCell {
+    fn wait(&self, timeout: Duration) -> bool {
+        let mut done = self.done.lock();
+        if *done {
+            return true;
+        }
+        self.cv.wait_for(&mut done, timeout);
+        *done
+    }
+
+    fn signal(&self) {
+        let mut done = self.done.lock();
+        *done = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The compute-node thread notifier: consumes immediate events from the
+/// node's completion channel and wakes the requester registered under the
+/// event's unique id (paper Sec. X-D2, "sleep & wake up through RDMA write
+/// with immediate").
+pub struct ImmWaiter {
+    pending: Arc<Mutex<HashMap<u32, Arc<WaitCell>>>>,
+    next_id: AtomicU32,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ImmWaiter {
+    /// Start the notifier thread for `node`.
+    ///
+    /// There must be at most one `ImmWaiter` per node: it consumes *all*
+    /// immediate events arriving at the node.
+    pub fn start(node: Arc<Node>) -> ImmWaiter {
+        let pending: Arc<Mutex<HashMap<u32, Arc<WaitCell>>>> = Arc::new(Mutex::new(HashMap::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let pending = Arc::clone(&pending);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    match node.recv_imm(Duration::from_millis(20)) {
+                        Ok(ev) => {
+                            let cell = pending.lock().get(&ev.imm).cloned();
+                            if let Some(cell) = cell {
+                                cell.signal();
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            })
+        };
+        ImmWaiter { pending, next_id: AtomicU32::new(1), stop, thread: Some(thread) }
+    }
+
+    fn register(&self) -> (u32, Arc<WaitCell>) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let cell = Arc::new(WaitCell { done: Mutex::new(false), cv: Condvar::new() });
+        self.pending.lock().insert(id, Arc::clone(&cell));
+        (id, cell)
+    }
+
+    fn unregister(&self, id: u32) {
+        self.pending.lock().remove(&id);
+    }
+}
+
+impl Drop for ImmWaiter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{MemServer, MemServerConfig};
+    use crate::wire::{InputTable, TableFormat};
+    use dlsm_sstable::byte_addr::{ByteAddrBuilder, ByteAddrReader, TableGet, TableMeta};
+    use dlsm_sstable::key::{InternalKey, ValueType, MAX_SEQ};
+    use dlsm_sstable::source::RegionSource;
+    use rdma_sim::NetworkProfile;
+
+    fn cluster() -> (Arc<Fabric>, Arc<Node>, MemServer) {
+        let fabric = Fabric::new(NetworkProfile::instant());
+        let compute = fabric.add_node();
+        let server = MemServer::start(
+            &fabric,
+            MemServerConfig {
+                region_size: 32 << 20,
+                flush_zone: 8 << 20,
+                compaction_workers: 2,
+                dispatchers: 1,
+            },
+        );
+        (fabric, compute, server)
+    }
+
+    #[test]
+    fn ping_roundtrip() {
+        let (fabric, compute, server) = cluster();
+        let mut client = RpcClient::new(&fabric, &compute, server.node_id(), 4096).unwrap();
+        let reply = client.ping(b"are-you-there", Duration::from_secs(5)).unwrap();
+        assert_eq!(reply, b"are-you-there");
+        assert!(server.stats().rpcs.load(Ordering::Relaxed) >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn read_write_file() {
+        let (fabric, compute, server) = cluster();
+        let mut client = RpcClient::new(&fabric, &compute, server.node_id(), 1 << 16).unwrap();
+        client.write_file(1024, b"tmpfs-bytes", Duration::from_secs(5)).unwrap();
+        let back = client.read_file(1024, 11, Duration::from_secs(5)).unwrap();
+        assert_eq!(back, b"tmpfs-bytes");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_read_rejected_client_side() {
+        let (fabric, compute, server) = cluster();
+        let mut client = RpcClient::new(&fabric, &compute, server.node_id(), 256).unwrap();
+        assert!(client.read_file(0, 1024, Duration::from_secs(1)).is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn compaction_over_rpc_end_to_end() {
+        let (fabric, compute, server) = cluster();
+        let waiter = ImmWaiter::start(Arc::clone(&compute));
+        let mut client = RpcClient::new(&fabric, &compute, server.node_id(), 1 << 16).unwrap();
+
+        // Stage two overlapping tables in the flush zone via one-sided
+        // writes, exactly as a flush would.
+        let region = server.region();
+        let mut qp = fabric.create_qp(compute.id(), server.node_id()).unwrap();
+        let mut stage = |off: u64, entries: &[(&str, u64, ValueType, &str)]| -> InputTable {
+            let mut b = ByteAddrBuilder::new(Vec::new(), 10);
+            for (k, s, t, v) in entries {
+                b.add(InternalKey::new(k.as_bytes(), *s, *t).as_bytes(), v.as_bytes()).unwrap();
+            }
+            let (data, _) = b.finish();
+            qp.write_sync(&data, region.addr(off)).unwrap();
+            InputTable { offset: off, len: data.len() as u64 }
+        };
+        let t1 = stage(0, &[("alpha", 20, ValueType::Value, "new"), ("beta", 21, ValueType::Deletion, "")]);
+        let t2 = stage(
+            4096,
+            &[("alpha", 5, ValueType::Value, "old"), ("beta", 6, ValueType::Value, "dead"), ("gamma", 7, ValueType::Value, "keep")],
+        );
+
+        let args = CompactArgs {
+            format: TableFormat::ByteAddr,
+            smallest_snapshot: MAX_SEQ,
+            drop_deletions: true,
+            max_output_bytes: 64 << 20,
+            bits_per_key: 10,
+            range_lo: vec![],
+            range_hi: vec![],
+            inputs: vec![t1, t2],
+        };
+        let reply = client.compact(&args, &waiter, Duration::from_secs(10)).unwrap();
+        assert_eq!(reply.records_in, 5);
+        assert_eq!(reply.records_out, 2);
+        assert_eq!(reply.outputs.len(), 1);
+
+        // The output must live in the compaction zone and decode correctly.
+        let out = &reply.outputs[0];
+        assert!(out.offset >= server.flush_zone());
+        let (meta, _) = TableMeta::decode(&out.meta).unwrap();
+        let reader = ByteAddrReader::new(
+            Arc::new(meta),
+            RegionSource::new(Arc::clone(region), out.offset, out.len),
+        );
+        assert_eq!(reader.get(b"alpha", MAX_SEQ).unwrap(), TableGet::Found(b"new".to_vec()));
+        assert_eq!(reader.get(b"beta", MAX_SEQ).unwrap(), TableGet::NotFound);
+        assert_eq!(reader.get(b"gamma", MAX_SEQ).unwrap(), TableGet::Found(b"keep".to_vec()));
+
+        // GC the output via the batched free RPC.
+        let used_before = server.compaction_zone_in_use();
+        client.free_batch(&[(out.offset, out.len.next_multiple_of(8))], Duration::from_secs(5)).unwrap();
+        assert!(server.compaction_zone_in_use() < used_before);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_compactions_use_worker_pool() {
+        let (fabric, compute, server) = cluster();
+        let waiter = Arc::new(ImmWaiter::start(Arc::clone(&compute)));
+        let region = server.region();
+
+        // Stage several disjoint single-entry tables.
+        let mut qp = fabric.create_qp(compute.id(), server.node_id()).unwrap();
+        let mut tables = Vec::new();
+        for i in 0..6u64 {
+            let mut b = ByteAddrBuilder::new(Vec::new(), 10);
+            b.add(
+                InternalKey::new(format!("k{i}").as_bytes(), 1, ValueType::Value).as_bytes(),
+                b"v",
+            )
+            .unwrap();
+            let (data, _) = b.finish();
+            let off = i * 4096;
+            qp.write_sync(&data, region.addr(off)).unwrap();
+            tables.push(InputTable { offset: off, len: data.len() as u64 });
+        }
+
+        let mut handles = Vec::new();
+        for t in tables {
+            let fabric = Arc::clone(&fabric);
+            let compute = Arc::clone(&compute);
+            let waiter = Arc::clone(&waiter);
+            let target = server.node_id();
+            handles.push(std::thread::spawn(move || {
+                let mut client = RpcClient::new(&fabric, &compute, target, 1 << 16).unwrap();
+                let args = CompactArgs {
+                    format: TableFormat::ByteAddr,
+                    smallest_snapshot: MAX_SEQ,
+                    drop_deletions: true,
+                    max_output_bytes: 1 << 20,
+                    bits_per_key: 10,
+                    range_lo: vec![],
+                    range_hi: vec![],
+                    inputs: vec![t],
+                };
+                client.compact(&args, &waiter, Duration::from_secs(10)).unwrap()
+            }));
+        }
+        for h in handles {
+            let reply = h.join().unwrap();
+            assert_eq!(reply.records_out, 1);
+        }
+        assert_eq!(server.stats().compactions.load(Ordering::Relaxed), 6);
+        server.shutdown();
+    }
+
+    #[test]
+    fn compaction_error_is_reported() {
+        let (fabric, compute, server) = cluster();
+        let waiter = ImmWaiter::start(Arc::clone(&compute));
+        let mut client = RpcClient::new(&fabric, &compute, server.node_id(), 1 << 16).unwrap();
+        // Input "table" of garbage bytes: the merge must fail and the error
+        // must come back over the reply path rather than hanging.
+        let args = CompactArgs {
+            format: TableFormat::Block(4096),
+            smallest_snapshot: MAX_SEQ,
+            drop_deletions: false,
+            max_output_bytes: 1 << 20,
+            bits_per_key: 10,
+            range_lo: vec![],
+            range_hi: vec![],
+            inputs: vec![InputTable { offset: 0, len: 128 }],
+        };
+        let err = client.compact(&args, &waiter, Duration::from_secs(10)).unwrap_err();
+        assert!(matches!(err, MemNodeError::RemoteError(_)), "got {err:?}");
+        server.shutdown();
+    }
+}

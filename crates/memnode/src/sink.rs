@@ -1,0 +1,79 @@
+//! A table sink writing directly into a registered region's bytes.
+//!
+//! Used by near-data compaction: output tables are serialized straight into
+//! the memory node's own DRAM (its compaction zone), with no network traffic
+//! and no staging buffer.
+
+use std::sync::Arc;
+
+use dlsm_sstable::byte_addr::TableSink;
+use dlsm_sstable::SstError;
+use rdma_sim::MemoryRegion;
+
+/// Appends into `region[base .. base + cap)`.
+pub struct RegionSink {
+    region: Arc<MemoryRegion>,
+    base: u64,
+    pos: u64,
+    cap: u64,
+}
+
+impl RegionSink {
+    /// Write into the extent `[base, base + cap)` of `region`.
+    pub fn new(region: Arc<MemoryRegion>, base: u64, cap: u64) -> RegionSink {
+        RegionSink { region, base, pos: 0, cap }
+    }
+
+    /// Bytes written so far.
+    pub fn written(&self) -> u64 {
+        self.pos
+    }
+
+    /// The extent's base offset in the region.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+}
+
+impl TableSink for RegionSink {
+    fn append(&mut self, data: &[u8]) -> dlsm_sstable::Result<()> {
+        if self.pos + data.len() as u64 > self.cap {
+            return Err(SstError::SinkFull);
+        }
+        self.region
+            .local_write(self.base + self.pos, data)
+            .map_err(|e| SstError::Source(e.to_string()))?;
+        self.pos += data.len() as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdma_sim::{Fabric, NetworkProfile};
+
+    #[test]
+    fn appends_land_in_region() {
+        let fabric = Fabric::new(NetworkProfile::instant());
+        let node = fabric.add_node();
+        let region = node.register_region(256);
+        let mut sink = RegionSink::new(Arc::clone(&region), 32, 64);
+        sink.append(b"hello ").unwrap();
+        sink.append(b"world").unwrap();
+        assert_eq!(sink.written(), 11);
+        let mut buf = [0u8; 11];
+        region.local_read(32, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn overflow_is_sink_full() {
+        let fabric = Fabric::new(NetworkProfile::instant());
+        let node = fabric.add_node();
+        let region = node.register_region(256);
+        let mut sink = RegionSink::new(region, 0, 8);
+        sink.append(b"12345678").unwrap();
+        assert_eq!(sink.append(b"9"), Err(SstError::SinkFull));
+    }
+}

@@ -1,0 +1,449 @@
+//! RPC wire formats (hand-rolled little-endian).
+//!
+//! Every request is a two-sided SEND whose payload starts with an opcode and
+//! the requester's **reply-buffer descriptor** `(mr, offset, rkey, len)`;
+//! the responder answers with a one-sided WRITE into that buffer, bypassing
+//! any dispatcher on the requester side (paper Sec. X-D1). The compaction
+//! request additionally carries a unique id (the wake-up immediate) and an
+//! **argument-buffer descriptor** that the responder pulls with an RDMA
+//! read, keeping the SEND itself small (Sec. X-D2).
+
+use dlsm_sstable::coding::{get_u32, get_u64, put_u32, put_u64};
+use dlsm_sstable::key::SeqNo;
+
+use crate::{MemNodeError, Result};
+
+/// RPC opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Echo the payload (liveness/latency probe).
+    Ping = 1,
+    /// Free a batch of extents in the memory node's compaction zone.
+    FreeBatch = 2,
+    /// Near-data compaction (customized RPC).
+    Compact = 3,
+    /// Two-sided read of region bytes (the Nova-LSM-style tmpfs path).
+    ReadFile = 4,
+    /// Two-sided write of region bytes (tmpfs path).
+    WriteFile = 5,
+}
+
+impl Op {
+    /// Parse an opcode byte.
+    pub fn from_u8(b: u8) -> Option<Op> {
+        match b {
+            1 => Some(Op::Ping),
+            2 => Some(Op::FreeBatch),
+            3 => Some(Op::Compact),
+            4 => Some(Op::ReadFile),
+            5 => Some(Op::WriteFile),
+            _ => None,
+        }
+    }
+}
+
+/// A buffer descriptor `(mr, offset, rkey, len)` on some node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufDesc {
+    /// Memory-region id on the owning node.
+    pub mr: u32,
+    /// Offset within the region.
+    pub offset: u64,
+    /// Remote-access key.
+    pub rkey: u32,
+    /// Buffer length in bytes.
+    pub len: u32,
+}
+
+impl BufDesc {
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.mr);
+        put_u64(out, self.offset);
+        put_u32(out, self.rkey);
+        put_u32(out, self.len);
+    }
+
+    pub(crate) fn decode(buf: &[u8], off: usize) -> Result<(BufDesc, usize)> {
+        let mr = get_u32(buf, off).map_err(bad)?;
+        let offset = get_u64(buf, off + 4).map_err(bad)?;
+        let rkey = get_u32(buf, off + 12).map_err(bad)?;
+        let len = get_u32(buf, off + 16).map_err(bad)?;
+        Ok((BufDesc { mr, offset, rkey, len }, 20))
+    }
+}
+
+fn bad(e: dlsm_sstable::SstError) -> MemNodeError {
+    MemNodeError::BadMessage(e.to_string())
+}
+
+/// Which table format a compaction reads and writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableFormat {
+    /// dLSM's byte-addressable format (Sec. VI).
+    ByteAddr,
+    /// Block-based format with the given block size (0 = one record per
+    /// block) — used by the dLSM-Block ablation.
+    Block(u32),
+}
+
+/// One input table for a compaction: its extent in the memory node's region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputTable {
+    /// Offset of the table image in the region.
+    pub offset: u64,
+    /// Length of the table image.
+    pub len: u64,
+}
+
+/// The (large) compaction argument, pulled by the responder via RDMA read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactArgs {
+    /// Format of inputs and outputs.
+    pub format: TableFormat,
+    /// Snapshot horizon for version dropping.
+    pub smallest_snapshot: SeqNo,
+    /// True when compacting into the bottom-most level.
+    pub drop_deletions: bool,
+    /// Split outputs at roughly this many data bytes.
+    pub max_output_bytes: u64,
+    /// Bloom-filter budget for outputs.
+    pub bits_per_key: u32,
+    /// Inclusive lower user-key bound of this (sub-)compaction; empty =
+    /// unbounded. Sub-compactions split one logical compaction into
+    /// disjoint user-key ranges executed in parallel (paper Sec. V-A).
+    pub range_lo: Vec<u8>,
+    /// Exclusive upper user-key bound; empty = unbounded.
+    pub range_hi: Vec<u8>,
+    /// Input tables, already in merge order (L0 newest-first, then Ln+1).
+    pub inputs: Vec<InputTable>,
+}
+
+impl CompactArgs {
+    /// Serialize into the argument buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40 + self.inputs.len() * 16);
+        let (fmt, bs) = match self.format {
+            TableFormat::ByteAddr => (0u8, 0u32),
+            TableFormat::Block(b) => (1u8, b),
+        };
+        out.push(fmt);
+        put_u32(&mut out, bs);
+        put_u64(&mut out, self.smallest_snapshot);
+        out.push(self.drop_deletions as u8);
+        put_u64(&mut out, self.max_output_bytes);
+        put_u32(&mut out, self.bits_per_key);
+        put_u32(&mut out, self.range_lo.len() as u32);
+        out.extend_from_slice(&self.range_lo);
+        put_u32(&mut out, self.range_hi.len() as u32);
+        out.extend_from_slice(&self.range_hi);
+        put_u32(&mut out, self.inputs.len() as u32);
+        for t in &self.inputs {
+            put_u64(&mut out, t.offset);
+            put_u64(&mut out, t.len);
+        }
+        out
+    }
+
+    /// Parse an argument buffer.
+    pub fn decode(buf: &[u8]) -> Result<CompactArgs> {
+        let fmt_b = *buf.first().ok_or_else(|| MemNodeError::BadMessage("empty args".into()))?;
+        let bs = get_u32(buf, 1).map_err(bad)?;
+        let format = match fmt_b {
+            0 => TableFormat::ByteAddr,
+            1 => TableFormat::Block(bs),
+            _ => return Err(MemNodeError::BadMessage(format!("bad format byte {fmt_b}"))),
+        };
+        let smallest_snapshot = get_u64(buf, 5).map_err(bad)?;
+        let drop_deletions = buf
+            .get(13)
+            .copied()
+            .ok_or_else(|| MemNodeError::BadMessage("truncated args".into()))?
+            != 0;
+        let max_output_bytes = get_u64(buf, 14).map_err(bad)?;
+        let bits_per_key = get_u32(buf, 22).map_err(bad)?;
+        let mut off = 26;
+        let lo_len = get_u32(buf, off).map_err(bad)? as usize;
+        off += 4;
+        let range_lo = buf
+            .get(off..off + lo_len)
+            .ok_or_else(|| MemNodeError::BadMessage("truncated range_lo".into()))?
+            .to_vec();
+        off += lo_len;
+        let hi_len = get_u32(buf, off).map_err(bad)? as usize;
+        off += 4;
+        let range_hi = buf
+            .get(off..off + hi_len)
+            .ok_or_else(|| MemNodeError::BadMessage("truncated range_hi".into()))?
+            .to_vec();
+        off += hi_len;
+        let count = get_u32(buf, off).map_err(bad)? as usize;
+        off += 4;
+        // Never trust a wire count for pre-allocation.
+        let mut inputs = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let offset = get_u64(buf, off).map_err(bad)?;
+            let len = get_u64(buf, off + 8).map_err(bad)?;
+            inputs.push(InputTable { offset, len });
+            off += 16;
+        }
+        Ok(CompactArgs {
+            format,
+            smallest_snapshot,
+            drop_deletions,
+            max_output_bytes,
+            bits_per_key,
+            range_lo,
+            range_hi,
+            inputs,
+        })
+    }
+}
+
+/// One output table produced by a compaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputTable {
+    /// Extent of the new table image in the memory node's compaction zone.
+    pub offset: u64,
+    /// Data-image length (byte-addressable) or full table length (block).
+    pub len: u64,
+    /// Encoded [`dlsm_sstable::byte_addr::TableMeta`] for byte-addressable
+    /// outputs; empty for block outputs (the compute node opens those by
+    /// reading footer/index/filter remotely).
+    pub meta: Vec<u8>,
+}
+
+/// Reply to a compaction RPC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactReply {
+    /// New tables, in key order.
+    pub outputs: Vec<OutputTable>,
+    /// Total input records merged.
+    pub records_in: u64,
+    /// Records surviving into outputs.
+    pub records_out: u64,
+}
+
+impl CompactReply {
+    /// Serialize into the requester's reply buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, self.records_in);
+        put_u64(&mut out, self.records_out);
+        put_u32(&mut out, self.outputs.len() as u32);
+        for t in &self.outputs {
+            put_u64(&mut out, t.offset);
+            put_u64(&mut out, t.len);
+            put_u32(&mut out, t.meta.len() as u32);
+            out.extend_from_slice(&t.meta);
+        }
+        out
+    }
+
+    /// Parse a reply buffer.
+    pub fn decode(buf: &[u8]) -> Result<CompactReply> {
+        let records_in = get_u64(buf, 0).map_err(bad)?;
+        let records_out = get_u64(buf, 8).map_err(bad)?;
+        let count = get_u32(buf, 16).map_err(bad)? as usize;
+        // Never trust a wire count for pre-allocation.
+        let mut outputs = Vec::with_capacity(count.min(1024));
+        let mut off = 20;
+        for _ in 0..count {
+            let offset = get_u64(buf, off).map_err(bad)?;
+            let len = get_u64(buf, off + 8).map_err(bad)?;
+            let meta_len = get_u32(buf, off + 16).map_err(bad)? as usize;
+            off += 20;
+            let meta = buf
+                .get(off..off + meta_len)
+                .ok_or_else(|| MemNodeError::BadMessage("truncated reply meta".into()))?
+                .to_vec();
+            off += meta_len;
+            outputs.push(OutputTable { offset, len, meta });
+        }
+        Ok(CompactReply { outputs, records_in, records_out })
+    }
+}
+
+/// Requests as parsed by the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Echo.
+    Ping {
+        /// The requester's polling buffer.
+        reply: BufDesc,
+        /// Bytes to echo back.
+        payload: Vec<u8>,
+    },
+    /// Free extents in the memory node's zone.
+    FreeBatch {
+        /// The requester's polling buffer.
+        reply: BufDesc,
+        /// `(offset, len)` extents to free.
+        extents: Vec<(u64, u64)>,
+    },
+    /// Near-data compaction.
+    Compact {
+        /// The requester's polling buffer (reply body destination).
+        reply: BufDesc,
+        /// Unique id echoed as the wake-up immediate.
+        unique_id: u32,
+        /// Descriptor of the serialized [`CompactArgs`] on the requester.
+        args: BufDesc,
+    },
+    /// Two-sided region read (tmpfs-style).
+    ReadFile {
+        /// The requester's polling buffer.
+        reply: BufDesc,
+        /// Offset in the memory node's region.
+        offset: u64,
+        /// Bytes to read.
+        len: u32,
+    },
+    /// Two-sided region write (tmpfs-style).
+    WriteFile {
+        /// The requester's polling buffer.
+        reply: BufDesc,
+        /// Offset in the memory node's region.
+        offset: u64,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+}
+
+impl Request {
+    /// Serialize a request into a SEND payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping { reply, payload } => {
+                out.push(Op::Ping as u8);
+                reply.encode(&mut out);
+                out.extend_from_slice(payload);
+            }
+            Request::FreeBatch { reply, extents } => {
+                out.push(Op::FreeBatch as u8);
+                reply.encode(&mut out);
+                put_u32(&mut out, extents.len() as u32);
+                for &(o, l) in extents {
+                    put_u64(&mut out, o);
+                    put_u64(&mut out, l);
+                }
+            }
+            Request::Compact { reply, unique_id, args } => {
+                out.push(Op::Compact as u8);
+                reply.encode(&mut out);
+                put_u32(&mut out, *unique_id);
+                args.encode(&mut out);
+            }
+            Request::ReadFile { reply, offset, len } => {
+                out.push(Op::ReadFile as u8);
+                reply.encode(&mut out);
+                put_u64(&mut out, *offset);
+                put_u32(&mut out, *len);
+            }
+            Request::WriteFile { reply, offset, data } => {
+                out.push(Op::WriteFile as u8);
+                reply.encode(&mut out);
+                put_u64(&mut out, *offset);
+                out.extend_from_slice(data);
+            }
+        }
+        out
+    }
+
+    /// Parse a SEND payload.
+    pub fn decode(buf: &[u8]) -> Result<Request> {
+        let op = Op::from_u8(*buf.first().ok_or_else(|| MemNodeError::BadMessage("empty".into()))?)
+            .ok_or_else(|| MemNodeError::BadMessage(format!("bad op {}", buf[0])))?;
+        let (reply, n) = BufDesc::decode(buf, 1)?;
+        let body = 1 + n;
+        match op {
+            Op::Ping => Ok(Request::Ping { reply, payload: buf[body..].to_vec() }),
+            Op::FreeBatch => {
+                let count = get_u32(buf, body).map_err(bad)? as usize;
+                let mut extents = Vec::with_capacity(count.min(1024));
+                let mut off = body + 4;
+                for _ in 0..count {
+                    extents.push((get_u64(buf, off).map_err(bad)?, get_u64(buf, off + 8).map_err(bad)?));
+                    off += 16;
+                }
+                Ok(Request::FreeBatch { reply, extents })
+            }
+            Op::Compact => {
+                let unique_id = get_u32(buf, body).map_err(bad)?;
+                let (args, _) = BufDesc::decode(buf, body + 4)?;
+                Ok(Request::Compact { reply, unique_id, args })
+            }
+            Op::ReadFile => {
+                let offset = get_u64(buf, body).map_err(bad)?;
+                let len = get_u32(buf, body + 8).map_err(bad)?;
+                Ok(Request::ReadFile { reply, offset, len })
+            }
+            Op::WriteFile => {
+                let offset = get_u64(buf, body).map_err(bad)?;
+                Ok(Request::WriteFile { reply, offset, data: buf[body + 8..].to_vec() })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(i: u32) -> BufDesc {
+        BufDesc { mr: i, offset: u64::from(i) * 7, rkey: i ^ 0xAA, len: 4096 }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let cases = vec![
+            Request::Ping { reply: desc(1), payload: b"hello".to_vec() },
+            Request::FreeBatch { reply: desc(2), extents: vec![(0, 64), (128, 4096)] },
+            Request::Compact { reply: desc(3), unique_id: 77, args: desc(4) },
+            Request::ReadFile { reply: desc(5), offset: 4096, len: 512 },
+            Request::WriteFile { reply: desc(6), offset: 8192, data: vec![1, 2, 3] },
+        ];
+        for r in cases {
+            let enc = r.encode();
+            assert_eq!(Request::decode(&enc).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[99, 0, 0]).is_err());
+        let enc = Request::ReadFile { reply: desc(1), offset: 1, len: 2 }.encode();
+        assert!(Request::decode(&enc[..enc.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn compact_args_roundtrip() {
+        let args = CompactArgs {
+            format: TableFormat::Block(8192),
+            smallest_snapshot: 123_456,
+            drop_deletions: true,
+            max_output_bytes: 64 << 20,
+            bits_per_key: 10,
+            range_lo: b"aaa".to_vec(),
+            range_hi: b"zzz".to_vec(),
+            inputs: vec![InputTable { offset: 0, len: 100 }, InputTable { offset: 200, len: 300 }],
+        };
+        assert_eq!(CompactArgs::decode(&args.encode()).unwrap(), args);
+        let args2 = CompactArgs { format: TableFormat::ByteAddr, inputs: vec![], range_lo: vec![], range_hi: vec![], ..args };
+        assert_eq!(CompactArgs::decode(&args2.encode()).unwrap(), args2);
+    }
+
+    #[test]
+    fn compact_reply_roundtrip() {
+        let reply = CompactReply {
+            outputs: vec![
+                OutputTable { offset: 1024, len: 888, meta: vec![9; 33] },
+                OutputTable { offset: 4096, len: 111, meta: vec![] },
+            ],
+            records_in: 1000,
+            records_out: 900,
+        };
+        assert_eq!(CompactReply::decode(&reply.encode()).unwrap(), reply);
+    }
+}

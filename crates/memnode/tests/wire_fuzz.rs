@@ -1,0 +1,122 @@
+//! Wire-format robustness: decoders must never panic on arbitrary bytes,
+//! and every encodable message round-trips.
+
+use dlsm_memnode::wire::{BufDesc, Request};
+use dlsm_memnode::{CompactArgs, CompactReply, InputTable, OutputTable, TableFormat};
+use proptest::prelude::*;
+
+fn desc_strategy() -> impl Strategy<Value = BufDesc> {
+    (any::<u32>(), any::<u64>(), any::<u32>(), any::<u32>())
+        .prop_map(|(mr, offset, rkey, len)| BufDesc { mr, offset, rkey, len })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic any decoder (they may error).
+    #[test]
+    fn decoders_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Request::decode(&bytes);
+        let _ = CompactArgs::decode(&bytes);
+        let _ = CompactReply::decode(&bytes);
+    }
+
+    #[test]
+    fn request_roundtrip(
+        reply in desc_strategy(),
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+        offset in any::<u64>(),
+        len in any::<u32>(),
+        unique_id in any::<u32>(),
+        args in desc_strategy(),
+        extents in prop::collection::vec((any::<u64>(), any::<u64>()), 0..16),
+    ) {
+        let cases = vec![
+            Request::Ping { reply, payload: payload.clone() },
+            Request::FreeBatch { reply, extents },
+            Request::Compact { reply, unique_id, args },
+            Request::ReadFile { reply, offset, len },
+            Request::WriteFile { reply, offset, data: payload },
+        ];
+        for r in cases {
+            prop_assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn compact_args_roundtrip(
+        block in prop::option::of(any::<u32>()),
+        snapshot in 0u64..(1 << 56),
+        drop_deletions in any::<bool>(),
+        max_out in any::<u64>(),
+        bits in any::<u32>(),
+        lo in prop::collection::vec(any::<u8>(), 0..24),
+        hi in prop::collection::vec(any::<u8>(), 0..24),
+        inputs in prop::collection::vec((any::<u64>(), any::<u64>()), 0..32),
+    ) {
+        let args = CompactArgs {
+            format: match block {
+                Some(b) => TableFormat::Block(b),
+                None => TableFormat::ByteAddr,
+            },
+            smallest_snapshot: snapshot,
+            drop_deletions,
+            max_output_bytes: max_out,
+            bits_per_key: bits,
+            range_lo: lo,
+            range_hi: hi,
+            inputs: inputs.into_iter().map(|(offset, len)| InputTable { offset, len }).collect(),
+        };
+        prop_assert_eq!(CompactArgs::decode(&args.encode()).unwrap(), args);
+    }
+
+    #[test]
+    fn compact_reply_roundtrip(
+        outputs in prop::collection::vec(
+            (any::<u64>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..64)),
+            0..16,
+        ),
+        records_in in any::<u64>(),
+        records_out in any::<u64>(),
+    ) {
+        let reply = CompactReply {
+            outputs: outputs
+                .into_iter()
+                .map(|(offset, len, meta)| OutputTable { offset, len, meta })
+                .collect(),
+            records_in,
+            records_out,
+        };
+        prop_assert_eq!(CompactReply::decode(&reply.encode()).unwrap(), reply);
+    }
+
+    /// The allocator never hands out overlapping extents and coalesces back
+    /// to a single free extent under arbitrary alloc/free interleavings.
+    #[test]
+    fn allocator_invariants(script in prop::collection::vec((any::<bool>(), 1u64..2048), 1..200)) {
+        use dlsm_memnode::RegionAllocator;
+        let a = RegionAllocator::new(64, 1 << 20);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (is_alloc, size) in script {
+            if is_alloc || live.is_empty() {
+                if let Some(off) = a.alloc(size) {
+                    for &(o, s) in &live {
+                        let s8 = s.next_multiple_of(8);
+                        let size8 = size.next_multiple_of(8);
+                        prop_assert!(off + size8 <= o || o + s8 <= off, "overlap");
+                    }
+                    prop_assert!(off >= 64 && off + size <= 64 + (1 << 20));
+                    live.push((off, size));
+                }
+            } else {
+                let (off, size) = live.swap_remove(0);
+                a.free(off, size);
+            }
+        }
+        for (off, size) in live.drain(..) {
+            a.free(off, size);
+        }
+        prop_assert_eq!(a.in_use(), 0);
+        prop_assert_eq!(a.fragments(), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Fault injection.
+//!
+//! A [`FaultHook`] lets tests perturb the fabric: add latency to specific
+//! verbs or drop completions entirely (the work request is posted but its
+//! completion never arrives), which exercises the timeout/retry paths of the
+//! RPC layer built on top.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::verbs::Verb;
+
+/// Hook invoked for every posted work request.
+pub trait FaultHook: Send + Sync {
+    /// Extra latency added to this operation's completion deadline.
+    fn extra_delay(&self, _verb: Verb, _bytes: usize) -> Duration {
+        Duration::ZERO
+    }
+
+    /// If true, the operation's completion (and any remote side effect
+    /// delivery such as an immediate event or message) is silently dropped.
+    /// One-sided payload effects still land, mirroring the ambiguity of a
+    /// lost ACK on real hardware.
+    fn should_drop(&self, _verb: Verb) -> bool {
+        false
+    }
+}
+
+/// A simple deterministic fault plan: drop every `drop_every`-th operation of
+/// `drop_verb`, and delay all operations by `delay`.
+pub struct FaultPlan {
+    /// Added to every operation's completion deadline.
+    pub delay: Duration,
+    /// Which verb to drop (None = never drop).
+    pub drop_verb: Option<Verb>,
+    /// Drop every n-th matching operation (0 = never).
+    pub drop_every: u64,
+    counter: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Plan that only adds `delay` to every operation.
+    pub fn delay_all(delay: Duration) -> FaultPlan {
+        FaultPlan { delay, drop_verb: None, drop_every: 0, counter: AtomicU64::new(0) }
+    }
+
+    /// Plan that drops every `n`-th operation of `verb`.
+    pub fn drop_every_nth(verb: Verb, n: u64) -> FaultPlan {
+        FaultPlan {
+            delay: Duration::ZERO,
+            drop_verb: Some(verb),
+            drop_every: n,
+            counter: AtomicU64::new(0),
+        }
+    }
+}
+
+impl FaultHook for FaultPlan {
+    fn extra_delay(&self, _verb: Verb, _bytes: usize) -> Duration {
+        self.delay
+    }
+
+    fn should_drop(&self, verb: Verb) -> bool {
+        if self.drop_every == 0 || self.drop_verb != Some(verb) {
+            return false;
+        }
+        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        n.is_multiple_of(self.drop_every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_every_nth_counts_only_matching_verb() {
+        let plan = FaultPlan::drop_every_nth(Verb::Send, 2);
+        assert!(!plan.should_drop(Verb::Read));
+        assert!(!plan.should_drop(Verb::Send)); // 1st
+        assert!(plan.should_drop(Verb::Send)); // 2nd -> dropped
+        assert!(!plan.should_drop(Verb::Send)); // 3rd
+        assert!(plan.should_drop(Verb::Send)); // 4th -> dropped
+    }
+
+    #[test]
+    fn delay_all_reports_delay() {
+        let plan = FaultPlan::delay_all(Duration::from_micros(5));
+        assert_eq!(plan.extra_delay(Verb::Write, 100), Duration::from_micros(5));
+        assert!(!plan.should_drop(Verb::Write));
+    }
+}

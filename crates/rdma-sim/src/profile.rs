@@ -1,0 +1,184 @@
+//! Network cost model.
+//!
+//! Every verb is charged `base_latency + bytes / bandwidth` (plus a tiny
+//! doorbell cost paid synchronously at post time). The defaults are
+//! calibrated to the hardware used in the dLSM paper's evaluation.
+
+use std::time::Duration;
+
+/// Cost model for one fabric.
+///
+/// The simulator charges each work request a completion deadline of
+/// `post_time + base_latency + payload_bytes / bytes_per_sec`, and charges
+/// the posting thread `post_overhead` synchronously (the doorbell write).
+///
+/// ```
+/// use rdma_sim::NetworkProfile;
+/// let edr = NetworkProfile::edr_100g();
+/// // Latency-dominated small op vs bandwidth-dominated large op: the
+/// // per-byte efficiency gap is what motivates LSM-style batched writes.
+/// let small = edr.transfer_cost(64);
+/// let large = edr.transfer_cost(1 << 20);
+/// let small_ns_per_byte = small.as_nanos() as f64 / 64.0;
+/// let large_ns_per_byte = large.as_nanos() as f64 / (1u64 << 20) as f64;
+/// assert!(small_ns_per_byte / large_ns_per_byte > 50.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkProfile {
+    /// One-way base latency charged to every work request.
+    pub base_latency: Duration,
+    /// Link bandwidth in bytes per second.
+    pub bytes_per_sec: f64,
+    /// Synchronous CPU cost of posting a work request (doorbell + WQE build).
+    pub post_overhead: Duration,
+    /// Extra latency charged to two-sided verbs (receiver-side processing).
+    pub two_sided_extra: Duration,
+}
+
+impl NetworkProfile {
+    /// Mellanox EDR ConnectX-4, 100 Gb/s — the NIC in the paper's main
+    /// testbed (Sec. XI-B).
+    pub fn edr_100g() -> Self {
+        NetworkProfile {
+            base_latency: Duration::from_nanos(1_600),
+            bytes_per_sec: 100.0e9 / 8.0,
+            post_overhead: Duration::from_nanos(70),
+            two_sided_extra: Duration::from_nanos(900),
+        }
+    }
+
+    /// Mellanox FDR ConnectX-3, 56 Gb/s — the CloudLab NIC used for the
+    /// multi-node experiments (Sec. XI-C8).
+    pub fn fdr_56g() -> Self {
+        NetworkProfile {
+            base_latency: Duration::from_nanos(2_100),
+            bytes_per_sec: 56.0e9 / 8.0,
+            post_overhead: Duration::from_nanos(90),
+            two_sided_extra: Duration::from_nanos(1_100),
+        }
+    }
+
+    /// A CXL-attached memory profile (the paper's conclusion: "many of the
+    /// ideas ... can be applied to other technologies, e.g., CXL"). CXL 2.0
+    /// load/store latency is a few hundred nanoseconds with near-DRAM
+    /// bandwidth — a much smaller per-operation penalty than RDMA, which
+    /// shrinks (but does not eliminate) the batching advantage.
+    pub fn cxl() -> Self {
+        NetworkProfile {
+            base_latency: Duration::from_nanos(350),
+            bytes_per_sec: 32.0e9,
+            post_overhead: Duration::from_nanos(20),
+            two_sided_extra: Duration::from_nanos(400),
+        }
+    }
+
+    /// Zero-cost profile for unit tests: completions are ready immediately.
+    pub fn instant() -> Self {
+        NetworkProfile {
+            base_latency: Duration::ZERO,
+            bytes_per_sec: f64::INFINITY,
+            post_overhead: Duration::ZERO,
+            two_sided_extra: Duration::ZERO,
+        }
+    }
+
+    /// Scale all time costs by `factor` (e.g. `0.1` to run benchmarks on a
+    /// 10x faster simulated network, `10.0` for a slower one).
+    pub fn scaled(self, factor: f64) -> Self {
+        let scale = |d: Duration| Duration::from_nanos((d.as_nanos() as f64 * factor) as u64);
+        NetworkProfile {
+            base_latency: scale(self.base_latency),
+            bytes_per_sec: self.bytes_per_sec / factor.max(f64::MIN_POSITIVE),
+            post_overhead: scale(self.post_overhead),
+            two_sided_extra: scale(self.two_sided_extra),
+        }
+    }
+
+    /// Total one-sided transfer cost (latency + serialization) for `bytes`.
+    pub fn transfer_cost(&self, bytes: usize) -> Duration {
+        self.base_latency + self.wire_time(bytes)
+    }
+
+    /// Time the payload occupies the wire.
+    pub fn wire_time(&self, bytes: usize) -> Duration {
+        if self.bytes_per_sec.is_infinite() || bytes == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((bytes as f64 / self.bytes_per_sec * 1e9) as u64)
+    }
+
+    /// Effective throughput in bytes/sec when transferring in units of
+    /// `bytes` per work request — used to reason about the 64 B vs 1 MB gap.
+    pub fn effective_bandwidth(&self, bytes: usize) -> f64 {
+        let cost = self.transfer_cost(bytes);
+        if cost.is_zero() {
+            return f64::INFINITY;
+        }
+        bytes as f64 / cost.as_secs_f64()
+    }
+}
+
+impl Default for NetworkProfile {
+    fn default() -> Self {
+        Self::edr_100g()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edr_small_vs_large_gap_is_about_100x() {
+        // Paper Sec. I: "100x performance gap between transferring the same
+        // amount of data in 64 byte units vs 1MB units".
+        let p = NetworkProfile::edr_100g();
+        let gap = p.effective_bandwidth(1 << 20) / p.effective_bandwidth(64);
+        assert!(gap > 20.0 && gap < 500.0, "gap = {gap}");
+    }
+
+    #[test]
+    fn instant_profile_is_free() {
+        let p = NetworkProfile::instant();
+        assert_eq!(p.transfer_cost(1 << 30), Duration::ZERO);
+        assert!(p.effective_bandwidth(1).is_infinite());
+    }
+
+    #[test]
+    fn wire_time_scales_linearly() {
+        let p = NetworkProfile::edr_100g();
+        let t1 = p.wire_time(1 << 20).as_nanos();
+        let t2 = p.wire_time(2 << 20).as_nanos();
+        let ratio = t2 as f64 / t1 as f64;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn scaled_profile_scales_latency_and_bandwidth() {
+        let p = NetworkProfile::edr_100g().scaled(2.0);
+        assert_eq!(p.base_latency, Duration::from_nanos(3_200));
+        let base = NetworkProfile::edr_100g();
+        let r = p.wire_time(1 << 20).as_nanos() as f64 / base.wire_time(1 << 20).as_nanos() as f64;
+        assert!((r - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn cxl_has_lower_latency_and_smaller_gap_than_edr() {
+        let edr = NetworkProfile::edr_100g();
+        let cxl = NetworkProfile::cxl();
+        assert!(cxl.base_latency < edr.base_latency);
+        let gap = |p: &NetworkProfile| p.effective_bandwidth(1 << 20) / p.effective_bandwidth(64);
+        assert!(
+            gap(&cxl) < gap(&edr),
+            "smaller per-op latency must shrink the batching gap"
+        );
+    }
+
+    #[test]
+    fn fdr_is_slower_than_edr() {
+        let edr = NetworkProfile::edr_100g();
+        let fdr = NetworkProfile::fdr_56g();
+        assert!(fdr.transfer_cost(1 << 20) > edr.transfer_cost(1 << 20));
+        assert!(fdr.base_latency > edr.base_latency);
+    }
+}

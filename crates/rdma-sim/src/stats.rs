@@ -1,0 +1,170 @@
+//! Fabric-wide traffic statistics.
+//!
+//! Experiments use these counters to report how much data crossed the
+//! simulated network — e.g. to show that near-data compaction collapses
+//! compaction traffic to (almost) zero.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::verbs::Verb;
+
+#[derive(Default)]
+struct Counter {
+    ops: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// Atomic per-verb operation/byte counters for one fabric.
+#[derive(Default)]
+pub struct FabricStats {
+    read: Counter,
+    write: Counter,
+    write_imm: Counter,
+    send: Counter,
+    fetch_add: Counter,
+    cas: Counter,
+}
+
+impl FabricStats {
+    fn counter(&self, verb: Verb) -> &Counter {
+        match verb {
+            Verb::Read => &self.read,
+            Verb::Write => &self.write,
+            Verb::WriteImm => &self.write_imm,
+            Verb::Send => &self.send,
+            Verb::FetchAdd => &self.fetch_add,
+            Verb::CompareSwap => &self.cas,
+        }
+    }
+
+    pub(crate) fn record(&self, verb: Verb, bytes: usize) {
+        let c = self.counter(verb);
+        c.ops.fetch_add(1, Ordering::Relaxed);
+        c.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Number of operations posted with `verb` so far.
+    pub fn ops(&self, verb: Verb) -> u64 {
+        self.counter(verb).ops.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes moved by `verb` so far.
+    pub fn bytes(&self, verb: Verb) -> u64 {
+        self.counter(verb).bytes.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut s = StatsSnapshot::default();
+        for v in Verb::ALL {
+            let c = self.counter(v);
+            s.set(v, c.ops.load(Ordering::Relaxed), c.bytes.load(Ordering::Relaxed));
+        }
+        s
+    }
+}
+
+/// An immutable copy of [`FabricStats`], supporting deltas.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    ops: [u64; 6],
+    bytes: [u64; 6],
+}
+
+impl StatsSnapshot {
+    fn idx(verb: Verb) -> usize {
+        Verb::ALL.iter().position(|&v| v == verb).expect("verb in ALL")
+    }
+
+    fn set(&mut self, verb: Verb, ops: u64, bytes: u64) {
+        let i = Self::idx(verb);
+        self.ops[i] = ops;
+        self.bytes[i] = bytes;
+    }
+
+    /// Operations posted with `verb`.
+    pub fn ops(&self, verb: Verb) -> u64 {
+        self.ops[Self::idx(verb)]
+    }
+
+    /// Payload bytes moved by `verb`.
+    pub fn bytes(&self, verb: Verb) -> u64 {
+        self.bytes[Self::idx(verb)]
+    }
+
+    /// Total operations across all verbs.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+
+    /// Total payload bytes across all verbs.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Counter-wise `self - earlier` (saturating), for measuring one
+    /// experiment phase.
+    #[must_use]
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let mut out = StatsSnapshot::default();
+        for i in 0..6 {
+            out.ops[i] = self.ops[i].saturating_sub(earlier.ops[i]);
+            out.bytes[i] = self.bytes[i].saturating_sub(earlier.bytes[i]);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for v in Verb::ALL {
+            let (ops, bytes) = (self.ops(v), self.bytes(v));
+            if ops != 0 {
+                write!(f, "{}: {} ops / {:.1} MiB; ", v.name(), ops, bytes as f64 / (1 << 20) as f64)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = FabricStats::default();
+        s.record(Verb::Read, 100);
+        s.record(Verb::Read, 50);
+        s.record(Verb::Write, 7);
+        assert_eq!(s.ops(Verb::Read), 2);
+        assert_eq!(s.bytes(Verb::Read), 150);
+        let snap = s.snapshot();
+        assert_eq!(snap.ops(Verb::Write), 1);
+        assert_eq!(snap.total_ops(), 3);
+        assert_eq!(snap.total_bytes(), 157);
+    }
+
+    #[test]
+    fn delta_measures_a_phase() {
+        let s = FabricStats::default();
+        s.record(Verb::Send, 10);
+        let before = s.snapshot();
+        s.record(Verb::Send, 20);
+        s.record(Verb::FetchAdd, 8);
+        let d = s.snapshot().delta(&before);
+        assert_eq!(d.ops(Verb::Send), 1);
+        assert_eq!(d.bytes(Verb::Send), 20);
+        assert_eq!(d.ops(Verb::FetchAdd), 1);
+        assert_eq!(d.ops(Verb::Read), 0);
+    }
+
+    #[test]
+    fn display_skips_idle_verbs() {
+        let s = FabricStats::default();
+        s.record(Verb::Write, 1 << 20);
+        let text = s.snapshot().to_string();
+        assert!(text.contains("write"));
+        assert!(!text.contains("cas"));
+    }
+}

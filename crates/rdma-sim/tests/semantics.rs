@@ -1,0 +1,171 @@
+//! Fabric semantics tests: ordering, cost-model monotonicity, concurrent
+//! verbs, and two-sided delivery under load.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use rdma_sim::{Fabric, NetworkProfile, Verb};
+
+#[test]
+fn concurrent_atomics_are_linearizable() {
+    let fabric = Fabric::new(NetworkProfile::instant());
+    let memory = fabric.add_node();
+    let region = memory.register_region(64);
+    let threads = 6;
+    let per = 500u64;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let fabric = Arc::clone(&fabric);
+            let addr = region.addr(0);
+            let compute = fabric.add_node();
+            s.spawn(move || {
+                let mut qp = fabric.create_qp(compute.id(), addr.node).unwrap();
+                for _ in 0..per {
+                    qp.fetch_add(addr, 1).unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(region.atomic_load(0).unwrap(), threads * per);
+}
+
+#[test]
+fn cas_elects_exactly_one_winner_per_round() {
+    let fabric = Fabric::new(NetworkProfile::instant());
+    let memory = fabric.add_node();
+    let region = memory.register_region(64);
+    let winners = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let fabric = Arc::clone(&fabric);
+            let addr = region.addr(8);
+            let compute = fabric.add_node();
+            let winners = &winners;
+            s.spawn(move || {
+                let mut qp = fabric.create_qp(compute.id(), addr.node).unwrap();
+                if qp.compare_swap(addr, 0, 1).unwrap() == 0 {
+                    winners.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(winners.load(std::sync::atomic::Ordering::Relaxed), 1);
+}
+
+#[test]
+fn many_senders_one_receiver_no_message_loss() {
+    let fabric = Fabric::new(NetworkProfile::edr_100g().scaled(0.05));
+    let receiver = fabric.add_node();
+    let senders = 5;
+    let per = 200u64;
+    std::thread::scope(|s| {
+        for t in 0..senders {
+            let fabric = Arc::clone(&fabric);
+            let target = receiver.id();
+            let compute = fabric.add_node();
+            s.spawn(move || {
+                let mut qp = fabric.create_qp(compute.id(), target).unwrap();
+                for i in 0..per {
+                    qp.post_send(format!("{t}:{i}").into_bytes(), i).unwrap();
+                    qp.drain().unwrap();
+                }
+            });
+        }
+        let receiver = &receiver;
+        s.spawn(move || {
+            let mut got = 0u64;
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while got < senders * per {
+                if receiver.recv(Duration::from_millis(100)).is_ok() {
+                    got += 1;
+                }
+                assert!(Instant::now() < deadline, "only received {got} messages");
+            }
+        });
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Larger transfers never cost less, and effective bandwidth never
+    /// decreases with unit size (the netgap monotonicity).
+    #[test]
+    fn cost_model_monotone(sizes in prop::collection::vec(1usize..(4 << 20), 2..20)) {
+        let p = NetworkProfile::edr_100g();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            prop_assert!(p.transfer_cost(w[1]) >= p.transfer_cost(w[0]));
+            prop_assert!(p.effective_bandwidth(w[1]) >= p.effective_bandwidth(w[0]) * 0.999);
+        }
+    }
+
+    /// Per-QP completions always arrive in post order, whatever the mix of
+    /// verb sizes.
+    #[test]
+    fn completions_fifo_for_any_size_mix(sizes in prop::collection::vec(1usize..32768, 1..40)) {
+        let fabric = Fabric::new(NetworkProfile::edr_100g().scaled(0.01));
+        let compute = fabric.add_node();
+        let memory = fabric.add_node();
+        let region = memory.register_region(64 << 10);
+        let mut qp = fabric.create_qp(compute.id(), memory.id()).unwrap();
+        qp.set_max_outstanding(sizes.len() + 1);
+        let buf = vec![0u8; 32768];
+        for (i, &size) in sizes.iter().enumerate() {
+            qp.post_write(&buf[..size.min(64 << 10)], region.addr(0), i as u64).unwrap();
+        }
+        let ids: Vec<u64> = qp.drain().unwrap().iter().map(|c| c.wr_id).collect();
+        let want: Vec<u64> = (0..sizes.len() as u64).collect();
+        prop_assert_eq!(ids, want);
+    }
+
+    /// Written bytes are exactly readable back at arbitrary offsets.
+    #[test]
+    fn remote_write_read_consistency(
+        writes in prop::collection::vec(
+            (0u64..4000, prop::collection::vec(any::<u8>(), 1..64)),
+            1..30,
+        )
+    ) {
+        let fabric = Fabric::new(NetworkProfile::instant());
+        let compute = fabric.add_node();
+        let memory = fabric.add_node();
+        let region = memory.register_region(8 << 10);
+        let mut qp = fabric.create_qp(compute.id(), memory.id()).unwrap();
+        // Model of the remote region.
+        let mut model = vec![0u8; 8 << 10];
+        for (off, data) in &writes {
+            qp.write_sync(data, region.addr(*off)).unwrap();
+            model[*off as usize..*off as usize + data.len()].copy_from_slice(data);
+        }
+        let mut back = vec![0u8; 8 << 10];
+        qp.read_sync(region.addr(0), &mut back[..4096]).unwrap();
+        qp.read_sync(region.addr(4096), &mut back[4096..]).unwrap();
+        prop_assert_eq!(back, model);
+    }
+}
+
+#[test]
+fn stats_account_every_byte() {
+    let fabric = Fabric::new(NetworkProfile::instant());
+    let compute = fabric.add_node();
+    let memory = fabric.add_node();
+    let region = memory.register_region(1 << 20);
+    let mut qp = fabric.create_qp(compute.id(), memory.id()).unwrap();
+    let mut expected_w = 0u64;
+    let mut expected_r = 0u64;
+    for i in 1..=64usize {
+        qp.write_sync(&vec![1u8; i * 13], region.addr(0)).unwrap();
+        expected_w += (i * 13) as u64;
+        let mut buf = vec![0u8; i * 7];
+        qp.read_sync(region.addr(0), &mut buf).unwrap();
+        expected_r += (i * 7) as u64;
+    }
+    let snap = fabric.stats().snapshot();
+    assert_eq!(snap.bytes(Verb::Write), expected_w);
+    assert_eq!(snap.bytes(Verb::Read), expected_r);
+    assert_eq!(snap.ops(Verb::Write), 64);
+    assert_eq!(snap.ops(Verb::Read), 64);
+}

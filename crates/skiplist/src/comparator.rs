@@ -1,0 +1,52 @@
+//! Key ordering.
+
+use std::cmp::Ordering;
+
+/// Total order over byte-string keys.
+///
+/// Implementations must be cheap (`cmp` sits on every skip-list probe) and
+/// consistent (a strict weak ordering); dLSM's internal-key comparator
+/// orders by user key ascending, then sequence number descending, so the
+/// newest version of a key is encountered first.
+pub trait Comparator: Send + Sync + 'static {
+    /// Compare two keys.
+    fn cmp(&self, a: &[u8], b: &[u8]) -> Ordering;
+}
+
+/// Plain lexicographic byte order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BytewiseComparator;
+
+impl Comparator for BytewiseComparator {
+    #[inline]
+    fn cmp(&self, a: &[u8], b: &[u8]) -> Ordering {
+        a.cmp(b)
+    }
+}
+
+impl<C: Comparator> Comparator for std::sync::Arc<C> {
+    #[inline]
+    fn cmp(&self, a: &[u8], b: &[u8]) -> Ordering {
+        (**self).cmp(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytewise_is_lexicographic() {
+        let c = BytewiseComparator;
+        assert_eq!(c.cmp(b"a", b"b"), Ordering::Less);
+        assert_eq!(c.cmp(b"ab", b"a"), Ordering::Greater);
+        assert_eq!(c.cmp(b"same", b"same"), Ordering::Equal);
+        assert_eq!(c.cmp(b"", b"a"), Ordering::Less);
+    }
+
+    #[test]
+    fn arc_comparator_delegates() {
+        let c = std::sync::Arc::new(BytewiseComparator);
+        assert_eq!(Comparator::cmp(&c, b"x", b"y"), Ordering::Less);
+    }
+}

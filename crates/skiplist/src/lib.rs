@@ -1,0 +1,28 @@
+//! # dlsm-skiplist — a lock-free, arena-based concurrent skip list
+//!
+//! The MemTable substrate for dLSM (paper Sec. IV): writes go to an
+//! in-memory skip list that supports **concurrent lock-free inserts** and
+//! **wait-free reads**, following the `InlineSkipList` design of
+//! LevelDB/RocksDB:
+//!
+//! * All nodes, keys and values live in one pre-sized bump [`Arena`];
+//!   allocation is an atomic fetch-add, and nothing is ever freed
+//!   individually — the whole table is dropped at once after it has been
+//!   flushed (LSM MemTables are bounded, so the arena can be pre-sized).
+//! * Forward pointers are `AtomicU32` arena offsets; insertion links a node
+//!   level-by-level with CAS, re-searching the splice on contention.
+//! * Entries are never deleted or overwritten (deletes are tombstone values,
+//!   and the (user-key, sequence-number) pair is unique), so readers need no
+//!   epochs or hazard pointers: a linked node stays valid for the lifetime
+//!   of the list.
+//!
+//! Ordering is pluggable via [`Comparator`]; dLSM supplies an internal-key
+//! comparator (user key ascending, sequence number descending).
+
+pub mod arena;
+pub mod comparator;
+pub mod list;
+
+pub use arena::{Arena, ArenaFull};
+pub use comparator::{BytewiseComparator, Comparator};
+pub use list::{ArcSkipIter, SkipList, SkipListIter};

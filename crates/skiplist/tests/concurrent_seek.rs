@@ -1,0 +1,97 @@
+//! Regression stress: `seek_ge` during concurrent inserts must never miss an
+//! already-inserted entry.
+//!
+//! This mirrors the LSM read path: entries are internal keys `(user, seq)`
+//! ordered user-asc / seq-desc; a writer inserts versions with increasing
+//! seqs while readers seek `(user, horizon)` and must find at least the
+//! newest version they have already observed.
+
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering as AtOrd};
+use std::sync::Arc;
+
+use dlsm_skiplist::{Comparator, SkipList};
+
+/// user key asc, seq desc — a miniature internal-key comparator.
+struct IkCmp;
+
+fn split(k: &[u8]) -> (&[u8], u64) {
+    let (u, t) = k.split_at(k.len() - 8);
+    (u, u64::from_be_bytes(t.try_into().unwrap()))
+}
+
+impl Comparator for IkCmp {
+    fn cmp(&self, a: &[u8], b: &[u8]) -> Ordering {
+        let (ua, sa) = split(a);
+        let (ub, sb) = split(b);
+        ua.cmp(ub).then(sb.cmp(&sa))
+    }
+}
+
+fn ikey(user: u64, seq: u64) -> Vec<u8> {
+    let mut k = user.to_be_bytes().to_vec();
+    k.extend_from_slice(&u64::MAX.to_be_bytes()); // placeholder, replaced below
+    let n = k.len();
+    k[n - 8..].copy_from_slice(&seq.to_be_bytes());
+    k
+}
+
+#[test]
+fn seek_never_misses_published_entries() {
+    for round in 0..20 {
+        let list = Arc::new(SkipList::with_capacity(IkCmp, 32 << 20));
+        let published = Arc::new(AtomicU64::new(0)); // highest seq fully inserted
+        let users = 40u64;
+        let versions = 400u64;
+        std::thread::scope(|s| {
+            {
+                let list = Arc::clone(&list);
+                let published = Arc::clone(&published);
+                s.spawn(move || {
+                    let mut seq = 1u64;
+                    for v in 0..versions {
+                        for u in 0..users {
+                            list.insert(&ikey(u, seq), &v.to_le_bytes()).unwrap();
+                            published.store(seq, AtOrd::Release);
+                            seq += 1;
+                        }
+                    }
+                });
+            }
+            for t in 0..2 {
+                let list = Arc::clone(&list);
+                let published = Arc::clone(&published);
+                s.spawn(move || {
+                    let mut last_seen = vec![0u64; users as usize];
+                    let mut misses = Vec::new();
+                    loop {
+                        let horizon = published.load(AtOrd::Acquire);
+                        if horizon >= users * versions - 1 {
+                            break;
+                        }
+                        for u in 0..users {
+                            // Seek (u, horizon): the first entry with seq <= horizon.
+                            let lookup = ikey(u, horizon);
+                            if let Some((k, v)) = list.seek_ge(&lookup) {
+                                let (uu, seq) = split(k);
+                                if uu == u.to_be_bytes() {
+                                    assert!(seq <= horizon);
+                                    let ver = u64::from_le_bytes(v.try_into().unwrap());
+                                    let prev = last_seen[u as usize];
+                                    if ver < prev {
+                                        misses.push((round, t, u, prev, ver, horizon, seq));
+                                    }
+                                    last_seen[u as usize] = last_seen[u as usize].max(ver);
+                                }
+                            }
+                        }
+                    }
+                    assert!(
+                        misses.is_empty(),
+                        "seek regressions (round, reader, user, prev, got, horizon, seq): {misses:?}"
+                    );
+                });
+            }
+        });
+    }
+}

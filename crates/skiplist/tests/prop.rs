@@ -1,0 +1,79 @@
+//! Property tests: the skip list must behave exactly like a sorted map
+//! (modulo deletion, which LSM MemTables never perform in place).
+
+use std::collections::BTreeMap;
+
+use dlsm_skiplist::{BytewiseComparator, SkipList};
+use proptest::prelude::*;
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Inserting any set of unique keys yields the same contents and order
+    /// as a BTreeMap.
+    #[test]
+    fn matches_btreemap_model(
+        entries in prop::collection::btree_map(key_strategy(), prop::collection::vec(any::<u8>(), 0..32), 0..200)
+    ) {
+        let list = SkipList::with_capacity(BytewiseComparator, 1 << 20);
+        // Insert in an order unrelated to the sorted order.
+        let mut shuffled: Vec<_> = entries.iter().collect();
+        shuffled.reverse();
+        for (k, v) in shuffled {
+            list.insert(k, v).unwrap();
+        }
+        prop_assert_eq!(list.len(), entries.len());
+        // Same sorted sequence.
+        let got: Vec<(Vec<u8>, Vec<u8>)> =
+            list.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            entries.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(got, want);
+        // Point lookups agree.
+        for (k, v) in &entries {
+            prop_assert_eq!(list.get(k), Some(v.as_slice()));
+        }
+    }
+
+    /// `seek_ge` returns exactly the BTreeMap lower bound.
+    #[test]
+    fn seek_ge_is_lower_bound(
+        keys in prop::collection::btree_set(key_strategy(), 0..100),
+        probe in key_strategy(),
+    ) {
+        let list = SkipList::with_capacity(BytewiseComparator, 1 << 20);
+        let mut model = BTreeMap::new();
+        for k in &keys {
+            list.insert(k, b"v").unwrap();
+            model.insert(k.clone(), ());
+        }
+        let want = model.range(probe.clone()..).next().map(|(k, _)| k.clone());
+        let got = list.seek_ge(&probe).map(|(k, _)| k.to_vec());
+        prop_assert_eq!(got, want);
+    }
+
+    /// Iterator `seek` then exhaustive `advance` walks the sorted suffix.
+    #[test]
+    fn seek_walks_suffix(
+        keys in prop::collection::btree_set(key_strategy(), 1..80),
+        probe in key_strategy(),
+    ) {
+        let list = SkipList::with_capacity(BytewiseComparator, 1 << 20);
+        for k in &keys {
+            list.insert(k, b"").unwrap();
+        }
+        let mut it = list.iter();
+        it.seek(&probe);
+        let mut got = Vec::new();
+        while it.valid() {
+            got.push(it.key().to_vec());
+            it.advance();
+        }
+        let want: Vec<Vec<u8>> = keys.range(probe..).cloned().collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,831 @@
+//! The byte-addressable SSTable format (paper Sec. VI, Fig. 4).
+//!
+//! dLSM drops the notion of "blocks": the remote-memory image of a table is
+//! just the sorted key-value records, back to back. Everything needed to
+//! *address* them — the per-record index `(key, offset, len)` and the bloom
+//! filter — stays on the compute node as [`TableMeta`]:
+//!
+//! ```text
+//!   remote memory:  | rec 0 | rec 1 | ... | rec n-1 |        (data_len bytes)
+//!   record        = varint(klen) varint(vlen) internal_key value
+//!   compute node  :  TableMeta { index[(key, off, len)], bloom, ... }
+//! ```
+//!
+//! A point read probes the bloom filter, binary-searches the index, and
+//! issues **one** RDMA read of exactly one record — no block-sized read
+//! amplification. A scan prefetches multi-MB chunks sequentially.
+//! Building a table serializes records straight into the output sink with
+//! no intermediate block buffer (this is the write-side win of
+//! byte-addressability: one memory copy fewer than the block format).
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use crate::bloom::BloomFilter;
+use crate::coding::{get_len_prefixed, get_u32, get_u64, get_varint, put_len_prefixed, put_u32, put_u64, put_varint};
+use crate::iter::ForwardIter;
+use crate::key::{self, compare_internal, InternalKey, SeqNo, ValueType};
+use crate::source::DataSource;
+use crate::{Result, SstError};
+
+/// Where table bytes are appended during building.
+///
+/// The flush pipeline implements this over a chain of RDMA-registered
+/// buffers (posting an async write whenever one fills); compaction
+/// implements it over a memory-node region or a plain `Vec<u8>`.
+pub trait TableSink {
+    /// Append `data` to the table image.
+    fn append(&mut self, data: &[u8]) -> Result<()>;
+}
+
+impl TableSink for Vec<u8> {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.extend_from_slice(data);
+        Ok(())
+    }
+}
+
+/// Compact index over every record of one table: all internal keys in one
+/// blob plus fixed-width per-record slots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordIndex {
+    keys: Vec<u8>,
+    /// (key_off, key_len, data_off, data_len) per record.
+    slots: Vec<(u32, u32, u32, u32)>,
+}
+
+impl RecordIndex {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Internal key of record `i`.
+    pub fn key(&self, i: usize) -> &[u8] {
+        let (ko, kl, _, _) = self.slots[i];
+        &self.keys[ko as usize..(ko + kl) as usize]
+    }
+
+    /// `(offset, len)` of record `i` in the remote data image.
+    pub fn record(&self, i: usize) -> (u64, usize) {
+        let (_, _, off, len) = self.slots[i];
+        (u64::from(off), len as usize)
+    }
+
+    fn push(&mut self, ikey: &[u8], data_off: u32, data_len: u32) {
+        let ko = self.keys.len() as u32;
+        self.keys.extend_from_slice(ikey);
+        self.slots.push((ko, ikey.len() as u32, data_off, data_len));
+    }
+
+    /// Index of the first record with key ≥ `ikey`, or `len()` if none.
+    pub fn seek_ge(&self, ikey: &[u8]) -> usize {
+        let mut lo = 0;
+        let mut hi = self.slots.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if compare_internal(self.key(mid), ikey) == Ordering::Less {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Approximate resident size of the index in compute-node memory.
+    pub fn memory_usage(&self) -> usize {
+        self.keys.len() + self.slots.len() * 16
+    }
+}
+
+/// Compute-node-resident metadata for one byte-addressable SSTable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableMeta {
+    /// Per-record index.
+    pub index: RecordIndex,
+    /// Bloom filter over user keys.
+    pub bloom: BloomFilter,
+    /// Length of the remote data image in bytes.
+    pub data_len: u64,
+    /// Number of records.
+    pub num_entries: u64,
+}
+
+impl TableMeta {
+    /// Smallest internal key, if any records exist.
+    pub fn smallest(&self) -> Option<&[u8]> {
+        (!self.index.is_empty()).then(|| self.index.key(0))
+    }
+
+    /// Largest internal key, if any records exist.
+    pub fn largest(&self) -> Option<&[u8]> {
+        (!self.index.is_empty()).then(|| self.index.key(self.index.len() - 1))
+    }
+
+    /// Resolve a point lookup against the compute-resident metadata alone:
+    /// either the answer is already known (bloom miss, out of range,
+    /// tombstone) or exactly one remote record must be fetched. Separating
+    /// the *decision* from the *fetch* lets callers batch many record reads
+    /// on one queue pair (multi-get).
+    pub fn locate(&self, user_key: &[u8], seq: SeqNo) -> Locate {
+        if !self.bloom.may_contain(user_key) {
+            return Locate::NotFound;
+        }
+        let lookup = InternalKey::for_lookup(user_key, seq);
+        let i = self.index.seek_ge(lookup.as_bytes());
+        if i >= self.index.len() {
+            return Locate::NotFound;
+        }
+        let entry_key = self.index.key(i);
+        match key::split(entry_key) {
+            Some((ukey, _, _)) if ukey != user_key => Locate::NotFound,
+            Some((_, _, ValueType::Deletion)) => Locate::Deleted,
+            Some((_, _, ValueType::Value)) => {
+                let (offset, len) = self.index.record(i);
+                Locate::Record { index: i, offset, len }
+            }
+            None => Locate::NotFound,
+        }
+    }
+
+    /// Serialize for transport (e.g. in the near-data-compaction RPC reply).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.index.keys.len() + self.index.slots.len() * 16);
+        put_u64(&mut out, self.num_entries);
+        put_u64(&mut out, self.data_len);
+        put_len_prefixed(&mut out, &self.bloom.encode());
+        put_len_prefixed(&mut out, &self.index.keys);
+        put_u32(&mut out, self.index.slots.len() as u32);
+        for &(ko, kl, off, len) in &self.index.slots {
+            put_u32(&mut out, ko);
+            put_u32(&mut out, kl);
+            put_u32(&mut out, off);
+            put_u32(&mut out, len);
+        }
+        out
+    }
+
+    /// Deserialize; returns the meta and the bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(TableMeta, usize)> {
+        let num_entries = get_u64(buf, 0)?;
+        let data_len = get_u64(buf, 8)?;
+        let mut off = 16;
+        let (bloom_bytes, n) = get_len_prefixed(buf, off)?;
+        off += n;
+        let bloom = BloomFilter::decode(bloom_bytes)
+            .ok_or_else(|| SstError::Corrupt("bad bloom filter".into()))?;
+        let (keys, n) = get_len_prefixed(buf, off)?;
+        off += n;
+        let count = get_u32(buf, off)? as usize;
+        off += 4;
+        // Never trust a wire count for pre-allocation.
+        let mut slots = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let ko = get_u32(buf, off)?;
+            let kl = get_u32(buf, off + 4)?;
+            let doff = get_u32(buf, off + 8)?;
+            let dlen = get_u32(buf, off + 12)?;
+            if (ko + kl) as usize > keys.len() {
+                return Err(SstError::Corrupt("index slot beyond key blob".into()));
+            }
+            slots.push((ko, kl, doff, dlen));
+            off += 16;
+        }
+        if count as u64 != num_entries {
+            return Err(SstError::Corrupt("entry count mismatch".into()));
+        }
+        Ok((
+            TableMeta {
+                index: RecordIndex { keys: keys.to_vec(), slots },
+                bloom,
+                data_len,
+                num_entries,
+            },
+            off,
+        ))
+    }
+}
+
+/// Streaming builder for the byte-addressable format.
+///
+/// Keys must be added in internal-key order. Records are serialized directly
+/// into the sink; the index and bloom filter accumulate locally and come out
+/// in [`ByteAddrBuilder::finish`] as the [`TableMeta`].
+pub struct ByteAddrBuilder<S: TableSink> {
+    sink: S,
+    offset: u64,
+    index: RecordIndex,
+    bits_per_key: usize,
+    scratch: Vec<u8>,
+}
+
+impl<S: TableSink> ByteAddrBuilder<S> {
+    /// Start building into `sink` with the given bloom budget.
+    pub fn new(sink: S, bits_per_key: usize) -> ByteAddrBuilder<S> {
+        ByteAddrBuilder { sink, offset: 0, index: RecordIndex::default(), bits_per_key, scratch: Vec::with_capacity(16) }
+    }
+
+    /// Append one record. `ikey` must sort after every previously-added key.
+    pub fn add(&mut self, ikey: &[u8], value: &[u8]) -> Result<()> {
+        debug_assert!(
+            self.index.is_empty()
+                || compare_internal(self.index.key(self.index.len() - 1), ikey) == Ordering::Less,
+            "records must be added in internal-key order"
+        );
+        self.scratch.clear();
+        put_varint(&mut self.scratch, ikey.len() as u64);
+        put_varint(&mut self.scratch, value.len() as u64);
+        let total = self.scratch.len() + ikey.len() + value.len();
+        if self.offset + total as u64 > u64::from(u32::MAX) {
+            return Err(SstError::SinkFull);
+        }
+        self.sink.append(&self.scratch)?;
+        self.sink.append(ikey)?;
+        self.sink.append(value)?;
+        self.index.push(ikey, self.offset as u32, total as u32);
+        self.offset += total as u64;
+        Ok(())
+    }
+
+    /// Current size of the data image.
+    pub fn data_len(&self) -> u64 {
+        self.offset
+    }
+
+    /// Number of records added.
+    pub fn num_entries(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Finish: build the bloom filter over user keys and return the sink and
+    /// metadata.
+    pub fn finish(self) -> (S, TableMeta) {
+        let n = self.index.len();
+        let bloom = BloomFilter::build(
+            UserKeyIter { index: &self.index, i: 0, n },
+            self.bits_per_key,
+        );
+        let meta = TableMeta {
+            num_entries: n as u64,
+            data_len: self.offset,
+            index: self.index,
+            bloom,
+        };
+        (self.sink, meta)
+    }
+}
+
+struct UserKeyIter<'a> {
+    index: &'a RecordIndex,
+    i: usize,
+    n: usize,
+}
+
+impl<'a> Iterator for UserKeyIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.i >= self.n {
+            return None;
+        }
+        let k = key::user_key(self.index.key(self.i));
+        self.i += 1;
+        Some(k)
+    }
+}
+
+impl<'a> ExactSizeIterator for UserKeyIter<'a> {
+    fn len(&self) -> usize {
+        self.n - self.i
+    }
+}
+
+/// Parse one complete record image: returns `(internal_key, value)`.
+pub fn parse_record_bytes(buf: &[u8]) -> Result<(&[u8], &[u8])> {
+    let (k, v, _) = parse_record(buf)?;
+    Ok((k, v))
+}
+
+/// Parse one record at `buf[0..]`: returns `(ikey, value, record_len)`.
+fn parse_record(buf: &[u8]) -> Result<(&[u8], &[u8], usize)> {
+    let (klen, n1) = get_varint(buf, 0)?;
+    let (vlen, n2) = get_varint(buf, n1)?;
+    let kstart = n1 + n2;
+    let vstart = kstart + klen as usize;
+    let end = vstart + vlen as usize;
+    if end > buf.len() {
+        return Err(SstError::Corrupt("record extends past buffer".into()));
+    }
+    Ok((&buf[kstart..vstart], &buf[vstart..end], end))
+}
+
+/// Reader over a byte-addressable table.
+pub struct ByteAddrReader<S: DataSource> {
+    meta: Arc<TableMeta>,
+    source: S,
+}
+
+/// Outcome of [`TableMeta::locate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Locate {
+    /// The table holds no visible version of the key.
+    NotFound,
+    /// The newest visible version is a tombstone (no fetch needed).
+    Deleted,
+    /// The newest visible version is the record at `offset`/`len`.
+    Record {
+        /// Index-slot position of the record.
+        index: usize,
+        /// Offset of the record in the data image.
+        offset: u64,
+        /// Record length in bytes.
+        len: usize,
+    },
+}
+
+/// Result of a point lookup inside one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableGet {
+    /// The key's newest visible version is a live value.
+    Found(Vec<u8>),
+    /// The key's newest visible version is a deletion tombstone.
+    Deleted,
+    /// The table holds no visible version of the key.
+    NotFound,
+}
+
+impl<S: DataSource> ByteAddrReader<S> {
+    /// Open a table from its compute-node metadata and a data source.
+    pub fn new(meta: Arc<TableMeta>, source: S) -> ByteAddrReader<S> {
+        ByteAddrReader { meta, source }
+    }
+
+    /// The table's metadata.
+    pub fn meta(&self) -> &Arc<TableMeta> {
+        &self.meta
+    }
+
+    /// Point lookup of `user_key` at snapshot `seq`: bloom probe, index
+    /// binary search, then **one** read of exactly one record.
+    pub fn get(&self, user_key: &[u8], seq: SeqNo) -> Result<TableGet> {
+        match self.meta.locate(user_key, seq) {
+            Locate::NotFound => Ok(TableGet::NotFound),
+            Locate::Deleted => Ok(TableGet::Deleted),
+            Locate::Record { index, offset, len } => {
+                let mut buf = vec![0u8; len];
+                self.source.read(offset, &mut buf)?;
+                let (ikey, value, _) = parse_record(&buf)?;
+                if ikey != self.meta.index.key(index) {
+                    return Err(SstError::Corrupt("record key does not match index".into()));
+                }
+                Ok(TableGet::Found(value.to_vec()))
+            }
+        }
+    }
+
+    /// Sequential iterator prefetching `prefetch_bytes` per read (the paper
+    /// uses multi-MB chunks for range queries, Sec. VI). The iterator owns a
+    /// clone of the source and an `Arc` of the metadata, so it outlives the
+    /// reader — database scans hold many such iterators at once.
+    pub fn iter(&self, prefetch_bytes: usize) -> ByteAddrIter<S>
+    where
+        S: Clone,
+    {
+        ByteAddrIter {
+            meta: Arc::clone(&self.meta),
+            source: self.source.clone(),
+            idx: usize::MAX,
+            buf: Vec::new(),
+            buf_start: 0,
+            key_range: 0..0,
+            val_range: 0..0,
+            prefetch: prefetch_bytes.max(1),
+        }
+    }
+}
+
+/// Chunk-prefetching iterator over a byte-addressable table (owns its
+/// metadata handle and data source).
+pub struct ByteAddrIter<S: DataSource> {
+    meta: Arc<TableMeta>,
+    source: S,
+    /// Current record index, `usize::MAX` = before first / invalid.
+    idx: usize,
+    buf: Vec<u8>,
+    buf_start: u64,
+    key_range: std::ops::Range<usize>,
+    val_range: std::ops::Range<usize>,
+    prefetch: usize,
+}
+
+impl<S: DataSource> ByteAddrIter<S> {
+    /// Iterate a table directly from its parts.
+    pub fn from_parts(meta: Arc<TableMeta>, source: S, prefetch_bytes: usize) -> ByteAddrIter<S> {
+        ByteAddrIter {
+            meta,
+            source,
+            idx: usize::MAX,
+            buf: Vec::new(),
+            buf_start: 0,
+            key_range: 0..0,
+            val_range: 0..0,
+            prefetch: prefetch_bytes.max(1),
+        }
+    }
+
+    fn meta(&self) -> &TableMeta {
+        &self.meta
+    }
+
+    /// Load the chunk containing record `i` (and as many following bytes as
+    /// the prefetch window allows), then parse record `i`.
+    fn load_at(&mut self, i: usize) -> Result<()> {
+        let (off, len) = self.meta().index.record(i);
+        let in_buf = off >= self.buf_start
+            && off + len as u64 <= self.buf_start + self.buf.len() as u64
+            && !self.buf.is_empty();
+        if !in_buf {
+            let want = (self.prefetch.max(len) as u64).min(self.meta.data_len - off) as usize;
+            self.buf.resize(want, 0);
+            self.source.read(off, &mut self.buf)?;
+            self.buf_start = off;
+        }
+        let rel = (off - self.buf_start) as usize;
+        let sub = &self.buf[rel..];
+        let (klen, n1) = get_varint(sub, 0)?;
+        let (vlen, n2) = get_varint(sub, n1)?;
+        let kstart = rel + n1 + n2;
+        let vstart = kstart + klen as usize;
+        let vend = vstart + vlen as usize;
+        if vend > self.buf.len() {
+            return Err(SstError::Corrupt("record extends past prefetch buffer".into()));
+        }
+        self.key_range = kstart..vstart;
+        self.val_range = vstart..vend;
+        self.idx = i;
+        Ok(())
+    }
+
+    fn set_invalid(&mut self) {
+        self.idx = usize::MAX;
+    }
+}
+
+impl<S: DataSource> ForwardIter for ByteAddrIter<S> {
+    fn valid(&self) -> bool {
+        self.idx != usize::MAX && self.idx < self.meta().index.len()
+    }
+
+    fn key(&self) -> &[u8] {
+        debug_assert!(self.valid());
+        &self.buf[self.key_range.clone()]
+    }
+
+    fn value(&self) -> &[u8] {
+        debug_assert!(self.valid());
+        &self.buf[self.val_range.clone()]
+    }
+
+    fn next(&mut self) -> Result<()> {
+        debug_assert!(self.valid());
+        let n = self.idx + 1;
+        if n >= self.meta().index.len() {
+            self.set_invalid();
+            return Ok(());
+        }
+        self.load_at(n)
+    }
+
+    fn seek(&mut self, ikey: &[u8]) -> Result<()> {
+        let i = self.meta().index.seek_ge(ikey);
+        if i >= self.meta().index.len() {
+            self.set_invalid();
+            return Ok(());
+        }
+        self.load_at(i)
+    }
+
+    fn seek_to_first(&mut self) -> Result<()> {
+        if self.meta().index.is_empty() {
+            self.set_invalid();
+            return Ok(());
+        }
+        self.load_at(0)
+    }
+}
+
+/// Index-free sequential iterator over a byte-addressable table image.
+///
+/// Records are self-describing (varint lengths), so a reader that has the
+/// raw data — the memory node during near-data compaction — can scan a table
+/// without the compute-node-resident index. Only forward iteration is
+/// supported; `seek` degrades to a linear scan from the start (compaction
+/// never seeks).
+pub struct RawTableIter<S: DataSource> {
+    source: S,
+    data_len: u64,
+    /// Absolute offset of the byte after the current record.
+    next_off: u64,
+    buf: Vec<u8>,
+    buf_start: u64,
+    key_range: std::ops::Range<usize>,
+    val_range: std::ops::Range<usize>,
+    valid: bool,
+    chunk: usize,
+}
+
+impl<S: DataSource> RawTableIter<S> {
+    /// Iterate the `data_len`-byte table in `source`, reading `chunk` bytes
+    /// per fetch.
+    pub fn new(source: S, data_len: u64, chunk: usize) -> RawTableIter<S> {
+        RawTableIter {
+            source,
+            data_len,
+            next_off: 0,
+            buf: Vec::new(),
+            buf_start: 0,
+            key_range: 0..0,
+            val_range: 0..0,
+            valid: false,
+            chunk: chunk.max(64),
+        }
+    }
+
+    /// Ensure `buf` holds at least `min_len` bytes starting at `off`.
+    fn ensure(&mut self, off: u64, min_len: usize) -> Result<()> {
+        let have = off >= self.buf_start
+            && off + min_len as u64 <= self.buf_start + self.buf.len() as u64;
+        if have {
+            return Ok(());
+        }
+        let want = (self.chunk.max(min_len) as u64).min(self.data_len - off) as usize;
+        if (min_len as u64) > self.data_len - off {
+            return Err(SstError::Corrupt("record extends past table".into()));
+        }
+        self.buf.resize(want, 0);
+        self.source.read(off, &mut self.buf)?;
+        self.buf_start = off;
+        Ok(())
+    }
+
+    fn parse_at(&mut self, off: u64) -> Result<()> {
+        // A record header is at most 10+10 varint bytes; over-fetch a little
+        // so the two varints parse from the buffer, then re-ensure for the
+        // full record.
+        self.ensure(off, (20u64.min(self.data_len - off)) as usize)?;
+        let rel = (off - self.buf_start) as usize;
+        let (klen, n1) = get_varint(&self.buf, rel)?;
+        let (vlen, n2) = get_varint(&self.buf, rel + n1)?;
+        let total = n1 + n2 + klen as usize + vlen as usize;
+        self.ensure(off, total)?;
+        let rel = (off - self.buf_start) as usize;
+        let kstart = rel + n1 + n2;
+        let vstart = kstart + klen as usize;
+        self.key_range = kstart..vstart;
+        self.val_range = vstart..vstart + vlen as usize;
+        self.next_off = off + total as u64;
+        self.valid = true;
+        Ok(())
+    }
+}
+
+impl<S: DataSource> ForwardIter for RawTableIter<S> {
+    fn valid(&self) -> bool {
+        self.valid
+    }
+
+    fn key(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.buf[self.key_range.clone()]
+    }
+
+    fn value(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.buf[self.val_range.clone()]
+    }
+
+    fn next(&mut self) -> Result<()> {
+        debug_assert!(self.valid);
+        if self.next_off >= self.data_len {
+            self.valid = false;
+            return Ok(());
+        }
+        self.parse_at(self.next_off)
+    }
+
+    fn seek(&mut self, ikey: &[u8]) -> Result<()> {
+        self.seek_to_first()?;
+        while self.valid && compare_internal(self.key(), ikey) == Ordering::Less {
+            self.next()?;
+        }
+        Ok(())
+    }
+
+    fn seek_to_first(&mut self) -> Result<()> {
+        if self.data_len == 0 {
+            self.valid = false;
+            return Ok(());
+        }
+        self.parse_at(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SliceSource;
+
+    fn build_table(n: usize) -> (Vec<u8>, Arc<TableMeta>) {
+        let mut b = ByteAddrBuilder::new(Vec::new(), 10);
+        for i in 0..n {
+            let ik = InternalKey::new(format!("key{i:06}").as_bytes(), 100, ValueType::Value);
+            b.add(ik.as_bytes(), format!("value-{i}").as_bytes()).unwrap();
+        }
+        let (data, meta) = b.finish();
+        (data, Arc::new(meta))
+    }
+
+    #[test]
+    fn build_and_point_get() {
+        let (data, meta) = build_table(1000);
+        let r = ByteAddrReader::new(meta, SliceSource(data));
+        assert_eq!(r.get(b"key000500", 200).unwrap(), TableGet::Found(b"value-500".to_vec()));
+        assert_eq!(r.get(b"key999999", 200).unwrap(), TableGet::NotFound);
+        // Snapshot below the write seq: invisible.
+        assert_eq!(r.get(b"key000500", 50).unwrap(), TableGet::NotFound);
+    }
+
+    #[test]
+    fn tombstones_surface_as_deleted() {
+        let mut b = ByteAddrBuilder::new(Vec::new(), 10);
+        let ik = InternalKey::new(b"gone", 9, ValueType::Deletion);
+        b.add(ik.as_bytes(), b"").unwrap();
+        let (data, meta) = b.finish();
+        let r = ByteAddrReader::new(Arc::new(meta), SliceSource(data));
+        assert_eq!(r.get(b"gone", 100).unwrap(), TableGet::Deleted);
+    }
+
+    #[test]
+    fn newest_visible_version_wins() {
+        let mut b = ByteAddrBuilder::new(Vec::new(), 10);
+        // Internal order: seq desc within a user key.
+        for (seq, val) in [(30u64, "v30"), (20, "v20"), (10, "v10")] {
+            let ik = InternalKey::new(b"k", seq, ValueType::Value);
+            b.add(ik.as_bytes(), val.as_bytes()).unwrap();
+        }
+        let (data, meta) = b.finish();
+        let r = ByteAddrReader::new(Arc::new(meta), SliceSource(data));
+        assert_eq!(r.get(b"k", 25).unwrap(), TableGet::Found(b"v20".to_vec()));
+        assert_eq!(r.get(b"k", 31).unwrap(), TableGet::Found(b"v30".to_vec()));
+        assert_eq!(r.get(b"k", 10).unwrap(), TableGet::Found(b"v10".to_vec()));
+        assert_eq!(r.get(b"k", 9).unwrap(), TableGet::NotFound);
+    }
+
+    #[test]
+    fn iterator_scans_in_order_with_small_prefetch() {
+        let (data, meta) = build_table(500);
+        let r = ByteAddrReader::new(meta, SliceSource(data));
+        // Tiny prefetch forces many chunk reloads; order must still hold.
+        let mut it = r.iter(64);
+        it.seek_to_first().unwrap();
+        let mut count = 0;
+        let mut last: Option<Vec<u8>> = None;
+        while it.valid() {
+            let k = it.key().to_vec();
+            if let Some(prev) = &last {
+                assert!(compare_internal(prev, &k) == Ordering::Less);
+            }
+            last = Some(k);
+            count += 1;
+            it.next().unwrap();
+        }
+        assert_eq!(count, 500);
+    }
+
+    #[test]
+    fn iterator_seek_lands_on_lower_bound() {
+        let (data, meta) = build_table(100);
+        let r = ByteAddrReader::new(meta, SliceSource(data));
+        let mut it = r.iter(1 << 20);
+        let target = InternalKey::for_lookup(b"key000042", 1000);
+        it.seek(target.as_bytes()).unwrap();
+        assert!(it.valid());
+        assert_eq!(key::user_key(it.key()), b"key000042");
+        assert_eq!(it.value(), b"value-42");
+        let target = InternalKey::for_lookup(b"zzz", 1000);
+        it.seek(target.as_bytes()).unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn meta_encode_decode_roundtrip() {
+        let (_, meta) = build_table(257);
+        let enc = meta.encode();
+        let (dec, consumed) = TableMeta::decode(&enc).unwrap();
+        assert_eq!(consumed, enc.len());
+        assert_eq!(&dec, meta.as_ref());
+        assert_eq!(dec.smallest().unwrap(), meta.smallest().unwrap());
+        assert_eq!(dec.largest().unwrap(), meta.largest().unwrap());
+    }
+
+    #[test]
+    fn meta_decode_rejects_corruption() {
+        let (_, meta) = build_table(10);
+        let mut enc = meta.encode();
+        enc.truncate(enc.len() - 3);
+        assert!(TableMeta::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn empty_table() {
+        let b = ByteAddrBuilder::new(Vec::new(), 10);
+        let (data, meta) = b.finish();
+        assert!(data.is_empty());
+        assert_eq!(meta.num_entries, 0);
+        assert!(meta.smallest().is_none());
+        let r = ByteAddrReader::new(Arc::new(meta), SliceSource(data));
+        assert_eq!(r.get(b"k", 1).unwrap(), TableGet::NotFound);
+        let mut it = r.iter(1024);
+        it.seek_to_first().unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn raw_iter_scans_without_index() {
+        let (data, meta) = build_table(400);
+        let mut it = RawTableIter::new(SliceSource(data), meta.data_len, 128);
+        it.seek_to_first().unwrap();
+        let mut n = 0;
+        while it.valid() {
+            assert_eq!(key::user_key(it.key()), format!("key{n:06}").as_bytes());
+            assert_eq!(it.value(), format!("value-{n}").as_bytes());
+            n += 1;
+            it.next().unwrap();
+        }
+        assert_eq!(n, 400);
+    }
+
+    #[test]
+    fn raw_iter_seek_linear() {
+        let (data, meta) = build_table(50);
+        let mut it = RawTableIter::new(SliceSource(data), meta.data_len, 4096);
+        it.seek(InternalKey::for_lookup(b"key000030", 1000).as_bytes()).unwrap();
+        assert!(it.valid());
+        assert_eq!(key::user_key(it.key()), b"key000030");
+    }
+
+    #[test]
+    fn raw_iter_empty_table() {
+        let mut it = RawTableIter::new(SliceSource(Vec::new()), 0, 64);
+        it.seek_to_first().unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn raw_iter_rejects_truncated_table() {
+        let (mut data, meta) = build_table(5);
+        data.truncate(data.len() - 3);
+        let mut it = RawTableIter::new(SliceSource(data), meta.data_len, 4096);
+        // The truncation bites on some record before the end.
+        let mut r = it.seek_to_first();
+        while r.is_ok() && it.valid() {
+            r = it.next();
+        }
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn locate_separates_decision_from_fetch() {
+        let (_, meta) = build_table(100);
+        match meta.locate(b"key000042", 1000) {
+            Locate::Record { offset, len, .. } => {
+                assert!(len > 0);
+                assert!(offset + len as u64 <= meta.data_len);
+            }
+            other => panic!("expected a record, got {other:?}"),
+        }
+        assert_eq!(meta.locate(b"missing-key", 1000), Locate::NotFound);
+        assert_eq!(meta.locate(b"key000042", 1), Locate::NotFound); // below snapshot
+        let mut b = ByteAddrBuilder::new(Vec::new(), 10);
+        b.add(InternalKey::new(b"gone", 5, ValueType::Deletion).as_bytes(), b"").unwrap();
+        let (_, m2) = b.finish();
+        assert_eq!(m2.locate(b"gone", 100), Locate::Deleted);
+    }
+
+    #[test]
+    fn record_index_seek_ge() {
+        let (_, meta) = build_table(10);
+        let probe = InternalKey::for_lookup(b"key000003", 1_000_000);
+        assert_eq!(meta.index.seek_ge(probe.as_bytes()), 3);
+        let probe = InternalKey::for_lookup(b"key0000031", 1_000_000);
+        assert_eq!(meta.index.seek_ge(probe.as_bytes()), 4);
+        let probe = InternalKey::for_lookup(b"zzzz", 0);
+        assert_eq!(meta.index.seek_ge(probe.as_bytes()), 10);
+    }
+}

@@ -1,0 +1,60 @@
+//! Engine face-off: dLSM vs the paper's five baselines on one workload.
+//!
+//! A condensed version of the paper's evaluation story on a single small
+//! workload: random fill, random read, and a full scan, printing throughput
+//! and the remote traffic each system generated. Watch for the shapes the
+//! paper reports: Sherman pays per-write network round trips; the block
+//! baselines pay block-sized read amplification; Nova pays the two-sided
+//! copy path; dLSM's compaction moves (almost) no table bytes.
+//!
+//! ```text
+//! cargo run --release --example engine_faceoff
+//! ```
+
+use dlsm_repro::rdma_sim::Verb;
+use dlsm_bench::harness::{run_fill, run_random_read, run_scan};
+use dlsm_bench::report::{fmt_mops, Table};
+use dlsm_bench::setup::{build_scenario, SystemKind};
+use dlsm_bench::workload::WorkloadSpec;
+use rdma_sim::NetworkProfile;
+
+fn main() {
+    let spec = WorkloadSpec { num_kv: 40_000, key_size: 20, value_size: 400 };
+    let profile = NetworkProfile::edr_100g();
+    let mut table = Table::new(
+        "engine face-off (40k pairs, 20B keys, 400B values, EDR model)",
+        &["system", "fill Mops/s", "read Mops/s", "scan Mops/s", "net read MiB", "net write MiB"],
+    );
+
+    for kind in SystemKind::lineup() {
+        let sc = build_scenario(kind, &spec, profile, 4);
+        let before = sc.fabric.stats().snapshot();
+        let fill = run_fill(sc.engine.as_ref(), &spec, 4);
+        sc.engine.wait_until_quiescent();
+        let read = run_random_read(sc.engine.as_ref(), &spec, 4, spec.num_kv);
+        let scan = run_scan(sc.engine.as_ref(), spec.num_kv);
+        let traffic = sc.fabric.stats().snapshot().delta(&before);
+        println!(
+            "{:<22} fill {:>6}  read {:>6}  scan {:>6}",
+            fill.engine,
+            fmt_mops(fill.mops()),
+            fmt_mops(read.mops()),
+            fmt_mops(scan.mops())
+        );
+        table.row(vec![
+            fill.engine.clone(),
+            fmt_mops(fill.mops()),
+            fmt_mops(read.mops()),
+            fmt_mops(scan.mops()),
+            format!("{:.1}", traffic.bytes(Verb::Read) as f64 / (1 << 20) as f64),
+            format!(
+                "{:.1}",
+                (traffic.bytes(Verb::Write) + traffic.bytes(Verb::WriteImm)) as f64
+                    / (1 << 20) as f64
+            ),
+        ]);
+        sc.shutdown();
+    }
+    table.print();
+    println!("\n(run `cargo run --release -p dlsm-bench --bin figures -- all` for the full paper sweep)");
+}

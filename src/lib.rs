@@ -1,0 +1,20 @@
+//! # dlsm-repro — umbrella crate
+//!
+//! Re-exports the public API of every crate in the workspace so examples and
+//! integration tests can depend on a single package. See the individual
+//! crates for the real implementations:
+//!
+//! * [`rdma_sim`] — simulated RDMA fabric (verbs, queue pairs, cost model).
+//! * [`skiplist`] — lock-free concurrent skip list (MemTable substrate).
+//! * [`sstable`] — byte-addressable and block-based SSTable formats.
+//! * [`memnode`] — memory-node runtime (allocator, RPC, near-data compaction).
+//! * [`dlsm`] — the dLSM engine itself.
+//! * [`baselines`] — RocksDB-RDMA, Nova-LSM-style and Sherman-style baselines.
+
+pub use dlsm;
+pub use dlsm_baselines as baselines;
+pub use dlsm_bench as bench;
+pub use dlsm_memnode as memnode;
+pub use dlsm_skiplist as skiplist;
+pub use dlsm_sstable as sstable;
+pub use rdma_sim;

@@ -1,0 +1,121 @@
+//! The benchmark harness itself must be honest: every fill is fully
+//! readable, phase op counts are exact, and shutdown under load is clean.
+
+use std::sync::Arc;
+
+use dlsm_repro::bench::harness::{run_fill, run_mixed, run_random_read, run_scan};
+use dlsm_repro::bench::setup::{build_scenario, scaled_db_config, SystemKind};
+use dlsm_repro::bench::workload::{fill_indices, WorkloadSpec};
+use dlsm_repro::dlsm::{ComputeContext, Db, DbConfig, MemNodeHandle};
+use dlsm_repro::memnode::{MemServer, MemServerConfig};
+use dlsm_repro::rdma_sim::{Fabric, NetworkProfile};
+
+#[test]
+fn harness_phases_report_exact_ops_and_verify_reads() {
+    let spec = WorkloadSpec { num_kv: 8_000, key_size: 20, value_size: 64 };
+    let sc = build_scenario(
+        SystemKind::Dlsm { lambda: 2 },
+        &spec,
+        NetworkProfile::instant(),
+        2,
+    );
+    let fill = run_fill(sc.engine.as_ref(), &spec, 4);
+    assert_eq!(fill.ops, spec.num_kv);
+    sc.engine.wait_until_quiescent();
+    // run_random_read asserts internally that misses stay under 5%; with a
+    // complete fill there are zero misses.
+    let read = run_random_read(sc.engine.as_ref(), &spec, 4, 4_000);
+    assert_eq!(read.ops, 4_000);
+    let scan = run_scan(sc.engine.as_ref(), spec.num_kv);
+    assert_eq!(scan.ops, spec.num_kv);
+    let mixed = run_mixed(sc.engine.as_ref(), &spec, 2, 2_000, 50);
+    assert_eq!(mixed.ops, 2_000);
+    sc.shutdown();
+}
+
+#[test]
+fn fill_indices_cover_exactly_once_for_any_thread_count() {
+    let spec = WorkloadSpec { num_kv: 1_003, ..Default::default() }; // prime
+    for threads in [1u64, 2, 3, 7, 16] {
+        let mut seen = vec![false; spec.num_kv as usize];
+        for t in 0..threads {
+            for i in fill_indices(&spec, t, threads) {
+                assert!(!seen[i as usize], "index {i} written twice at T={threads}");
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "missing indices at T={threads}");
+    }
+}
+
+#[test]
+fn scaled_config_runs_the_default_spec_end_to_end() {
+    // The exact configuration the figures use, at a reduced size.
+    let spec = WorkloadSpec { num_kv: 12_000, ..Default::default() };
+    let sc = build_scenario(
+        SystemKind::Dlsm { lambda: 1 },
+        &spec,
+        NetworkProfile::edr_100g().scaled(0.1),
+        4,
+    );
+    let fill = run_fill(sc.engine.as_ref(), &spec, 4);
+    assert!(fill.mops() > 0.0);
+    sc.engine.wait_until_quiescent();
+    let read = run_random_read(sc.engine.as_ref(), &spec, 4, 6_000);
+    assert!(read.mops() > 0.0);
+    sc.shutdown();
+}
+
+#[test]
+fn shutdown_under_load_is_clean() {
+    // Dropping the Db while writers are mid-flight must not hang, panic, or
+    // leave server threads stuck.
+    let fabric = Fabric::new(NetworkProfile::instant());
+    let server = MemServer::start(
+        &fabric,
+        MemServerConfig {
+            region_size: 128 << 20,
+            flush_zone: 64 << 20,
+            compaction_workers: 2,
+            dispatchers: 1,
+        },
+    );
+    let ctx = ComputeContext::new(&fabric);
+    let mem = MemNodeHandle::from_server(&server);
+    let db = Arc::new(Db::open(ctx, mem, DbConfig::small()).unwrap());
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let key = (t * 1_000_000 + i).to_be_bytes();
+                    // Writers may observe ShuttingDown once shutdown begins.
+                    if db.put(&key, &[1u8; 64]).is_err() {
+                        break;
+                    }
+                    i += 1;
+                }
+            });
+        }
+        // Let the writers build up flush/compaction work, then pull the rug.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        db.shutdown();
+        stop.store(true, std::sync::atomic::Ordering::Release);
+    });
+    server.shutdown();
+}
+
+#[test]
+fn db_config_normalization_is_stable() {
+    let cfg = scaled_db_config(&WorkloadSpec::default());
+    // The figures rely on these paper ratios; breaking them silently would
+    // invalidate EXPERIMENTS.md.
+    assert_eq!(cfg.memtable_size as u64, cfg.sstable_size);
+    assert_eq!(cfg.l1_max_bytes, cfg.sstable_size * 4);
+    assert_eq!(cfg.l0_compaction_trigger, 4);
+    assert_eq!(cfg.l0_stop_writes_trigger, Some(36));
+    assert_eq!(cfg.bits_per_key, 10);
+}
