@@ -74,7 +74,7 @@ pub fn run(opts: &Opts) -> Result<(), String> {
         if !ok {
             violations.push(format!("{name}: {detail}"));
         }
-        (ok.then_some("PASS").unwrap_or("FAIL").to_string(), detail)
+        (if ok { "PASS" } else { "FAIL" }.to_string(), detail)
     };
 
     let mut table = Table::new("validate: paper-shape assertions", &["claim", "status", "detail"]);

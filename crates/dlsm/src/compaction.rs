@@ -269,12 +269,10 @@ pub fn run_near_data(
     let boundaries = pick_boundaries(job, cfg.compaction_subtasks.max(1));
     let ranges = subranges(&boundaries);
     while clients.len() < ranges.len() {
-        clients.push(RpcClient::new(
-            ctx.fabric(),
-            ctx.node(),
-            memnode.node_id(),
-            cfg.rpc_buf_size,
-        )?);
+        clients.push(
+            RpcClient::new(ctx.fabric(), ctx.node(), memnode.node_id(), cfg.rpc_buf_size)?
+                .with_policy(cfg.rpc_retry),
+        );
     }
 
     // One RPC per sub-range, issued from scoped threads: each requester
@@ -487,12 +485,10 @@ pub fn run_local(
     };
     let mut rpc = match cfg.data_path {
         crate::config::DataPath::OneSided => None,
-        crate::config::DataPath::TwoSidedRpc => Some(RpcClient::new(
-            ctx.fabric(),
-            ctx.node(),
-            memnode.node_id(),
-            (1 << 20) + (64 << 10),
-        )?),
+        crate::config::DataPath::TwoSidedRpc => Some(
+            RpcClient::new(ctx.fabric(), ctx.node(), memnode.node_id(), (1 << 20) + (64 << 10))?
+                .with_policy(cfg.rpc_retry),
+        ),
     };
     let mut outcome = CompactionOutcome { outputs: Vec::new(), records_in: 0, records_out: 0 };
     let alloc = memnode.flush_alloc();
@@ -572,12 +568,15 @@ fn read_channel_for(
             ctx.fabric().create_qp(ctx.node().id(), memnode.node_id())?,
         )),
         crate::config::DataPath::TwoSidedRpc => {
-            Ok(crate::remote::ReadChannel::two_sided(RpcClient::new(
-                ctx.fabric(),
-                ctx.node(),
-                memnode.node_id(),
-                cfg.scan_prefetch + (64 << 10),
-            )?))
+            Ok(crate::remote::ReadChannel::two_sided(
+                RpcClient::new(
+                    ctx.fabric(),
+                    ctx.node(),
+                    memnode.node_id(),
+                    cfg.scan_prefetch + (64 << 10),
+                )?
+                .with_policy(cfg.rpc_retry),
+            ))
         }
     }
 }

@@ -1,6 +1,8 @@
 //! Database configuration.
 
-use dlsm_memnode::TableFormat;
+use std::time::Duration;
+
+use dlsm_memnode::{RetryPolicy, TableFormat};
 
 /// How the MemTable is switched when it fills (paper Sec. IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +97,16 @@ pub struct DbConfig {
     /// network entirely (the Sec. VI note about storing hot top-level
     /// SSTables locally). 0 disables the cache.
     pub local_l0_cache_bytes: u64,
+    /// Retry/backoff policy applied to every RPC client the database opens
+    /// (flush, GC, read channels, near-data compaction). Timed-out calls
+    /// are re-issued under the same request id; the memory node dedups.
+    pub rpc_retry: RetryPolicy,
+    /// How long the one-sided flush pipeline waits for a single WRITE
+    /// completion before failing the flush (which frees the extent and
+    /// lets the flush loop retry the whole MemTable). Keep short under
+    /// fault injection so a dropped completion cannot stall a flush
+    /// thread for long.
+    pub flush_poll_timeout: Duration,
 }
 
 impl Default for DbConfig {
@@ -123,6 +135,8 @@ impl Default for DbConfig {
             data_path: DataPath::OneSided,
             serialized_writes: false,
             local_l0_cache_bytes: 0,
+            rpc_retry: RetryPolicy::default(),
+            flush_poll_timeout: Duration::from_secs(10),
         }
     }
 }

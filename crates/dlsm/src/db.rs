@@ -106,12 +106,15 @@ impl Shared {
             DataPath::OneSided => Ok(ReadChannel::one_sided(
                 self.ctx.fabric().create_qp(self.ctx.node().id(), self.memnode.node_id())?,
             )),
-            DataPath::TwoSidedRpc => Ok(ReadChannel::two_sided(RpcClient::new(
-                self.ctx.fabric(),
-                self.ctx.node(),
-                self.memnode.node_id(),
-                self.cfg.scan_prefetch + (64 << 10),
-            )?)),
+            DataPath::TwoSidedRpc => Ok(ReadChannel::two_sided(
+                RpcClient::new(
+                    self.ctx.fabric(),
+                    self.ctx.node(),
+                    self.memnode.node_id(),
+                    self.cfg.scan_prefetch + (64 << 10),
+                )?
+                .with_policy(self.cfg.rpc_retry),
+            )),
         }
     }
 
@@ -542,6 +545,22 @@ impl Db {
         self.shared.memnode.flush_alloc().in_use()
     }
 
+    /// Every extent referenced by the current version, as
+    /// `(origin, offset, len)` with `len` rounded up to the allocator's
+    /// 8-byte granule. Chaos tests compare this against the allocators'
+    /// `in_use()` figures to prove that retried flushes and compactions
+    /// leak no remote memory.
+    pub fn live_extents(&self) -> Vec<(Origin, u64, u64)> {
+        let version = self.shared.versions.current();
+        let mut out = Vec::new();
+        for level in 0..version.level_count() {
+            for table in version.level(level) {
+                out.push((table.origin, table.extent.offset, table.extent.len.div_ceil(8) * 8));
+            }
+        }
+        out
+    }
+
     /// Force the current MemTable out and wait until every immutable
     /// MemTable has been flushed.
     pub fn force_flush(&self) -> Result<()> {
@@ -761,12 +780,13 @@ impl Db {
         }
         // Final remote-GC drain.
         if let Some(batch) = self.shared.gc.take_remote_batch(0) {
-            if let Ok(mut client) = RpcClient::new(
+            if let Ok(client) = RpcClient::new(
                 self.shared.ctx.fabric(),
                 self.shared.ctx.node(),
                 self.shared.memnode.node_id(),
                 64 << 10,
             ) {
+                let mut client = client.with_policy(self.shared.cfg.rpc_retry);
                 let _ = client.free_batch(&batch, Duration::from_secs(5));
             }
         }
@@ -1176,6 +1196,7 @@ fn flush_loop(shared: Arc<Shared>, rx: Receiver<Arc<MemTable>>) {
             shared.memnode.node_id(),
             shared.cfg.flush_buf_size + (64 << 10),
         )
+        .map(|c| c.with_policy(shared.cfg.rpc_retry))
         .ok();
         if rpc.is_none() {
             return;
@@ -1229,6 +1250,7 @@ fn flush_loop(shared: Arc<Shared>, rx: Receiver<Arc<MemTable>>) {
                 shared.cfg.flush_buf_size,
                 shared.cfg.flush_buf_count,
                 want_local,
+                shared.cfg.flush_poll_timeout,
             ) {
                 Ok(out) => break Some(out),
                 Err(DbError::OutOfRemoteMemory { .. }) => {
@@ -1334,6 +1356,7 @@ fn compaction_loop(shared: Arc<Shared>) {
                     shared.memnode.node_id(),
                     256 << 10,
                 )
+                .map(|c| c.with_policy(shared.cfg.rpc_retry))
                 .ok();
             }
             if let Some(c) = gc_client.as_mut() {

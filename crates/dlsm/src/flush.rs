@@ -44,17 +44,23 @@ pub struct FlushSink<'q> {
     free: Vec<Vec<u8>>,
     max_in_flight: usize,
     next_wr: u64,
+    /// How long to wait on one WRITE completion (backpressure and
+    /// `finish`) before declaring the flush failed. Kept short under fault
+    /// injection so a lost completion fails the flush — which frees the
+    /// whole extent — instead of stalling the flush thread.
+    poll_timeout: Duration,
 }
 
 impl<'q> FlushSink<'q> {
     /// Stream into `[base, base + cap)` using `buf_count` buffers of
-    /// `buf_size` bytes.
+    /// `buf_size` bytes, waiting at most `poll_timeout` per completion.
     pub fn new(
         qp: &'q mut QueuePair,
         base: RemoteAddr,
         cap: u64,
         buf_size: usize,
         buf_count: usize,
+        poll_timeout: Duration,
     ) -> FlushSink<'q> {
         FlushSink {
             qp,
@@ -67,6 +73,7 @@ impl<'q> FlushSink<'q> {
             free: Vec::new(),
             max_in_flight: buf_count.max(2),
             next_wr: 1,
+            poll_timeout,
         }
     }
 
@@ -102,7 +109,7 @@ impl<'q> FlushSink<'q> {
         // head to finish (backpressure).
         self.recycle_ready();
         while self.in_flight.len() >= self.max_in_flight {
-            match self.qp.poll_one_blocking(Duration::from_secs(10)) {
+            match self.qp.poll_one_blocking(self.poll_timeout) {
                 Ok(_) => {
                     if let Some(buf) = self.in_flight.pop_front() {
                         self.free.push(buf);
@@ -121,7 +128,7 @@ impl<'q> FlushSink<'q> {
         self.submit_current()?;
         while !self.in_flight.is_empty() {
             self.qp
-                .poll_one_blocking(Duration::from_secs(10))
+                .poll_one_blocking(self.poll_timeout)
                 .map_err(|e| SstError::Source(e.to_string()))?;
             self.in_flight.pop_front();
         }
@@ -275,6 +282,7 @@ pub fn flush_memtable(
     buf_size: usize,
     buf_count: usize,
     keep_local_copy: bool,
+    poll_timeout: Duration,
 ) -> Result<FlushOutput> {
     debug_assert!(!mem.is_empty(), "flushing an empty MemTable");
     // The arena usage bounds the byte-addressable image (which drops the
@@ -296,7 +304,10 @@ pub fn flush_memtable(
         let reserve = if keep_local_copy { mem.memory_usage() } else { 0 };
         let (used, built, local_image) = match transport {
             FlushTransport::OneSided(qp) => {
-                let sink = TeeSink::new(FlushSink::new(qp, base, cap, buf_size, buf_count), reserve);
+                let sink = TeeSink::new(
+                    FlushSink::new(qp, base, cap, buf_size, buf_count, poll_timeout),
+                    reserve,
+                );
                 let (sink, built) = match format {
                     TableFormat::ByteAddr => build_byte_addr(&mut it, sink, bits_per_key)?,
                     TableFormat::Block(bs) => build_block(&mut it, sink, bs, bits_per_key)?,
@@ -451,6 +462,7 @@ mod tests {
             4 << 10, // small buffers force many async writes
             4,
             false,
+            Duration::from_secs(10),
         )
         .unwrap();
         assert_eq!(out.num_entries, 500);
@@ -483,6 +495,7 @@ mod tests {
             8 << 10,
             4,
             false,
+            Duration::from_secs(10),
         )
         .unwrap();
         // Only the rounded table length stays allocated.
@@ -508,6 +521,7 @@ mod tests {
             8 << 10,
             4,
             false,
+            Duration::from_secs(10),
         )
         .unwrap();
         let MetaKind::Block(cache, bs) = &out.meta else { panic!("block flush") };
@@ -525,7 +539,7 @@ mod tests {
         let memory = fabric.add_node();
         let region = memory.register_region(1 << 20);
         let mut qp = fabric.create_qp(compute.id(), memory.id()).unwrap();
-        let mut sink = FlushSink::new(&mut qp, region.addr(0), 1 << 20, 64, 3);
+        let mut sink = FlushSink::new(&mut qp, region.addr(0), 1 << 20, 64, 3, Duration::from_secs(10));
         let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
         sink.append(&payload).unwrap();
         let written = sink.finish().unwrap();
@@ -542,8 +556,52 @@ mod tests {
         let memory = fabric.add_node();
         let region = memory.register_region(1 << 20);
         let mut qp = fabric.create_qp(compute.id(), memory.id()).unwrap();
-        let mut sink = FlushSink::new(&mut qp, region.addr(0), 100, 64, 2);
+        let mut sink = FlushSink::new(&mut qp, region.addr(0), 100, 64, 2, Duration::from_secs(10));
         assert!(sink.append(&[1u8; 99]).is_ok());
         assert_eq!(sink.append(&[1u8; 2]), Err(SstError::SinkFull));
+    }
+
+    /// A flush that dies mid-stream (every WRITE completion dropped) must
+    /// error out — and the error path must return the *entire* reserved
+    /// extent, leaving no flush-ring slot or flush-zone bytes leaked.
+    #[test]
+    fn failed_flush_frees_whole_extent() {
+        use rdma_sim::ChaosPlan;
+        let (fabric, compute, server) = setup();
+        let memnode = MemNodeHandle::from_server(&server);
+        let mem = MemTable::new(1, 0..10_000, 1 << 20, 2 << 20);
+        for i in 0..400u64 {
+            let value = format!("value{i}-{}", "y".repeat(120));
+            mem.add(i, ValueType::Value, format!("key{i:05}").as_bytes(), value.as_bytes())
+                .unwrap();
+        }
+        let seed = 0xF1A5u64;
+        fabric.set_fault_hook(Some(std::sync::Arc::new(
+            ChaosPlan::new(seed).drop(Verb::Write, 1.0),
+        )));
+        let mut qp = fabric.create_qp(compute.id(), server.node_id()).unwrap();
+        let err = flush_memtable(
+            &mem,
+            &memnode,
+            &mut FlushTransport::OneSided(&mut qp),
+            TableFormat::ByteAddr,
+            10,
+            4 << 10, // small buffers: the ring fills and hits backpressure
+            2,
+            false,
+            Duration::from_millis(100),
+        );
+        fabric.set_fault_hook(None);
+        let err = match err {
+            Err(e) => e,
+            Ok(_) => panic!("seed {seed:#x}: flush succeeded despite 100% write drop"),
+        };
+        assert!(matches!(err, DbError::Sst(_)), "seed {seed:#x}: unexpected error {err:?}");
+        assert_eq!(
+            memnode.flush_alloc().in_use(),
+            0,
+            "seed {seed:#x}: failed flush leaked flush-zone bytes"
+        );
+        server.shutdown();
     }
 }

@@ -6,17 +6,80 @@
 //! buffer (Sec. X-D1). Compaction calls sleep on a condition variable and
 //! are woken by [`ImmWaiter`] — the "thread notifier" that routes
 //! WRITE-with-IMMEDIATE events to requesters by unique id (Sec. X-D2).
+//!
+//! Every call is made survivable over a lossy fabric by a [`RetryPolicy`]:
+//! a timed-out attempt is re-issued under the **same request id** after
+//! exponential backoff, so the server's dedup window guarantees
+//! at-most-once execution even for non-idempotent ops (`free_batch`,
+//! `compact`). After repeated timeouts the client also **reconnects** (a
+//! fresh queue pair), covering a memory node that crashed and restarted.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use rdma_sim::{Fabric, MemoryRegion, Node, NodeId, QueuePair};
 
-use crate::wire::{BufDesc, CompactArgs, CompactReply, Request};
+use crate::wire::{BufDesc, CompactArgs, CompactReply, ReplyFrame, Request};
 use crate::{MemNodeError, Result};
+
+/// Process-wide request-id source. Ids must be unique per *compute node*
+/// (the server's dedup window is keyed by `(node, req_id)`) and several
+/// `RpcClient`s share one node, so a single counter serves them all.
+static NEXT_REQ_ID: AtomicU64 = AtomicU64::new(1);
+
+/// How a client retries timed-out calls.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per call, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Consecutive timeouts before recreating the queue pair (reconnect),
+    /// covering a crashed-and-restarted memory node. 0 = never reconnect.
+    pub reconnect_after: u32,
+    /// Cap on how long any single attempt may wait, regardless of the
+    /// caller's overall timeout. `None` lets each attempt use the full call
+    /// timeout. Chaos/fault-injection configs set this low so a blackholed
+    /// attempt (e.g. during a crash window) fails fast and the retry loop —
+    /// not a long per-call timeout — rides out the outage.
+    pub attempt_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(250),
+            reconnect_after: 2,
+            attempt_timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (the pre-retry protocol behavior).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    fn backoff_for(&self, retry: u32) -> Duration {
+        let exp = self.backoff.saturating_mul(1u32 << retry.min(16));
+        exp.min(self.max_backoff)
+    }
+
+    fn per_attempt(&self, timeout: Duration) -> Duration {
+        match self.attempt_timeout {
+            Some(cap) => timeout.min(cap),
+            None => timeout,
+        }
+    }
+}
 
 /// Thread-local RPC endpoint talking to one memory node.
 pub struct RpcClient {
@@ -29,6 +92,9 @@ pub struct RpcClient {
     reply_len: u32,
     arg_off: u64,
     arg_len: u32,
+    policy: RetryPolicy,
+    retries: u64,
+    reconnects: u64,
 }
 
 impl RpcClient {
@@ -53,13 +119,47 @@ impl RpcClient {
             reply_len: buf_size as u32,
             arg_off: buf_size as u64,
             arg_len: buf_size as u32,
+            policy: RetryPolicy::default(),
+            retries: 0,
+            reconnects: 0,
         })
     }
 
+    /// Replace the retry policy (builder style).
+    pub fn with_policy(mut self, policy: RetryPolicy) -> RpcClient {
+        self.policy = policy;
+        self
+    }
+
+    /// The active retry policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Attempts re-issued after a timeout, over this client's lifetime.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Queue-pair recreations after repeated timeouts.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
     /// Create another client to the same memory node with the same buffer
-    /// sizes (each thread/task gets its own queue pair and buffers).
+    /// sizes and policy (each thread/task gets its own queue pair and
+    /// buffers).
     pub fn reopen(&self) -> Result<RpcClient> {
-        RpcClient::new(&self.fabric, &self.local_node, self.remote, self.reply_len as usize)
+        Ok(RpcClient::new(&self.fabric, &self.local_node, self.remote, self.reply_len as usize)?
+            .with_policy(self.policy))
+    }
+
+    /// Recreate the queue pair to the memory node. The registered local
+    /// buffer (and thus the reply descriptor) is unchanged.
+    pub fn reconnect(&mut self) -> Result<()> {
+        self.qp = self.fabric.create_qp(self.local_node.id(), self.remote)?;
+        self.reconnects += 1;
+        Ok(())
     }
 
     /// The memory node this client talks to.
@@ -81,17 +181,57 @@ impl RpcClient {
         u64::from(self.reply_len) - 8
     }
 
-    /// Issue `request` and poll the flag until the reply lands.
+    fn fresh_req_id() -> u64 {
+        NEXT_REQ_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Issue `request` with bounded retry: each timed-out attempt is
+    /// re-issued under the same request id after exponential backoff, and
+    /// the queue pair is recreated after `reconnect_after` consecutive
+    /// timeouts. `timeout` bounds each attempt.
     fn call(&mut self, request: &Request, timeout: Duration) -> Result<Vec<u8>> {
+        let req_id = Self::fresh_req_id();
+        let encoded = request.encode(req_id);
+        let timeout = self.policy.per_attempt(timeout);
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                self.retries += 1;
+                if self.policy.reconnect_after != 0 && attempt >= self.policy.reconnect_after {
+                    let _ = self.reconnect();
+                }
+                std::thread::sleep(self.policy.backoff_for(attempt - 1));
+            }
+            match self.attempt(&encoded, req_id, timeout) {
+                Err(MemNodeError::Timeout) => continue,
+                other => return other,
+            }
+        }
+        Err(MemNodeError::Timeout)
+    }
+
+    /// One attempt: post the SEND, await its completion, poll the flag until
+    /// the reply frame carrying `req_id` lands.
+    fn attempt(&mut self, encoded: &[u8], req_id: u64, timeout: Duration) -> Result<Vec<u8>> {
         // Reset the flag before the responder can race us.
         self.local.atomic_u64(self.flag_off())?.store(0, Ordering::Release);
-        self.qp.post_send(request.encode(), 7)?;
-        self.qp.poll_one_blocking(Duration::from_secs(10))?;
+        self.qp.post_send(encoded.to_vec(), 7)?;
+        // A lost SEND completion is indistinguishable from a lost request;
+        // treat either as a timeout so the retry path takes over.
+        if self.qp.poll_one_blocking(timeout.min(Duration::from_secs(10))).is_err() {
+            return Err(MemNodeError::Timeout);
+        }
         let deadline = Instant::now() + timeout;
         let mut spins = 0u32;
         loop {
             if self.local.atomic_load(self.flag_off())? != 0 {
-                break;
+                match self.read_reply(req_id)? {
+                    Some(payload) => return Ok(payload),
+                    None => {
+                        // Stale frame from an earlier call: rearm the flag
+                        // and keep waiting for the real reply.
+                        self.local.atomic_u64(self.flag_off())?.store(0, Ordering::Release);
+                    }
+                }
             }
             if Instant::now() >= deadline {
                 return Err(MemNodeError::Timeout);
@@ -103,19 +243,23 @@ impl RpcClient {
                 std::hint::spin_loop();
             }
         }
-        self.read_reply()
     }
 
-    fn read_reply(&self) -> Result<Vec<u8>> {
-        let mut len_b = [0u8; 4];
-        self.local.local_read(0, &mut len_b)?;
-        let len = u32::from_le_bytes(len_b) as usize;
-        if len + 4 + 8 > self.reply_len as usize {
+    /// Read the reply frame; `None` when it carries a stale request id.
+    fn read_reply(&self, expect: u64) -> Result<Option<Vec<u8>>> {
+        let mut head = [0u8; ReplyFrame::HEADER];
+        self.local.local_read(0, &mut head)?;
+        let len = u32::from_le_bytes(head[0..4].try_into().expect("4B")) as usize;
+        let req_id = u64::from_le_bytes(head[4..12].try_into().expect("8B"));
+        if len + ReplyFrame::HEADER + 8 > self.reply_len as usize {
             return Err(MemNodeError::BadMessage(format!("reply length {len} out of range")));
         }
+        if req_id != expect {
+            return Ok(None);
+        }
         let mut payload = vec![0u8; len];
-        self.local.local_read(4, &mut payload)?;
-        Ok(payload)
+        self.local.local_read(ReplyFrame::HEADER as u64, &mut payload)?;
+        Ok(Some(payload))
     }
 
     /// Liveness/latency probe: echoes `payload`.
@@ -138,13 +282,13 @@ impl RpcClient {
 
     /// Largest payload a single [`RpcClient::read_file`] can return.
     pub fn max_read_len(&self) -> usize {
-        self.reply_len as usize - 12
+        self.reply_len as usize - ReplyFrame::HEADER - 8
     }
 
     /// Two-sided "file" read from the memory node's region (the Nova-LSM
     /// tmpfs-style data path: request → server copy → reply).
     pub fn read_file(&mut self, offset: u64, len: u32, timeout: Duration) -> Result<Vec<u8>> {
-        if u64::from(len) + 12 > u64::from(self.reply_len) {
+        if len as usize > self.max_read_len() {
             return Err(MemNodeError::BadMessage("read larger than reply buffer".into()));
         }
         self.call(&Request::ReadFile { reply: self.reply_desc(), offset, len }, timeout)
@@ -162,10 +306,30 @@ impl RpcClient {
         Ok(())
     }
 
+    /// Ask the memory node to cancel (or reclaim the outputs of) the
+    /// compaction issued under `target` request id. Safe to send whether the
+    /// compaction already finished, is still running, or never arrived: the
+    /// server frees finished outputs, tombstones in-flight work, and leaves
+    /// a tombstone for a request that shows up later.
+    pub fn cancel_compact(&mut self, target: u64, timeout: Duration) -> Result<()> {
+        let reply =
+            self.call(&Request::CancelCompact { reply: self.reply_desc(), target }, timeout)?;
+        if reply.first() != Some(&0) {
+            return Err(MemNodeError::RemoteError("cancel failed".into()));
+        }
+        Ok(())
+    }
+
     /// Near-data compaction: serialize `args` into the registered argument
     /// buffer, send the small request, **sleep** until the memory node's
     /// WRITE-with-IMMEDIATE wakes this thread via `waiter`, then decode the
     /// reply.
+    ///
+    /// A timed-out attempt is re-issued under the same request id (the
+    /// server dedups, so the compaction runs at most once). If all attempts
+    /// time out, a best-effort [`RpcClient::cancel_compact`] tells the
+    /// server to reclaim any outputs the orphaned compaction produces, so
+    /// no memory-node extent leaks.
     pub fn compact(
         &mut self,
         args: &CompactArgs,
@@ -182,6 +346,7 @@ impl RpcClient {
         }
         self.local.local_write(self.arg_off, &encoded)?;
         let (unique_id, cell) = waiter.register();
+        let req_id = Self::fresh_req_id();
         let req = Request::Compact {
             reply: self.reply_desc(),
             unique_id,
@@ -192,21 +357,66 @@ impl RpcClient {
                 len: encoded.len() as u32,
             },
         };
-        self.qp.post_send(req.encode(), 8)?;
-        self.qp.poll_one_blocking(Duration::from_secs(10))?;
-        let woke = cell.wait(timeout);
+        let wire = req.encode(req_id);
+        let attempt_timeout = self.policy.per_attempt(timeout);
+        let result = (|| {
+            for attempt in 0..self.policy.max_attempts.max(1) {
+                if attempt > 0 {
+                    self.retries += 1;
+                    if self.policy.reconnect_after != 0 && attempt >= self.policy.reconnect_after {
+                        let _ = self.reconnect();
+                    }
+                    std::thread::sleep(self.policy.backoff_for(attempt - 1));
+                }
+                match self.compact_attempt(&wire, req_id, &cell, attempt_timeout) {
+                    Err(MemNodeError::Timeout) => continue,
+                    other => return other,
+                }
+            }
+            Err(MemNodeError::Timeout)
+        })();
         waiter.unregister(unique_id);
-        if !woke {
+        if matches!(result, Err(MemNodeError::Timeout)) {
+            // The compaction may still complete server-side; reclaim it.
+            let _ = self.cancel_compact(req_id, timeout.min(Duration::from_secs(5)));
+        }
+        result
+    }
+
+    fn compact_attempt(
+        &mut self,
+        wire: &[u8],
+        req_id: u64,
+        cell: &Arc<WaitCell>,
+        timeout: Duration,
+    ) -> Result<CompactReply> {
+        cell.reset();
+        self.qp.post_send(wire.to_vec(), 8)?;
+        if self.qp.poll_one_blocking(timeout.min(Duration::from_secs(10))).is_err() {
             return Err(MemNodeError::Timeout);
         }
-        let payload = self.read_reply()?;
-        let (&status, body) = payload
-            .split_first()
-            .ok_or_else(|| MemNodeError::BadMessage("empty compaction reply".into()))?;
-        if status != 0 {
-            return Err(MemNodeError::RemoteError(String::from_utf8_lossy(body).into_owned()));
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() || !cell.wait(remaining) {
+                return Err(MemNodeError::Timeout);
+            }
+            match self.read_reply(req_id)? {
+                Some(payload) => {
+                    let (&status, body) = payload
+                        .split_first()
+                        .ok_or_else(|| MemNodeError::BadMessage("empty compaction reply".into()))?;
+                    if status != 0 {
+                        return Err(MemNodeError::RemoteError(
+                            String::from_utf8_lossy(body).into_owned(),
+                        ));
+                    }
+                    return CompactReply::decode(body);
+                }
+                // Stale wake-up (frame from an earlier request); rearm.
+                None => cell.reset(),
+            }
         }
-        CompactReply::decode(body)
     }
 }
 
@@ -229,6 +439,11 @@ impl WaitCell {
         let mut done = self.done.lock();
         *done = true;
         self.cv.notify_all();
+    }
+
+    /// Rearm after a stale wake-up so the next [`WaitCell::wait`] blocks.
+    fn reset(&self) {
+        *self.done.lock() = false;
     }
 }
 
@@ -474,6 +689,119 @@ mod tests {
         };
         let err = client.compact(&args, &waiter, Duration::from_secs(10)).unwrap_err();
         assert!(matches!(err, MemNodeError::RemoteError(_)), "got {err:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn rpc_survives_lossy_fabric() {
+        use rdma_sim::{ChaosPlan, Verb};
+        let (fabric, compute, server) = cluster();
+        let seed = 0xD15A57E4u64;
+        let plan =
+            ChaosPlan::new(seed).drop(Verb::Send, 0.15).drop(Verb::Write, 0.10).drop(Verb::FetchAdd, 0.10);
+        fabric.set_fault_hook(Some(Arc::new(plan)));
+        let mut client = RpcClient::new(&fabric, &compute, server.node_id(), 4096)
+            .unwrap()
+            .with_policy(RetryPolicy {
+                max_attempts: 25,
+                backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(8),
+                reconnect_after: 5,
+                attempt_timeout: None,
+            });
+        for i in 0..30u32 {
+            let msg = i.to_le_bytes();
+            let reply = client
+                .ping(&msg, Duration::from_millis(250))
+                .unwrap_or_else(|e| panic!("ping {i} failed under seed {seed:#x}: {e}"));
+            assert_eq!(reply, msg, "wrong echo under seed {seed:#x}");
+        }
+        fabric.set_fault_hook(None);
+        assert!(client.retries() > 0, "a 15% send-drop rate over 30 pings must cause retries");
+        server.shutdown();
+    }
+
+    #[test]
+    fn delayed_request_is_deduped_not_reexecuted() {
+        use rdma_sim::{FaultHook, OpContext, Verb};
+        use std::sync::atomic::AtomicU64;
+
+        // Delay only the first SEND long enough that the client retries;
+        // the original still arrives later as a duplicate.
+        struct DelayFirstSend {
+            remaining: AtomicU64,
+        }
+        impl FaultHook for DelayFirstSend {
+            fn delay(&self, ctx: &OpContext) -> Duration {
+                let first = ctx.verb == Verb::Send
+                    && self
+                        .remaining
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                        .is_ok();
+                if first {
+                    Duration::from_millis(200)
+                } else {
+                    Duration::ZERO
+                }
+            }
+        }
+
+        let (fabric, compute, server) = cluster();
+        fabric.set_fault_hook(Some(Arc::new(DelayFirstSend { remaining: AtomicU64::new(1) })));
+        let mut client = RpcClient::new(&fabric, &compute, server.node_id(), 4096)
+            .unwrap()
+            .with_policy(RetryPolicy {
+                max_attempts: 10,
+                backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(16),
+                reconnect_after: 0,
+                attempt_timeout: None,
+            });
+        let reply = client.ping(b"dedup-me", Duration::from_millis(50)).unwrap();
+        assert_eq!(reply, b"dedup-me");
+        assert!(client.retries() >= 1, "the delayed first attempt must have timed out");
+        fabric.set_fault_hook(None);
+        // The late duplicate(s) must be answered from the dedup window, not
+        // executed again.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.stats().replays.load(Ordering::Relaxed)
+            + server.stats().dup_dropped.load(Ordering::Relaxed)
+            == 0
+        {
+            assert!(Instant::now() < deadline, "duplicate was never detected");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_survives_memnode_crash_and_restart() {
+        let (fabric, compute, mut server) = cluster();
+        let mut client = RpcClient::new(&fabric, &compute, server.node_id(), 4096)
+            .unwrap()
+            .with_policy(RetryPolicy {
+                max_attempts: 40,
+                backoff: Duration::from_millis(4),
+                max_backoff: Duration::from_millis(25),
+                reconnect_after: 3,
+                attempt_timeout: None,
+            });
+        assert_eq!(client.ping(b"before", Duration::from_secs(5)).unwrap(), b"before");
+
+        server.crash();
+        assert!(server.is_crashed());
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            server.restart();
+            server
+        });
+        // Pings issued while the node is down must ride the retry loop
+        // (including a reconnect) until the node is back.
+        let reply = client.ping(b"after-crash", Duration::from_millis(60)).unwrap();
+        assert_eq!(reply, b"after-crash");
+        let server = handle.join().unwrap();
+        assert_eq!(server.stats().restarts.load(Ordering::Relaxed), 1);
+        assert!(client.retries() >= 1, "pinging a crashed node must require retries");
         server.shutdown();
     }
 }

@@ -106,6 +106,19 @@ fn trim(allocator: &RegionAllocator, off: u64, cap: u64, used: u64) {
     }
 }
 
+/// Free every extent a partially-built compaction owns. A mid-merge error
+/// must not leak compaction-zone memory: without this, an aborted
+/// compaction would strand its reserved extent (and any finished outputs)
+/// forever, since the requester only learns offsets from a success reply.
+fn reclaim_partial(allocator: &RegionAllocator, outputs: &mut Vec<OutputTable>, current: Option<(u64, u64)>) {
+    if let Some((off, cap)) = current {
+        allocator.free(off, cap);
+    }
+    for out in outputs.drain(..) {
+        allocator.free(out.offset, out.len);
+    }
+}
+
 fn compact_byte_addr<I: ForwardIter>(
     input: I,
     region: &Arc<MemoryRegion>,
@@ -113,26 +126,39 @@ fn compact_byte_addr<I: ForwardIter>(
     args: &CompactArgs,
 ) -> Result<CompactReply> {
     let mut it = CompactionIter::new(input, merge_config(args));
-    it.seek_to_first()?;
     let mut outputs = Vec::new();
     let mut records_out = 0u64;
+    if let Err(e) = it.seek_to_first() {
+        return Err(e.into());
+    }
     while it.valid() {
-        let (off, cap) = reserve(allocator, args)?;
-        let sink = RegionSink::new(Arc::clone(region), off, cap);
-        let mut builder = ByteAddrBuilder::new(sink, args.bits_per_key as usize);
-        while it.valid() && builder.data_len() < args.max_output_bytes {
-            let record = 20 + it.key().len() as u64 + it.value().len() as u64;
-            if builder.data_len() + record + CUT_MARGIN > cap {
-                break; // extent nearly full: cut this output early
+        let (off, cap) = reserve(allocator, args)
+            .inspect_err(|_| reclaim_partial(allocator, &mut outputs, None))?;
+        let built: Result<(u64, Vec<u8>)> = (|| {
+            let sink = RegionSink::new(Arc::clone(region), off, cap);
+            let mut builder = ByteAddrBuilder::new(sink, args.bits_per_key as usize);
+            while it.valid() && builder.data_len() < args.max_output_bytes {
+                let record = 20 + it.key().len() as u64 + it.value().len() as u64;
+                if builder.data_len() + record + CUT_MARGIN > cap {
+                    break; // extent nearly full: cut this output early
+                }
+                builder.add(it.key(), it.value())?;
+                records_out += 1;
+                it.next()?;
             }
-            builder.add(it.key(), it.value())?;
-            records_out += 1;
-            it.next()?;
+            let (sink, meta) = builder.finish();
+            Ok((sink.written(), meta.encode()))
+        })();
+        match built {
+            Ok((used, meta)) => {
+                trim(allocator, off, cap, used);
+                outputs.push(OutputTable { offset: off, len: used, meta });
+            }
+            Err(e) => {
+                reclaim_partial(allocator, &mut outputs, Some((off, cap)));
+                return Err(e);
+            }
         }
-        let (sink, meta) = builder.finish();
-        let used = sink.written();
-        trim(allocator, off, cap, used);
-        outputs.push(OutputTable { offset: off, len: used, meta: meta.encode() });
     }
     Ok(CompactReply { outputs, records_in: it.records_seen(), records_out })
 }
@@ -145,39 +171,54 @@ fn compact_block<I: ForwardIter>(
     block_size: u32,
 ) -> Result<CompactReply> {
     let mut it = CompactionIter::new(input, merge_config(args));
-    it.seek_to_first()?;
     let mut outputs = Vec::new();
     let mut records_out = 0u64;
+    if let Err(e) = it.seek_to_first() {
+        return Err(e.into());
+    }
     while it.valid() {
-        let (off, cap) = reserve(allocator, args)?;
-        let sink = RegionSink::new(Arc::clone(region), off, cap);
-        let mut builder = BlockTableBuilder::new(sink, block_size as usize, args.bits_per_key as usize);
-        let mut smallest: Option<Vec<u8>> = None;
-        let mut largest: Vec<u8> = Vec::new();
-        while it.valid() && builder.data_len() < args.max_output_bytes {
-            let record = 20 + it.key().len() as u64 + it.value().len() as u64;
-            if builder.estimated_finished_len() + record + CUT_MARGIN > cap {
-                break; // extent nearly full: cut this output early
+        let (off, cap) = reserve(allocator, args)
+            .inspect_err(|_| reclaim_partial(allocator, &mut outputs, None))?;
+        let built: Result<(u64, Vec<u8>)> = (|| {
+            let sink = RegionSink::new(Arc::clone(region), off, cap);
+            let mut builder =
+                BlockTableBuilder::new(sink, block_size as usize, args.bits_per_key as usize);
+            let mut smallest: Option<Vec<u8>> = None;
+            let mut largest: Vec<u8> = Vec::new();
+            while it.valid() && builder.data_len() < args.max_output_bytes {
+                let record = 20 + it.key().len() as u64 + it.value().len() as u64;
+                if builder.estimated_finished_len() + record + CUT_MARGIN > cap {
+                    break; // extent nearly full: cut this output early
+                }
+                builder.add(it.key(), it.value())?;
+                if smallest.is_none() {
+                    smallest = Some(it.key().to_vec());
+                }
+                largest.clear();
+                largest.extend_from_slice(it.key());
+                records_out += 1;
+                it.next()?;
             }
-            builder.add(it.key(), it.value())?;
-            if smallest.is_none() {
-                smallest = Some(it.key().to_vec());
+            let (sink, total_len) = builder.finish()?;
+            debug_assert_eq!(sink.written(), total_len);
+            // Block tables keep their real metadata remotely; the reply only
+            // carries the key bounds (len-prefixed smallest, then largest) so
+            // the compute node can place the table without opening it first.
+            let mut meta = Vec::new();
+            dlsm_sstable::coding::put_len_prefixed(&mut meta, smallest.as_deref().unwrap_or(&[]));
+            dlsm_sstable::coding::put_len_prefixed(&mut meta, &largest);
+            Ok((total_len, meta))
+        })();
+        match built {
+            Ok((total_len, meta)) => {
+                trim(allocator, off, cap, total_len);
+                outputs.push(OutputTable { offset: off, len: total_len, meta });
             }
-            largest.clear();
-            largest.extend_from_slice(it.key());
-            records_out += 1;
-            it.next()?;
+            Err(e) => {
+                reclaim_partial(allocator, &mut outputs, Some((off, cap)));
+                return Err(e);
+            }
         }
-        let (sink, total_len) = builder.finish()?;
-        debug_assert_eq!(sink.written(), total_len);
-        trim(allocator, off, cap, total_len);
-        // Block tables keep their real metadata remotely; the reply only
-        // carries the key bounds (len-prefixed smallest, then largest) so
-        // the compute node can place the table without opening it first.
-        let mut meta = Vec::new();
-        dlsm_sstable::coding::put_len_prefixed(&mut meta, smallest.as_deref().unwrap_or(&[]));
-        dlsm_sstable::coding::put_len_prefixed(&mut meta, &largest);
-        outputs.push(OutputTable { offset: off, len: total_len, meta });
     }
     Ok(CompactReply { outputs, records_in: it.records_seen(), records_out })
 }
@@ -298,6 +339,28 @@ mod tests {
         let t = stage_table(&region, 1 << 18, &[("k", 1, ValueType::Value, "v")]);
         let err = execute_compaction(&region, &alloc, &args(vec![t])).unwrap_err();
         assert!(matches!(err, MemNodeError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn error_midway_frees_every_reserved_extent() {
+        let fabric = Fabric::new(NetworkProfile::instant());
+        let node = fabric.add_node();
+        let region = node.register_region(1 << 20);
+        // A zone big enough for exactly one MIN_OUTPUT_EXTENT reservation:
+        // the first output succeeds, the second reservation hits OOM with
+        // an output already produced.
+        let alloc = RegionAllocator::new(512 << 10, 80 << 10);
+        let entries: Vec<(String, String)> = (0..500)
+            .map(|i| (format!("key{i:06}"), format!("val-{}", "y".repeat(200))))
+            .collect();
+        let refs: Vec<(&str, u64, ValueType, &str)> =
+            entries.iter().map(|(k, v)| (k.as_str(), 7u64, ValueType::Value, v.as_str())).collect();
+        let t = stage_table(&region, 0, &refs);
+        let mut a = args(vec![t]);
+        a.max_output_bytes = 32 << 10;
+        let err = execute_compaction(&region, &alloc, &a).unwrap_err();
+        assert!(matches!(err, MemNodeError::OutOfMemory { .. }));
+        assert_eq!(alloc.in_use(), 0, "aborted compaction must not leak extents");
     }
 
     #[test]

@@ -32,11 +32,11 @@ pub mod sink;
 pub mod wire;
 
 pub use alloc::RegionAllocator;
-pub use client::{ImmWaiter, RpcClient};
+pub use client::{ImmWaiter, RetryPolicy, RpcClient};
 pub use compactor::execute_compaction;
-pub use server::{MemServer, MemServerConfig, ServerStats};
+pub use server::{CachedReply, DedupDecision, DedupMap, MemServer, MemServerConfig, ServerStats};
 pub use sink::RegionSink;
-pub use wire::{CompactArgs, CompactReply, InputTable, OutputTable, TableFormat};
+pub use wire::{CompactArgs, CompactReply, InputTable, OutputTable, ReplyFrame, TableFormat};
 
 /// Errors from the memory-node runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]

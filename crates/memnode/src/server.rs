@@ -12,6 +12,19 @@
 //!   compaction jobs from a queue, RDMA-read the argument from the
 //!   requester, run the merge against local DRAM, and reply with a
 //!   WRITE-with-IMMEDIATE that wakes the sleeping requester (Sec. X-D2).
+//!
+//! Because clients retry timed-out calls, every request carries a request
+//! id and the server keeps a per-client [`DedupMap`]: a duplicate of an
+//! in-flight request is dropped, a duplicate of a completed request replays
+//! the cached reply without re-executing (at-most-once execution for
+//! non-idempotent ops like `FreeBatch` and `Compact`), and a
+//! `CancelCompact` reclaims the outputs of a compaction whose requester
+//! gave up — so a lost RPC can never leak a compaction-zone extent.
+//!
+//! [`MemServer::crash`] / [`MemServer::restart`] model a memory-node
+//! failure: threads stop and in-flight messages are lost, but the
+//! registered region — the disaggregated DRAM itself — survives, as do the
+//! allocator and dedup window backed by it.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -19,12 +32,25 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
 use rdma_sim::{Fabric, MemoryRegion, Node, NodeId, QueuePair};
 
 use crate::alloc::RegionAllocator;
 use crate::compactor::execute_compaction;
-use crate::wire::{BufDesc, CompactArgs, Request};
+use crate::wire::{BufDesc, CompactArgs, ReplyFrame, Request};
 use crate::{MemNodeError, Result};
+
+/// How long the server waits for one of its own reply-path completions.
+/// Legitimate completions arrive in microseconds in the simulator; a
+/// dropped completion should stall a dispatcher briefly, not for the
+/// client-visible timeout (the client's retry recovers the reply anyway).
+const REPLY_POLL: Duration = Duration::from_millis(500);
+
+/// How long a compaction worker waits for the RDMA read of a job's argument
+/// block. Bounded so a blackholed fabric (crash window) cannot pin a worker
+/// for long while `crash()` drains the job queue; the requester's retry or
+/// `CancelCompact` handles the failed job.
+const ARG_READ_POLL: Duration = Duration::from_secs(1);
 
 /// Configuration for one memory node.
 #[derive(Debug, Clone)]
@@ -68,6 +94,14 @@ pub struct ServerStats {
     pub rpcs: AtomicU64,
     /// Compactions that failed (error status replied).
     pub failures: AtomicU64,
+    /// Cached replies re-delivered for retried requests.
+    pub replays: AtomicU64,
+    /// Duplicate requests dropped because the original is still running.
+    pub dup_dropped: AtomicU64,
+    /// Compactions canceled (outputs reclaimed) via `CancelCompact`.
+    pub canceled: AtomicU64,
+    /// Times the server was restarted after a crash.
+    pub restarts: AtomicU64,
 }
 
 impl ServerStats {
@@ -81,8 +115,134 @@ impl ServerStats {
     }
 }
 
+/// A reply the server remembers so a retried request can be answered
+/// without re-executing.
+#[derive(Debug, Clone)]
+pub struct CachedReply {
+    /// The framed payload as delivered (for compactions this includes the
+    /// leading status byte).
+    pub payload: Vec<u8>,
+    /// Compaction-zone extents owned by this reply's outputs; freed if the
+    /// request is canceled instead of acknowledged.
+    pub extents: Vec<(u64, u64)>,
+    /// Whether the reply is delivered compaction-style (WRITE-with-IMM).
+    pub compact: bool,
+}
+
+enum Entry {
+    /// Executing right now (or queued for a worker).
+    InFlight,
+    /// The requester gave up; if the request (or its result) shows up,
+    /// drop it and reclaim any outputs.
+    Canceled,
+    /// Finished; reply cached for replay.
+    Done(CachedReply),
+}
+
+#[derive(Default)]
+struct ClientWindow {
+    entries: HashMap<u64, Entry>,
+    max_seen: u64,
+}
+
+/// What the dispatcher should do with an arriving request.
+pub enum DedupDecision {
+    /// First sighting: execute it.
+    Execute,
+    /// Duplicate of a request still executing (or canceled): drop it.
+    InFlight,
+    /// Duplicate of a completed request: re-deliver the cached reply.
+    Replay(CachedReply),
+}
+
+/// Per-client at-most-once window keyed by `(client node, request id)`.
+///
+/// Completed and canceled entries older than `window` ids behind the
+/// newest are pruned; in-flight entries are never pruned (a slow
+/// compaction must not lose its entry and run twice).
+pub struct DedupMap {
+    window: u64,
+    clients: Mutex<HashMap<NodeId, ClientWindow>>,
+}
+
+impl DedupMap {
+    /// Create a map remembering roughly `window` recent requests per client.
+    pub fn new(window: u64) -> DedupMap {
+        DedupMap { window: window.max(1), clients: Mutex::new(HashMap::new()) }
+    }
+
+    /// Record the arrival of `(client, req_id)` and decide how to handle it.
+    pub fn begin(&self, client: NodeId, req_id: u64) -> DedupDecision {
+        let mut clients = self.clients.lock();
+        let win = clients.entry(client).or_default();
+        match win.entries.get(&req_id) {
+            Some(Entry::InFlight) | Some(Entry::Canceled) => DedupDecision::InFlight,
+            Some(Entry::Done(r)) => DedupDecision::Replay(r.clone()),
+            None => {
+                win.entries.insert(req_id, Entry::InFlight);
+                win.max_seen = win.max_seen.max(req_id);
+                let (window, max_seen) = (self.window, win.max_seen);
+                win.entries.retain(|id, e| {
+                    matches!(e, Entry::InFlight) || id.saturating_add(window) >= max_seen
+                });
+                DedupDecision::Execute
+            }
+        }
+    }
+
+    /// Record a successful execution. Returns `false` if the request was
+    /// canceled while executing — the caller must free `reply.extents` and
+    /// must not deliver the reply.
+    pub fn complete(&self, client: NodeId, req_id: u64, reply: CachedReply) -> bool {
+        let mut clients = self.clients.lock();
+        let win = clients.entry(client).or_default();
+        match win.entries.get(&req_id) {
+            Some(Entry::Canceled) => false,
+            _ => {
+                win.entries.insert(req_id, Entry::Done(reply));
+                true
+            }
+        }
+    }
+
+    /// Record a failed execution. The entry is removed so a retry
+    /// re-executes (errors are never cached).
+    pub fn abort(&self, client: NodeId, req_id: u64) {
+        let mut clients = self.clients.lock();
+        if let Some(win) = clients.get_mut(&client) {
+            if matches!(win.entries.get(&req_id), Some(Entry::InFlight)) {
+                win.entries.remove(&req_id);
+            }
+        }
+    }
+
+    /// Cancel `(client, target)`. If the request already completed, its
+    /// cached reply is returned so the caller can free the extents it owns;
+    /// in every case a tombstone remains so the request can never execute
+    /// (or deliver) later.
+    pub fn cancel(&self, client: NodeId, target: u64) -> Option<CachedReply> {
+        let mut clients = self.clients.lock();
+        let win = clients.entry(client).or_default();
+        win.max_seen = win.max_seen.max(target);
+        match win.entries.insert(target, Entry::Canceled) {
+            Some(Entry::Done(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Drop all in-flight entries (crash recovery: the work they tracked
+    /// died with the server's threads, so retries must re-execute).
+    pub fn sweep_in_flight(&self) {
+        let mut clients = self.clients.lock();
+        for win in clients.values_mut() {
+            win.entries.retain(|_, e| !matches!(e, Entry::InFlight));
+        }
+    }
+}
+
 struct CompactJob {
     src: NodeId,
+    req_id: u64,
     reply: BufDesc,
     unique_id: u32,
     args: BufDesc,
@@ -96,8 +256,53 @@ pub struct MemServer {
     cfg: MemServerConfig,
     allocator: Arc<RegionAllocator>,
     stats: Arc<ServerStats>,
+    dedup: Arc<DedupMap>,
     stop: Arc<AtomicBool>,
     threads: Vec<std::thread::JoinHandle<()>>,
+    crashed: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_threads(
+    fabric: &Arc<Fabric>,
+    node: &Arc<Node>,
+    region: &Arc<MemoryRegion>,
+    allocator: &Arc<RegionAllocator>,
+    stats: &Arc<ServerStats>,
+    dedup: &Arc<DedupMap>,
+    stop: &Arc<AtomicBool>,
+    cfg: &MemServerConfig,
+) -> Vec<std::thread::JoinHandle<()>> {
+    let (tx, rx) = unbounded::<CompactJob>();
+    let mut threads = Vec::new();
+    for _ in 0..cfg.dispatchers.max(1) {
+        let ctx = DispatchCtx {
+            fabric: Arc::clone(fabric),
+            node: Arc::clone(node),
+            region: Arc::clone(region),
+            allocator: Arc::clone(allocator),
+            stats: Arc::clone(stats),
+            dedup: Arc::clone(dedup),
+            stop: Arc::clone(stop),
+            compact_tx: tx.clone(),
+        };
+        threads.push(std::thread::spawn(move || dispatcher_loop(ctx)));
+    }
+    drop(tx);
+    for _ in 0..cfg.compaction_workers.max(1) {
+        let ctx = WorkerCtx {
+            fabric: Arc::clone(fabric),
+            node_id: node.id(),
+            region: Arc::clone(region),
+            allocator: Arc::clone(allocator),
+            stats: Arc::clone(stats),
+            dedup: Arc::clone(dedup),
+            rx: rx.clone(),
+        };
+        threads.push(std::thread::spawn(move || worker_loop(ctx)));
+    }
+    drop(rx);
+    threads
 }
 
 impl MemServer {
@@ -112,37 +317,22 @@ impl MemServer {
             cfg.region_size as u64 - cfg.flush_zone,
         ));
         let stats = Arc::new(ServerStats::default());
+        let dedup = Arc::new(DedupMap::new(1024));
         let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = unbounded::<CompactJob>();
-
-        let mut threads = Vec::new();
-        for _ in 0..cfg.dispatchers.max(1) {
-            let ctx = DispatchCtx {
-                fabric: Arc::clone(fabric),
-                node: Arc::clone(&node),
-                region: Arc::clone(&region),
-                allocator: Arc::clone(&allocator),
-                stats: Arc::clone(&stats),
-                stop: Arc::clone(&stop),
-                compact_tx: tx.clone(),
-            };
-            threads.push(std::thread::spawn(move || dispatcher_loop(ctx)));
+        let threads =
+            spawn_threads(fabric, &node, &region, &allocator, &stats, &dedup, &stop, &cfg);
+        MemServer {
+            fabric: Arc::clone(fabric),
+            node,
+            region,
+            cfg,
+            allocator,
+            stats,
+            dedup,
+            stop,
+            threads,
+            crashed: false,
         }
-        drop(tx);
-        for _ in 0..cfg.compaction_workers.max(1) {
-            let ctx = WorkerCtx {
-                fabric: Arc::clone(fabric),
-                node_id: node.id(),
-                region: Arc::clone(&region),
-                allocator: Arc::clone(&allocator),
-                stats: Arc::clone(&stats),
-                rx: rx.clone(),
-            };
-            threads.push(std::thread::spawn(move || worker_loop(ctx)));
-        }
-        drop(rx);
-
-        MemServer { fabric: Arc::clone(fabric), node, region, cfg, allocator, stats, stop, threads }
     }
 
     /// This server's node id (RPC target for clients).
@@ -170,6 +360,11 @@ impl MemServer {
         &self.stats
     }
 
+    /// The at-most-once request window.
+    pub fn dedup(&self) -> &Arc<DedupMap> {
+        &self.dedup
+    }
+
     /// Bytes in use in the compaction zone.
     pub fn compaction_zone_in_use(&self) -> u64 {
         self.allocator.in_use()
@@ -178,6 +373,56 @@ impl MemServer {
     /// The fabric this server is attached to.
     pub fn fabric(&self) -> &Arc<Fabric> {
         &self.fabric
+    }
+
+    /// Whether the server is currently crashed (threads stopped).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Crash the memory node's *service*: stop every thread. Queued
+    /// compactions drain first (thread-level stop is graceful); the
+    /// abruptness of a real failure is modeled at the fabric level by
+    /// blackholing the node with a
+    /// [`rdma_sim::ChaosPlan::crash_window`]. The registered region — the
+    /// disaggregated DRAM — and the allocator/dedup state backed by it
+    /// survive for [`MemServer::restart`].
+    pub fn crash(&mut self) {
+        if self.crashed {
+            return;
+        }
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // Anything the threads were tracking died with them; retried
+        // requests must re-execute rather than wait forever.
+        self.dedup.sweep_in_flight();
+        self.crashed = true;
+    }
+
+    /// Restart after [`MemServer::crash`]: messages that arrived while the
+    /// node was down are lost (clients retry), then fresh dispatcher and
+    /// worker threads come up over the preserved region.
+    pub fn restart(&mut self) {
+        if !self.crashed {
+            return;
+        }
+        while self.node.recv(Duration::ZERO).is_ok() {}
+        while self.node.recv_imm(Duration::ZERO).is_ok() {}
+        self.stop = Arc::new(AtomicBool::new(false));
+        self.threads = spawn_threads(
+            &self.fabric,
+            &self.node,
+            &self.region,
+            &self.allocator,
+            &self.stats,
+            &self.dedup,
+            &self.stop,
+            &self.cfg,
+        );
+        self.stats.restarts.fetch_add(1, Ordering::Relaxed);
+        self.crashed = false;
     }
 
     /// Stop all threads and wait for them.
@@ -204,12 +449,13 @@ struct DispatchCtx {
     region: Arc<MemoryRegion>,
     allocator: Arc<RegionAllocator>,
     stats: Arc<ServerStats>,
+    dedup: Arc<DedupMap>,
     stop: Arc<AtomicBool>,
     compact_tx: Sender<CompactJob>,
 }
 
-/// Write `[len u32][payload]` into the requester's reply buffer, then bump
-/// the completion flag (the last word of the buffer) with a remote atomic.
+/// Write a [`ReplyFrame`] into the requester's reply buffer, then bump the
+/// completion flag (the last word of the buffer) with a remote atomic.
 ///
 /// The payload write is awaited *before* the flag is raised so a poller can
 /// never observe the flag without the payload (in the simulator, payload
@@ -220,27 +466,57 @@ fn reply_general(
     qp: &mut QueuePair,
     reply: &BufDesc,
     region_of: &Arc<Node>,
+    req_id: u64,
     payload: &[u8],
 ) -> Result<()> {
     let target = region_of.region(rdma_sim::MrId(reply.mr))?;
     let base = target.addr(reply.offset);
     // rkey comes from the descriptor, not the region lookup: enforce it.
     let base = rdma_sim::RemoteAddr { rkey: reply.rkey, ..base };
-    if payload.len() + 4 + 8 > reply.len as usize {
+    if payload.len() + ReplyFrame::HEADER + 8 > reply.len as usize {
         return Err(MemNodeError::BadMessage(format!(
             "reply of {} bytes exceeds reply buffer of {}",
             payload.len(),
             reply.len
         )));
     }
-    let mut framed = Vec::with_capacity(4 + payload.len());
-    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    framed.extend_from_slice(payload);
+    let framed = ReplyFrame::encode(req_id, payload);
     qp.post_write(&framed, base, 1)?;
     // Await the payload before raising the flag.
-    qp.poll_one_blocking(Duration::from_secs(10))?;
+    qp.poll_one_blocking(REPLY_POLL)?;
     let flag_addr = base.add(u64::from(reply.len) - 8);
     qp.fetch_add(flag_addr, 1)?;
+    Ok(())
+}
+
+/// Deliver a compaction-style reply: frame one-sided into the requester's
+/// reply buffer, then WRITE-with-IMMEDIATE carrying `unique_id` to wake
+/// the sleeping requester. `body` is `[status u8][payload]`.
+#[allow(clippy::too_many_arguments)]
+fn deliver_compact_reply(
+    fabric: &Arc<Fabric>,
+    local: NodeId,
+    qps: &mut HashMap<NodeId, QueuePair>,
+    src: NodeId,
+    req_id: u64,
+    reply: &BufDesc,
+    unique_id: u32,
+    body: &[u8],
+) -> Result<()> {
+    let qp = qp_for(fabric, local, src, qps)?;
+    let requester = fabric.node(src)?;
+    let target = requester.region(rdma_sim::MrId(reply.mr))?;
+    let base = rdma_sim::RemoteAddr { rkey: reply.rkey, ..target.addr(reply.offset) };
+    if body.len() + ReplyFrame::HEADER + 8 > reply.len as usize {
+        return Err(MemNodeError::BadMessage("compaction reply too large".into()));
+    }
+    let framed = ReplyFrame::encode(req_id, body);
+    qp.post_write(&framed, base, 1)?;
+    qp.poll_one_blocking(REPLY_POLL)?;
+    // The immediate wakes the requester; the written word is unused.
+    let flag_addr = base.add(u64::from(reply.len) - 8);
+    qp.post_write_imm(&1u64.to_le_bytes(), flag_addr, unique_id, 2)?;
+    qp.poll_one_blocking(REPLY_POLL)?;
     Ok(())
 }
 
@@ -252,47 +528,110 @@ fn dispatcher_loop(ctx: DispatchCtx) {
             Err(_) => continue,
         };
         ctx.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-        let req = match Request::decode(&msg.payload) {
+        let (req_id, req) = match Request::decode(&msg.payload) {
             Ok(r) => r,
             Err(_) => continue, // malformed: drop (client times out)
         };
         let src = msg.src;
-        let result: Result<()> = (|| {
-            let requester = ctx.fabric.node(src)?;
-            match req {
-                Request::Ping { reply, payload } => {
-                    let qp = qp_for(&ctx.fabric, ctx.node.id(), src, &mut qps)?;
-                    reply_general(qp, &reply, &requester, &payload)
+        match ctx.dedup.begin(src, req_id) {
+            DedupDecision::Execute => {}
+            DedupDecision::InFlight => {
+                ctx.stats.dup_dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            DedupDecision::Replay(cached) => {
+                ctx.stats.replays.fetch_add(1, Ordering::Relaxed);
+                // Re-deliver into *this* request's reply buffer (the
+                // retrying client may have reconnected).
+                let reply = req.reply_desc();
+                let result = if cached.compact {
+                    let unique_id = match req {
+                        Request::Compact { unique_id, .. } => unique_id,
+                        _ => 0,
+                    };
+                    deliver_compact_reply(
+                        &ctx.fabric,
+                        ctx.node.id(),
+                        &mut qps,
+                        src,
+                        req_id,
+                        &reply,
+                        unique_id,
+                        &cached.payload,
+                    )
+                } else {
+                    (|| {
+                        let requester = ctx.fabric.node(src)?;
+                        let qp = qp_for(&ctx.fabric, ctx.node.id(), src, &mut qps)?;
+                        reply_general(qp, &reply, &requester, req_id, &cached.payload)
+                    })()
+                };
+                if let Err(e) = result {
+                    eprintln!("memnode: replay delivery failed: {e}");
+                    ctx.stats.failures.fetch_add(1, Ordering::Relaxed);
                 }
-                Request::FreeBatch { reply, extents } => {
-                    for (off, len) in &extents {
+                continue;
+            }
+        }
+        // Compactions are long-running: hand to the core-budgeted worker
+        // pool (the dedup entry stays in-flight until the worker finishes).
+        if let Request::Compact { reply, unique_id, args } = req {
+            let _ = ctx.compact_tx.send(CompactJob { src, req_id, reply, unique_id, args });
+            continue;
+        }
+        let reply = req.reply_desc();
+        let executed: Result<Vec<u8>> = (|| match req {
+            Request::Ping { payload, .. } => Ok(payload),
+            Request::FreeBatch { extents, .. } => {
+                for (off, len) in &extents {
+                    ctx.allocator.free(*off, *len);
+                    ctx.stats.freed_extents.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(vec![0u8])
+            }
+            Request::ReadFile { offset, len, .. } => {
+                // tmpfs-style read: copy out of the region into the
+                // reply (the extra memory copy the paper blames on the
+                // Nova-LSM read path).
+                let mut data = vec![0u8; len as usize];
+                ctx.region.local_read(offset, &mut data)?;
+                Ok(data)
+            }
+            Request::WriteFile { offset, data, .. } => {
+                ctx.region.local_write(offset, &data)?;
+                Ok(vec![0u8])
+            }
+            Request::CancelCompact { target, .. } => {
+                if let Some(cached) = ctx.dedup.cancel(src, target) {
+                    for (off, len) in &cached.extents {
                         ctx.allocator.free(*off, *len);
-                        ctx.stats.freed_extents.fetch_add(1, Ordering::Relaxed);
                     }
-                    let qp = qp_for(&ctx.fabric, ctx.node.id(), src, &mut qps)?;
-                    reply_general(qp, &reply, &requester, &[0u8])
                 }
-                Request::ReadFile { reply, offset, len } => {
-                    // tmpfs-style read: copy out of the region into the
-                    // reply (the extra memory copy the paper blames on the
-                    // Nova-LSM read path).
-                    let mut data = vec![0u8; len as usize];
-                    ctx.region.local_read(offset, &mut data)?;
-                    let qp = qp_for(&ctx.fabric, ctx.node.id(), src, &mut qps)?;
-                    reply_general(qp, &reply, &requester, &data)
-                }
-                Request::WriteFile { reply, offset, data } => {
-                    ctx.region.local_write(offset, &data)?;
-                    let qp = qp_for(&ctx.fabric, ctx.node.id(), src, &mut qps)?;
-                    reply_general(qp, &reply, &requester, &[0u8])
-                }
-                Request::Compact { reply, unique_id, args } => {
-                    // Long-running: hand to the core-budgeted worker pool.
-                    let _ = ctx.compact_tx.send(CompactJob { src, reply, unique_id, args });
-                    Ok(())
+                ctx.stats.canceled.fetch_add(1, Ordering::Relaxed);
+                Ok(vec![0u8])
+            }
+            Request::Compact { .. } => unreachable!("handled above"),
+        })();
+        let result: Result<()> = match executed {
+            Ok(payload) => {
+                let cached =
+                    CachedReply { payload: payload.clone(), extents: Vec::new(), compact: false };
+                if ctx.dedup.complete(src, req_id, cached) {
+                    (|| {
+                        let requester = ctx.fabric.node(src)?;
+                        let qp = qp_for(&ctx.fabric, ctx.node.id(), src, &mut qps)?;
+                        reply_general(qp, &reply, &requester, req_id, &payload)
+                    })()
+                } else {
+                    Ok(()) // canceled: no delivery
                 }
             }
-        })();
+            Err(e) => {
+                // Errors are never cached; a retry re-executes.
+                ctx.dedup.abort(src, req_id);
+                Err(e)
+            }
+        };
         if let Err(e) = result {
             eprintln!("memnode: rpc dispatch failed: {e}");
             ctx.stats.failures.fetch_add(1, Ordering::Relaxed);
@@ -318,6 +657,7 @@ struct WorkerCtx {
     region: Arc<MemoryRegion>,
     allocator: Arc<RegionAllocator>,
     stats: Arc<ServerStats>,
+    dedup: Arc<DedupMap>,
     rx: Receiver<CompactJob>,
 }
 
@@ -325,7 +665,8 @@ fn worker_loop(ctx: WorkerCtx) {
     let mut qps: HashMap<NodeId, QueuePair> = HashMap::new();
     // Workers exit when the channel closes (all dispatchers stopped).
     while let Ok(job) = ctx.rx.recv() {
-        let outcome: Result<Vec<u8>> = (|| {
+        type Outcome = Result<(Vec<u8>, Vec<(u64, u64)>)>;
+        let outcome: Outcome = (|| {
             let qp = qp_for(&ctx.fabric, ctx.node_id, job.src, &mut qps)?;
             // Pull the (large) argument from the requester with an RDMA
             // read instead of inlining it in the request (Sec. X-D2).
@@ -333,7 +674,15 @@ fn worker_loop(ctx: WorkerCtx) {
             let arg_region = requester.region(rdma_sim::MrId(job.args.mr))?;
             let mut arg_buf = vec![0u8; job.args.len as usize];
             let addr = rdma_sim::RemoteAddr { rkey: job.args.rkey, ..arg_region.addr(job.args.offset) };
-            qp.read_sync(addr, &mut arg_buf)?;
+            qp.post_read(addr, &mut arg_buf, u64::MAX)?;
+            let deadline = Instant::now() + ARG_READ_POLL;
+            loop {
+                let left = deadline.saturating_duration_since(Instant::now());
+                let c = qp.poll_one_blocking(left)?;
+                if c.wr_id == u64::MAX && c.verb == rdma_sim::Verb::Read {
+                    break;
+                }
+            }
             let args = CompactArgs::decode(&arg_buf)?;
             let t0 = Instant::now();
             let reply = execute_compaction(&ctx.region, &ctx.allocator, &args);
@@ -342,42 +691,164 @@ fn worker_loop(ctx: WorkerCtx) {
             ctx.stats.compactions.fetch_add(1, Ordering::Relaxed);
             ctx.stats.records_in.fetch_add(reply.records_in, Ordering::Relaxed);
             ctx.stats.records_out.fetch_add(reply.records_out, Ordering::Relaxed);
-            Ok(reply.encode())
+            let extents = reply.outputs.iter().map(|o| (o.offset, o.len)).collect();
+            Ok((reply.encode(), extents))
         })();
-        let (status, payload) = match outcome {
-            Ok(p) => (0u8, p),
+        // Body delivered to the requester: [status u8][payload].
+        let body = match outcome {
+            Ok((encoded, extents)) => {
+                let mut body = Vec::with_capacity(1 + encoded.len());
+                body.push(0u8);
+                body.extend_from_slice(&encoded);
+                let cached =
+                    CachedReply { payload: body.clone(), extents: extents.clone(), compact: true };
+                if !ctx.dedup.complete(job.src, job.req_id, cached) {
+                    // Canceled while running: the requester is gone, so the
+                    // outputs would otherwise leak. Reclaim and move on.
+                    for (off, len) in extents {
+                        ctx.allocator.free(off, len);
+                    }
+                    ctx.stats.canceled.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                body
+            }
             Err(e) => {
                 ctx.stats.failures.fetch_add(1, Ordering::Relaxed);
-                (1u8, e.to_string().into_bytes())
+                // Errors are never cached; the retry re-executes.
+                ctx.dedup.abort(job.src, job.req_id);
+                let mut body = vec![1u8];
+                body.extend_from_slice(e.to_string().into_bytes().as_slice());
+                body
             }
         };
-        // Reply: [len][status][payload] one-sided, then WRITE-with-IMMEDIATE
-        // carrying the unique id to wake the sleeping requester.
-        let reply_result = (|| -> Result<()> {
-            let qp = qp_for(&ctx.fabric, ctx.node_id, job.src, &mut qps)?;
-            let requester = ctx.fabric.node(job.src)?;
-            let target = requester.region(rdma_sim::MrId(job.reply.mr))?;
-            let base = rdma_sim::RemoteAddr { rkey: job.reply.rkey, ..target.addr(job.reply.offset) };
-            let mut framed = Vec::with_capacity(5 + payload.len());
-            framed.extend_from_slice(&(payload.len() as u32 + 1).to_le_bytes());
-            framed.push(status);
-            framed.extend_from_slice(&payload);
-            if framed.len() + 8 > job.reply.len as usize {
-                return Err(MemNodeError::BadMessage("compaction reply too large".into()));
-            }
-            qp.post_write(&framed, base, 1)?;
-            qp.poll_one_blocking(Duration::from_secs(10))?;
-            // The immediate wakes the requester; the written word is unused.
-            let flag_addr = base.add(u64::from(job.reply.len) - 8);
-            qp.post_write_imm(&1u64.to_le_bytes(), flag_addr, job.unique_id, 2)?;
-            qp.poll_one_blocking(Duration::from_secs(10))?;
-            Ok(())
-        })();
-        if let Err(e) = reply_result {
-            // A lost reply would leave the requester sleeping until its
-            // timeout; make the cause loud.
+        if let Err(e) = deliver_compact_reply(
+            &ctx.fabric,
+            ctx.node_id,
+            &mut qps,
+            job.src,
+            job.req_id,
+            &job.reply,
+            job.unique_id,
+            &body,
+        ) {
+            // A lost reply leaves the requester sleeping until its timeout;
+            // the retry will replay the cached reply. Make the cause loud.
             eprintln!("memnode: failed to deliver compaction reply: {e}");
             ctx.stats.failures.fetch_add(1, Ordering::Relaxed);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdma_sim::NetworkProfile;
+
+    fn nid(n: u64) -> NodeId {
+        // NodeId is opaque; mint distinct ids from a real fabric.
+        let fabric = Fabric::new(NetworkProfile::instant());
+        let mut id = fabric.add_node().id();
+        for _ in 0..n {
+            id = fabric.add_node().id();
+        }
+        id
+    }
+
+    fn reply(tag: u8) -> CachedReply {
+        CachedReply { payload: vec![tag], extents: vec![], compact: false }
+    }
+
+    #[test]
+    fn dedup_executes_once_and_replays() {
+        let map = DedupMap::new(64);
+        let c = nid(0);
+        assert!(matches!(map.begin(c, 7), DedupDecision::Execute));
+        // Duplicate while in flight: dropped.
+        assert!(matches!(map.begin(c, 7), DedupDecision::InFlight));
+        assert!(map.complete(c, 7, reply(42)));
+        match map.begin(c, 7) {
+            DedupDecision::Replay(r) => assert_eq!(r.payload, vec![42]),
+            _ => panic!("expected replay"),
+        }
+    }
+
+    #[test]
+    fn dedup_abort_allows_reexecution() {
+        let map = DedupMap::new(64);
+        let c = nid(0);
+        assert!(matches!(map.begin(c, 3), DedupDecision::Execute));
+        map.abort(c, 3);
+        assert!(matches!(map.begin(c, 3), DedupDecision::Execute));
+    }
+
+    #[test]
+    fn dedup_cancel_tombstones_and_returns_done_reply() {
+        let map = DedupMap::new(64);
+        let c = nid(0);
+        // Cancel before the request ever arrives: tombstone.
+        assert!(map.cancel(c, 9).is_none());
+        assert!(matches!(map.begin(c, 9), DedupDecision::InFlight));
+        // Cancel after completion: reply (and its extents) returned.
+        assert!(matches!(map.begin(c, 10), DedupDecision::Execute));
+        assert!(map.complete(
+            c,
+            10,
+            CachedReply { payload: vec![1], extents: vec![(0, 8)], compact: true }
+        ));
+        let r = map.cancel(c, 10).expect("done reply returned");
+        assert_eq!(r.extents, vec![(0, 8)]);
+        // And the request can never run again.
+        assert!(matches!(map.begin(c, 10), DedupDecision::InFlight));
+        // Cancel while in flight: complete() reports cancellation.
+        assert!(matches!(map.begin(c, 11), DedupDecision::Execute));
+        assert!(map.cancel(c, 11).is_none());
+        assert!(!map.complete(c, 11, reply(5)));
+    }
+
+    #[test]
+    fn dedup_prunes_old_done_entries_but_never_in_flight() {
+        let map = DedupMap::new(4);
+        let c = nid(0);
+        assert!(matches!(map.begin(c, 1), DedupDecision::Execute)); // stays in flight
+        for id in 2..32u64 {
+            assert!(matches!(map.begin(c, id), DedupDecision::Execute));
+            assert!(map.complete(c, id, reply(id as u8)));
+        }
+        // Old done entries pruned: a very late duplicate re-executes.
+        assert!(matches!(map.begin(c, 2), DedupDecision::Execute));
+        // The in-flight entry survived the churn.
+        assert!(matches!(map.begin(c, 1), DedupDecision::InFlight));
+    }
+
+    #[test]
+    fn crash_and_restart_preserve_region_and_allocator() {
+        let fabric = Fabric::new(NetworkProfile::instant());
+        let mut server = MemServer::start(
+            &fabric,
+            MemServerConfig {
+                region_size: 4 << 20,
+                flush_zone: 1 << 20,
+                compaction_workers: 1,
+                dispatchers: 1,
+            },
+        );
+        server.region().local_write(64, b"survives-crash").unwrap();
+        let off = server.allocator.alloc(1024).unwrap();
+        let used = server.compaction_zone_in_use();
+        assert!(used >= 1024);
+
+        server.crash();
+        assert!(server.is_crashed());
+        server.restart();
+        assert!(!server.is_crashed());
+        assert_eq!(server.stats().restarts.load(Ordering::Relaxed), 1);
+
+        let mut back = [0u8; 14];
+        server.region().local_read(64, &mut back).unwrap();
+        assert_eq!(&back, b"survives-crash");
+        assert_eq!(server.compaction_zone_in_use(), used);
+        server.allocator.free(off, 1024);
+        server.shutdown();
     }
 }

@@ -1,12 +1,20 @@
 //! RPC wire formats (hand-rolled little-endian).
 //!
-//! Every request is a two-sided SEND whose payload starts with an opcode and
-//! the requester's **reply-buffer descriptor** `(mr, offset, rkey, len)`;
-//! the responder answers with a one-sided WRITE into that buffer, bypassing
-//! any dispatcher on the requester side (paper Sec. X-D1). The compaction
-//! request additionally carries a unique id (the wake-up immediate) and an
-//! **argument-buffer descriptor** that the responder pulls with an RDMA
-//! read, keeping the SEND itself small (Sec. X-D2).
+//! Every request is a two-sided SEND whose payload starts with an opcode, a
+//! **request id**, and the requester's **reply-buffer descriptor**
+//! `(mr, offset, rkey, len)`; the responder answers with a one-sided WRITE
+//! into that buffer, bypassing any dispatcher on the requester side (paper
+//! Sec. X-D1). The compaction request additionally carries a unique id (the
+//! wake-up immediate) and an **argument-buffer descriptor** that the
+//! responder pulls with an RDMA read, keeping the SEND itself small
+//! (Sec. X-D2).
+//!
+//! Request ids make the protocol safe to retry over a lossy fabric: a
+//! client re-issues a timed-out request under the *same* id, and the server
+//! deduplicates — non-idempotent ops (extent frees, compactions) execute at
+//! most once, with the cached reply replayed for duplicates. Replies echo
+//! the id in their frame ([`ReplyFrame`]) so a poller can tell a late,
+//! stale reply from the one it is waiting for.
 
 use dlsm_sstable::coding::{get_u32, get_u64, put_u32, put_u64};
 use dlsm_sstable::key::SeqNo;
@@ -26,6 +34,9 @@ pub enum Op {
     ReadFile = 4,
     /// Two-sided write of region bytes (tmpfs path).
     WriteFile = 5,
+    /// Abandon a compaction by its request id, freeing any outputs it
+    /// produced (or will produce) on the memory node.
+    CancelCompact = 6,
 }
 
 impl Op {
@@ -37,8 +48,39 @@ impl Op {
             3 => Some(Op::Compact),
             4 => Some(Op::ReadFile),
             5 => Some(Op::WriteFile),
+            6 => Some(Op::CancelCompact),
             _ => None,
         }
+    }
+}
+
+/// Framing of every reply written one-sided into the requester's polling
+/// buffer: `[payload len u32][req_id u64][payload]`, with the completion
+/// flag word occupying the final 8 bytes of the buffer. The echoed request
+/// id lets the poller reject frames left over from earlier, retried calls.
+pub struct ReplyFrame;
+
+impl ReplyFrame {
+    /// Bytes before the payload.
+    pub const HEADER: usize = 12;
+
+    /// Frame `payload` for request `req_id`.
+    pub fn encode(req_id: u64, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::HEADER + payload.len());
+        put_u32(&mut out, payload.len() as u32);
+        put_u64(&mut out, req_id);
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Parse a frame, returning `(req_id, payload)`.
+    pub fn decode(buf: &[u8]) -> Result<(u64, &[u8])> {
+        let len = get_u32(buf, 0).map_err(bad)? as usize;
+        let req_id = get_u64(buf, 4).map_err(bad)?;
+        let payload = buf
+            .get(Self::HEADER..Self::HEADER + len)
+            .ok_or_else(|| MemNodeError::BadMessage(format!("truncated reply frame ({len} byte payload)")))?;
+        Ok((req_id, payload))
     }
 }
 
@@ -307,20 +349,33 @@ pub enum Request {
         /// Bytes to write.
         data: Vec<u8>,
     },
+    /// Abandon the compaction issued under request id `target`: the server
+    /// frees its outputs (already produced or still to come) and forgets the
+    /// cached reply.
+    CancelCompact {
+        /// The requester's polling buffer.
+        reply: BufDesc,
+        /// Request id of the compaction being abandoned.
+        target: u64,
+    },
 }
 
 impl Request {
-    /// Serialize a request into a SEND payload.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serialize a request into a SEND payload under request id `req_id`.
+    /// Retries of the same logical request must reuse the same id so the
+    /// server can deduplicate.
+    pub fn encode(&self, req_id: u64) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
             Request::Ping { reply, payload } => {
                 out.push(Op::Ping as u8);
+                put_u64(&mut out, req_id);
                 reply.encode(&mut out);
                 out.extend_from_slice(payload);
             }
             Request::FreeBatch { reply, extents } => {
                 out.push(Op::FreeBatch as u8);
+                put_u64(&mut out, req_id);
                 reply.encode(&mut out);
                 put_u32(&mut out, extents.len() as u32);
                 for &(o, l) in extents {
@@ -330,34 +385,44 @@ impl Request {
             }
             Request::Compact { reply, unique_id, args } => {
                 out.push(Op::Compact as u8);
+                put_u64(&mut out, req_id);
                 reply.encode(&mut out);
                 put_u32(&mut out, *unique_id);
                 args.encode(&mut out);
             }
             Request::ReadFile { reply, offset, len } => {
                 out.push(Op::ReadFile as u8);
+                put_u64(&mut out, req_id);
                 reply.encode(&mut out);
                 put_u64(&mut out, *offset);
                 put_u32(&mut out, *len);
             }
             Request::WriteFile { reply, offset, data } => {
                 out.push(Op::WriteFile as u8);
+                put_u64(&mut out, req_id);
                 reply.encode(&mut out);
                 put_u64(&mut out, *offset);
                 out.extend_from_slice(data);
+            }
+            Request::CancelCompact { reply, target } => {
+                out.push(Op::CancelCompact as u8);
+                put_u64(&mut out, req_id);
+                reply.encode(&mut out);
+                put_u64(&mut out, *target);
             }
         }
         out
     }
 
-    /// Parse a SEND payload.
-    pub fn decode(buf: &[u8]) -> Result<Request> {
+    /// Parse a SEND payload into `(req_id, request)`.
+    pub fn decode(buf: &[u8]) -> Result<(u64, Request)> {
         let op = Op::from_u8(*buf.first().ok_or_else(|| MemNodeError::BadMessage("empty".into()))?)
             .ok_or_else(|| MemNodeError::BadMessage(format!("bad op {}", buf[0])))?;
-        let (reply, n) = BufDesc::decode(buf, 1)?;
-        let body = 1 + n;
-        match op {
-            Op::Ping => Ok(Request::Ping { reply, payload: buf[body..].to_vec() }),
+        let req_id = get_u64(buf, 1).map_err(bad)?;
+        let (reply, n) = BufDesc::decode(buf, 9)?;
+        let body = 9 + n;
+        let req = match op {
+            Op::Ping => Request::Ping { reply, payload: buf[body..].to_vec() },
             Op::FreeBatch => {
                 let count = get_u32(buf, body).map_err(bad)? as usize;
                 let mut extents = Vec::with_capacity(count.min(1024));
@@ -366,22 +431,39 @@ impl Request {
                     extents.push((get_u64(buf, off).map_err(bad)?, get_u64(buf, off + 8).map_err(bad)?));
                     off += 16;
                 }
-                Ok(Request::FreeBatch { reply, extents })
+                Request::FreeBatch { reply, extents }
             }
             Op::Compact => {
                 let unique_id = get_u32(buf, body).map_err(bad)?;
                 let (args, _) = BufDesc::decode(buf, body + 4)?;
-                Ok(Request::Compact { reply, unique_id, args })
+                Request::Compact { reply, unique_id, args }
             }
             Op::ReadFile => {
                 let offset = get_u64(buf, body).map_err(bad)?;
                 let len = get_u32(buf, body + 8).map_err(bad)?;
-                Ok(Request::ReadFile { reply, offset, len })
+                Request::ReadFile { reply, offset, len }
             }
             Op::WriteFile => {
                 let offset = get_u64(buf, body).map_err(bad)?;
-                Ok(Request::WriteFile { reply, offset, data: buf[body + 8..].to_vec() })
+                Request::WriteFile { reply, offset, data: buf[body + 8..].to_vec() }
             }
+            Op::CancelCompact => {
+                let target = get_u64(buf, body).map_err(bad)?;
+                Request::CancelCompact { reply, target }
+            }
+        };
+        Ok((req_id, req))
+    }
+
+    /// The reply-buffer descriptor attached to this request.
+    pub fn reply_desc(&self) -> BufDesc {
+        match self {
+            Request::Ping { reply, .. }
+            | Request::FreeBatch { reply, .. }
+            | Request::Compact { reply, .. }
+            | Request::ReadFile { reply, .. }
+            | Request::WriteFile { reply, .. }
+            | Request::CancelCompact { reply, .. } => *reply,
         }
     }
 }
@@ -402,10 +484,12 @@ mod tests {
             Request::Compact { reply: desc(3), unique_id: 77, args: desc(4) },
             Request::ReadFile { reply: desc(5), offset: 4096, len: 512 },
             Request::WriteFile { reply: desc(6), offset: 8192, data: vec![1, 2, 3] },
+            Request::CancelCompact { reply: desc(7), target: 0xDEAD_BEEF },
         ];
-        for r in cases {
-            let enc = r.encode();
-            assert_eq!(Request::decode(&enc).unwrap(), r);
+        for (i, r) in cases.into_iter().enumerate() {
+            let req_id = 1000 + i as u64;
+            let enc = r.encode(req_id);
+            assert_eq!(Request::decode(&enc).unwrap(), (req_id, r));
         }
     }
 
@@ -413,8 +497,23 @@ mod tests {
     fn decode_rejects_garbage() {
         assert!(Request::decode(&[]).is_err());
         assert!(Request::decode(&[99, 0, 0]).is_err());
-        let enc = Request::ReadFile { reply: desc(1), offset: 1, len: 2 }.encode();
+        let enc = Request::ReadFile { reply: desc(1), offset: 1, len: 2 }.encode(7);
         assert!(Request::decode(&enc[..enc.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn reply_frame_roundtrip_and_truncation() {
+        let frame = ReplyFrame::encode(0xFEED_F00D, b"payload-bytes");
+        let (id, payload) = ReplyFrame::decode(&frame).unwrap();
+        assert_eq!(id, 0xFEED_F00D);
+        assert_eq!(payload, b"payload-bytes");
+        // Truncated header and truncated payload both error, never panic.
+        assert!(ReplyFrame::decode(&frame[..3]).is_err());
+        assert!(ReplyFrame::decode(&frame[..frame.len() - 1]).is_err());
+        // Empty payloads are legal.
+        let empty = ReplyFrame::encode(1, &[]);
+        let (id, payload) = ReplyFrame::decode(&empty).unwrap();
+        assert_eq!((id, payload.len()), (1, 0));
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Wire-format robustness: decoders must never panic on arbitrary bytes,
-//! and every encodable message round-trips.
+//! every encodable message round-trips, reply frames reject truncation and
+//! detect duplication (stale request ids), and the server's dedup window
+//! never lets a request execute twice.
 
-use dlsm_memnode::wire::{BufDesc, Request};
-use dlsm_memnode::{CompactArgs, CompactReply, InputTable, OutputTable, TableFormat};
+use dlsm_memnode::wire::{BufDesc, ReplyFrame, Request};
+use dlsm_memnode::{
+    CachedReply, CompactArgs, CompactReply, DedupDecision, DedupMap, InputTable, OutputTable,
+    TableFormat,
+};
 use proptest::prelude::*;
 
 fn desc_strategy() -> impl Strategy<Value = BufDesc> {
@@ -30,6 +35,8 @@ proptest! {
         unique_id in any::<u32>(),
         args in desc_strategy(),
         extents in prop::collection::vec((any::<u64>(), any::<u64>()), 0..16),
+        req_id in any::<u64>(),
+        target in any::<u64>(),
     ) {
         let cases = vec![
             Request::Ping { reply, payload: payload.clone() },
@@ -37,9 +44,97 @@ proptest! {
             Request::Compact { reply, unique_id, args },
             Request::ReadFile { reply, offset, len },
             Request::WriteFile { reply, offset, data: payload },
+            Request::CancelCompact { reply, target },
         ];
         for r in cases {
-            prop_assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+            prop_assert_eq!(Request::decode(&r.encode(req_id)).unwrap(), (req_id, r));
+        }
+    }
+
+    /// Reply frames round-trip; any truncation is rejected rather than
+    /// yielding a short payload; a duplicated (stale) frame is detectable
+    /// by its request id alone.
+    #[test]
+    fn reply_frame_truncation_and_duplication(
+        req_id in any::<u64>(),
+        stale_id in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let frame = ReplyFrame::encode(req_id, &payload);
+        let (got_id, got) = ReplyFrame::decode(&frame).unwrap();
+        prop_assert_eq!(got_id, req_id);
+        prop_assert_eq!(got, &payload[..]);
+
+        // Every strict prefix fails to decode (no silent short reads).
+        let cut = cut.index(frame.len());
+        prop_assert!(ReplyFrame::decode(&frame[..cut]).is_err());
+
+        // A frame left over from an earlier request is identified by id:
+        // this is exactly the check the client uses to discard duplicated
+        // or stale reply deliveries after a retry.
+        let old = ReplyFrame::encode(stale_id, &payload);
+        let (old_id, _) = ReplyFrame::decode(&old).unwrap();
+        prop_assert_eq!(old_id == req_id, stale_id == req_id);
+    }
+
+    /// Under an arbitrary interleaving of request arrivals (including
+    /// duplicates), cancels, and completions, the dedup window never tells
+    /// the server to execute the same request id twice unless the first
+    /// execution was aborted (failed), and canceled work is never replayed.
+    #[test]
+    fn dedup_window_is_at_most_once(
+        script in prop::collection::vec((0u8..4, 0u64..24), 1..200),
+    ) {
+        let map = DedupMap::new(1024);
+        let fabric = rdma_sim::Fabric::new(rdma_sim::NetworkProfile::instant());
+        let client = fabric.add_node().id();
+        // Per id: (executions since last abort, ever completed, ever canceled)
+        let mut running: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut done: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut canceled: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for (action, id) in script {
+            match action {
+                0 => match map.begin(client, id) {
+                    DedupDecision::Execute => {
+                        prop_assert!(!running.contains(&id), "double execution of in-flight id");
+                        prop_assert!(!done.contains(&id), "re-execution of completed id");
+                        prop_assert!(!canceled.contains(&id), "execution of canceled id");
+                        running.insert(id);
+                    }
+                    DedupDecision::InFlight => {
+                        prop_assert!(running.contains(&id) || canceled.contains(&id));
+                    }
+                    DedupDecision::Replay(_) => {
+                        prop_assert!(done.contains(&id), "replay of never-completed id");
+                    }
+                },
+                1 => {
+                    if running.remove(&id) {
+                        let cached = CachedReply {
+                            payload: vec![id as u8],
+                            extents: vec![],
+                            compact: false,
+                        };
+                        if map.complete(client, id, cached) {
+                            done.insert(id);
+                        } else {
+                            prop_assert!(canceled.contains(&id));
+                        }
+                    }
+                }
+                2 => {
+                    if running.remove(&id) {
+                        map.abort(client, id); // failed: retries may re-execute
+                    }
+                }
+                _ => {
+                    map.cancel(client, id);
+                    canceled.insert(id);
+                    done.remove(&id);
+                    running.remove(&id);
+                }
+            }
         }
     }
 

@@ -41,7 +41,7 @@ pub mod stats;
 pub mod verbs;
 
 pub use fabric::Fabric;
-pub use fault::{FaultHook, FaultPlan};
+pub use fault::{ChaosPlan, FaultAction, FaultHook, FaultPlan, OpContext, Window, WindowKind};
 pub use msg::{ImmEvent, Message};
 pub use node::{Node, NodeId};
 pub use profile::NetworkProfile;

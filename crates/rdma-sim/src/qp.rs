@@ -12,6 +12,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::fabric::Fabric;
+use crate::fault::{FaultAction, OpContext};
 use crate::msg::{ImmEvent, Message};
 use crate::node::NodeId;
 use crate::region::RemoteAddr;
@@ -86,6 +87,32 @@ impl CompletionQueue {
     }
 }
 
+/// Outcome of charging one work request against the cost model + fault hook.
+enum ChargeOutcome {
+    /// Deliver normally; completion ready at the instant.
+    Deliver(Instant),
+    /// Payload side effects land, but the completion (and any delivery)
+    /// is lost.
+    LostAck,
+    /// The operation vanishes entirely: no side effects, no completion.
+    Lost,
+}
+
+impl ChargeOutcome {
+    /// The completion deadline, when one will arrive.
+    fn ready(&self) -> Option<Instant> {
+        match self {
+            ChargeOutcome::Deliver(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// True unless the operation was blackholed (payload effects apply).
+    fn payload_lands(&self) -> bool {
+        !matches!(self, ChargeOutcome::Lost)
+    }
+}
+
 /// A reliable-connected queue pair between two nodes.
 pub struct QueuePair {
     fabric: Arc<Fabric>,
@@ -135,7 +162,11 @@ impl QueuePair {
         self.cq.len()
     }
 
-    fn charge(&mut self, verb: Verb, bytes: usize) -> Result<Option<Instant>, RdmaError> {
+    /// Charge the cost model and consult the fault hook for one posted work
+    /// request targeting `dst`. `Deliver` carries the completion deadline;
+    /// `LostAck` means payload effects must still be applied but no
+    /// completion will arrive; `Lost` means the operation vanishes entirely.
+    fn charge(&mut self, verb: Verb, bytes: usize, dst: NodeId) -> Result<ChargeOutcome, RdmaError> {
         if self.cq.len() >= self.max_outstanding {
             return Err(RdmaError::SendQueueFull { depth: self.max_outstanding });
         }
@@ -149,17 +180,18 @@ impl QueuePair {
         if verb == Verb::Send {
             latency += profile.two_sided_extra;
         }
-        let mut dropped = false;
         if let Some(hook) = self.fabric.fault() {
-            latency += hook.extra_delay(verb, bytes);
-            dropped = hook.should_drop(verb);
-        }
-        if dropped {
-            return Ok(None);
+            let ctx = OpContext { verb, bytes, src: self.local, dst };
+            latency += hook.delay(&ctx);
+            match hook.action(&ctx) {
+                FaultAction::Deliver => {}
+                FaultAction::DropCompletion => return Ok(ChargeOutcome::LostAck),
+                FaultAction::Blackhole => return Ok(ChargeOutcome::Lost),
+            }
         }
         let ready = (Instant::now() + latency).max(self.last_ready);
         self.last_ready = ready;
-        Ok(Some(ready))
+        Ok(ChargeOutcome::Deliver(ready))
     }
 
     fn complete(&mut self, wr_id: WrId, verb: Verb, bytes: usize, old: u64, ready: Instant) {
@@ -183,9 +215,11 @@ impl QueuePair {
     ) -> Result<(), RdmaError> {
         let region = self.fabric.node(src.node)?.region(src.mr)?;
         region.check_rkey(src.rkey)?;
-        let ready = self.charge(Verb::Read, dst.len())?;
-        region.local_read(src.offset, dst)?;
-        if let Some(ready) = ready {
+        let outcome = self.charge(Verb::Read, dst.len(), src.node)?;
+        if outcome.payload_lands() {
+            region.local_read(src.offset, dst)?;
+        }
+        if let Some(ready) = outcome.ready() {
             self.complete(wr_id, Verb::Read, dst.len(), 0, ready);
         }
         Ok(())
@@ -201,9 +235,11 @@ impl QueuePair {
     ) -> Result<(), RdmaError> {
         let region = self.fabric.node(dst.node)?.region(dst.mr)?;
         region.check_rkey(dst.rkey)?;
-        let ready = self.charge(Verb::Write, src.len())?;
-        region.local_write(dst.offset, src)?;
-        if let Some(ready) = ready {
+        let outcome = self.charge(Verb::Write, src.len(), dst.node)?;
+        if outcome.payload_lands() {
+            region.local_write(dst.offset, src)?;
+        }
+        if let Some(ready) = outcome.ready() {
             self.complete(wr_id, Verb::Write, src.len(), 0, ready);
         }
         Ok(())
@@ -222,9 +258,11 @@ impl QueuePair {
         let node = self.fabric.node(dst.node)?;
         let region = node.region(dst.mr)?;
         region.check_rkey(dst.rkey)?;
-        let ready = self.charge(Verb::WriteImm, src.len())?;
-        region.local_write(dst.offset, src)?;
-        if let Some(ready) = ready {
+        let outcome = self.charge(Verb::WriteImm, src.len(), dst.node)?;
+        if outcome.payload_lands() {
+            region.local_write(dst.offset, src)?;
+        }
+        if let Some(ready) = outcome.ready() {
             let _ = node.imm_tx.send(ImmEvent {
                 src: self.local,
                 imm,
@@ -240,8 +278,8 @@ impl QueuePair {
     pub fn post_send(&mut self, payload: Vec<u8>, wr_id: WrId) -> Result<(), RdmaError> {
         let node = self.fabric.node(self.remote)?;
         let bytes = payload.len();
-        let ready = self.charge(Verb::Send, bytes)?;
-        if let Some(ready) = ready {
+        let outcome = self.charge(Verb::Send, bytes, self.remote)?;
+        if let Some(ready) = outcome.ready() {
             let _ = node.inbox_tx.send(Message { src: self.local, payload, ready_at: ready });
             self.complete(wr_id, Verb::Send, bytes, 0, ready);
         }
@@ -253,9 +291,12 @@ impl QueuePair {
     pub fn fetch_add(&mut self, addr: RemoteAddr, delta: u64) -> Result<u64, RdmaError> {
         let region = self.fabric.node(addr.node)?.region(addr.mr)?;
         region.check_rkey(addr.rkey)?;
-        let ready = self.charge(Verb::FetchAdd, 8)?;
+        let outcome = self.charge(Verb::FetchAdd, 8, addr.node)?;
+        if !outcome.payload_lands() {
+            return Err(RdmaError::Dropped);
+        }
         let old = region.atomic_u64(addr.offset)?.fetch_add(delta, Ordering::AcqRel);
-        match ready {
+        match outcome.ready() {
             Some(ready) => {
                 self.complete(0, Verb::FetchAdd, 8, old, ready);
                 let c = self.poll_one_blocking(Duration::from_secs(5))?;
@@ -276,7 +317,10 @@ impl QueuePair {
     ) -> Result<u64, RdmaError> {
         let region = self.fabric.node(addr.node)?.region(addr.mr)?;
         region.check_rkey(addr.rkey)?;
-        let ready = self.charge(Verb::CompareSwap, 8)?;
+        let outcome = self.charge(Verb::CompareSwap, 8, addr.node)?;
+        if !outcome.payload_lands() {
+            return Err(RdmaError::Dropped);
+        }
         let old = match region.atomic_u64(addr.offset)?.compare_exchange(
             expect,
             new,
@@ -286,7 +330,7 @@ impl QueuePair {
             Ok(prev) => prev,
             Err(prev) => prev,
         };
-        match ready {
+        match outcome.ready() {
             Some(ready) => {
                 self.complete(0, Verb::CompareSwap, 8, old, ready);
                 let c = self.poll_one_blocking(Duration::from_secs(5))?;

@@ -8,7 +8,7 @@
 
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicU64, Ordering as AtOrd};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use dlsm_skiplist::{Comparator, SkipList};
 
@@ -34,6 +34,165 @@ fn ikey(user: u64, seq: u64) -> Vec<u8> {
     let n = k.len();
     k[n - 8..].copy_from_slice(&seq.to_be_bytes());
     k
+}
+
+/// One table of the miniature seq-range switch protocol: a skip list plus
+/// its pre-assigned `[lo, hi)` sequence range.
+struct RangeTable {
+    list: SkipList<IkCmp>,
+    lo: u64,
+    hi: u64,
+}
+
+/// The dLSM MemTable-switch protocol (paper Sec. IV) at skip-list level:
+/// every table owns a pre-assigned sequence range; a writer whose drawn seq
+/// falls past the current table's range rotates tables under double-checked
+/// locking, and writers within range only clone the table pointer — the
+/// skip-list insert itself runs without any lock held. (The pointer lives
+/// behind a `Mutex`, not a `RwLock`: glibc rwlocks prefer readers, and the
+/// hot fast-path/reader loops here can starve the rotating writer
+/// indefinitely.) A writer preempted between drawing its seq and reading
+/// the pointer may find the current table rotated *past* its seq; sealed
+/// tables therefore stay writable, exactly as dLSM keeps the old MemTable
+/// live until in-flight writers drain, and the laggard inserts into the
+/// sealed table whose range covers its seq. N writers hammer the rotation
+/// while readers seek concurrently; the invariant under test is that **no
+/// table ever holds a sequence number outside its pre-assigned range** —
+/// the anomaly the naive size-triggered switch permits (a newer version
+/// landing in an older table) — and that every acknowledged insert is
+/// present in exactly the table whose range covers its seq.
+#[test]
+fn writers_never_insert_outside_table_seq_range() {
+    const RANGE: u64 = 512;
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 4_000;
+
+    let next_seq = Arc::new(AtomicU64::new(0));
+    let fresh = |lo: u64| RangeTable {
+        list: SkipList::with_capacity(IkCmp, 4 << 20),
+        lo,
+        hi: lo + RANGE,
+    };
+    let current = Arc::new(Mutex::new(Arc::new(fresh(0))));
+    let sealed: Arc<Mutex<Vec<Arc<RangeTable>>>> = Arc::new(Mutex::new(Vec::new()));
+    let done = Arc::new(AtomicU64::new(0));
+
+    // Counts a writer as done even if it panics: otherwise the readers'
+    // `done < WRITERS` loop spins forever and the real failure never
+    // surfaces from the scope join.
+    struct DoneGuard(Arc<AtomicU64>);
+    impl Drop for DoneGuard {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, AtOrd::Release);
+        }
+    }
+
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let next_seq = Arc::clone(&next_seq);
+            let current = Arc::clone(&current);
+            let sealed = Arc::clone(&sealed);
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let _done = DoneGuard(Arc::clone(&done));
+                for i in 0..PER_WRITER {
+                    let seq = next_seq.fetch_add(1, AtOrd::Relaxed);
+                    let user = (w * PER_WRITER + i) % 97;
+                    loop {
+                        let table = Arc::clone(&current.lock().unwrap());
+                        if seq >= table.hi {
+                            // Past the range: rotate under double-checked
+                            // locking. Whoever wins installs the successor;
+                            // losers re-read and retry (their seq may need a
+                            // table several ranges ahead).
+                            let mut cur = current.lock().unwrap();
+                            if seq >= cur.hi {
+                                let next_lo = cur.hi;
+                                let old =
+                                    std::mem::replace(&mut *cur, Arc::new(fresh(next_lo)));
+                                sealed.lock().unwrap().push(old);
+                            }
+                            continue;
+                        }
+                        if seq >= table.lo {
+                            // In range: insert with no lock held.
+                            table.list.insert(&ikey(user, seq), &seq.to_le_bytes()).unwrap();
+                            break;
+                        }
+                        // Laggard: this writer was preempted between drawing
+                        // its seq and loading the pointer, and the table has
+                        // rotated past it. Its covering table was sealed by
+                        // that rotation (the push happens inside the same
+                        // critical section), so it must be in `sealed`; the
+                        // sealed table stays writable for exactly this case.
+                        let covering = sealed
+                            .lock()
+                            .unwrap()
+                            .iter()
+                            .find(|t| seq >= t.lo && seq < t.hi)
+                            .map(Arc::clone)
+                            .unwrap_or_else(|| {
+                                panic!("no sealed table covers laggard seq {seq}")
+                            });
+                        covering.list.insert(&ikey(user, seq), &seq.to_le_bytes()).unwrap();
+                        break;
+                    }
+                }
+            });
+        }
+        // Readers seek through live tables while rotations happen; any
+        // entry they observe must carry a seq inside its table's range.
+        for _ in 0..2 {
+            let current = Arc::clone(&current);
+            let sealed = Arc::clone(&sealed);
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                while done.load(AtOrd::Acquire) < WRITERS {
+                    let mut tables: Vec<Arc<RangeTable>> =
+                        sealed.lock().unwrap().iter().map(Arc::clone).collect();
+                    tables.push(Arc::clone(&current.lock().unwrap()));
+                    for t in &tables {
+                        for user in (0..97).step_by(13) {
+                            if let Some((k, _)) = t.list.seek_ge(&ikey(user, u64::MAX)) {
+                                let (_, seq) = split(k);
+                                assert!(
+                                    seq >= t.lo && seq < t.hi,
+                                    "reader saw seq {seq} in table range [{}, {})",
+                                    t.lo,
+                                    t.hi
+                                );
+                            }
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+
+    // Post-mortem sweep: every entry of every table is inside the table's
+    // pre-assigned range, and all acked seqs exist exactly once overall.
+    let mut tables = sealed.lock().unwrap().clone();
+    tables.push(Arc::clone(&current.lock().unwrap()));
+    let mut seen = vec![false; (WRITERS * PER_WRITER) as usize];
+    for t in &tables {
+        let mut it = t.list.iter();
+        it.seek_to_first();
+        while it.valid() {
+            let (_, seq) = split(it.key());
+            assert!(
+                seq >= t.lo && seq < t.hi,
+                "seq {seq} escaped its table's range [{}, {})",
+                t.lo,
+                t.hi
+            );
+            assert!(!seen[seq as usize], "seq {seq} inserted twice");
+            seen[seq as usize] = true;
+            it.advance();
+        }
+    }
+    let missing = seen.iter().filter(|s| !**s).count();
+    assert_eq!(missing, 0, "{missing} acked inserts vanished");
 }
 
 #[test]

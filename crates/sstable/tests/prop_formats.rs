@@ -1,7 +1,9 @@
 //! Property tests: both SSTable formats must round-trip arbitrary sorted
 //! key-value sets, and the compaction merge must match a model.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use dlsm_sstable::block::{BlockTableBuilder, BlockTableReader};
@@ -9,7 +11,7 @@ use dlsm_sstable::byte_addr::{ByteAddrBuilder, ByteAddrReader, TableGet, TableMe
 use dlsm_sstable::iter::{collect_all, MergingIter, VecIter};
 use dlsm_sstable::key::{self, InternalKey, ValueType, MAX_SEQ};
 use dlsm_sstable::merge::{CompactionIter, MergeConfig};
-use dlsm_sstable::source::SliceSource;
+use dlsm_sstable::source::{DataSource, SliceSource};
 use proptest::prelude::*;
 
 /// Sorted unique user keys with values (and a deterministic seq per entry).
@@ -116,6 +118,120 @@ proptest! {
         let want: BTreeMap<Vec<u8>, Vec<u8>> =
             model.into_iter().filter_map(|(k, v)| v.map(|v| (k, v))).collect();
         prop_assert_eq!(got, want);
+    }
+}
+
+/// Wraps a source and counts every fetch, to prove the byte-addressable
+/// format's headline property (paper Sec. VI): a point read costs exactly
+/// one fetch of exactly the record's bytes — never a block, never a second
+/// round trip — and a miss costs zero fetches (the compute-side index is
+/// exact, not probabilistic).
+struct CountingSource<S> {
+    inner: S,
+    reads: Rc<Cell<u64>>,
+    bytes: Rc<Cell<u64>>,
+}
+
+impl<S: DataSource> DataSource for CountingSource<S> {
+    fn read(&self, offset: u64, dst: &mut [u8]) -> dlsm_sstable::Result<()> {
+        self.reads.set(self.reads.get() + 1);
+        self.bytes.set(self.bytes.get() + dst.len() as u64);
+        self.inner.read(offset, dst)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+fn varint_len(mut x: u64) -> u64 {
+    let mut n = 1;
+    while x >= 0x80 {
+        x >>= 7;
+        n += 1;
+    }
+    n
+}
+
+/// Keys and values across the extremes: 1-byte to max-length (4 KiB) keys,
+/// zero-length to multi-KiB values.
+fn extreme_entries_strategy() -> impl Strategy<Value = Vec<(Vec<u8>, Vec<u8>)>> {
+    prop::collection::btree_map(
+        prop::collection::vec(any::<u8>(), 1..300),
+        prop::collection::vec(any::<u8>(), 0..600),
+        1..40,
+    )
+    .prop_map(|m| {
+        let mut entries: BTreeMap<Vec<u8>, Vec<u8>> = m;
+        // Deterministic edge cases alongside the arbitrary ones: a
+        // max-length key with a zero-length value, a 1-byte key with a
+        // large value, and an empty-value short key.
+        entries.insert(vec![0xFF; 4096], Vec::new());
+        entries.insert(vec![0x00], vec![0xAB; 4096]);
+        entries.insert(b"e".to_vec(), Vec::new());
+        entries.into_iter().collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Byte-addressable point reads: every present key round-trips in
+    /// exactly one fetch of exactly the record's encoded bytes; every
+    /// absent probe costs zero fetches.
+    #[test]
+    fn byte_addr_point_read_is_one_exact_fetch(entries in extreme_entries_strategy()) {
+        let mut b = ByteAddrBuilder::new(Vec::new(), 10);
+        for (i, (k, v)) in entries.iter().enumerate() {
+            b.add(&ikey(k, 100 + i as u64), v).unwrap();
+        }
+        let (data, meta) = b.finish();
+        let reads = Rc::new(Cell::new(0u64));
+        let bytes = Rc::new(Cell::new(0u64));
+        let source = CountingSource {
+            inner: SliceSource(data),
+            reads: Rc::clone(&reads),
+            bytes: Rc::clone(&bytes),
+        };
+        let reader = ByteAddrReader::new(Arc::new(meta), source);
+        for (k, v) in &entries {
+            let reads_before = reads.get();
+            let bytes_before = bytes.get();
+            prop_assert_eq!(reader.get(k, MAX_SEQ).unwrap(), TableGet::Found(v.clone()));
+            let record = {
+                let ikey_len = k.len() as u64 + 8;
+                let value_len = v.len() as u64;
+                varint_len(ikey_len) + varint_len(value_len) + ikey_len + value_len
+            };
+            prop_assert_eq!(
+                reads.get() - reads_before,
+                1,
+                "point read of a present key must cost exactly one fetch"
+            );
+            prop_assert_eq!(
+                bytes.get() - bytes_before,
+                record,
+                "the single fetch must cover exactly the record's bytes"
+            );
+        }
+        // Probes for keys not in the table never touch the source: the
+        // per-record index is exact, so a miss is decided compute-side.
+        let present: std::collections::BTreeSet<&[u8]> =
+            entries.iter().map(|(k, _)| k.as_slice()).collect();
+        for (k, _) in &entries {
+            let mut absent = k.clone();
+            absent.push(0x01); // strictly longer sibling, never inserted
+            if present.contains(absent.as_slice()) {
+                continue;
+            }
+            let reads_before = reads.get();
+            prop_assert_eq!(reader.get(&absent, MAX_SEQ).unwrap(), TableGet::NotFound);
+            prop_assert_eq!(
+                reads.get(),
+                reads_before,
+                "a miss must cost zero fetches"
+            );
+        }
     }
 }
 

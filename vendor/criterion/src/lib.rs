@@ -1,0 +1,270 @@
+//! Offline minimal stand-in for the `criterion` benchmark harness. It keeps
+//! the call-site API (`criterion_group!`, `benchmark_group`, `Throughput`,
+//! `bench_with_input`, `Bencher::iter`) and actually times the closures,
+//! printing mean ns/iter and derived throughput — but does none of
+//! criterion's statistics, plotting, or outlier analysis.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding `value` (best-effort).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Parameter-only form (the group supplies the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level harness configuration + entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Ungrouped single benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let report = run_bench(self, &mut f);
+        print_report("", &id.id, &report, None);
+    }
+
+    /// Final-summary hook (no-op here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let report = run_bench(self.criterion, &mut f);
+        print_report(&self.name, &id.id, &report, self.throughput);
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let id = id.into();
+        let report = run_bench(self.criterion, &mut |b| f(b, input));
+        print_report(&self.name, &id.id, &report, self.throughput);
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` for the sample's iteration count.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+struct Report {
+    mean_ns: f64,
+}
+
+fn run_bench(cfg: &Criterion, f: &mut dyn FnMut(&mut Bencher)) -> Report {
+    // Warm-up + calibration: find an iteration count that fills roughly one
+    // sample's worth of the measurement budget.
+    let mut iters = 1u64;
+    let warm_deadline = Instant::now() + cfg.warm_up_time;
+    let mut per_iter = Duration::from_micros(1);
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed > Duration::ZERO {
+            per_iter = b.elapsed / iters as u32;
+        }
+        if Instant::now() >= warm_deadline || b.elapsed >= cfg.warm_up_time {
+            break;
+        }
+        iters = iters.saturating_mul(2).min(1 << 20);
+    }
+    let budget = cfg.measurement_time.as_nanos() as u64 / cfg.sample_size.max(1) as u64;
+    let per = per_iter.as_nanos().max(1) as u64;
+    let iters = (budget / per).clamp(1, 1 << 24);
+
+    let mut total_ns = 0u128;
+    let mut total_iters = 0u128;
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        total_ns += b.elapsed.as_nanos();
+        total_iters += iters as u128;
+    }
+    Report { mean_ns: total_ns as f64 / total_iters.max(1) as f64 }
+}
+
+fn print_report(group: &str, id: &str, report: &Report, throughput: Option<Throughput>) {
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    let extra = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let gbps = n as f64 / report.mean_ns;
+            format!("  {:.3} GiB/s", gbps * 1e9 / (1u64 << 30) as f64)
+        }
+        Some(Throughput::Elements(n)) => {
+            let mops = n as f64 * 1e3 / report.mean_ns;
+            format!("  {mops:.3} Melem/s")
+        }
+        None => String::new(),
+    };
+    eprintln!("  {label:<40} {:>12.1} ns/iter{extra}", report.mean_ns);
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_times_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(1));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline mini property-testing framework exposing the subset of the
+//! `proptest` API this workspace uses: the `proptest!` macro, `any::<T>()`,
+//! integer-range / tuple strategies, `prop::collection::{vec, btree_map,
+//! btree_set}`, `prop::option::of`, `prop::sample::select`, `.prop_map`, and
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Design deltas vs. real proptest, on purpose:
+//! * no shrinking — a failing case reports the generated inputs, the seed,
+//!   and the case index instead;
+//! * generation is driven by one deterministic splitmix64 stream per test
+//!   (seeded from the test name), so CI failures reproduce locally byte for
+//!   byte.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prop {
+    //! The `prop::` namespace (`prop::collection::vec` etc.).
+    pub use crate::strategy::{collection, option, sample};
+}
+
+pub mod prelude {
+    //! Everything a `use proptest::prelude::*;` consumer expects.
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Run one property: `cases` iterations of generate-then-check, with the
+/// failure report carrying seed + case + generated inputs. Used by the
+/// `proptest!` macro; not part of the public proptest API.
+pub fn run_property<V: std::fmt::Debug>(
+    test_name: &str,
+    cases: u32,
+    mut generate: impl FnMut(&mut test_runner::TestRng) -> V,
+    mut check: impl FnMut(V) -> Result<(), test_runner::TestCaseError>,
+) {
+    let seed = test_runner::seed_for(test_name);
+    let mut rng = test_runner::TestRng::new(seed);
+    for case in 0..cases {
+        let value = generate(&mut rng);
+        let described = format!("{value:?}");
+        if let Err(e) = check(value) {
+            panic!(
+                "proptest: property `{test_name}` failed at case {case}/{cases} \
+                 (seed 0x{seed:016x})\n  inputs: {described}\n  {e}"
+            );
+        }
+    }
+}
+
+/// The property-test entry macro. Supports an optional
+/// `#![proptest_config(...)]` header and any number of
+/// `fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg); $($rest)*);
+    };
+    (@funcs ($cfg:expr); ) => {};
+    (@funcs ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::run_property(
+                stringify!($name),
+                __cfg.cases,
+                |__rng| ( $( $crate::strategy::Strategy::new_value(&($strat), __rng) ),+ , ),
+                |__vals| {
+                    let ( $($pat),+ , ) = __vals;
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+        $crate::proptest!(@funcs ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Fail the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n  right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n  right: {:?}",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Fail the current property case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges stay in bounds; doc comments parse as metas.
+        fn ranges_in_bounds(a in 5u64..50, b in 1usize..9) {
+            prop_assert!((5..50).contains(&a));
+            prop_assert!((1..9).contains(&b));
+        }
+
+        fn vec_respects_len(v in prop::collection::vec(any::<u8>(), 3..17)) {
+            prop_assert!((3..17).contains(&v.len()));
+        }
+
+        fn tuples_and_map(
+            (x, y) in (any::<u32>(), 0u64..7),
+            z in prop::sample::select(vec![10u8, 20, 30]),
+        ) {
+            prop_assert!(y < 7);
+            prop_assert!(z % 10 == 0);
+            let _ = x;
+        }
+
+        fn btree_set_sizes(s in prop::collection::btree_set(any::<u16>(), 1..40)) {
+            prop_assert!(!s.is_empty() && s.len() < 40);
+        }
+
+        fn option_of_mixes(o in prop::option::of(any::<bool>())) {
+            // Either branch fine; just exercise the codepath.
+            let _ = o;
+        }
+
+        fn mapped_strategy(v in (0u64..100).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0 && v < 200);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        let mut a = crate::test_runner::TestRng::new(crate::test_runner::seed_for("t"));
+        let mut b = crate::test_runner::TestRng::new(crate::test_runner::seed_for("t"));
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_reports_inputs() {
+        crate::run_property(
+            "always_fails",
+            8,
+            |rng| rng.next_u64(),
+            |_| Err(crate::test_runner::TestCaseError::fail("nope".into())),
+        );
+    }
+}

@@ -1,0 +1,388 @@
+//! Value-generation strategies: `any`, ranges, tuples, collections,
+//! `prop_map`, `select`, `option::of`.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value from `rng`.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+// A strategy behind any pointer is still a strategy.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + Debug {
+    /// Draw a uniform value of the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly ASCII, occasionally wider.
+        if rng.chance(9, 10) {
+            (0x20 + rng.below(0x5f) as u32) as u8 as char
+        } else {
+            char::from_u32(rng.below(0xD7FF) as u32).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    rng.next_u64() as $t
+                } else {
+                    lo + rng.below(span + 1) as $t
+                }
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A);
+    (0 A, 1 B);
+    (0 A, 1 B, 2 C);
+    (0 A, 1 B, 2 C, 3 D);
+    (0 A, 1 B, 2 C, 3 D, 4 E);
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F);
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G);
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H);
+}
+
+/// Collection size specifier: a fixed count or a `usize` range.
+pub trait SizeBounds {
+    /// Draw a size.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+    /// Largest size this bound can produce (used to cap retries).
+    fn upper(&self) -> usize;
+}
+
+impl SizeBounds for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+    fn upper(&self) -> usize {
+        *self
+    }
+}
+
+impl SizeBounds for std::ops::Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        rng.usize_in(self.start, self.end)
+    }
+    fn upper(&self) -> usize {
+        self.end.saturating_sub(1)
+    }
+}
+
+impl SizeBounds for std::ops::RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.usize_in(*self.start(), *self.end() + 1)
+    }
+    fn upper(&self) -> usize {
+        *self.end()
+    }
+}
+
+pub mod collection {
+    //! `prop::collection::{vec, btree_map, btree_set}`.
+
+    use super::*;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// A `Vec` of values from `element`, sized by `size`.
+    pub fn vec<S: Strategy, B: SizeBounds>(element: S, size: B) -> VecStrategy<S, B> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, B> {
+        element: S,
+        size: B,
+    }
+
+    impl<S: Strategy, B: SizeBounds> Strategy for VecStrategy<S, B> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A `BTreeMap` with keys from `key`, values from `value`, sized by
+    /// `size`. Duplicate keys count once; generation retries a bounded
+    /// number of times, then accepts a smaller map.
+    pub fn btree_map<K, V, B>(key: K, value: V, size: B) -> BTreeMapStrategy<K, V, B>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        B: SizeBounds,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    /// Strategy returned by [`btree_map`].
+    pub struct BTreeMapStrategy<K, V, B> {
+        key: K,
+        value: V,
+        size: B,
+    }
+
+    impl<K, V, B> Strategy for BTreeMapStrategy<K, V, B>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        B: SizeBounds,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let want = self.size.pick(rng);
+            let mut out = BTreeMap::new();
+            let budget = want * 4 + 16;
+            for _ in 0..budget {
+                if out.len() >= want {
+                    break;
+                }
+                out.insert(self.key.new_value(rng), self.value.new_value(rng));
+            }
+            out
+        }
+    }
+
+    /// A `BTreeSet` of values from `element`, sized by `size` (bounded
+    /// retries on duplicates, like [`btree_map`]).
+    pub fn btree_set<S, B>(element: S, size: B) -> BTreeSetStrategy<S, B>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        B: SizeBounds,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    pub struct BTreeSetStrategy<S, B> {
+        element: S,
+        size: B,
+    }
+
+    impl<S, B> Strategy for BTreeSetStrategy<S, B>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        B: SizeBounds,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let want = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let budget = want * 4 + 16;
+            for _ in 0..budget {
+                if out.len() >= want {
+                    break;
+                }
+                out.insert(self.element.new_value(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    //! `prop::option::of`.
+
+    use super::*;
+
+    /// `Some` values from `inner` about 80% of the time, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.chance(4, 5) {
+                Some(self.inner.new_value(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! `prop::sample::select`.
+
+    use super::*;
+
+    /// Pick uniformly from `choices` (must be non-empty).
+    pub fn select<T: Clone + Debug>(choices: Vec<T>) -> Select<T> {
+        assert!(!choices.is_empty(), "select from empty list");
+        Select { choices }
+    }
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T> {
+        choices: Vec<T>,
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.choices[rng.usize_in(0, self.choices.len())].clone()
+        }
+    }
+
+    /// An index into a collection whose size is only known at use time
+    /// (subset of proptest's `sample::Index`): draw with `any::<Index>()`,
+    /// resolve with [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a collection of `size` elements (`0..size`;
+        /// returns 0 when `size` is 0).
+        pub fn index(&self, size: usize) -> usize {
+            if size == 0 {
+                0
+            } else {
+                (self.0 % size as u64) as usize
+            }
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}

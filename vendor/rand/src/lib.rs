@@ -1,0 +1,201 @@
+//! Offline minimal stand-in for the `rand` crate: a splitmix64 core behind
+//! the familiar `Rng`/`SeedableRng` traits, `thread_rng()`, and `gen_range`
+//! over half-open integer ranges. Not cryptographic; test/bench use only.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+/// Sources of randomness.
+pub trait Rng {
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniform bits.
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    /// A uniform value of a sampleable type.
+    fn gen<T: Sampleable>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform value in `[range.start, range.end)`.
+    fn gen_range<T: RangeSample>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// True with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+
+    /// Fill `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bits = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bits[..chunk.len()]);
+        }
+    }
+}
+
+/// Types constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types with a canonical uniform sampling.
+pub trait Sampleable {
+    /// Draw a uniform value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! sampleable_int {
+    ($($t:ty),*) => {$(
+        impl Sampleable for $t {
+            fn sample<R: Rng>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+sampleable_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Sampleable for bool {
+    fn sample<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Sampleable for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Integer types sampleable over a half-open range.
+pub trait RangeSample: Sized {
+    /// Draw a uniform value in `[range.start, range.end)`.
+    fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_range<R: Rng>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+range_sample!(u8, u16, u32, u64, usize);
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::*;
+
+    /// A small fast splitmix64 generator.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            SmallRng { state: seed ^ 0x9E3779B97F4A7C15 }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Alias: the "standard" generator is the same splitmix64 core here.
+    pub type StdRng = SmallRng;
+}
+
+thread_local! {
+    static THREAD_RNG_STATE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A per-thread generator seeded from the thread id + a global counter.
+pub struct ThreadRng;
+
+impl Rng for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        THREAD_RNG_STATE.with(|s| {
+            let mut state = s.get();
+            if state == 0 {
+                // Lazy seed: address entropy + time.
+                let t = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0x1234_5678);
+                state = t ^ (&s as *const _ as u64) | 1;
+            }
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            s.set(state);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        })
+    }
+}
+
+/// The per-thread generator.
+pub fn thread_rng() -> ThreadRng {
+    ThreadRng
+}
+
+/// One uniform value from the per-thread generator.
+pub fn random<T: Sampleable>() -> T {
+    T::sample(&mut thread_rng())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+        }
+        let b: bool = rng.gen();
+        let _ = b;
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+    }
+}
