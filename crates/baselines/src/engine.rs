@@ -53,6 +53,13 @@ pub trait Engine: Send + Sync {
     fn remote_space_used(&self) -> u64 {
         0
     }
+
+    /// Compute-side telemetry: op latency histograms, breakdown spans and
+    /// counters (DESIGN.md §8). `None` for engines without instrumentation;
+    /// RDMA verb traffic is attached by the caller from the fabric.
+    fn telemetry(&self) -> Option<dlsm_telemetry::TelemetrySnapshot> {
+        None
+    }
 }
 
 /// Thread-local read handle.

@@ -76,6 +76,10 @@ impl Engine for DlsmEngine {
     fn remote_space_used(&self) -> u64 {
         self.db.shards().iter().map(|s| s.remote_flush_in_use()).sum()
     }
+
+    fn telemetry(&self) -> Option<dlsm_telemetry::TelemetrySnapshot> {
+        Some(self.db.telemetry_snapshot())
+    }
 }
 
 struct LsmReader {
@@ -257,6 +261,9 @@ mod tests {
         ];
         for e in &engines {
             exercise(e, 1_200);
+            let tel = e.telemetry().expect("LSM engines expose telemetry");
+            assert_eq!(tel.counter("puts"), 1_200, "{}", e.name());
+            assert_eq!(tel.op(dlsm_telemetry::OpClass::Put).count(), 1_200, "{}", e.name());
             e.shutdown();
         }
         server.shutdown();

@@ -17,13 +17,21 @@
 //!   --reads       ops for read/mixed phases                (default = num)
 //!   --scale       network cost scale (1.0 = EDR)           (default 1.0)
 //!   --cores       memory-node compaction cores             (default 12)
+//!   --json        output path for the machine-readable run summary
+//!                 (default BENCH_<system>.json)
 //! ```
+//!
+//! Besides the throughput lines, every run renders a latency-percentile
+//! table and writes a `BENCH_<system>.json` with per-phase throughput,
+//! latency quantiles and RDMA verb traffic, plus the engine's and memory
+//! nodes' full telemetry snapshots (DESIGN.md §8).
 
-use dlsm_bench::harness::{run_fill, run_mixed, run_random_read, run_scan};
-use dlsm_bench::report::fmt_mops;
+use dlsm_bench::harness::{run_fill, run_mixed, run_random_read, run_scan, PhaseResult};
+use dlsm_bench::report::{fmt_mops, fmt_us, Table};
 use dlsm_bench::setup::{build_scenario, SystemKind};
 use dlsm_bench::workload::WorkloadSpec;
-use rdma_sim::{NetworkProfile, Verb};
+use dlsm_telemetry::{write_hist_json, JsonWriter};
+use rdma_sim::{NetworkProfile, StatsSnapshot, Verb};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +49,7 @@ fn main() {
     let mut reads: Option<u64> = None;
     let mut scale = 1.0f64;
     let mut cores = 12usize;
+    let mut json_path: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -56,6 +65,7 @@ fn main() {
             "--reads" => reads = Some(value.parse().expect("--reads")),
             "--scale" => scale = value.parse().expect("--scale"),
             "--cores" => cores = value.parse().expect("--cores"),
+            "--json" => json_path = Some(value),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -86,8 +96,11 @@ fn main() {
     );
     let sc = build_scenario(kind, &spec, profile, cores);
     let before = sc.fabric.stats().snapshot();
+    // (phase result, fabric traffic that phase caused).
+    let mut results: Vec<(PhaseResult, StatsSnapshot)> = Vec::new();
     let mut filled = false;
     for bench in &benchmarks {
+        let phase_before = sc.fabric.stats().snapshot();
         let result = match bench.as_str() {
             "randomfill" => {
                 let r = run_fill(sc.engine.as_ref(), &spec, threads);
@@ -121,7 +134,28 @@ fn main() {
             result.elapsed.as_secs_f64(),
             fmt_mops(result.mops()),
         );
+        let phase_traffic = sc.fabric.stats().snapshot().delta(&phase_before);
+        results.push((result, phase_traffic));
     }
+
+    let mut lat = Table::new(
+        format!("{} latency (us)", sc.engine.name()),
+        &["phase", "ops", "Mops/s", "p50", "p90", "p99", "p99.9", "max"],
+    );
+    for (r, _) in &results {
+        lat.row(vec![
+            r.phase.clone(),
+            r.ops.to_string(),
+            fmt_mops(r.mops()),
+            fmt_us(r.lat.p50()),
+            fmt_us(r.lat.p90()),
+            fmt_us(r.lat.p99()),
+            fmt_us(r.lat.p999()),
+            fmt_us(r.lat.max()),
+        ]);
+    }
+    lat.print();
+
     let traffic = sc.fabric.stats().snapshot().delta(&before);
     println!(
         "network: {:.1} MiB read / {:.1} MiB written / {} sends; remote space {:.1} MiB",
@@ -132,7 +166,99 @@ fn main() {
             + sc.servers.iter().map(|s| s.compaction_zone_in_use()).sum::<u64>()) as f64
             / (1 << 20) as f64,
     );
+
+    let path = json_path.unwrap_or_else(|| format!("BENCH_{}.json", sanitize(&system)));
+    let json = run_json(&system, &spec, threads, scale, &sc, &results, &traffic);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
     sc.shutdown();
+}
+
+/// The machine-readable run summary: configuration, per-phase throughput +
+/// latency quantiles + attributed RDMA traffic, global per-verb traffic,
+/// and the engine/server telemetry snapshots.
+fn run_json(
+    system: &str,
+    spec: &WorkloadSpec,
+    threads: usize,
+    scale: f64,
+    sc: &dlsm_bench::setup::Scenario,
+    results: &[(PhaseResult, StatsSnapshot)],
+    traffic: &StatsSnapshot,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("system", system);
+    w.field_str("engine", sc.engine.name());
+    w.field_u64("num", spec.num_kv);
+    w.field_u64("threads", threads as u64);
+    w.field_u64("key_size", spec.key_size as u64);
+    w.field_u64("value_size", spec.value_size as u64);
+    w.field_f64("scale", scale);
+    w.key("phases");
+    w.begin_array();
+    for (r, phase_traffic) in results {
+        w.begin_object();
+        w.field_str("phase", &r.phase);
+        w.field_u64("threads", r.threads as u64);
+        w.field_u64("ops", r.ops);
+        w.field_f64("seconds", r.elapsed.as_secs_f64());
+        w.field_f64("mops", r.mops());
+        w.key("latency");
+        write_hist_json(&mut w, &r.lat);
+        w.key("rdma");
+        write_verb_traffic(&mut w, phase_traffic);
+        w.end_object();
+    }
+    w.end_array();
+    // Global fabric traffic across the whole run, per verb — every flush,
+    // compaction and foreground op, whoever issued it.
+    w.key("rdma");
+    write_verb_traffic(&mut w, traffic);
+    w.field_u64("remote_space_bytes", sc.engine.remote_space_used());
+    w.key("engine_telemetry");
+    match sc.engine.telemetry() {
+        Some(snap) => {
+            w.begin_object();
+            snap.write_json_fields(&mut w);
+            w.end_object();
+        }
+        None => w.value_str("unavailable"),
+    }
+    let mut servers = dlsm_telemetry::TelemetrySnapshot::new();
+    for s in &sc.servers {
+        servers.merge(&s.telemetry_snapshot());
+    }
+    w.key("server_telemetry");
+    w.begin_object();
+    servers.write_json_fields(&mut w);
+    w.end_object();
+    w.end_object();
+    let mut out = w.finish();
+    out.push('\n');
+    out
+}
+
+/// Per-verb `{ops, bytes}` map covering every verb (zeros included, so the
+/// key set is stable for downstream tooling).
+fn write_verb_traffic(w: &mut JsonWriter, s: &StatsSnapshot) {
+    w.begin_object();
+    for v in Verb::ALL {
+        w.key(v.name());
+        w.begin_object();
+        w.field_u64("ops", s.ops(v));
+        w.field_u64("bytes", s.bytes(v));
+        w.end_object();
+    }
+    w.end_object();
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect()
 }
 
 fn ensure_filled(

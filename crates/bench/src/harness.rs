@@ -1,9 +1,14 @@
 //! Multi-threaded benchmark drivers.
+//!
+//! Every driver samples per-operation latency with one `Instant::now()`
+//! pair per op into a thread-local [`LocalHist`] (two integer adds on the
+//! hot path), merged into the [`PhaseResult`] when the phase ends.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use dlsm_baselines::Engine;
+use dlsm_telemetry::{HistSnapshot, LocalHist};
 
 use crate::workload::{fill_indices, Phase, WorkloadRng, WorkloadSpec};
 
@@ -20,6 +25,8 @@ pub struct PhaseResult {
     pub ops: u64,
     /// Wall-clock duration.
     pub elapsed: Duration,
+    /// Per-op latency distribution (nanoseconds), merged across threads.
+    pub lat: HistSnapshot,
 }
 
 impl PhaseResult {
@@ -35,22 +42,53 @@ impl PhaseResult {
     pub fn mops(&self) -> f64 {
         self.ops_per_sec() / 1e6
     }
+
+    /// Latency quantile in microseconds.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.lat.quantile(q) as f64 / 1_000.0
+    }
+
+    /// Median per-op latency in microseconds.
+    pub fn p50_us(&self) -> f64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 99th-percentile per-op latency in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.quantile_us(0.99)
+    }
+}
+
+/// Merge per-thread histograms collected by a scoped-thread phase.
+fn merge_locals(locals: Vec<LocalHist>) -> HistSnapshot {
+    let mut all = LocalHist::new();
+    for l in &locals {
+        all.merge(l);
+    }
+    all.snapshot()
 }
 
 /// `randomfill`: every key written exactly once, in spread-random order,
 /// from `threads` writers.
 pub fn run_fill(engine: &dyn Engine, spec: &WorkloadSpec, threads: usize) -> PhaseResult {
     let t0 = Instant::now();
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            s.spawn(move || {
-                for i in fill_indices(spec, t as u64, threads as u64) {
-                    let key = spec.key(i);
-                    let value = spec.value(i, 0);
-                    engine.put(&key, &value).expect("fill put");
-                }
-            });
-        }
+    let locals = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut lat = LocalHist::new();
+                    for i in fill_indices(spec, t as u64, threads as u64) {
+                        let key = spec.key(i);
+                        let value = spec.value(i, 0);
+                        let op0 = Instant::now();
+                        engine.put(&key, &value).expect("fill put");
+                        lat.record_elapsed(op0.elapsed());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("fill worker")).collect()
     });
     PhaseResult {
         phase: Phase::RandomFill.name(),
@@ -58,6 +96,7 @@ pub fn run_fill(engine: &dyn Engine, spec: &WorkloadSpec, threads: usize) -> Pha
         threads,
         ops: spec.num_kv,
         elapsed: t0.elapsed(),
+        lat: merge_locals(locals),
     }
 }
 
@@ -71,27 +110,33 @@ pub fn run_random_read(
     let done = AtomicU64::new(0);
     let misses = AtomicU64::new(0);
     let t0 = Instant::now();
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            let done = &done;
-            let misses = &misses;
-            s.spawn(move || {
-                let mut rng = WorkloadRng::new(0xBEE5 + t as u64);
-                let mut reader = engine.reader();
-                let per = ops / threads as u64 + u64::from(t as u64 == 0) * (ops % threads as u64);
-                for _ in 0..per {
-                    let i = rng.below(spec.num_kv);
-                    let key = spec.key(i);
-                    match reader.get(&key).expect("read") {
-                        Some(_) => {}
-                        None => {
+    let locals = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let done = &done;
+                let misses = &misses;
+                s.spawn(move || {
+                    let mut lat = LocalHist::new();
+                    let mut rng = WorkloadRng::new(0xBEE5 + t as u64);
+                    let mut reader = engine.reader();
+                    let per =
+                        ops / threads as u64 + u64::from(t as u64 == 0) * (ops % threads as u64);
+                    for _ in 0..per {
+                        let i = rng.below(spec.num_kv);
+                        let key = spec.key(i);
+                        let op0 = Instant::now();
+                        let got = reader.get(&key).expect("read");
+                        lat.record_elapsed(op0.elapsed());
+                        if got.is_none() {
                             misses.fetch_add(1, Ordering::Relaxed);
                         }
                     }
-                }
-                done.fetch_add(per, Ordering::Relaxed);
-            });
-        }
+                    done.fetch_add(per, Ordering::Relaxed);
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("read worker")).collect()
     });
     let ops_done = done.load(Ordering::Relaxed);
     let missed = misses.load(Ordering::Relaxed);
@@ -106,14 +151,19 @@ pub fn run_random_read(
         threads,
         ops: ops_done,
         elapsed: t0.elapsed(),
+        lat: merge_locals(locals),
     }
 }
 
-/// `readseq`: one full forward scan; `ops` = entries visited.
+/// `readseq`: one full forward scan; `ops` = entries visited. The latency
+/// histogram holds one sample — the whole scan (per-entry `scan_next` time
+/// lives in the engine's own telemetry).
 pub fn run_scan(engine: &dyn Engine, expected: u64) -> PhaseResult {
     let t0 = Instant::now();
     let mut reader = engine.reader();
+    let mut lat = LocalHist::new();
     let n = reader.scan_all().expect("scan");
+    lat.record_elapsed(t0.elapsed());
     assert!(
         n >= expected / 2,
         "{}: scan visited {n} of {expected} entries",
@@ -125,6 +175,7 @@ pub fn run_scan(engine: &dyn Engine, expected: u64) -> PhaseResult {
         threads: 1,
         ops: n,
         elapsed: t0.elapsed(),
+        lat: lat.snapshot(),
     }
 }
 
@@ -138,22 +189,31 @@ pub fn run_mixed(
     read_pct: u8,
 ) -> PhaseResult {
     let t0 = Instant::now();
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            s.spawn(move || {
-                let mut rng = WorkloadRng::new(0x5EED + t as u64);
-                let mut reader = engine.reader();
-                let per = ops / threads as u64;
-                for n in 0..per {
-                    let i = rng.below(spec.num_kv);
-                    if rng.below(100) < u64::from(read_pct) {
-                        let _ = reader.get(&spec.key(i)).expect("mixed read");
-                    } else {
-                        engine.put(&spec.key(i), &spec.value(i, n + 1)).expect("mixed write");
+    let locals = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut lat = LocalHist::new();
+                    let mut rng = WorkloadRng::new(0x5EED + t as u64);
+                    let mut reader = engine.reader();
+                    let per = ops / threads as u64;
+                    for n in 0..per {
+                        let i = rng.below(spec.num_kv);
+                        if rng.below(100) < u64::from(read_pct) {
+                            let op0 = Instant::now();
+                            let _ = reader.get(&spec.key(i)).expect("mixed read");
+                            lat.record_elapsed(op0.elapsed());
+                        } else {
+                            let op0 = Instant::now();
+                            engine.put(&spec.key(i), &spec.value(i, n + 1)).expect("mixed write");
+                            lat.record_elapsed(op0.elapsed());
+                        }
                     }
-                }
-            });
-        }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("mixed worker")).collect()
     });
     PhaseResult {
         phase: Phase::Mixed { read_pct }.name(),
@@ -161,6 +221,7 @@ pub fn run_mixed(
         threads,
         ops: (ops / threads as u64) * threads as u64,
         elapsed: t0.elapsed(),
+        lat: merge_locals(locals),
     }
 }
 
@@ -194,16 +255,23 @@ mod tests {
         let fill = run_fill(&engine, &spec, 4);
         assert_eq!(fill.ops, 5_000);
         assert!(fill.mops() > 0.0);
+        // Every op contributed exactly one latency sample.
+        assert_eq!(fill.lat.count(), 5_000);
+        assert!(fill.p50_us() <= fill.p99_us());
         engine.wait_until_quiescent();
 
         let rr = run_random_read(&engine, &spec, 4, 2_000);
         assert_eq!(rr.ops, 2_000);
+        assert_eq!(rr.lat.count(), 2_000);
+        assert!(rr.lat.p99() <= rr.lat.max());
 
         let scan = run_scan(&engine, spec.num_kv);
         assert_eq!(scan.ops, 5_000);
+        assert_eq!(scan.lat.count(), 1);
 
         let mixed = run_mixed(&engine, &spec, 2, 1_000, 50);
         assert_eq!(mixed.ops, 1_000);
+        assert_eq!(mixed.lat.count(), 1_000);
 
         engine.shutdown();
         server.shutdown();

@@ -64,6 +64,19 @@ impl Table {
     }
 }
 
+/// Format a latency given in nanoseconds as microseconds with sensible
+/// precision (histogram buckets are ≤12.5% wide — more digits would lie).
+pub fn fmt_us(nanos: u64) -> String {
+    let us = nanos as f64 / 1_000.0;
+    if us >= 100.0 {
+        format!("{us:.0}")
+    } else if us >= 1.0 {
+        format!("{us:.1}")
+    } else {
+        format!("{us:.2}")
+    }
+}
+
 /// Format a throughput in M ops/s with sensible precision.
 pub fn fmt_mops(mops: f64) -> String {
     if mops >= 10.0 {
@@ -96,5 +109,12 @@ mod tests {
         assert_eq!(fmt_mops(12.345), "12.3");
         assert_eq!(fmt_mops(1.234), "1.23");
         assert_eq!(fmt_mops(0.01234), "0.0123");
+    }
+
+    #[test]
+    fn us_formatting() {
+        assert_eq!(fmt_us(123_456), "123");
+        assert_eq!(fmt_us(12_345), "12.3");
+        assert_eq!(fmt_us(123), "0.12");
     }
 }

@@ -17,6 +17,7 @@ use dlsm::handle::Origin;
 use dlsm::{ComputeContext, Db, DbConfig, DbReader, MemNodeHandle};
 use dlsm_chaos::{kb, script, CrashDriver};
 use dlsm_memnode::{MemServer, MemServerConfig, RetryPolicy};
+use dlsm_telemetry::OpClass;
 use rdma_sim::{ChaosPlan, Fabric, NetworkProfile, Verb};
 
 const KEY_SPACE: u64 = 1_200;
@@ -181,6 +182,46 @@ fn run_chaos(seed: u64) {
         .map(|i| i.unwrap_or_else(|e| panic!("seed {seed:#x}: scan item failed: {e:?}")))
         .collect();
     assert_eq!(got, want, "seed {seed:#x}: scan diverged");
+
+    // Telemetry consistency (DESIGN.md §8): drops, retries and the
+    // crash-restart must leave the counters coherent with each other, not
+    // just the data intact.
+    //
+    // 1. Every acked single-key mutation recorded exactly one Put latency
+    //    sample — retries dedup to one ack, so the histogram must agree
+    //    with the put/delete counters, not the attempt count.
+    let tel = db.telemetry_snapshot();
+    let stats = db.stats().snapshot();
+    assert_eq!(
+        tel.op(OpClass::Put).count(),
+        stats.puts + stats.deletes,
+        "seed {seed:#x}: put histogram diverged from acked-op counters"
+    );
+    // 2. Everything the flush path accounted as durably written crossed the
+    //    fabric as RDMA WRITEs; dropped completions and retried flushes can
+    //    only push fabric write bytes *above* the accounted flush bytes.
+    let fab = fabric.stats().snapshot();
+    let written = fab.bytes(Verb::Write) + fab.bytes(Verb::WriteImm);
+    assert!(
+        written >= stats.flush_bytes,
+        "seed {seed:#x}: fabric write bytes ({written}) below accounted flush bytes ({})",
+        stats.flush_bytes
+    );
+    // 3. Dedup bookkeeping: the server only replays (or drops a duplicate
+    //    of) a request some client retransmitted, so replays + dup-drops
+    //    are bounded by the clients' aggregate retry count — and a crash
+    //    window this disruptive must have caused at least one retry.
+    let (retries, reconnects) = db.telemetry().net.totals();
+    let replayed = server.stats().replays.load(Ordering::Relaxed)
+        + server.stats().dup_dropped.load(Ordering::Relaxed);
+    assert!(
+        replayed <= retries,
+        "seed {seed:#x}: {replayed} server replays/dup-drops but only {retries} client retries"
+    );
+    assert!(
+        retries > 0,
+        "seed {seed:#x}: crash window caused no RPC retries ({reconnects} reconnects)"
+    );
 
     // Leak accounting: sum the extents the surviving version references,
     // by zone; after shutdown drains the GC queue, each allocator must hold

@@ -20,7 +20,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use dlsm_memnode::{CompactArgs, InputTable, RpcClient, TableFormat};
+use dlsm_memnode::{ClientNetStats, CompactArgs, InputTable, RpcClient, TableFormat};
 use dlsm_sstable::byte_addr::{ByteAddrBuilder, TableMeta};
 use dlsm_sstable::block::BlockTableBuilder;
 use dlsm_sstable::coding::get_len_prefixed;
@@ -261,6 +261,7 @@ pub fn run_near_data(
     gc: &Arc<GcSink>,
     next_id: &dyn Fn() -> u64,
     clients: &mut Vec<RpcClient>,
+    net: &Arc<ClientNetStats>,
 ) -> Result<CompactionOutcome> {
     let inputs: Vec<InputTable> = job
         .all_inputs()
@@ -271,7 +272,8 @@ pub fn run_near_data(
     while clients.len() < ranges.len() {
         clients.push(
             RpcClient::new(ctx.fabric(), ctx.node(), memnode.node_id(), cfg.rpc_buf_size)?
-                .with_policy(cfg.rpc_retry),
+                .with_policy(cfg.rpc_retry)
+                .with_net_stats(Arc::clone(net)),
         );
     }
 
@@ -389,6 +391,7 @@ pub fn run_local(
     smallest_snapshot: SeqNo,
     gc: &Arc<GcSink>,
     next_id: &dyn Fn() -> u64,
+    net: &Arc<ClientNetStats>,
 ) -> Result<CompactionOutcome> {
     let boundaries = pick_boundaries(job, cfg.compaction_subtasks.max(1));
     let ranges = subranges(&boundaries);
@@ -410,7 +413,7 @@ pub fn run_local(
         for (lo, hi) in &ranges {
             let job = &*job;
             handles.push(scope.spawn(move || -> Result<SubResult> {
-                let channel = read_channel_for(ctx, memnode, cfg)?;
+                let channel = read_channel_for(ctx, memnode, cfg, net)?;
                 let iters: Vec<Box<dyn ForwardIter>> = job
                     .all_inputs()
                     .map(|t| crate::remote::table_iter(&channel, t, cfg.scan_prefetch))
@@ -487,7 +490,8 @@ pub fn run_local(
         crate::config::DataPath::OneSided => None,
         crate::config::DataPath::TwoSidedRpc => Some(
             RpcClient::new(ctx.fabric(), ctx.node(), memnode.node_id(), (1 << 20) + (64 << 10))?
-                .with_policy(cfg.rpc_retry),
+                .with_policy(cfg.rpc_retry)
+                .with_net_stats(Arc::clone(net)),
         ),
     };
     let mut outcome = CompactionOutcome { outputs: Vec::new(), records_in: 0, records_out: 0 };
@@ -533,7 +537,7 @@ pub fn run_local(
         for (image, s, l, n) in sr.block_staged {
             let extent = write_back(&image)?;
             let TableFormat::Block(bs) = cfg.format else { unreachable!() };
-            let channel = read_channel_for(ctx, memnode, cfg)?;
+            let channel = read_channel_for(ctx, memnode, cfg, net)?;
             let source = crate::remote::RemoteSource::new(
                 channel,
                 memnode.remote().addr(extent.offset),
@@ -562,6 +566,7 @@ fn read_channel_for(
     ctx: &ComputeContext,
     memnode: &MemNodeHandle,
     cfg: &DbConfig,
+    net: &Arc<ClientNetStats>,
 ) -> Result<crate::remote::ReadChannel> {
     match cfg.data_path {
         crate::config::DataPath::OneSided => Ok(crate::remote::ReadChannel::one_sided(
@@ -575,7 +580,8 @@ fn read_channel_for(
                     memnode.node_id(),
                     cfg.scan_prefetch + (64 << 10),
                 )?
-                .with_policy(cfg.rpc_retry),
+                .with_policy(cfg.rpc_retry)
+                .with_net_stats(Arc::clone(net)),
             ))
         }
     }

@@ -52,6 +52,7 @@ pub(crate) struct Shared {
     flush_tx: Sender<Arc<MemTable>>,
     pub(crate) gc: Arc<GcSink>,
     pub(crate) stats: DbStats,
+    pub(crate) telemetry: Arc<crate::telemetry::DbTelemetry>,
     stopping: AtomicBool,
     snapshots: Mutex<BTreeMap<SeqNo, usize>>,
     compaction_idle: AtomicBool,
@@ -113,7 +114,8 @@ impl Shared {
                     self.memnode.node_id(),
                     self.cfg.scan_prefetch + (64 << 10),
                 )?
-                .with_policy(self.cfg.rpc_retry),
+                .with_policy(self.cfg.rpc_retry)
+                .with_net_stats(Arc::clone(&self.telemetry.net)),
             )),
         }
     }
@@ -269,6 +271,7 @@ impl Shared {
             n < self.cfg.seq_range_width.max(2),
             "batch of {n} entries exceeds the MemTable sequence-range width"
         );
+        let t0 = Instant::now();
         self.wait_for_write_room()?;
         let _serializer = self.cfg.serialized_writes.then(|| self.write_serializer.lock());
         'refetch: loop {
@@ -323,18 +326,25 @@ impl Shared {
                         ValueType::Deletion => DbStats::bump(&self.stats.deletes),
                     }
                 }
+                // One Put sample per committed batch (not per entry).
+                self.telemetry.ops.record_elapsed(dlsm_telemetry::OpClass::Put, t0.elapsed());
                 return Ok(crate::batch::BatchCommit { first_seq: base, count: n });
             }
         }
     }
 
     fn write(&self, user_key: &[u8], value: &[u8], vt: ValueType) -> Result<SeqNo> {
+        let t0 = Instant::now();
         self.wait_for_write_room()?;
         let _serializer = self.cfg.serialized_writes.then(|| self.write_serializer.lock());
-        match self.cfg.switch_protocol {
+        let result = match self.cfg.switch_protocol {
             SwitchProtocol::SeqRange => self.write_seq_range(user_key, value, vt),
             SwitchProtocol::NaiveDoubleChecked => self.write_naive(user_key, value, vt),
+        };
+        if result.is_ok() {
+            self.telemetry.ops.record_elapsed(dlsm_telemetry::OpClass::Put, t0.elapsed());
         }
+        result
     }
 
     /// The dLSM write path (Sec. IV): the pre-assigned range decides which
@@ -463,6 +473,7 @@ impl Db {
             flush_tx,
             gc,
             stats: DbStats::default(),
+            telemetry: Arc::new(crate::telemetry::DbTelemetry::default()),
             stopping: AtomicBool::new(false),
             snapshots: Mutex::new(BTreeMap::new()),
             compaction_idle: AtomicBool::new(true),
@@ -533,6 +544,24 @@ impl Db {
     /// Database counters.
     pub fn stats(&self) -> &DbStats {
         &self.shared.stats
+    }
+
+    /// Live telemetry (latency histograms, breakdown spans, RPC counters).
+    pub fn telemetry(&self) -> &Arc<crate::telemetry::DbTelemetry> {
+        &self.shared.telemetry
+    }
+
+    /// A frozen telemetry snapshot: op/breakdown histograms plus every
+    /// [`DbStats`] counter. RDMA verb traffic is *not* included — attach it
+    /// from the fabric (or a reader's channel) with
+    /// [`crate::telemetry::verb_traffic`], so merging shard snapshots never
+    /// double-counts shared fabric counters.
+    pub fn telemetry_snapshot(&self) -> dlsm_telemetry::TelemetrySnapshot {
+        let mut s = self.shared.telemetry.snapshot();
+        for (name, v) in self.shared.stats.snapshot().named_counters() {
+            s.set_counter(name, v);
+        }
+        s
     }
 
     /// Tables per level of the current version.
@@ -786,7 +815,9 @@ impl Db {
                 self.shared.memnode.node_id(),
                 64 << 10,
             ) {
-                let mut client = client.with_policy(self.shared.cfg.rpc_retry);
+                let mut client = client
+                    .with_policy(self.shared.cfg.rpc_retry)
+                    .with_net_stats(Arc::clone(&self.shared.telemetry.net));
                 let _ = client.free_batch(&batch, Duration::from_secs(5));
             }
         }
@@ -839,6 +870,14 @@ pub struct DbReader {
 }
 
 impl DbReader {
+    /// Lifetime RDMA traffic carried by this reader's channel. Deltas
+    /// around a single `get` attribute its exact fetch/byte cost — e.g.
+    /// one point get on a byte-addressable table costs exactly one RDMA
+    /// READ (Sec. VI).
+    pub fn traffic(&self) -> rdma_sim::StatsSnapshot {
+        self.channel.traffic()
+    }
+
     /// Read the newest visible version of `key` at the current horizon.
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let seq = self.shared.read_horizon();
@@ -909,46 +948,112 @@ impl DbReader {
         version: &crate::version::Version,
     ) -> Result<Option<Vec<u8>>> {
         DbStats::bump(&self.shared.stats.gets);
+        let t0 = Instant::now();
+        let outcome = self.get_phases(key, seq, mems, version, t0);
+        if let Ok(found) = &outcome {
+            let class = if found.is_some() {
+                DbStats::bump(&self.shared.stats.get_hits);
+                dlsm_telemetry::OpClass::GetHit
+            } else {
+                dlsm_telemetry::OpClass::GetMiss
+            };
+            self.shared.telemetry.ops.record_elapsed(class, t0.elapsed());
+        }
+        outcome
+    }
+
+    /// The probe sequence of a point get, with per-phase breakdown spans
+    /// (MemTables / L0 / deeper levels) recorded into the telemetry.
+    fn get_phases(
+        &mut self,
+        key: &[u8],
+        seq: SeqNo,
+        mems: &[Arc<MemTable>],
+        version: &crate::version::Version,
+        t0: Instant,
+    ) -> Result<Option<Vec<u8>>> {
+        let tel = Arc::clone(&self.shared.telemetry);
         // MemTables, newest first. The first table holding any visible
         // version wins — correct because table seq ranges are disjoint and
         // ordered (Sec. IV).
         for mem in mems {
             match mem.get(key, seq) {
                 MemGet::Found(v) => {
-                    DbStats::bump(&self.shared.stats.get_hits);
+                    tel.get_memtable.record_elapsed(t0.elapsed());
                     return Ok(Some(v));
                 }
-                MemGet::Deleted => return Ok(None),
+                MemGet::Deleted => {
+                    tel.get_memtable.record_elapsed(t0.elapsed());
+                    return Ok(None);
+                }
                 MemGet::NotFound => {}
             }
         }
+        tel.get_memtable.record_elapsed(t0.elapsed());
         // L0: overlapping tables, newest first.
+        let t_l0 = Instant::now();
         for t in version.level(0) {
             if t.smallest_user() <= key && key <= t.largest_user() {
-                match table_get(&self.channel, t, key, seq)? {
+                let probe = self.probe_table(t, key, seq)?;
+                match probe {
                     TableGet::Found(v) => {
-                        DbStats::bump(&self.shared.stats.get_hits);
+                        tel.get_l0.record_elapsed(t_l0.elapsed());
                         return Ok(Some(v));
                     }
-                    TableGet::Deleted => return Ok(None),
+                    TableGet::Deleted => {
+                        tel.get_l0.record_elapsed(t_l0.elapsed());
+                        return Ok(None);
+                    }
                     TableGet::NotFound => {}
                 }
             }
         }
+        tel.get_l0.record_elapsed(t_l0.elapsed());
         // Deeper levels: at most one candidate table per level.
+        let t_deep = Instant::now();
         for level in 1..version.level_count() {
             if let Some(t) = version.table_for_key(level, key) {
-                match table_get(&self.channel, t, key, seq)? {
+                let probe = self.probe_table(t, key, seq)?;
+                match probe {
                     TableGet::Found(v) => {
-                        DbStats::bump(&self.shared.stats.get_hits);
+                        tel.get_deep.record_elapsed(t_deep.elapsed());
                         return Ok(Some(v));
                     }
-                    TableGet::Deleted => return Ok(None),
+                    TableGet::Deleted => {
+                        tel.get_deep.record_elapsed(t_deep.elapsed());
+                        return Ok(None);
+                    }
                     TableGet::NotFound => {}
                 }
             }
         }
+        tel.get_deep.record_elapsed(t_deep.elapsed());
         Ok(None)
+    }
+
+    /// One table probe, accounting bloom/index skips (byte-addressable
+    /// `NotFound` never fetches a record — Sec. VI) and hot-L0 cache hits.
+    fn probe_table(
+        &mut self,
+        t: &Arc<TableHandle>,
+        key: &[u8],
+        seq: SeqNo,
+    ) -> Result<TableGet> {
+        let local = t.local_copy().is_some();
+        let got = table_get(&self.channel, t, key, seq)?;
+        match &got {
+            TableGet::NotFound => {
+                if matches!(t.meta, MetaKind::ByteAddr(_)) {
+                    crate::telemetry::DbTelemetry::bump(&self.shared.telemetry.bloom_skips);
+                }
+            }
+            TableGet::Found(_) | TableGet::Deleted => {
+                if local {
+                    crate::telemetry::DbTelemetry::bump(&self.shared.telemetry.l0_cache_hits);
+                }
+            }
+        }
+        Ok(got)
     }
 
     /// Batched point lookups: all byte-addressable record fetches of one
@@ -1196,7 +1301,10 @@ fn flush_loop(shared: Arc<Shared>, rx: Receiver<Arc<MemTable>>) {
             shared.memnode.node_id(),
             shared.cfg.flush_buf_size + (64 << 10),
         )
-        .map(|c| c.with_policy(shared.cfg.rpc_retry))
+        .map(|c| {
+            c.with_policy(shared.cfg.rpc_retry)
+                .with_net_stats(Arc::clone(&shared.telemetry.net))
+        })
         .ok();
         if rpc.is_none() {
             return;
@@ -1236,6 +1344,7 @@ fn flush_loop(shared: Arc<Shared>, rx: Receiver<Arc<MemTable>>) {
         let mut attempts = 0u32;
         let out = loop {
             attempts += 1;
+            let t_flush = Instant::now();
             let mut transport = if two_sided {
                 FlushTransport::TwoSided(rpc.as_mut().expect("rpc client"))
             } else {
@@ -1252,7 +1361,13 @@ fn flush_loop(shared: Arc<Shared>, rx: Receiver<Arc<MemTable>>) {
                 want_local,
                 shared.cfg.flush_poll_timeout,
             ) {
-                Ok(out) => break Some(out),
+                Ok(out) => {
+                    shared
+                        .telemetry
+                        .ops
+                        .record_elapsed(dlsm_telemetry::OpClass::Flush, t_flush.elapsed());
+                    break Some(out);
+                }
                 Err(DbError::OutOfRemoteMemory { .. }) => {
                     if shared.stopping.load(Ordering::Acquire) {
                         break None;
@@ -1356,7 +1471,10 @@ fn compaction_loop(shared: Arc<Shared>) {
                     shared.memnode.node_id(),
                     256 << 10,
                 )
-                .map(|c| c.with_policy(shared.cfg.rpc_retry))
+                .map(|c| {
+                    c.with_policy(shared.cfg.rpc_retry)
+                        .with_net_stats(Arc::clone(&shared.telemetry.net))
+                })
                 .ok();
             }
             if let Some(c) = gc_client.as_mut() {
@@ -1383,6 +1501,7 @@ fn compaction_loop(shared: Arc<Shared>) {
 
         let smallest_snapshot = shared.smallest_snapshot();
         let next_id = || shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let t_compact = Instant::now();
         let result = if shared.cfg.near_data_compaction {
             run_near_data(
                 &job,
@@ -1393,6 +1512,7 @@ fn compaction_loop(shared: Arc<Shared>) {
                 &shared.gc,
                 &next_id,
                 &mut rpc_pool,
+                &shared.telemetry.net,
             )
         } else {
             run_local(
@@ -1403,10 +1523,15 @@ fn compaction_loop(shared: Arc<Shared>) {
                 smallest_snapshot,
                 &shared.gc,
                 &next_id,
+                &shared.telemetry.net,
             )
         };
         match result {
             Ok(outcome) => {
+                shared
+                    .telemetry
+                    .ops
+                    .record_elapsed(dlsm_telemetry::OpClass::CompactRpc, t_compact.elapsed());
                 consecutive_failures = 0;
                 let mut edit = VersionEdit::default();
                 edit.delete(job.level, job.inputs_lo.iter().map(|t| t.id).collect());

@@ -63,6 +63,7 @@ pub mod remote;
 pub mod scan;
 pub mod shard;
 pub mod stats;
+pub mod telemetry;
 pub mod version;
 
 pub use batch::{BatchCommit, WriteBatch};
@@ -71,7 +72,8 @@ pub use config::{DataPath, DbConfig, SwitchProtocol};
 pub use context::{ComputeContext, MemNodeHandle};
 pub use db::{Db, DbReader, Snapshot};
 pub use shard::ShardedDb;
-pub use stats::DbStats;
+pub use stats::{DbStats, DbStatsSnapshot};
+pub use telemetry::DbTelemetry;
 
 /// Errors surfaced by the database.
 #[derive(Debug, Clone, PartialEq, Eq)]

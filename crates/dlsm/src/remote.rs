@@ -51,6 +51,15 @@ impl ReadChannel {
     pub fn two_sided(client: RpcClient) -> ReadChannel {
         ReadChannel::TwoSided(Rc::new(RefCell::new(client)))
     }
+
+    /// Lifetime RDMA traffic carried by this channel — what this reader's
+    /// fetches cost the fabric, attributable per operation via deltas.
+    pub fn traffic(&self) -> rdma_sim::StatsSnapshot {
+        match self {
+            ReadChannel::OneSided(qp) => qp.borrow().traffic(),
+            ReadChannel::TwoSided(client) => client.borrow().traffic(),
+        }
+    }
 }
 
 /// [`DataSource`] over one remote table extent.

@@ -119,6 +119,7 @@ pub struct DbScan {
     have_last: bool,
     /// Exclusive upper bound on user keys (empty = unbounded).
     end: Vec<u8>,
+    telemetry: Arc<crate::telemetry::DbTelemetry>,
     // Pins: MemTables live through their iterators; the version's handles
     // keep SSTable extents alive.
     _version: Arc<Version>,
@@ -127,7 +128,7 @@ pub struct DbScan {
 
 impl DbScan {
     pub(crate) fn build(
-        _shared: &Arc<Shared>,
+        shared: &Arc<Shared>,
         channel: &ReadChannel,
         mems: Vec<Arc<MemTable>>,
         version: Arc<Version>,
@@ -162,6 +163,7 @@ impl DbScan {
             last_user: Vec::new(),
             have_last: false,
             end: Vec::new(),
+            telemetry: Arc::clone(&shared.telemetry),
             _version: version,
             _mems: mems,
         })
@@ -217,6 +219,13 @@ impl Iterator for DbScan {
     type Item = Result<(Vec<u8>, Vec<u8>)>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.step().transpose()
+        let t0 = std::time::Instant::now();
+        let item = self.step().transpose();
+        if item.is_some() {
+            self.telemetry
+                .ops
+                .record_elapsed(dlsm_telemetry::OpClass::ScanNext, t0.elapsed());
+        }
+        item
     }
 }

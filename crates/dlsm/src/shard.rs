@@ -105,6 +105,26 @@ impl ShardedDb {
         }
     }
 
+    /// Merged telemetry across all shards: histograms merge pointwise,
+    /// counters add. RDMA verb traffic is attached by the caller from the
+    /// fabric (shards share it; see [`crate::telemetry::verb_traffic`]).
+    pub fn telemetry_snapshot(&self) -> dlsm_telemetry::TelemetrySnapshot {
+        let mut merged = dlsm_telemetry::TelemetrySnapshot::new();
+        for s in &self.shards {
+            merged.merge(&s.telemetry_snapshot());
+        }
+        merged
+    }
+
+    /// Merged [`crate::DbStatsSnapshot`] across all shards.
+    pub fn stats_snapshot(&self) -> crate::stats::DbStatsSnapshot {
+        let mut merged = crate::stats::DbStatsSnapshot::default();
+        for s in &self.shards {
+            merged.merge(&s.stats().snapshot());
+        }
+        merged
+    }
+
     /// Wait for every shard to become quiescent.
     pub fn wait_until_quiescent(&self) {
         for s in &self.shards {

@@ -58,27 +58,156 @@ impl DbStats {
     pub fn stall_time(&self) -> Duration {
         Duration::from_nanos(self.stall_nanos.load(Ordering::Relaxed))
     }
+
+    /// A plain point-in-time copy of every counter. Call sites should use
+    /// this instead of reaching into the atomics one `Relaxed` load at a
+    /// time — the snapshot is `Copy`, diffable, and printable.
+    pub fn snapshot(&self) -> DbStatsSnapshot {
+        DbStatsSnapshot {
+            puts: Self::get(&self.puts),
+            deletes: Self::get(&self.deletes),
+            gets: Self::get(&self.gets),
+            get_hits: Self::get(&self.get_hits),
+            switches: Self::get(&self.switches),
+            reseqs: Self::get(&self.reseqs),
+            flushes: Self::get(&self.flushes),
+            flush_bytes: Self::get(&self.flush_bytes),
+            compactions: Self::get(&self.compactions),
+            compaction_subtasks: Self::get(&self.compaction_subtasks),
+            compaction_records_in: Self::get(&self.compaction_records_in),
+            compaction_records_out: Self::get(&self.compaction_records_out),
+            stall_events: Self::get(&self.stall_events),
+            stall_nanos: Self::get(&self.stall_nanos),
+            gc_batches: Self::get(&self.gc_batches),
+            gc_extents: Self::get(&self.gc_extents),
+        }
+    }
 }
 
-impl std::fmt::Display for DbStats {
+/// A frozen copy of [`DbStats`] — plain integers, `Copy`, with delta and
+/// merge for phase measurement and shard aggregation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DbStatsSnapshot {
+    /// Successful `put`s.
+    pub puts: u64,
+    /// Successful `delete`s.
+    pub deletes: u64,
+    /// `get` calls.
+    pub gets: u64,
+    /// `get` calls that found a live value.
+    pub get_hits: u64,
+    /// MemTable switches.
+    pub switches: u64,
+    /// Sequence numbers abandoned and re-fetched.
+    pub reseqs: u64,
+    /// Completed MemTable flushes.
+    pub flushes: u64,
+    /// Bytes written to remote memory by flushes.
+    pub flush_bytes: u64,
+    /// Completed compactions.
+    pub compactions: u64,
+    /// Sub-compaction tasks issued.
+    pub compaction_subtasks: u64,
+    /// Records read by compactions.
+    pub compaction_records_in: u64,
+    /// Records written by compactions.
+    pub compaction_records_out: u64,
+    /// Write-stall episodes.
+    pub stall_events: u64,
+    /// Total nanoseconds writers spent stalled.
+    pub stall_nanos: u64,
+    /// Batched remote-free RPCs issued.
+    pub gc_batches: u64,
+    /// Extents freed remotely.
+    pub gc_extents: u64,
+}
+
+impl DbStatsSnapshot {
+    /// Total time writers spent stalled.
+    pub fn stall_time(&self) -> Duration {
+        Duration::from_nanos(self.stall_nanos)
+    }
+
+    /// Field-wise `self - earlier` (saturating).
+    #[must_use]
+    pub fn delta(&self, earlier: &DbStatsSnapshot) -> DbStatsSnapshot {
+        let mut out = *self;
+        out.for_each_field(earlier, |a, b| *a = a.saturating_sub(b));
+        out
+    }
+
+    /// Field-wise sum (shard aggregation).
+    pub fn merge(&mut self, other: &DbStatsSnapshot) {
+        self.for_each_field(other, |a, b| *a += b);
+    }
+
+    fn for_each_field(&mut self, other: &DbStatsSnapshot, f: impl Fn(&mut u64, u64)) {
+        f(&mut self.puts, other.puts);
+        f(&mut self.deletes, other.deletes);
+        f(&mut self.gets, other.gets);
+        f(&mut self.get_hits, other.get_hits);
+        f(&mut self.switches, other.switches);
+        f(&mut self.reseqs, other.reseqs);
+        f(&mut self.flushes, other.flushes);
+        f(&mut self.flush_bytes, other.flush_bytes);
+        f(&mut self.compactions, other.compactions);
+        f(&mut self.compaction_subtasks, other.compaction_subtasks);
+        f(&mut self.compaction_records_in, other.compaction_records_in);
+        f(&mut self.compaction_records_out, other.compaction_records_out);
+        f(&mut self.stall_events, other.stall_events);
+        f(&mut self.stall_nanos, other.stall_nanos);
+        f(&mut self.gc_batches, other.gc_batches);
+        f(&mut self.gc_extents, other.gc_extents);
+    }
+
+    /// The counters as `(name, value)` pairs, for telemetry export.
+    pub fn named_counters(&self) -> [(&'static str, u64); 16] {
+        [
+            ("puts", self.puts),
+            ("deletes", self.deletes),
+            ("gets", self.gets),
+            ("get_hits", self.get_hits),
+            ("switches", self.switches),
+            ("reseqs", self.reseqs),
+            ("flushes", self.flushes),
+            ("flush_bytes", self.flush_bytes),
+            ("compactions", self.compactions),
+            ("compaction_subtasks", self.compaction_subtasks),
+            ("compaction_records_in", self.compaction_records_in),
+            ("compaction_records_out", self.compaction_records_out),
+            ("stall_events", self.stall_events),
+            ("stall_nanos", self.stall_nanos),
+            ("gc_batches", self.gc_batches),
+            ("gc_extents", self.gc_extents),
+        ]
+    }
+}
+
+impl std::fmt::Display for DbStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
             "puts={} gets={} (hits={}) switches={} flushes={} ({} MiB) compactions={} (subtasks={}, {}→{} records) stalls={} ({:?}) gc_batches={}",
-            Self::get(&self.puts),
-            Self::get(&self.gets),
-            Self::get(&self.get_hits),
-            Self::get(&self.switches),
-            Self::get(&self.flushes),
-            Self::get(&self.flush_bytes) >> 20,
-            Self::get(&self.compactions),
-            Self::get(&self.compaction_subtasks),
-            Self::get(&self.compaction_records_in),
-            Self::get(&self.compaction_records_out),
-            Self::get(&self.stall_events),
+            self.puts,
+            self.gets,
+            self.get_hits,
+            self.switches,
+            self.flushes,
+            self.flush_bytes >> 20,
+            self.compactions,
+            self.compaction_subtasks,
+            self.compaction_records_in,
+            self.compaction_records_out,
+            self.stall_events,
             self.stall_time(),
-            Self::get(&self.gc_batches),
+            self.gc_batches,
         )
+    }
+}
+
+impl std::fmt::Display for DbStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.snapshot().fmt(f)
     }
 }
 
@@ -96,5 +225,38 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("puts=1"));
         assert!(text.contains("2 MiB"));
+    }
+
+    #[test]
+    fn snapshot_copies_and_diffs() {
+        let s = DbStats::default();
+        DbStats::bump(&s.puts);
+        DbStats::add(&s.flush_bytes, 100);
+        let before = s.snapshot();
+        assert_eq!(before.puts, 1);
+        assert_eq!(before.flush_bytes, 100);
+        assert_eq!(before.to_string(), s.to_string());
+        DbStats::bump(&s.puts);
+        DbStats::bump(&s.gets);
+        let d = s.snapshot().delta(&before);
+        assert_eq!(d.puts, 1);
+        assert_eq!(d.gets, 1);
+        assert_eq!(d.flush_bytes, 0);
+    }
+
+    #[test]
+    fn snapshot_merges_across_shards() {
+        let a = DbStats::default();
+        let b = DbStats::default();
+        DbStats::add(&a.puts, 3);
+        DbStats::add(&b.puts, 4);
+        DbStats::bump(&b.stall_events);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.puts, 7);
+        assert_eq!(m.stall_events, 1);
+        let named: std::collections::HashMap<_, _> = m.named_counters().into_iter().collect();
+        assert_eq!(named["puts"], 7);
+        assert_eq!(named.len(), 16);
     }
 }

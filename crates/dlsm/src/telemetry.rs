@@ -1,0 +1,109 @@
+//! Compute-side telemetry: op-class latency histograms, read-path breakdown
+//! spans, and RPC/RDMA accounting (DESIGN.md §8).
+//!
+//! One [`DbTelemetry`] lives in each [`crate::Db`]'s shared state. Recording
+//! costs a few relaxed atomic RMWs (lock-free, wait-free on the hot path);
+//! reading freezes everything into a [`TelemetrySnapshot`], which merges
+//! across shards and diffs against an earlier snapshot for phase
+//! measurement.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dlsm_memnode::ClientNetStats;
+use dlsm_telemetry::{Histogram, OpHistograms, TelemetrySnapshot, VerbTraffic};
+
+/// Lock-free telemetry shared by one database instance and every reader,
+/// flush thread, and compaction coordinator it spawns.
+#[derive(Debug, Default)]
+pub struct DbTelemetry {
+    /// Latency per op class (put, get hit/miss, scan-next, flush,
+    /// compaction round-trip).
+    pub ops: OpHistograms,
+    /// Time a `get` spends probing MemTables (every get enters this phase).
+    pub get_memtable: Histogram,
+    /// Time a `get` spends probing overlapping L0 tables (only gets that
+    /// miss the MemTables).
+    pub get_l0: Histogram,
+    /// Time a `get` spends probing levels ≥ 1.
+    pub get_deep: Histogram,
+    /// Byte-addressable table probes answered `NotFound` from compute-local
+    /// metadata (bloom filter / index rejection) — zero RDMA reads issued.
+    pub bloom_skips: AtomicU64,
+    /// Table probes resolved from a compute-local L0 image (hot-L0 cache).
+    pub l0_cache_hits: AtomicU64,
+    /// RPC retry/reconnect totals aggregated over every client this
+    /// database opens (flush, GC, compaction pool, two-sided readers).
+    pub net: Arc<ClientNetStats>,
+}
+
+impl DbTelemetry {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freeze op histograms, breakdown histograms and counters. RDMA verb
+    /// traffic is attached by callers that own a channel or fabric (see
+    /// [`verb_traffic`]) so shard merges never double-count the fabric.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::new();
+        s.ops = self.ops.snapshot().to_vec();
+        s.set_breakdown("get_memtable", self.get_memtable.snapshot());
+        s.set_breakdown("get_l0", self.get_l0.snapshot());
+        s.set_breakdown("get_deep", self.get_deep.snapshot());
+        s.set_counter("bloom_skips", self.bloom_skips.load(Ordering::Relaxed));
+        s.set_counter("l0_cache_hits", self.l0_cache_hits.load(Ordering::Relaxed));
+        let (retries, reconnects) = self.net.totals();
+        s.set_counter("rpc_retries", retries);
+        s.set_counter("rpc_reconnects", reconnects);
+        s
+    }
+}
+
+/// Convert an `rdma-sim` traffic snapshot into telemetry verb rows (verbs
+/// with zero ops are omitted).
+pub fn verb_traffic(stats: &rdma_sim::StatsSnapshot) -> Vec<VerbTraffic> {
+    rdma_sim::Verb::ALL
+        .iter()
+        .filter(|&&v| stats.ops(v) != 0 || stats.bytes(v) != 0)
+        .map(|&v| VerbTraffic {
+            verb: v.name().to_string(),
+            ops: stats.ops(v),
+            bytes: stats.bytes(v),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlsm_telemetry::OpClass;
+
+    #[test]
+    fn snapshot_carries_breakdowns_and_counters() {
+        let t = DbTelemetry::default();
+        t.ops.record(OpClass::GetHit, 1_000);
+        t.get_memtable.record(200);
+        DbTelemetry::bump(&t.bloom_skips);
+        DbTelemetry::bump(&t.bloom_skips);
+        let s = t.snapshot();
+        assert_eq!(s.op(OpClass::GetHit).count(), 1);
+        assert_eq!(s.breakdown_hist("get_memtable").count(), 1);
+        assert_eq!(s.counter("bloom_skips"), 2);
+        assert_eq!(s.counter("rpc_retries"), 0);
+    }
+
+    #[test]
+    fn verb_traffic_skips_idle_verbs() {
+        use rdma_sim::Verb;
+        let mut raw = rdma_sim::StatsSnapshot::default();
+        raw.accumulate(Verb::Read, 64);
+        raw.accumulate(Verb::Read, 64);
+        raw.accumulate(Verb::Send, 32);
+        let rows = verb_traffic(&raw);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().any(|r| r.verb == "read" && r.ops == 2 && r.bytes == 128));
+        assert!(!rows.iter().any(|r| r.verb == "cas"));
+    }
+}

@@ -83,8 +83,8 @@ fn data_survives_flush_and_compaction() {
             "key {i} lost"
         );
     }
-    assert!(dlsm::DbStats::get(&db.stats().flushes) > 1);
-    assert!(dlsm::DbStats::get(&db.stats().compactions) >= 1);
+    assert!(db.stats().snapshot().flushes > 1);
+    assert!(db.stats().snapshot().compactions >= 1);
     db.shutdown();
     server.shutdown();
 }
@@ -198,7 +198,7 @@ fn concurrent_writers_no_lost_updates() {
             assert_eq!(r.get(&k).unwrap(), Some(format!("w{t}-{i}").into_bytes()));
         }
     }
-    assert_eq!(dlsm::DbStats::get(&db.stats().puts), threads * per);
+    assert_eq!(db.stats().snapshot().puts, threads * per);
     db.shutdown();
     server.shutdown();
 }
@@ -254,8 +254,8 @@ fn near_data_compaction_moves_no_table_data() {
     db.force_flush().unwrap();
     db.wait_until_quiescent();
     let delta = fabric.stats().snapshot().delta(&before);
-    let merged = dlsm::DbStats::get(&db.stats().compaction_records_in) * 150;
-    assert!(dlsm::DbStats::get(&db.stats().compactions) >= 1);
+    let merged = db.stats().snapshot().compaction_records_in * 150;
+    assert!(db.stats().snapshot().compactions >= 1);
     assert!(
         delta.bytes(Verb::Read) < merged / 4,
         "near-data compaction read {} bytes over the network for ~{merged} bytes merged",
@@ -278,8 +278,8 @@ fn compute_side_compaction_pays_the_network() {
     db.force_flush().unwrap();
     db.wait_until_quiescent();
     let delta = fabric.stats().snapshot().delta(&before);
-    let merged = dlsm::DbStats::get(&db.stats().compaction_records_in) * 130;
-    assert!(dlsm::DbStats::get(&db.stats().compactions) >= 1);
+    let merged = db.stats().snapshot().compaction_records_in * 130;
+    assert!(db.stats().snapshot().compactions >= 1);
     assert!(
         delta.bytes(Verb::Read) > merged / 2,
         "compute-side compaction must pull inputs over the network (read {} of ~{merged})",
@@ -330,9 +330,9 @@ fn gc_reclaims_remote_memory() {
     // been freed locally, so flush-zone usage ≈ live L0 bytes only.
     let shape = db.level_shape();
     let stats = db.stats();
-    assert!(dlsm::DbStats::get(&stats.compactions) >= 1, "shape {shape:?}");
+    assert!(stats.snapshot().compactions >= 1, "shape {shape:?}");
     let in_use = db.remote_flush_in_use();
-    let total_written = dlsm::DbStats::get(&stats.flush_bytes);
+    let total_written = stats.snapshot().flush_bytes;
     assert!(
         in_use < total_written,
         "flush zone usage {in_use} should be below total flushed {total_written}"
@@ -383,7 +383,7 @@ fn sharded_db_routes_and_scans() {
         db.put(&key(i), format!("s{i}").as_bytes()).unwrap();
     }
     // Writes spread across shards.
-    let busy = db.shards().iter().filter(|s| dlsm::DbStats::get(&s.stats().puts) > 0).count();
+    let busy = db.shards().iter().filter(|s| s.stats().snapshot().puts > 0).count();
     assert!(busy >= 3, "only {busy} shards used");
     db.wait_until_quiescent();
     let mut r = db.reader();
@@ -458,7 +458,7 @@ fn bulkload_mode_never_stalls() {
     for i in 0..5_000u64 {
         db.put(&key(i), &[1u8; 64]).unwrap();
     }
-    assert_eq!(dlsm::DbStats::get(&db.stats().stall_events), 0);
+    assert_eq!(db.stats().snapshot().stall_events, 0);
     db.shutdown();
     server.shutdown();
 }

@@ -81,6 +81,26 @@ impl RetryPolicy {
     }
 }
 
+/// Shared (atomic) network-health counters a set of [`RpcClient`]s can
+/// report into — e.g. every client one `Db` opens across its flush, GC,
+/// compaction, and read threads. The per-client `retries()`/`reconnects()`
+/// accessors only cover one client's lifetime; this aggregate is what the
+/// chaos harness checks against the server's dedup/replay counters.
+#[derive(Debug, Default)]
+pub struct ClientNetStats {
+    /// Attempts re-issued after a timeout, across all attached clients.
+    pub retries: AtomicU64,
+    /// Queue-pair recreations, across all attached clients.
+    pub reconnects: AtomicU64,
+}
+
+impl ClientNetStats {
+    /// Current `(retries, reconnects)`.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.retries.load(Ordering::Relaxed), self.reconnects.load(Ordering::Relaxed))
+    }
+}
+
 /// Thread-local RPC endpoint talking to one memory node.
 pub struct RpcClient {
     fabric: Arc<Fabric>,
@@ -95,6 +115,11 @@ pub struct RpcClient {
     policy: RetryPolicy,
     retries: u64,
     reconnects: u64,
+    /// Optional aggregate sink shared with sibling clients.
+    net: Option<Arc<ClientNetStats>>,
+    /// Traffic of queue pairs retired by [`RpcClient::reconnect`], so
+    /// [`RpcClient::traffic`] spans the client's whole lifetime.
+    traffic_carried: rdma_sim::StatsSnapshot,
 }
 
 impl RpcClient {
@@ -122,6 +147,8 @@ impl RpcClient {
             policy: RetryPolicy::default(),
             retries: 0,
             reconnects: 0,
+            net: None,
+            traffic_carried: rdma_sim::StatsSnapshot::default(),
         })
     }
 
@@ -134,6 +161,28 @@ impl RpcClient {
     /// The active retry policy.
     pub fn policy(&self) -> &RetryPolicy {
         &self.policy
+    }
+
+    /// Report retries/reconnects into a shared aggregate as well as the
+    /// per-client counters (builder style).
+    pub fn with_net_stats(mut self, net: Arc<ClientNetStats>) -> RpcClient {
+        self.net = Some(net);
+        self
+    }
+
+    /// Everything this client ever posted, per verb — including traffic on
+    /// queue pairs retired by reconnects.
+    pub fn traffic(&self) -> rdma_sim::StatsSnapshot {
+        let mut t = self.traffic_carried;
+        t.merge(&self.qp.traffic());
+        t
+    }
+
+    fn note_retry(&mut self) {
+        self.retries += 1;
+        if let Some(net) = &self.net {
+            net.retries.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Attempts re-issued after a timeout, over this client's lifetime.
@@ -150,15 +199,23 @@ impl RpcClient {
     /// sizes and policy (each thread/task gets its own queue pair and
     /// buffers).
     pub fn reopen(&self) -> Result<RpcClient> {
-        Ok(RpcClient::new(&self.fabric, &self.local_node, self.remote, self.reply_len as usize)?
-            .with_policy(self.policy))
+        let mut c =
+            RpcClient::new(&self.fabric, &self.local_node, self.remote, self.reply_len as usize)?
+                .with_policy(self.policy);
+        c.net = self.net.clone();
+        Ok(c)
     }
 
     /// Recreate the queue pair to the memory node. The registered local
     /// buffer (and thus the reply descriptor) is unchanged.
     pub fn reconnect(&mut self) -> Result<()> {
-        self.qp = self.fabric.create_qp(self.local_node.id(), self.remote)?;
+        let fresh = self.fabric.create_qp(self.local_node.id(), self.remote)?;
+        let old = std::mem::replace(&mut self.qp, fresh);
+        self.traffic_carried.merge(&old.traffic());
         self.reconnects += 1;
+        if let Some(net) = &self.net {
+            net.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -195,7 +252,7 @@ impl RpcClient {
         let timeout = self.policy.per_attempt(timeout);
         for attempt in 0..self.policy.max_attempts.max(1) {
             if attempt > 0 {
-                self.retries += 1;
+                self.note_retry();
                 if self.policy.reconnect_after != 0 && attempt >= self.policy.reconnect_after {
                     let _ = self.reconnect();
                 }
@@ -362,7 +419,7 @@ impl RpcClient {
         let result = (|| {
             for attempt in 0..self.policy.max_attempts.max(1) {
                 if attempt > 0 {
-                    self.retries += 1;
+                    self.note_retry();
                     if self.policy.reconnect_after != 0 && attempt >= self.policy.reconnect_after {
                         let _ = self.reconnect();
                     }

@@ -32,7 +32,7 @@ pub mod sink;
 pub mod wire;
 
 pub use alloc::RegionAllocator;
-pub use client::{ImmWaiter, RetryPolicy, RpcClient};
+pub use client::{ClientNetStats, ImmWaiter, RetryPolicy, RpcClient};
 pub use compactor::execute_compaction;
 pub use server::{CachedReply, DedupDecision, DedupMap, MemServer, MemServerConfig, ServerStats};
 pub use sink::RegionSink;

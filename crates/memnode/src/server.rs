@@ -102,6 +102,12 @@ pub struct ServerStats {
     pub canceled: AtomicU64,
     /// Times the server was restarted after a crash.
     pub restarts: AtomicU64,
+    /// Service time of general RPCs handled inline by a dispatcher
+    /// (decode + dedup + execute + reply delivery), nanoseconds.
+    pub dispatch: dlsm_telemetry::Histogram,
+    /// Wall time per near-data compaction merge (`execute_compaction`),
+    /// nanoseconds — the histogram twin of `busy_nanos`.
+    pub merge: dlsm_telemetry::Histogram,
 }
 
 impl ServerStats {
@@ -360,6 +366,32 @@ impl MemServer {
         &self.stats
     }
 
+    /// A point-in-time telemetry snapshot: dispatch/merge latency
+    /// histograms plus every counter, all under a `server_` prefix so the
+    /// snapshot can be merged with compute-side ones without collisions.
+    pub fn telemetry_snapshot(&self) -> dlsm_telemetry::TelemetrySnapshot {
+        let st = &self.stats;
+        let mut s = dlsm_telemetry::TelemetrySnapshot::new();
+        s.set_breakdown("server_dispatch", st.dispatch.snapshot());
+        s.set_breakdown("server_compact_merge", st.merge.snapshot());
+        for (name, counter) in [
+            ("server_busy_nanos", &st.busy_nanos),
+            ("server_compactions", &st.compactions),
+            ("server_records_in", &st.records_in),
+            ("server_records_out", &st.records_out),
+            ("server_freed_extents", &st.freed_extents),
+            ("server_rpcs", &st.rpcs),
+            ("server_failures", &st.failures),
+            ("server_replays", &st.replays),
+            ("server_dup_dropped", &st.dup_dropped),
+            ("server_canceled", &st.canceled),
+            ("server_restarts", &st.restarts),
+        ] {
+            s.set_counter(name, counter.load(Ordering::Relaxed));
+        }
+        s
+    }
+
     /// The at-most-once request window.
     pub fn dedup(&self) -> &Arc<DedupMap> {
         &self.dedup
@@ -580,6 +612,7 @@ fn dispatcher_loop(ctx: DispatchCtx) {
             continue;
         }
         let reply = req.reply_desc();
+        let t_serve = Instant::now();
         let executed: Result<Vec<u8>> = (|| match req {
             Request::Ping { payload, .. } => Ok(payload),
             Request::FreeBatch { extents, .. } => {
@@ -636,6 +669,7 @@ fn dispatcher_loop(ctx: DispatchCtx) {
             eprintln!("memnode: rpc dispatch failed: {e}");
             ctx.stats.failures.fetch_add(1, Ordering::Relaxed);
         }
+        ctx.stats.dispatch.record_elapsed(t_serve.elapsed());
     }
 }
 
@@ -687,6 +721,7 @@ fn worker_loop(ctx: WorkerCtx) {
             let t0 = Instant::now();
             let reply = execute_compaction(&ctx.region, &ctx.allocator, &args);
             ctx.stats.busy_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            ctx.stats.merge.record_elapsed(t0.elapsed());
             let reply = reply?;
             ctx.stats.compactions.fetch_add(1, Ordering::Relaxed);
             ctx.stats.records_in.fetch_add(reply.records_in, Ordering::Relaxed);

@@ -123,6 +123,10 @@ pub struct QueuePair {
     last_ready: Instant,
     /// Send-queue depth limit (outstanding, un-polled work requests).
     max_outstanding: usize,
+    /// Per-QP traffic: every verb posted on this queue pair, counted at
+    /// the same point as the fabric-global stats. Plain counters — a
+    /// queue pair is single-threaded by design.
+    traffic: crate::stats::StatsSnapshot,
 }
 
 impl QueuePair {
@@ -134,7 +138,15 @@ impl QueuePair {
             cq: CompletionQueue::default(),
             last_ready: Instant::now(),
             max_outstanding: 256,
+            traffic: crate::stats::StatsSnapshot::default(),
         }
+    }
+
+    /// Everything ever posted on this queue pair, per verb. Delta two
+    /// copies to attribute the exact RDMA cost of one operation (e.g. "a
+    /// point `get` issued one READ of 64 bytes").
+    pub fn traffic(&self) -> crate::stats::StatsSnapshot {
+        self.traffic
     }
 
     /// Local endpoint.
@@ -176,6 +188,7 @@ impl QueuePair {
             spin_until(Instant::now() + profile.post_overhead);
         }
         self.fabric.record(verb, bytes);
+        self.traffic.accumulate(verb, bytes);
         let mut latency = profile.transfer_cost(bytes);
         if verb == Verb::Send {
             latency += profile.two_sided_extra;
@@ -553,6 +566,29 @@ mod tests {
         assert!(qp.poll_one_blocking(Duration::from_millis(10)).is_err());
         fabric.set_fault_hook(None);
         qp.write_sync(b"y", region.addr(0)).unwrap();
+    }
+
+    #[test]
+    fn per_qp_traffic_attribution() {
+        let (f, mut qp, region) = setup();
+        // A second QP on the same fabric: its traffic must not bleed into
+        // the first QP's counter (while the global stats see both).
+        let other_node = f.add_node();
+        let mut other = f.create_qp(other_node.id(), qp.remote()).unwrap();
+        other.write_sync(&[0u8; 999], region.addr(0)).unwrap();
+
+        let before = qp.traffic();
+        qp.write_sync(&[0u8; 100], region.addr(0)).unwrap();
+        let mut buf = [0u8; 40];
+        qp.read_sync(region.addr(0), &mut buf).unwrap();
+        let d = qp.traffic().delta(&before);
+        assert_eq!(d.ops(Verb::Read), 1);
+        assert_eq!(d.bytes(Verb::Read), 40);
+        assert_eq!(d.ops(Verb::Write), 1);
+        assert_eq!(d.bytes(Verb::Write), 100);
+        assert_eq!(d.total_ops(), 2);
+        assert_eq!(other.traffic().ops(Verb::Write), 1);
+        assert!(f.stats().ops(Verb::Write) >= 2);
     }
 
     #[test]

@@ -102,6 +102,23 @@ impl StatsSnapshot {
         self.bytes.iter().sum()
     }
 
+    /// Count one posted operation. `StatsSnapshot` doubles as the plain
+    /// (non-atomic) per-queue-pair accumulator: a `QueuePair` is `!Sync`,
+    /// so its traffic counter needs no atomics — see `QueuePair::traffic`.
+    pub fn accumulate(&mut self, verb: Verb, bytes: usize) {
+        let i = Self::idx(verb);
+        self.ops[i] += 1;
+        self.bytes[i] += bytes as u64;
+    }
+
+    /// Counter-wise sum (e.g. folding per-QP traffic across clients).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        for i in 0..6 {
+            self.ops[i] += other.ops[i];
+            self.bytes[i] += other.bytes[i];
+        }
+    }
+
     /// Counter-wise `self - earlier` (saturating), for measuring one
     /// experiment phase.
     #[must_use]

@@ -1,0 +1,217 @@
+//! A minimal JSON emitter — no dependencies, no reflection, just a
+//! push-style writer that keeps enough state (an "items emitted" flag per
+//! nesting level) to place commas correctly. Output is compact, valid
+//! JSON; the bench driver and CI smoke test parse it with stock tooling.
+
+/// Push-style JSON writer.
+///
+/// ```
+/// use dlsm_telemetry::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.field_str("name", "fill");
+/// w.key("mops");
+/// w.value_f64(1.25);
+/// w.key("verbs");
+/// w.begin_array();
+/// w.value_u64(3);
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"name":"fill","mops":1.25,"verbs":[3]}"#);
+/// ```
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` once it has emitted an item.
+    stack: Vec<bool>,
+}
+
+impl Default for JsonWriter {
+    fn default() -> Self {
+        JsonWriter::new()
+    }
+}
+
+impl JsonWriter {
+    pub fn new() -> JsonWriter {
+        JsonWriter { out: String::with_capacity(1024), stack: Vec::new() }
+    }
+
+    fn comma(&mut self) {
+        if let Some(has_items) = self.stack.last_mut() {
+            if *has_items {
+                self.out.push(',');
+            }
+            *has_items = true;
+        }
+    }
+
+    pub fn begin_object(&mut self) {
+        self.comma();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    pub fn end_object(&mut self) {
+        self.stack.pop();
+        self.out.push('}');
+    }
+
+    pub fn begin_array(&mut self) {
+        self.comma();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    pub fn end_array(&mut self) {
+        self.stack.pop();
+        self.out.push(']');
+    }
+
+    /// Emit an object key; the next `value_*`/`begin_*` call provides its
+    /// value (the writer suppresses the comma that call would add).
+    pub fn key(&mut self, k: &str) {
+        self.comma();
+        self.push_escaped(k);
+        self.out.push(':');
+        // The upcoming value must not re-emit a comma: mark the container
+        // "fresh" until the value lands.
+        if let Some(has_items) = self.stack.last_mut() {
+            *has_items = false;
+        }
+    }
+
+    pub fn value_u64(&mut self, v: u64) {
+        self.comma();
+        self.out.push_str(&v.to_string());
+    }
+
+    pub fn value_i64(&mut self, v: i64) {
+        self.comma();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Non-finite values have no JSON representation; emit `null`.
+    pub fn value_f64(&mut self, v: f64) {
+        self.comma();
+        if v.is_finite() {
+            // Rust's `Display` for floats never produces exponents or
+            // locale separators, so the output is valid JSON as-is.
+            let s = v.to_string();
+            self.out.push_str(&s);
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    pub fn value_bool(&mut self, v: bool) {
+        self.comma();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    pub fn value_str(&mut self, v: &str) {
+        self.comma();
+        self.push_escaped(v);
+    }
+
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.value_u64(v);
+    }
+
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.value_f64(v);
+    }
+
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.value_str(v);
+    }
+
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.value_bool(v);
+    }
+
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unclosed JSON container");
+        self.out
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structure() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("a", "x\"y\\z\n");
+        w.key("b");
+        w.begin_array();
+        w.value_u64(1);
+        w.value_u64(2);
+        w.begin_object();
+        w.field_bool("ok", true);
+        w.end_object();
+        w.end_array();
+        w.field_f64("c", 0.5);
+        w.field_f64("nan", f64::NAN);
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"a":"x\"y\\z\n","b":[1,2,{"ok":true}],"c":0.5,"nan":null}"#
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("empty");
+        w.begin_array();
+        w.end_array();
+        w.key("obj");
+        w.begin_object();
+        w.end_object();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"empty":[],"obj":{}}"#);
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let mut w = JsonWriter::new();
+        w.value_str("a\u{1}b");
+        assert_eq!(w.finish(), "\"a\\u0001b\"");
+    }
+
+    #[test]
+    fn large_and_integral_floats() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.value_f64(1.0);
+        w.value_f64(1234567.0);
+        w.value_i64(-42);
+        w.end_array();
+        assert_eq!(w.finish(), "[1,1234567,-42]");
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the log-bucketed histogram (ISSUE satellite):
+//! record/merge is associative and total-count-preserving across arbitrary
+//! interleavings, and any quantile estimate lands in the same log bucket
+//! as the true order statistic (one-bucket error bound).
+
+use dlsm_telemetry::{bucket_index, HistSnapshot, Histogram, LocalHist};
+use proptest::prelude::*;
+
+/// Values spanning every regime: exact buckets, mid-range, huge. The
+/// vendored proptest has no `prop_oneof`, so one raw `u64` supplies both
+/// the regime choice (low bits) and the value.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    any::<u64>().prop_map(|raw| match raw % 3 {
+        0 => (raw >> 2) % 32,
+        1 => (raw >> 2) % 100_000,
+        _ => raw,
+    })
+}
+
+fn snapshot_of(values: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting a sample stream across any number of histograms and
+    /// merging back is lossless: same buckets, same count, same max, no
+    /// matter how the stream is partitioned or which order merges happen.
+    #[test]
+    fn merge_is_partition_invariant(
+        values in prop::collection::vec(value_strategy(), 0..400),
+        cuts in prop::collection::vec(0usize..400, 0..6),
+    ) {
+        let direct = snapshot_of(&values);
+
+        // Partition the stream at the (sorted, clamped) cut points.
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c.min(values.len())).collect();
+        bounds.sort_unstable();
+        bounds.insert(0, 0);
+        bounds.push(values.len());
+
+        // Left-fold merge of the pieces.
+        let mut left = HistSnapshot::default();
+        for w in bounds.windows(2) {
+            left.merge(&snapshot_of(&values[w[0]..w[1]]));
+        }
+        prop_assert_eq!(&left, &direct);
+
+        // Right-fold (associativity: grouping must not matter).
+        let mut right = HistSnapshot::default();
+        for w in bounds.windows(2).rev() {
+            let mut piece = snapshot_of(&values[w[0]..w[1]]);
+            piece.merge(&right);
+            right = piece;
+        }
+        prop_assert_eq!(&right, &direct);
+        prop_assert_eq!(right.count(), values.len() as u64);
+    }
+
+    /// Thread-local recording + `merge_local` equals direct shared
+    /// recording, and concurrent interleavings lose no sample.
+    #[test]
+    fn local_merge_matches_shared(
+        chunks in prop::collection::vec(prop::collection::vec(value_strategy(), 0..100), 1..4),
+    ) {
+        let all: Vec<u64> = chunks.iter().flatten().copied().collect();
+        let shared = Histogram::new();
+        std::thread::scope(|s| {
+            for chunk in &chunks {
+                let shared = &shared;
+                s.spawn(move || {
+                    let mut local = LocalHist::new();
+                    for &v in chunk {
+                        local.record(v);
+                    }
+                    shared.merge_local(&local);
+                });
+            }
+        });
+        prop_assert_eq!(shared.snapshot(), snapshot_of(&all));
+        prop_assert_eq!(shared.snapshot().count(), all.len() as u64);
+    }
+
+    /// The quantile estimate falls in the same log bucket as the true
+    /// order statistic — the "within one log-bucket" error bound.
+    #[test]
+    fn quantile_within_one_bucket(
+        mut values in prop::collection::vec(value_strategy(), 1..500),
+        qs in prop::collection::vec(0u64..=1000, 1..8),
+    ) {
+        let snap = snapshot_of(&values);
+        values.sort_unstable();
+        for q in qs.into_iter().map(|m| m as f64 / 1000.0) {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let truth = values[rank - 1];
+            let est = snap.quantile(q);
+            prop_assert_eq!(
+                bucket_index(est), bucket_index(truth),
+                "q={} est={} truth={}", q, est, truth
+            );
+            prop_assert!(est >= truth, "estimate must be the bucket upper bound");
+        }
+    }
+
+    /// Delta of two snapshots of one histogram is exactly the samples in
+    /// between.
+    #[test]
+    fn delta_is_differential(
+        first in prop::collection::vec(value_strategy(), 0..200),
+        second in prop::collection::vec(value_strategy(), 0..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &first {
+            h.record(v);
+        }
+        let before = h.snapshot();
+        for &v in &second {
+            h.record(v);
+        }
+        let d = h.snapshot().delta(&before);
+        let expect = snapshot_of(&second);
+        prop_assert_eq!(d.count(), expect.count());
+        prop_assert_eq!(d.sum(), expect.sum());
+        prop_assert_eq!(
+            d.nonzero_buckets().collect::<Vec<_>>(),
+            expect.nonzero_buckets().collect::<Vec<_>>()
+        );
+    }
+}

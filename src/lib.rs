@@ -13,6 +13,7 @@
 
 pub use dlsm;
 pub use dlsm_baselines as baselines;
+pub use dlsm_telemetry as telemetry;
 pub use dlsm_bench as bench;
 pub use dlsm_memnode as memnode;
 pub use dlsm_skiplist as skiplist;
