@@ -19,6 +19,9 @@
 //!   --cores       memory-node compaction cores             (default 12)
 //!   --json        output path for the machine-readable run summary
 //!                 (default BENCH_<system>.json)
+//!   --trace       enable the flight recorder; on exit dump the full
+//!                 Chrome/Perfetto trace, the 5 slowest traces, and the
+//!                 stall-attribution "doctor" report under results/
 //! ```
 //!
 //! Besides the throughput lines, every run renders a latency-percentile
@@ -50,9 +53,16 @@ fn main() {
     let mut scale = 1.0f64;
     let mut cores = 12usize;
     let mut json_path: Option<String> = None;
+    let mut trace = false;
 
     let mut i = 0;
     while i < args.len() {
+        // Boolean flags take no value operand.
+        if args[i] == "--trace" {
+            trace = true;
+            i += 1;
+            continue;
+        }
         let value = args.get(i + 1).cloned().unwrap_or_default();
         match args[i].as_str() {
             "--system" => system = value,
@@ -94,6 +104,10 @@ fn main() {
     println!(
         "db_bench: system={system} num={num} threads={threads} kv={key_size}+{value_size}B scale={scale}"
     );
+    if trace {
+        dlsm_trace::set_enabled(true);
+        println!("tracing: enabled (flight-recorder rings, dumps under results/)");
+    }
     let sc = build_scenario(kind, &spec, profile, cores);
     let before = sc.fabric.stats().snapshot();
     // (phase result, fabric traffic that phase caused).
@@ -173,7 +187,39 @@ fn main() {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("failed to write {path}: {e}"),
     }
+    if trace {
+        dump_traces(&system);
+    }
     sc.shutdown();
+}
+
+/// Flight-recorder output (dumped before shutdown so the server threads'
+/// rings are still registered): the full Perfetto-loadable trace, a
+/// slowest-traces cut, and the plain-text stall-attribution report.
+fn dump_traces(system: &str) {
+    dlsm_trace::set_enabled(false);
+    let events = dlsm_trace::collect_events();
+    let sys = sanitize(system);
+
+    let full = format!("results/TRACE_{sys}.json");
+    match dlsm_trace::dump_to_file(&full) {
+        Ok(()) => println!("wrote {full} ({} events)", events.len()),
+        Err(e) => eprintln!("failed to write {full}: {e}"),
+    }
+
+    let slowest = dlsm_trace::slowest_traces(&events, 5);
+    let slow_path = format!("results/TRACE_{sys}_slowest.json");
+    match std::fs::write(&slow_path, dlsm_trace::chrome_trace(&slowest)) {
+        Ok(()) => println!("wrote {slow_path} ({} events)", slowest.len()),
+        Err(e) => eprintln!("failed to write {slow_path}: {e}"),
+    }
+
+    let report = dlsm_trace::doctor(&events);
+    let doc_path = format!("results/TRACE_{sys}_doctor.txt");
+    if let Err(e) = std::fs::write(&doc_path, &report) {
+        eprintln!("failed to write {doc_path}: {e}");
+    }
+    print!("{report}");
 }
 
 /// The machine-readable run summary: configuration, per-phase throughput +

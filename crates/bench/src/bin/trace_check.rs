@@ -1,0 +1,407 @@
+//! Validate a Chrome/Perfetto trace produced by `db_bench --trace` (or the
+//! chaos flight recorder): the file must parse as JSON, carry a
+//! `traceEvents` array whose entries all have `ph`/`pid`/`tid`, keep
+//! timestamps monotone per `(pid, tid)` track, and open/close duration
+//! events (`B`/`E`) in strict stack discipline. CI runs this against the
+//! smoke-bench artifact; exit status is non-zero on any violation.
+//!
+//! The parser is a minimal hand-rolled JSON reader (the workspace is
+//! dependency-free by design) — it supports exactly the subset
+//! `dlsm_trace::chrome_trace` emits plus arbitrary nesting/whitespace.
+
+use std::collections::HashMap;
+
+/// A tiny JSON value tree; numbers stay `f64` (trace timestamps fit).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied().ok_or_else(|| self.err("unterminated string"))? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc =
+                        self.bytes.get(self.pos).copied().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                b => {
+                    // Multi-byte UTF-8 passes through untouched.
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| self.err("truncated utf-8"))?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|_| self.err("bad utf-8"))?);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser::new(text);
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing garbage"));
+        }
+        Ok(v)
+    }
+}
+
+/// All structural checks; returns a human-readable violation on failure.
+fn validate(text: &str) -> Result<ValidationStats, String> {
+    let root = Parser::parse(text)?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing traceEvents key")?;
+    let Json::Arr(events) = events else {
+        return Err("traceEvents is not an array".into());
+    };
+
+    // Per-(pid, tid) track state: last timestamp and the open B-span stack
+    // (names), to enforce monotone clocks and strict B/E pairing.
+    let mut tracks: HashMap<(u64, u64), (f64, Vec<String>)> = HashMap::new();
+    let mut stats = ValidationStats::default();
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i}: missing pid"))? as u64;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i}: missing tid"))? as u64;
+        if ph == "M" {
+            stats.metadata += 1;
+            continue; // metadata records carry no timestamp
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        let name = ev.get("name").and_then(Json::as_str).unwrap_or("").to_string();
+        let (last_ts, stack) = tracks.entry((pid, tid)).or_insert((f64::NEG_INFINITY, Vec::new()));
+        if ts < *last_ts {
+            return Err(format!(
+                "event {i} ({name}): ts {ts} goes backwards on track pid={pid} tid={tid} (last {last_ts})"
+            ));
+        }
+        *last_ts = ts;
+        match ph {
+            "B" => {
+                stack.push(name);
+                stats.begins += 1;
+            }
+            "E" => {
+                let open = stack
+                    .pop()
+                    .ok_or_else(|| format!("event {i}: E with no open B on pid={pid} tid={tid}"))?;
+                if !name.is_empty() && name != open {
+                    return Err(format!(
+                        "event {i}: E '{name}' closes B '{open}' on pid={pid} tid={tid}"
+                    ));
+                }
+                stats.ends += 1;
+            }
+            "i" | "I" => stats.instants += 1,
+            other => return Err(format!("event {i}: unknown phase '{other}'")),
+        }
+    }
+    for ((pid, tid), (_, stack)) in &tracks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "track pid={pid} tid={tid} ends with {} unclosed B span(s): {:?}",
+                stack.len(),
+                stack
+            ));
+        }
+    }
+    if stats.begins != stats.ends {
+        return Err(format!("{} B events vs {} E events", stats.begins, stats.ends));
+    }
+    Ok(stats)
+}
+
+#[derive(Debug, Default)]
+struct ValidationStats {
+    begins: u64,
+    ends: u64,
+    instants: u64,
+    metadata: u64,
+}
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_check <trace.json>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match validate(&text) {
+        Ok(s) => {
+            println!(
+                "trace_check: {path} OK — {} span pairs, {} instants, {} metadata records",
+                s.begins, s.instants, s.metadata
+            );
+        }
+        Err(e) => {
+            eprintln!("trace_check: {path} INVALID — {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_real_chrome_trace() {
+        dlsm_trace::set_enabled(true);
+        {
+            let _a = dlsm_trace::span(dlsm_trace::Category::Db, "outer");
+            let _b = dlsm_trace::span(dlsm_trace::Category::Rdma, "inner");
+            dlsm_trace::instant(dlsm_trace::Category::Rpc, "tick", 1);
+        }
+        dlsm_trace::set_enabled(false);
+        let events = dlsm_trace::collect_events();
+        let json = dlsm_trace::chrome_trace(&events);
+        dlsm_trace::clear();
+        let stats = validate(&json).expect("generated trace must validate");
+        assert!(stats.begins >= 2);
+        assert_eq!(stats.begins, stats.ends);
+        assert!(stats.instants >= 1);
+    }
+
+    #[test]
+    fn rejects_structural_violations() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").is_err(), "missing traceEvents");
+        assert!(validate(r#"{"traceEvents": 3}"#).is_err());
+        // Missing pid.
+        assert!(validate(r#"{"traceEvents":[{"ph":"B","tid":1,"ts":1,"name":"x"}]}"#).is_err());
+        // Backwards timestamps on one track.
+        assert!(validate(
+            r#"{"traceEvents":[
+                {"ph":"B","pid":0,"tid":1,"ts":10,"name":"x"},
+                {"ph":"E","pid":0,"tid":1,"ts":5,"name":"x"}]}"#
+        )
+        .is_err());
+        // Unbalanced B/E.
+        assert!(validate(
+            r#"{"traceEvents":[{"ph":"B","pid":0,"tid":1,"ts":1,"name":"x"}]}"#
+        )
+        .is_err());
+        assert!(validate(
+            r#"{"traceEvents":[{"ph":"E","pid":0,"tid":1,"ts":1,"name":"x"}]}"#
+        )
+        .is_err());
+        // Mismatched close name.
+        assert!(validate(
+            r#"{"traceEvents":[
+                {"ph":"B","pid":0,"tid":1,"ts":1,"name":"x"},
+                {"ph":"E","pid":0,"tid":1,"ts":2,"name":"y"}]}"#
+        )
+        .is_err());
+        // A well-formed minimal trace passes.
+        assert!(validate(
+            r#"{"traceEvents":[
+                {"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"compute"}},
+                {"ph":"B","pid":0,"tid":1,"ts":1,"name":"x"},
+                {"ph":"i","pid":0,"tid":1,"ts":2,"name":"tick","s":"t"},
+                {"ph":"E","pid":0,"tid":1,"ts":3,"name":"x"}]}"#
+        )
+        .is_ok());
+    }
+}

@@ -82,6 +82,12 @@ fn run_chaos(seed: u64) {
     let mem = MemNodeHandle::from_server(&server);
     let db = Db::open(ctx, mem, chaos_config()).unwrap();
 
+    // Flight recorder: trace the whole chaos run; if any oracle below
+    // panics, the rings are dumped as a Perfetto-loadable trace so the red
+    // run ships the evidence (cross-node spans included).
+    dlsm_trace::set_enabled(true);
+    let _trace_dump = dlsm_trace::PanicDump::new(format!("results/chaos_trace_{seed:x}.json"));
+
     let epoch = Instant::now();
     let plan = Arc::new(
         ChaosPlan::new(seed)

@@ -278,7 +278,10 @@ pub fn run_near_data(
     }
 
     // One RPC per sub-range, issued from scoped threads: each requester
-    // sleeps until the memory node's WRITE-with-IMMEDIATE wakes it.
+    // sleeps until the memory node's WRITE-with-IMMEDIATE wakes it. The
+    // coordinator's trace context is captured here so each subtask thread
+    // (a fresh recorder with no span stack) records as its child.
+    let trace_ctx = dlsm_trace::current_ctx();
     let replies: Vec<dlsm_memnode::CompactReply> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(ranges.len());
         for ((lo, hi), client) in ranges.iter().zip(clients.iter_mut()) {
@@ -293,6 +296,14 @@ pub fn run_near_data(
                 inputs: inputs.clone(),
             };
             handles.push(scope.spawn(move || -> Result<dlsm_memnode::CompactReply> {
+                let _sp = match trace_ctx {
+                    Some(c) => dlsm_trace::span_child_of(
+                        dlsm_trace::Category::Compact,
+                        "compact_subtask",
+                        c,
+                    ),
+                    None => dlsm_trace::span(dlsm_trace::Category::Compact, "compact_subtask"),
+                };
                 Ok(client.compact(&args, ctx.waiter(), Duration::from_secs(120))?)
             }));
         }

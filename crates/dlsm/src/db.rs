@@ -177,6 +177,7 @@ impl Shared {
     /// and bumps the sequence counter past it so stale writers re-fetch
     /// instead of targeting the retired table.
     fn do_switch(&self, start: SeqNo) {
+        let _sp = dlsm_trace::span(dlsm_trace::Category::Db, "memtable_switch");
         let new = self.new_memtable(start);
         // Hold the immutables lock *across* the swap: a reader pins the
         // current table first and the immutable list second, so the retired
@@ -206,7 +207,8 @@ impl Shared {
             imms.push(Arc::clone(&old));
             drop(imms);
             self.imm_count.fetch_add(1, Ordering::Release);
-            self.flush_queue_len.fetch_add(1, Ordering::Release);
+            let queued = self.flush_queue_len.fetch_add(1, Ordering::Release) + 1;
+            dlsm_trace::instant(dlsm_trace::Category::Flush, "flush_enqueue", queued as u64);
             let _ = self.flush_tx.send(old);
         }
     }
@@ -216,6 +218,7 @@ impl Shared {
     /// serialization work itself) preserves the LSM level invariant under
     /// parallel flush threads.
     fn install_in_order(&self, order: u64, install: impl FnOnce()) {
+        let _sp = dlsm_trace::span_arg(dlsm_trace::Category::Flush, "install", order);
         let mut turn = self.install_turn.lock();
         while *turn != order {
             self.install_cv.wait_for(&mut turn, Duration::from_millis(50));
@@ -239,11 +242,25 @@ impl Shared {
         imm_ok && l0_ok
     }
 
+    /// Which condition is currently blocking writers. Checked once when a
+    /// stall begins: the queue that was full at that moment is the cause we
+    /// attribute the whole episode to, even if the other limit trips later.
+    fn stall_reason(&self) -> crate::telemetry::StallReason {
+        if self.imm_count.load(Ordering::Acquire) >= self.cfg.max_immutables {
+            crate::telemetry::StallReason::ImmQueueFull
+        } else {
+            crate::telemetry::StallReason::L0Limit
+        }
+    }
+
     fn wait_for_write_room(&self) -> Result<()> {
         if self.write_stall_check() {
             return Ok(());
         }
         DbStats::bump(&self.stats.stall_events);
+        let reason = self.stall_reason();
+        let _sp =
+            dlsm_trace::span_arg(dlsm_trace::Category::Stall, "write_stall", reason.trace_arg());
         let t0 = Instant::now();
         let mut guard = self.stall_lock.lock();
         while !self.write_stall_check() {
@@ -253,7 +270,9 @@ impl Shared {
             self.stall_cv.wait_for(&mut guard, Duration::from_millis(2));
         }
         drop(guard);
-        DbStats::add(&self.stats.stall_nanos, t0.elapsed().as_nanos() as u64);
+        let waited = t0.elapsed();
+        DbStats::add(&self.stats.stall_nanos, waited.as_nanos() as u64);
+        self.telemetry.note_stall(reason, waited.as_micros() as u64);
         Ok(())
     }
 
@@ -271,6 +290,7 @@ impl Shared {
             n < self.cfg.seq_range_width.max(2),
             "batch of {n} entries exceeds the MemTable sequence-range width"
         );
+        let _sp = dlsm_trace::span_arg(dlsm_trace::Category::Db, "write_batch", n);
         let t0 = Instant::now();
         self.wait_for_write_room()?;
         let _serializer = self.cfg.serialized_writes.then(|| self.write_serializer.lock());
@@ -334,6 +354,7 @@ impl Shared {
     }
 
     fn write(&self, user_key: &[u8], value: &[u8], vt: ValueType) -> Result<SeqNo> {
+        let _sp = dlsm_trace::span(dlsm_trace::Category::Db, "put");
         let t0 = Instant::now();
         self.wait_for_write_room()?;
         let _serializer = self.cfg.serialized_writes.then(|| self.write_serializer.lock());
@@ -948,6 +969,7 @@ impl DbReader {
         version: &crate::version::Version,
     ) -> Result<Option<Vec<u8>>> {
         DbStats::bump(&self.shared.stats.gets);
+        let _sp = dlsm_trace::span(dlsm_trace::Category::Db, "get");
         let t0 = Instant::now();
         let outcome = self.get_phases(key, seq, mems, version, t0);
         if let Ok(found) = &outcome {
@@ -976,6 +998,7 @@ impl DbReader {
         // MemTables, newest first. The first table holding any visible
         // version wins — correct because table seq ranges are disjoint and
         // ordered (Sec. IV).
+        let sp_mem = dlsm_trace::span(dlsm_trace::Category::Db, "get_memtable");
         for mem in mems {
             match mem.get(key, seq) {
                 MemGet::Found(v) => {
@@ -990,7 +1013,9 @@ impl DbReader {
             }
         }
         tel.get_memtable.record_elapsed(t0.elapsed());
+        drop(sp_mem);
         // L0: overlapping tables, newest first.
+        let sp_l0 = dlsm_trace::span(dlsm_trace::Category::Db, "get_l0");
         let t_l0 = Instant::now();
         for t in version.level(0) {
             if t.smallest_user() <= key && key <= t.largest_user() {
@@ -1009,7 +1034,9 @@ impl DbReader {
             }
         }
         tel.get_l0.record_elapsed(t_l0.elapsed());
+        drop(sp_l0);
         // Deeper levels: at most one candidate table per level.
+        let _sp_deep = dlsm_trace::span(dlsm_trace::Category::Db, "get_deep");
         let t_deep = Instant::now();
         for level in 1..version.level_count() {
             if let Some(t) = version.table_for_key(level, key) {
@@ -1039,6 +1066,7 @@ impl DbReader {
         key: &[u8],
         seq: SeqNo,
     ) -> Result<TableGet> {
+        let _sp = dlsm_trace::span_arg(dlsm_trace::Category::Db, "probe_table", t.id);
         let local = t.local_copy().is_some();
         let got = table_get(&self.channel, t, key, seq)?;
         match &got {
@@ -1342,6 +1370,7 @@ fn flush_loop(shared: Arc<Shared>, rx: Receiver<Arc<MemTable>>) {
         // Retry on remote-memory pressure or transient RPC trouble: GC or
         // compaction may free space, and a starved dispatcher recovers.
         let mut attempts = 0u32;
+        let _sp = dlsm_trace::span_arg(dlsm_trace::Category::Flush, "flush", mem.id);
         let out = loop {
             attempts += 1;
             let t_flush = Instant::now();
@@ -1502,6 +1531,8 @@ fn compaction_loop(shared: Arc<Shared>) {
         let smallest_snapshot = shared.smallest_snapshot();
         let next_id = || shared.next_id.fetch_add(1, Ordering::Relaxed);
         let t_compact = Instant::now();
+        let _sp =
+            dlsm_trace::span_arg(dlsm_trace::Category::Compact, "compaction", job.level as u64);
         let result = if shared.cfg.near_data_compaction {
             run_near_data(
                 &job,

@@ -300,6 +300,7 @@ pub fn flush_memtable(
 
     // Serialize records through the chosen transport/sink combination; all
     // four arms share the same builder loops via small helpers.
+    let sp_write = dlsm_trace::span_arg(dlsm_trace::Category::Flush, "flush_rdma_write", cap);
     let result: Result<FlushOutput> = (|| {
         let reserve = if keep_local_copy { mem.memory_usage() } else { 0 };
         let (used, built, local_image) = match transport {
@@ -363,6 +364,7 @@ pub fn flush_memtable(
             }
         }
     })();
+    drop(sp_write);
 
     match result {
         Ok(out) => {

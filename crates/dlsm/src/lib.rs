@@ -73,7 +73,7 @@ pub use context::{ComputeContext, MemNodeHandle};
 pub use db::{Db, DbReader, Snapshot};
 pub use shard::ShardedDb;
 pub use stats::{DbStats, DbStatsSnapshot};
-pub use telemetry::DbTelemetry;
+pub use telemetry::{DbTelemetry, StallReason};
 
 /// Errors surfaced by the database.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -152,11 +152,19 @@ impl DbScan {
                 )));
             }
         }
+        let children_count = children.len();
         let mut merged = MergingIter::new(children);
         let target = InternalKey::for_lookup(start, snapshot);
-        merged
-            .seek(target.as_bytes())
-            .map_err(|e| DbError::Sst(e.to_string()))?;
+        {
+            let _sp = dlsm_trace::span_arg(
+                dlsm_trace::Category::Db,
+                "scan_seek",
+                children_count as u64,
+            );
+            merged
+                .seek(target.as_bytes())
+                .map_err(|e| DbError::Sst(e.to_string()))?;
+        }
         Ok(DbScan {
             merged,
             snapshot,

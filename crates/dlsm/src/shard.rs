@@ -89,6 +89,7 @@ impl ShardedDb {
 
     /// Insert or overwrite `key`.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<SeqNo> {
+        let _sp = dlsm_trace::span(dlsm_trace::Category::Db, "shard_put");
         self.shard_for(key).put(key, value)
     }
 
@@ -150,6 +151,7 @@ impl ShardedReader {
     /// Point lookup, routed to the owning shard.
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let i = shard_of(key, self.lambda);
+        let _sp = dlsm_trace::span_arg(dlsm_trace::Category::Db, "shard_get", i as u64);
         self.readers[i].get(key)
     }
 

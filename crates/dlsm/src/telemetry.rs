@@ -35,12 +35,52 @@ pub struct DbTelemetry {
     /// RPC retry/reconnect totals aggregated over every client this
     /// database opens (flush, GC, compaction pool, two-sided readers).
     pub net: Arc<ClientNetStats>,
+    /// Write stalls whose blocking condition was the immutable queue.
+    pub stall_imm_events: AtomicU64,
+    /// Microseconds writers spent stalled on a full immutable queue.
+    pub stall_imm_micros: AtomicU64,
+    /// Write stalls whose blocking condition was the L0 stop-writes limit.
+    pub stall_l0_events: AtomicU64,
+    /// Microseconds writers spent stalled on the L0 stop-writes limit.
+    pub stall_l0_micros: AtomicU64,
+}
+
+/// Why a writer stalled in `wait_for_write_room` (the condition that was
+/// failing when the stall began).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// The immutable-MemTable queue is at `max_immutables` (flushes are
+    /// behind).
+    ImmQueueFull,
+    /// The L0 table count reached `l0_stop_writes_trigger` (compaction is
+    /// behind).
+    L0Limit,
+}
+
+impl StallReason {
+    /// The reason code carried as the `arg` of a `write_stall` trace span.
+    pub fn trace_arg(self) -> u64 {
+        match self {
+            StallReason::ImmQueueFull => dlsm_trace::STALL_IMM_QUEUE,
+            StallReason::L0Limit => dlsm_trace::STALL_L0_LIMIT,
+        }
+    }
 }
 
 impl DbTelemetry {
     #[inline]
     pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account one finished stall episode to its cause.
+    pub(crate) fn note_stall(&self, reason: StallReason, micros: u64) {
+        let (events, total) = match reason {
+            StallReason::ImmQueueFull => (&self.stall_imm_events, &self.stall_imm_micros),
+            StallReason::L0Limit => (&self.stall_l0_events, &self.stall_l0_micros),
+        };
+        events.fetch_add(1, Ordering::Relaxed);
+        total.fetch_add(micros, Ordering::Relaxed);
     }
 
     /// Freeze op histograms, breakdown histograms and counters. RDMA verb
@@ -57,7 +97,25 @@ impl DbTelemetry {
         let (retries, reconnects) = self.net.totals();
         s.set_counter("rpc_retries", retries);
         s.set_counter("rpc_reconnects", reconnects);
+        s.set_counter("stall_imm_events", self.stall_imm_events.load(Ordering::Relaxed));
+        s.set_counter("stall_imm_micros", self.stall_imm_micros.load(Ordering::Relaxed));
+        s.set_counter("stall_l0_events", self.stall_l0_events.load(Ordering::Relaxed));
+        s.set_counter("stall_l0_micros", self.stall_l0_micros.load(Ordering::Relaxed));
         s
+    }
+
+    /// `(events, micros)` stalled for one reason, from the live counters.
+    pub fn stall_micros(&self, reason: StallReason) -> (u64, u64) {
+        match reason {
+            StallReason::ImmQueueFull => (
+                self.stall_imm_events.load(Ordering::Relaxed),
+                self.stall_imm_micros.load(Ordering::Relaxed),
+            ),
+            StallReason::L0Limit => (
+                self.stall_l0_events.load(Ordering::Relaxed),
+                self.stall_l0_micros.load(Ordering::Relaxed),
+            ),
+        }
     }
 }
 
@@ -92,6 +150,23 @@ mod tests {
         assert_eq!(s.breakdown_hist("get_memtable").count(), 1);
         assert_eq!(s.counter("bloom_skips"), 2);
         assert_eq!(s.counter("rpc_retries"), 0);
+    }
+
+    #[test]
+    fn stall_attribution_by_reason() {
+        let t = DbTelemetry::default();
+        t.note_stall(StallReason::ImmQueueFull, 1_500);
+        t.note_stall(StallReason::ImmQueueFull, 500);
+        t.note_stall(StallReason::L0Limit, 40);
+        assert_eq!(t.stall_micros(StallReason::ImmQueueFull), (2, 2_000));
+        assert_eq!(t.stall_micros(StallReason::L0Limit), (1, 40));
+        let s = t.snapshot();
+        assert_eq!(s.counter("stall_imm_events"), 2);
+        assert_eq!(s.counter("stall_imm_micros"), 2_000);
+        assert_eq!(s.counter("stall_l0_events"), 1);
+        assert_eq!(s.counter("stall_l0_micros"), 40);
+        assert_eq!(StallReason::ImmQueueFull.trace_arg(), dlsm_trace::STALL_IMM_QUEUE);
+        assert_eq!(StallReason::L0Limit.trace_arg(), dlsm_trace::STALL_L0_LIMIT);
     }
 
     #[test]

@@ -180,6 +180,7 @@ impl RpcClient {
 
     fn note_retry(&mut self) {
         self.retries += 1;
+        dlsm_trace::instant(dlsm_trace::Category::Rpc, "rpc_retry", 0);
         if let Some(net) = &self.net {
             net.retries.fetch_add(1, Ordering::Relaxed);
         }
@@ -247,8 +248,12 @@ impl RpcClient {
     /// the queue pair is recreated after `reconnect_after` consecutive
     /// timeouts. `timeout` bounds each attempt.
     fn call(&mut self, request: &Request, timeout: Duration) -> Result<Vec<u8>> {
+        let _sp = dlsm_trace::span_arg(dlsm_trace::Category::Rpc, "rpc_call", request.op() as u64);
         let req_id = Self::fresh_req_id();
-        let encoded = request.encode(req_id);
+        // Context is captured once, at encode time: retries re-send the
+        // same bytes, so the server-side child hangs off this one span no
+        // matter which attempt it serves (dedup-friendly).
+        let encoded = request.encode_with_ctx(req_id, dlsm_trace::current_ctx());
         let timeout = self.policy.per_attempt(timeout);
         for attempt in 0..self.policy.max_attempts.max(1) {
             if attempt > 0 {
@@ -402,6 +407,7 @@ impl RpcClient {
             )));
         }
         self.local.local_write(self.arg_off, &encoded)?;
+        let _sp = dlsm_trace::span(dlsm_trace::Category::Rpc, "rpc_compact");
         let (unique_id, cell) = waiter.register();
         let req_id = Self::fresh_req_id();
         let req = Request::Compact {
@@ -414,7 +420,7 @@ impl RpcClient {
                 len: encoded.len() as u32,
             },
         };
-        let wire = req.encode(req_id);
+        let wire = req.encode_with_ctx(req_id, dlsm_trace::current_ctx());
         let attempt_timeout = self.policy.per_attempt(timeout);
         let result = (|| {
             for attempt in 0..self.policy.max_attempts.max(1) {

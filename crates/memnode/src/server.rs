@@ -252,6 +252,8 @@ struct CompactJob {
     reply: BufDesc,
     unique_id: u32,
     args: BufDesc,
+    /// Requester's trace context (wire header v2), if it sent one.
+    trace: Option<dlsm_trace::TraceCtx>,
 }
 
 /// A running memory node.
@@ -553,6 +555,7 @@ fn deliver_compact_reply(
 }
 
 fn dispatcher_loop(ctx: DispatchCtx) {
+    dlsm_trace::set_thread_node(u64::from(ctx.node.id().0) + 1, "memnode");
     let mut qps: HashMap<NodeId, QueuePair> = HashMap::new();
     while !ctx.stop.load(Ordering::Acquire) {
         let msg = match ctx.node.recv(Duration::from_millis(20)) {
@@ -560,7 +563,7 @@ fn dispatcher_loop(ctx: DispatchCtx) {
             Err(_) => continue,
         };
         ctx.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-        let (req_id, req) = match Request::decode(&msg.payload) {
+        let (req_id, trace, req) = match Request::decode_with_ctx(&msg.payload) {
             Ok(r) => r,
             Err(_) => continue, // malformed: drop (client times out)
         };
@@ -608,9 +611,15 @@ fn dispatcher_loop(ctx: DispatchCtx) {
         // Compactions are long-running: hand to the core-budgeted worker
         // pool (the dedup entry stays in-flight until the worker finishes).
         if let Request::Compact { reply, unique_id, args } = req {
-            let _ = ctx.compact_tx.send(CompactJob { src, req_id, reply, unique_id, args });
+            let _ = ctx.compact_tx.send(CompactJob { src, req_id, reply, unique_id, args, trace });
             continue;
         }
+        // Server-side dispatch span: a child of the compute-node RPC span
+        // that sent this request (when the v2 header carried its context).
+        let _sp = match trace {
+            Some(c) => dlsm_trace::span_child_of(dlsm_trace::Category::Server, "server_dispatch", c),
+            None => dlsm_trace::span(dlsm_trace::Category::Server, "server_dispatch"),
+        };
         let reply = req.reply_desc();
         let t_serve = Instant::now();
         let executed: Result<Vec<u8>> = (|| match req {
@@ -696,9 +705,18 @@ struct WorkerCtx {
 }
 
 fn worker_loop(ctx: WorkerCtx) {
+    dlsm_trace::set_thread_node(u64::from(ctx.node_id.0) + 1, "memnode");
     let mut qps: HashMap<NodeId, QueuePair> = HashMap::new();
     // Workers exit when the channel closes (all dispatchers stopped).
     while let Ok(job) = ctx.rx.recv() {
+        // The whole job — argument pull, merge, reply delivery — hangs off
+        // the compute-node span that requested the compaction.
+        let _sp = match job.trace {
+            Some(c) => {
+                dlsm_trace::span_child_of(dlsm_trace::Category::Server, "server_compact_merge", c)
+            }
+            None => dlsm_trace::span(dlsm_trace::Category::Server, "server_compact_merge"),
+        };
         type Outcome = Result<(Vec<u8>, Vec<(u64, u64)>)>;
         let outcome: Outcome = (|| {
             let qp = qp_for(&ctx.fabric, ctx.node_id, job.src, &mut qps)?;

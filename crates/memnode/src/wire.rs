@@ -18,8 +18,16 @@
 
 use dlsm_sstable::coding::{get_u32, get_u64, put_u32, put_u64};
 use dlsm_sstable::key::SeqNo;
+use dlsm_trace::TraceCtx;
 
 use crate::{MemNodeError, Result};
+
+/// Header version flag on the opcode byte: when set, sixteen extra bytes
+/// — `[trace_id u64][span_id u64]` — follow the request id, carrying the
+/// sender's tracing context so memory-node work appears as a child of the
+/// compute-node span that caused it. Frames without the flag are the v1
+/// format and decode unchanged (back-compat).
+pub const TRACE_FLAG: u8 = 0x80;
 
 /// RPC opcodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -361,66 +369,92 @@ pub enum Request {
 }
 
 impl Request {
-    /// Serialize a request into a SEND payload under request id `req_id`.
-    /// Retries of the same logical request must reuse the same id so the
-    /// server can deduplicate.
+    /// Serialize a request into a SEND payload under request id `req_id`
+    /// (v1 framing, no trace context). Retries of the same logical request
+    /// must reuse the same id so the server can deduplicate.
     pub fn encode(&self, req_id: u64) -> Vec<u8> {
+        self.encode_with_ctx(req_id, None)
+    }
+
+    /// Serialize under `req_id`, optionally attaching the sender's trace
+    /// context (v2 framing, [`TRACE_FLAG`] on the op byte). With
+    /// `ctx = None` the bytes are identical to the v1 [`encode`](Self::encode).
+    pub fn encode_with_ctx(&self, req_id: u64, ctx: Option<TraceCtx>) -> Vec<u8> {
         let mut out = Vec::new();
+        let flag = if ctx.is_some() { TRACE_FLAG } else { 0 };
+        out.push(self.op() as u8 | flag);
+        put_u64(&mut out, req_id);
+        if let Some(c) = ctx {
+            put_u64(&mut out, c.trace_id);
+            put_u64(&mut out, c.span_id);
+        }
+        self.reply_desc().encode(&mut out);
         match self {
-            Request::Ping { reply, payload } => {
-                out.push(Op::Ping as u8);
-                put_u64(&mut out, req_id);
-                reply.encode(&mut out);
+            Request::Ping { payload, .. } => {
                 out.extend_from_slice(payload);
             }
-            Request::FreeBatch { reply, extents } => {
-                out.push(Op::FreeBatch as u8);
-                put_u64(&mut out, req_id);
-                reply.encode(&mut out);
+            Request::FreeBatch { extents, .. } => {
                 put_u32(&mut out, extents.len() as u32);
                 for &(o, l) in extents {
                     put_u64(&mut out, o);
                     put_u64(&mut out, l);
                 }
             }
-            Request::Compact { reply, unique_id, args } => {
-                out.push(Op::Compact as u8);
-                put_u64(&mut out, req_id);
-                reply.encode(&mut out);
+            Request::Compact { unique_id, args, .. } => {
                 put_u32(&mut out, *unique_id);
                 args.encode(&mut out);
             }
-            Request::ReadFile { reply, offset, len } => {
-                out.push(Op::ReadFile as u8);
-                put_u64(&mut out, req_id);
-                reply.encode(&mut out);
+            Request::ReadFile { offset, len, .. } => {
                 put_u64(&mut out, *offset);
                 put_u32(&mut out, *len);
             }
-            Request::WriteFile { reply, offset, data } => {
-                out.push(Op::WriteFile as u8);
-                put_u64(&mut out, req_id);
-                reply.encode(&mut out);
+            Request::WriteFile { offset, data, .. } => {
                 put_u64(&mut out, *offset);
                 out.extend_from_slice(data);
             }
-            Request::CancelCompact { reply, target } => {
-                out.push(Op::CancelCompact as u8);
-                put_u64(&mut out, req_id);
-                reply.encode(&mut out);
+            Request::CancelCompact { target, .. } => {
                 put_u64(&mut out, *target);
             }
         }
         out
     }
 
-    /// Parse a SEND payload into `(req_id, request)`.
+    /// This request's opcode.
+    pub fn op(&self) -> Op {
+        match self {
+            Request::Ping { .. } => Op::Ping,
+            Request::FreeBatch { .. } => Op::FreeBatch,
+            Request::Compact { .. } => Op::Compact,
+            Request::ReadFile { .. } => Op::ReadFile,
+            Request::WriteFile { .. } => Op::WriteFile,
+            Request::CancelCompact { .. } => Op::CancelCompact,
+        }
+    }
+
+    /// Parse a SEND payload into `(req_id, request)`, dropping any trace
+    /// context.
     pub fn decode(buf: &[u8]) -> Result<(u64, Request)> {
-        let op = Op::from_u8(*buf.first().ok_or_else(|| MemNodeError::BadMessage("empty".into()))?)
+        let (req_id, _ctx, req) = Self::decode_with_ctx(buf)?;
+        Ok((req_id, req))
+    }
+
+    /// Parse a SEND payload into `(req_id, trace context, request)`.
+    /// Accepts both framings: v1 frames (no [`TRACE_FLAG`]) yield
+    /// `ctx = None`.
+    pub fn decode_with_ctx(buf: &[u8]) -> Result<(u64, Option<TraceCtx>, Request)> {
+        let first = *buf.first().ok_or_else(|| MemNodeError::BadMessage("empty".into()))?;
+        let op = Op::from_u8(first & !TRACE_FLAG)
             .ok_or_else(|| MemNodeError::BadMessage(format!("bad op {}", buf[0])))?;
         let req_id = get_u64(buf, 1).map_err(bad)?;
-        let (reply, n) = BufDesc::decode(buf, 9)?;
-        let body = 9 + n;
+        let (ctx, header) = if first & TRACE_FLAG != 0 {
+            let trace_id = get_u64(buf, 9).map_err(bad)?;
+            let span_id = get_u64(buf, 17).map_err(bad)?;
+            (Some(TraceCtx { trace_id, span_id }), 25)
+        } else {
+            (None, 9)
+        };
+        let (reply, n) = BufDesc::decode(buf, header)?;
+        let body = header + n;
         let req = match op {
             Op::Ping => Request::Ping { reply, payload: buf[body..].to_vec() },
             Op::FreeBatch => {
@@ -452,7 +486,7 @@ impl Request {
                 Request::CancelCompact { reply, target }
             }
         };
-        Ok((req_id, req))
+        Ok((req_id, ctx, req))
     }
 
     /// The reply-buffer descriptor attached to this request.
@@ -499,6 +533,47 @@ mod tests {
         assert!(Request::decode(&[99, 0, 0]).is_err());
         let enc = Request::ReadFile { reply: desc(1), offset: 1, len: 2 }.encode(7);
         assert!(Request::decode(&enc[..enc.len() - 4]).is_err());
+        // A trace flag does not launder an unknown opcode.
+        assert!(Request::decode(&[TRACE_FLAG | 9, 0, 0]).is_err());
+    }
+
+    /// Header version bump: v1 frames (no trace flag) must keep decoding —
+    /// old encoders against a new server — and the v2 framing must carry
+    /// the context through unchanged.
+    #[test]
+    fn trace_ctx_header_both_encodings() {
+        let ctx = TraceCtx { trace_id: 0x1122_3344_5566_7788, span_id: 0x99AA_BBCC_DDEE_FF00 };
+        let cases = vec![
+            Request::Ping { reply: desc(1), payload: b"hello".to_vec() },
+            Request::FreeBatch { reply: desc(2), extents: vec![(0, 64), (128, 4096)] },
+            Request::Compact { reply: desc(3), unique_id: 77, args: desc(4) },
+            Request::ReadFile { reply: desc(5), offset: 4096, len: 512 },
+            Request::WriteFile { reply: desc(6), offset: 8192, data: vec![1, 2, 3] },
+            Request::CancelCompact { reply: desc(7), target: 0xDEAD_BEEF },
+        ];
+        for (i, r) in cases.into_iter().enumerate() {
+            let req_id = 2000 + i as u64;
+            // v1 (old format): no flag byte, context decodes as None.
+            let v1 = r.encode(req_id);
+            assert_eq!(v1[0] & TRACE_FLAG, 0, "v1 frame must not carry the flag");
+            assert_eq!(v1, r.encode_with_ctx(req_id, None), "encode must stay v1-identical");
+            assert_eq!(Request::decode_with_ctx(&v1).unwrap(), (req_id, None, r.clone()));
+            // v2: flag set, 16 extra header bytes, context round-trips.
+            let v2 = r.encode_with_ctx(req_id, Some(ctx));
+            assert_eq!(v2[0], v1[0] | TRACE_FLAG);
+            assert_eq!(v2.len(), v1.len() + 16);
+            assert_eq!(Request::decode_with_ctx(&v2).unwrap(), (req_id, Some(ctx), r.clone()));
+            // The ctx-blind decoder still accepts v2 frames.
+            assert_eq!(Request::decode(&v2).unwrap(), (req_id, r));
+        }
+    }
+
+    #[test]
+    fn trace_ctx_truncated_header_rejected() {
+        let r = Request::ReadFile { reply: desc(1), offset: 1, len: 2 };
+        let v2 = r.encode_with_ctx(7, Some(TraceCtx { trace_id: 1, span_id: 2 }));
+        // Chop inside the 16-byte context extension: must error, not panic.
+        assert!(Request::decode_with_ctx(&v2[..20]).is_err());
     }
 
     #[test]

@@ -246,6 +246,7 @@ impl QueuePair {
         dst: RemoteAddr,
         wr_id: WrId,
     ) -> Result<(), RdmaError> {
+        dlsm_trace::instant(dlsm_trace::Category::Rdma, "rdma_post_write", src.len() as u64);
         let region = self.fabric.node(dst.node)?.region(dst.mr)?;
         region.check_rkey(dst.rkey)?;
         let outcome = self.charge(Verb::Write, src.len(), dst.node)?;
@@ -268,6 +269,7 @@ impl QueuePair {
         imm: u32,
         wr_id: WrId,
     ) -> Result<(), RdmaError> {
+        dlsm_trace::instant(dlsm_trace::Category::Rdma, "rdma_write_imm", src.len() as u64);
         let node = self.fabric.node(dst.node)?;
         let region = node.region(dst.mr)?;
         region.check_rkey(dst.rkey)?;
@@ -289,6 +291,7 @@ impl QueuePair {
 
     /// Post a two-sided SEND delivering `payload` to the remote node's inbox.
     pub fn post_send(&mut self, payload: Vec<u8>, wr_id: WrId) -> Result<(), RdmaError> {
+        dlsm_trace::instant(dlsm_trace::Category::Rdma, "rdma_send", payload.len() as u64);
         let node = self.fabric.node(self.remote)?;
         let bytes = payload.len();
         let outcome = self.charge(Verb::Send, bytes, self.remote)?;
@@ -302,6 +305,7 @@ impl QueuePair {
     /// Remote atomic fetch-and-add on the 8-byte word at `addr`; blocks until
     /// the completion and returns the previous value.
     pub fn fetch_add(&mut self, addr: RemoteAddr, delta: u64) -> Result<u64, RdmaError> {
+        let _sp = dlsm_trace::span_arg(dlsm_trace::Category::Rdma, "rdma_fetch_add", 8);
         let region = self.fabric.node(addr.node)?.region(addr.mr)?;
         region.check_rkey(addr.rkey)?;
         let outcome = self.charge(Verb::FetchAdd, 8, addr.node)?;
@@ -328,6 +332,7 @@ impl QueuePair {
         expect: u64,
         new: u64,
     ) -> Result<u64, RdmaError> {
+        let _sp = dlsm_trace::span_arg(dlsm_trace::Category::Rdma, "rdma_cas", 8);
         let region = self.fabric.node(addr.node)?.region(addr.mr)?;
         region.check_rkey(addr.rkey)?;
         let outcome = self.charge(Verb::CompareSwap, 8, addr.node)?;
@@ -394,6 +399,7 @@ impl QueuePair {
 
     /// Synchronous READ convenience: post + wait for the completion.
     pub fn read_sync(&mut self, src: RemoteAddr, dst: &mut [u8]) -> Result<(), RdmaError> {
+        let _sp = dlsm_trace::span_arg(dlsm_trace::Category::Rdma, "rdma_read", dst.len() as u64);
         self.post_read(src, dst, u64::MAX)?;
         loop {
             let c = self.poll_one_blocking(Duration::from_secs(5))?;
@@ -405,6 +411,7 @@ impl QueuePair {
 
     /// Synchronous WRITE convenience: post + wait for the completion.
     pub fn write_sync(&mut self, src: &[u8], dst: RemoteAddr) -> Result<(), RdmaError> {
+        let _sp = dlsm_trace::span_arg(dlsm_trace::Category::Rdma, "rdma_write", src.len() as u64);
         self.post_write(src, dst, u64::MAX)?;
         loop {
             let c = self.poll_one_blocking(Duration::from_secs(5))?;

@@ -230,25 +230,46 @@ impl TelemetrySnapshot {
     /// source): histograms and counters subtract (saturating), RDMA
     /// traffic subtracts per verb. Histogram `max` fields remain lifetime
     /// high-water marks.
+    ///
+    /// Hardened against asymmetric key sets: a counter, breakdown, op
+    /// class, or verb that appears in only one snapshot (added after
+    /// `earlier` was taken, or — with mismatched sources — present only in
+    /// `earlier`) never underflows, wraps, or panics. New entries report
+    /// their full value; entries known only to `earlier` survive as
+    /// zeroed rows so phase reports keep a stable key set.
     pub fn delta(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
         let empty = HistSnapshot::default();
-        let ops = self
-            .ops
-            .iter()
-            .enumerate()
-            .map(|(i, h)| h.delta(earlier.ops.get(i).unwrap_or(&empty)))
+        // Keep the longer ops vector: a class `earlier` knows but `self`
+        // does not (mismatched sources) yields a zeroed histogram rather
+        // than a wrapped-sum artifact of `empty.delta(nonempty)`.
+        let n_ops = self.ops.len().max(earlier.ops.len());
+        let ops = (0..n_ops)
+            .map(|i| match self.ops.get(i) {
+                Some(h) => h.delta(earlier.ops.get(i).unwrap_or(&empty)),
+                None => HistSnapshot::default(),
+            })
             .collect();
-        let breakdown = self
+        let mut breakdown: Vec<(String, HistSnapshot)> = self
             .breakdown
             .iter()
             .map(|(n, h)| (n.clone(), h.delta(&earlier.breakdown_hist(n))))
             .collect();
-        let counters = self
+        for (n, _) in &earlier.breakdown {
+            if let Err(i) = breakdown.binary_search_by(|(m, _)| m.as_str().cmp(n)) {
+                breakdown.insert(i, (n.clone(), HistSnapshot::default()));
+            }
+        }
+        let mut counters: Vec<(String, u64)> = self
             .counters
             .iter()
             .map(|(n, v)| (n.clone(), v.saturating_sub(earlier.counter(n))))
             .collect();
-        let rdma = self
+        for (n, _) in &earlier.counters {
+            if let Err(i) = counters.binary_search_by(|(m, _)| m.as_str().cmp(n)) {
+                counters.insert(i, (n.clone(), 0));
+            }
+        }
+        let mut rdma: Vec<VerbTraffic> = self
             .rdma
             .iter()
             .map(|t| {
@@ -260,6 +281,11 @@ impl TelemetrySnapshot {
                 }
             })
             .collect();
+        for t in &earlier.rdma {
+            if !rdma.iter().any(|m| m.verb == t.verb) {
+                rdma.push(VerbTraffic { verb: t.verb.clone(), ops: 0, bytes: 0 });
+            }
+        }
         TelemetrySnapshot { ops, breakdown, counters, rdma }
     }
 
@@ -363,6 +389,48 @@ mod tests {
         assert_eq!(d.counter("bloom_skips"), 2);
         assert_eq!(d.rdma_verb("read"), (1, 64));
         assert_eq!(d.breakdown_hist("get_memtable").count(), 0);
+    }
+
+    #[test]
+    fn delta_survives_asymmetric_key_sets() {
+        // `earlier` predates several additions: a counter, a breakdown, a
+        // verb, and two op-class slots that only the later snapshot has.
+        let mut earlier = TelemetrySnapshot::new();
+        earlier.ops.truncate(4);
+        earlier.set_counter("bloom_skips", 9);
+        earlier.set_counter("legacy_only", 5);
+        earlier.set_breakdown("old_phase", hist_of(&[100]));
+        earlier.rdma.push(VerbTraffic { verb: "cas".into(), ops: 3, bytes: 24 });
+
+        let mut later = TelemetrySnapshot::new();
+        later.ops[OpClass::Flush.idx()] = hist_of(&[500]);
+        later.set_counter("bloom_skips", 12);
+        later.set_counter("stall_imm_micros", 40); // added after `earlier`
+        later.set_breakdown("server_dispatch", hist_of(&[200, 300]));
+        later.rdma.push(VerbTraffic { verb: "read".into(), ops: 7, bytes: 448 });
+
+        let d = later.delta(&earlier);
+        // Counter added after the earlier snapshot: full value, no underflow.
+        assert_eq!(d.counter("stall_imm_micros"), 40);
+        assert_eq!(d.counter("bloom_skips"), 3);
+        // Entries known only to `earlier` survive as zeroed rows.
+        assert_eq!(d.counter("legacy_only"), 0);
+        assert!(d.counters.iter().any(|(n, _)| n == "legacy_only"));
+        assert_eq!(d.breakdown_hist("old_phase").count(), 0);
+        assert!(d.breakdown.iter().any(|(n, _)| n == "old_phase"));
+        assert_eq!(d.rdma_verb("cas"), (0, 0));
+        // Op classes beyond `earlier`'s vector report their full histogram.
+        assert_eq!(d.ops.len(), OpClass::ALL.len());
+        assert_eq!(d.op(OpClass::Flush).count(), 1);
+        // Counters stay sorted so later set_counter/merge binary searches hold.
+        assert!(d.counters.windows(2).all(|w| w[0].0 < w[1].0));
+
+        // Reversed-source misuse (later as `earlier`): no panic, no wrap.
+        let r = earlier.delta(&later);
+        assert_eq!(r.counter("bloom_skips"), 0);
+        assert_eq!(r.ops.len(), OpClass::ALL.len());
+        assert_eq!(r.op(OpClass::Flush).count(), 0);
+        assert_eq!(r.op(OpClass::Flush).sum(), 0);
     }
 
     #[test]
