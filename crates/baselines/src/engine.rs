@@ -60,6 +60,16 @@ pub trait Engine: Send + Sync {
     fn telemetry(&self) -> Option<dlsm_telemetry::TelemetrySnapshot> {
         None
     }
+
+    /// Register live-state collectors with a metrics registry (DESIGN.md
+    /// §8b). Default: nothing to export.
+    fn register_metrics(&self, _reg: &dlsm_metrics::MetricsRegistry) {}
+
+    /// A RocksDB-style stats report, `None` for engines without one. The
+    /// bench harness prints it at the end of a run.
+    fn stats_report(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Thread-local read handle.

@@ -80,6 +80,14 @@ impl Engine for DlsmEngine {
     fn telemetry(&self) -> Option<dlsm_telemetry::TelemetrySnapshot> {
         Some(self.db.telemetry_snapshot())
     }
+
+    fn register_metrics(&self, reg: &dlsm_metrics::MetricsRegistry) {
+        self.db.register_metrics(reg);
+    }
+
+    fn stats_report(&self) -> Option<String> {
+        Some(self.db.stats_report())
+    }
 }
 
 struct LsmReader {

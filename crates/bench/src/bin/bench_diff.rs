@@ -1,0 +1,81 @@
+//! Compare two `db_bench` JSON summaries — the CI perf gate.
+//!
+//! ```text
+//! bench_diff <baseline.json> <candidate.json> [--threshold PCT]
+//! ```
+//!
+//! Prints a per-phase delta table (throughput, p50, p99) and exits:
+//!
+//! * `0` — every baseline phase is present and within the threshold
+//!   (default 15%; improvements of any size pass),
+//! * `1` — at least one phase regressed beyond the threshold or went
+//!   missing,
+//! * `2` — usage or parse error.
+//!
+//! CI runs this against the committed `results/BENCH_dlsm.json` baseline;
+//! refresh the baseline per the procedure in the README when a deliberate
+//! performance change lands.
+
+use dlsm_bench::diff::{diff, BenchRun};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = 15.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                let value = args.get(i + 1).cloned().unwrap_or_default();
+                threshold = value
+                    .trim_end_matches('%')
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad --threshold '{value}'")));
+                i += 2;
+            }
+            flag if flag.starts_with("--") => usage(&format!("unknown flag {flag}")),
+            path => {
+                paths.push(path.to_string());
+                i += 1;
+            }
+        }
+    }
+    if paths.len() != 2 {
+        usage("expected exactly two JSON files");
+    }
+    if threshold <= 0.0 || threshold.is_nan() {
+        usage("--threshold must be positive");
+    }
+
+    let load = |path: &str| -> BenchRun {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        BenchRun::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bench_diff: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let base = load(&paths[0]);
+    let new = load(&paths[1]);
+    if base.system != new.system {
+        println!(
+            "bench_diff: comparing different systems ({} vs {})",
+            base.system, new.system
+        );
+    }
+
+    let report = diff(&base, &new, threshold);
+    println!("bench_diff: {} vs {} (threshold {threshold}%)", paths[0], paths[1]);
+    print!("{}", report.render());
+    if report.is_regression() {
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("bench_diff: {msg}");
+    eprintln!("usage: bench_diff <baseline.json> <candidate.json> [--threshold PCT]");
+    std::process::exit(2);
+}

@@ -22,6 +22,13 @@
 //!   --trace       enable the flight recorder; on exit dump the full
 //!                 Chrome/Perfetto trace, the 5 slowest traces, and the
 //!                 stall-attribution "doctor" report under results/
+//!   --metrics-addr      serve Prometheus text exposition on this address
+//!                       for the duration of the run (port 0 = ephemeral;
+//!                       the bound address is printed). Exposes the
+//!                       engine's per-shard live gauges plus every memory
+//!                       node's allocator/server series (DESIGN.md §8b)
+//!   --metrics-hold-secs keep the exporter up this long after the last
+//!                       phase, for out-of-process scrapes   (default 0)
 //! ```
 //!
 //! Besides the throughput lines, every run renders a latency-percentile
@@ -54,6 +61,8 @@ fn main() {
     let mut cores = 12usize;
     let mut json_path: Option<String> = None;
     let mut trace = false;
+    let mut metrics_addr: Option<String> = None;
+    let mut metrics_hold_secs = 0u64;
 
     let mut i = 0;
     while i < args.len() {
@@ -76,6 +85,8 @@ fn main() {
             "--scale" => scale = value.parse().expect("--scale"),
             "--cores" => cores = value.parse().expect("--cores"),
             "--json" => json_path = Some(value),
+            "--metrics-addr" => metrics_addr = Some(value),
+            "--metrics-hold-secs" => metrics_hold_secs = value.parse().expect("--metrics-hold-secs"),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -109,6 +120,23 @@ fn main() {
         println!("tracing: enabled (flight-recorder rings, dumps under results/)");
     }
     let sc = build_scenario(kind, &spec, profile, cores);
+    // The exporter covers both sides of the fabric: the engine's per-shard
+    // live gauges and every memory node's allocator/server series. A 250 ms
+    // gauge sampler keeps scrapes O(copy) no matter how hot the run is.
+    let metrics_server = metrics_addr.map(|addr| {
+        let reg = dlsm_metrics::MetricsRegistry::new();
+        sc.engine.register_metrics(&reg);
+        for s in &sc.servers {
+            s.register_metrics(&reg);
+        }
+        let srv = dlsm_metrics::serve(reg, addr.as_str(), Some(std::time::Duration::from_millis(250)))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot bind --metrics-addr {addr}: {e}");
+                std::process::exit(2);
+            });
+        println!("metrics: serving http://{}/metrics", srv.local_addr());
+        srv
+    });
     let before = sc.fabric.stats().snapshot();
     // (phase result, fabric traffic that phase caused).
     let mut results: Vec<(PhaseResult, StatsSnapshot)> = Vec::new();
@@ -181,6 +209,10 @@ fn main() {
             / (1 << 20) as f64,
     );
 
+    if let Some(report) = sc.engine.stats_report() {
+        print!("{report}");
+    }
+
     let path = json_path.unwrap_or_else(|| format!("BENCH_{}.json", sanitize(&system)));
     let json = run_json(&system, &spec, threads, scale, &sc, &results, &traffic);
     match std::fs::write(&path, json) {
@@ -189,6 +221,16 @@ fn main() {
     }
     if trace {
         dump_traces(&system);
+    }
+    if let Some(mut srv) = metrics_server {
+        if metrics_hold_secs > 0 {
+            println!(
+                "metrics: holding {metrics_hold_secs}s for scrapes at http://{}/metrics",
+                srv.local_addr()
+            );
+            std::thread::sleep(std::time::Duration::from_secs(metrics_hold_secs));
+        }
+        srv.stop();
     }
     sc.shutdown();
 }

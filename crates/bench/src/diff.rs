@@ -1,0 +1,365 @@
+//! Bench-result comparison: the perf gate behind the `bench_diff` binary.
+//!
+//! Parses two `BENCH_*.json` run summaries (the files `db_bench` writes),
+//! matches phases by name, and reports per-phase deltas for throughput and
+//! the latency quantiles. A phase **regresses** when, beyond the given
+//! threshold, its throughput drops or its p50/p99 rises; a phase present in
+//! the baseline but missing from the candidate also counts (a silently
+//! skipped phase must not pass the gate). Extra phases in the candidate are
+//! listed but judged against nothing.
+
+use crate::json::{self, Json};
+
+/// The per-phase figures the gate compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseMetrics {
+    /// Phase name (`randomfill`, `mixed-r50`, ...).
+    pub phase: String,
+    /// Ops completed.
+    pub ops: u64,
+    /// Throughput in M ops/s.
+    pub mops: f64,
+    /// Median latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// One parsed `BENCH_*.json`.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// The `--system` under test.
+    pub system: String,
+    /// Phases in run order.
+    pub phases: Vec<PhaseMetrics>,
+}
+
+impl BenchRun {
+    /// Parse a `db_bench` JSON summary.
+    pub fn parse(text: &str) -> Result<BenchRun, String> {
+        let root = json::parse(text)?;
+        let system = root
+            .get("system")
+            .and_then(Json::as_str)
+            .ok_or("missing system")?
+            .to_string();
+        let phases = root
+            .get("phases")
+            .and_then(Json::as_arr)
+            .ok_or("missing phases array")?;
+        let mut out = Vec::with_capacity(phases.len());
+        for (i, p) in phases.iter().enumerate() {
+            let num = |v: &Json, key: &str| -> Result<f64, String> {
+                v.get(key)
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("phase {i}: missing {key}"))
+            };
+            let lat = p.get("latency").ok_or_else(|| format!("phase {i}: missing latency"))?;
+            out.push(PhaseMetrics {
+                phase: p
+                    .get("phase")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("phase {i}: missing phase name"))?
+                    .to_string(),
+                ops: num(p, "ops")? as u64,
+                mops: num(p, "mops")?,
+                p50_ns: num(lat, "p50_ns")? as u64,
+                p99_ns: num(lat, "p99_ns")? as u64,
+            });
+        }
+        Ok(BenchRun { system, phases: out })
+    }
+
+    fn phase(&self, name: &str) -> Option<&PhaseMetrics> {
+        self.phases.iter().find(|p| p.phase == name)
+    }
+}
+
+/// One comparison row: `new` is `None` for phases the candidate run lacks.
+#[derive(Debug, Clone)]
+pub struct DeltaRow {
+    /// Phase name.
+    pub phase: String,
+    /// Baseline figures.
+    pub base: PhaseMetrics,
+    /// Candidate figures, if the phase ran.
+    pub new: Option<PhaseMetrics>,
+}
+
+impl DeltaRow {
+    /// Relative change `(new - base) / base` for a metric selector; `None`
+    /// when the phase is missing or the baseline value is zero.
+    fn rel(&self, f: impl Fn(&PhaseMetrics) -> f64) -> Option<f64> {
+        let new = self.new.as_ref()?;
+        let base = f(&self.base);
+        if base == 0.0 {
+            return None;
+        }
+        Some((f(new) - base) / base)
+    }
+}
+
+/// The full comparison.
+#[derive(Debug)]
+pub struct DiffReport {
+    /// Per-phase rows, baseline order.
+    pub rows: Vec<DeltaRow>,
+    /// Human-readable descriptions of every threshold violation; empty for
+    /// a passing gate.
+    pub regressions: Vec<String>,
+    /// Candidate phases with no baseline counterpart (informational).
+    pub unmatched: Vec<String>,
+    threshold: f64,
+}
+
+/// Compare `new` against `base`. `threshold_pct` is the allowed relative
+/// change in percent (e.g. `15.0`): throughput may drop and p50/p99 may
+/// rise by strictly less than this before the gate fails.
+pub fn diff(base: &BenchRun, new: &BenchRun, threshold_pct: f64) -> DiffReport {
+    let threshold = threshold_pct / 100.0;
+    let mut rows = Vec::new();
+    let mut regressions = Vec::new();
+    for b in &base.phases {
+        let row = DeltaRow {
+            phase: b.phase.clone(),
+            base: b.clone(),
+            new: new.phase(&b.phase).cloned(),
+        };
+        if row.new.is_none() {
+            regressions.push(format!("phase {} missing from candidate run", b.phase));
+        }
+        if let Some(drop) = row.rel(|p| p.mops) {
+            if -drop >= threshold {
+                regressions.push(format!(
+                    "{}: throughput fell {:.1}% ({} → {} Mops/s)",
+                    b.phase,
+                    -drop * 100.0,
+                    crate::report::fmt_mops(b.mops),
+                    crate::report::fmt_mops(row.new.as_ref().unwrap().mops),
+                ));
+            }
+        }
+        for (name, f) in [
+            ("p50", (|p: &PhaseMetrics| p.p50_ns as f64) as fn(&PhaseMetrics) -> f64),
+            ("p99", |p: &PhaseMetrics| p.p99_ns as f64),
+        ] {
+            if let Some(rise) = row.rel(f) {
+                if rise >= threshold {
+                    regressions.push(format!(
+                        "{}: {name} rose {:.1}% ({} → {} us)",
+                        b.phase,
+                        rise * 100.0,
+                        crate::report::fmt_us(f(&row.base) as u64),
+                        crate::report::fmt_us(f(row.new.as_ref().unwrap()) as u64),
+                    ));
+                }
+            }
+        }
+        rows.push(row);
+    }
+    let unmatched = new
+        .phases
+        .iter()
+        .filter(|p| base.phase(&p.phase).is_none())
+        .map(|p| p.phase.clone())
+        .collect();
+    DiffReport { rows, regressions, unmatched, threshold }
+}
+
+impl DiffReport {
+    /// Did any phase cross the threshold (or go missing)?
+    pub fn is_regression(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// The aligned delta table plus verdict lines, ready to print.
+    pub fn render(&self) -> String {
+        let mut rows: Vec<[String; 7]> = Vec::new();
+        for r in &self.rows {
+            let pct = |rel: Option<f64>| match rel {
+                Some(v) => format!("{:+.1}%", v * 100.0),
+                None => "—".to_string(),
+            };
+            match &r.new {
+                Some(n) => rows.push([
+                    r.phase.clone(),
+                    format!(
+                        "{} → {}",
+                        crate::report::fmt_mops(r.base.mops),
+                        crate::report::fmt_mops(n.mops)
+                    ),
+                    pct(r.rel(|p| p.mops)),
+                    format!(
+                        "{} → {}",
+                        crate::report::fmt_us(r.base.p50_ns),
+                        crate::report::fmt_us(n.p50_ns)
+                    ),
+                    pct(r.rel(|p| p.p50_ns as f64)),
+                    format!(
+                        "{} → {}",
+                        crate::report::fmt_us(r.base.p99_ns),
+                        crate::report::fmt_us(n.p99_ns)
+                    ),
+                    pct(r.rel(|p| p.p99_ns as f64)),
+                ]),
+                None => rows.push([
+                    r.phase.clone(),
+                    format!("{} → missing", crate::report::fmt_mops(r.base.mops)),
+                    "—".into(),
+                    "—".into(),
+                    "—".into(),
+                    "—".into(),
+                    "—".into(),
+                ]),
+            }
+        }
+        let header = ["phase", "Mops/s", "Δ", "p50 (us)", "Δ", "p99 (us)", "Δ"];
+        let mut widths = header.map(str::len);
+        for row in &rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[&str]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&header));
+        out.push('\n');
+        out.push_str(&"-".repeat(out.trim_end().len()));
+        out.push('\n');
+        for row in &rows {
+            let cells: Vec<&str> = row.iter().map(String::as_str).collect();
+            out.push_str(&fmt_row(&cells));
+            out.push('\n');
+        }
+        for u in &self.unmatched {
+            out.push_str(&format!("note: phase {u} has no baseline counterpart\n"));
+        }
+        if self.is_regression() {
+            out.push_str(&format!(
+                "FAIL: {} regression(s) beyond {:.1}%:\n",
+                self.regressions.len(),
+                self.threshold * 100.0
+            ));
+            for r in &self.regressions {
+                out.push_str(&format!("  - {r}\n"));
+            }
+        } else {
+            out.push_str(&format!("OK: all phases within {:.1}%\n", self.threshold * 100.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(phases: &[(&str, f64, u64, u64)]) -> BenchRun {
+        BenchRun {
+            system: "dlsm".into(),
+            phases: phases
+                .iter()
+                .map(|&(name, mops, p50, p99)| PhaseMetrics {
+                    phase: name.into(),
+                    ops: 1000,
+                    mops,
+                    p50_ns: p50,
+                    p99_ns: p99,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parses_db_bench_json() {
+        let text = r#"{
+            "system": "dlsm",
+            "phases": [
+                {"phase": "randomfill", "threads": 4, "ops": 50000, "seconds": 1.5,
+                 "mops": 0.033,
+                 "latency": {"count": 50000, "mean_ns": 2000.0, "p50_ns": 1800,
+                             "p90_ns": 2500, "p99_ns": 9000, "p999_ns": 20000,
+                             "max_ns": 100000},
+                 "rdma": {}}
+            ]
+        }"#;
+        let r = BenchRun::parse(text).unwrap();
+        assert_eq!(r.system, "dlsm");
+        assert_eq!(r.phases.len(), 1);
+        assert_eq!(r.phases[0].phase, "randomfill");
+        assert_eq!(r.phases[0].p99_ns, 9000);
+        assert!((r.phases[0].mops - 0.033).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_incomplete_runs() {
+        assert!(BenchRun::parse("{}").is_err());
+        assert!(BenchRun::parse(r#"{"system": "x"}"#).is_err());
+        assert!(
+            BenchRun::parse(r#"{"system": "x", "phases": [{"phase": "a"}]}"#).is_err(),
+            "phase without metrics"
+        );
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = run(&[("randomfill", 1.0, 1000, 5000), ("randomread", 2.0, 500, 2000)]);
+        let report = diff(&base, &base.clone(), 15.0);
+        assert!(!report.is_regression(), "{}", report.render());
+        assert_eq!(report.rows.len(), 2);
+    }
+
+    #[test]
+    fn improvements_pass_at_any_size() {
+        let base = run(&[("randomread", 1.0, 1000, 5000)]);
+        let new = run(&[("randomread", 3.0, 300, 1000)]);
+        assert!(!diff(&base, &new, 15.0).is_regression());
+    }
+
+    #[test]
+    fn p50_regression_beyond_threshold_fails() {
+        let base = run(&[("randomread", 1.0, 1000, 5000)]);
+        let new = run(&[("randomread", 1.0, 1200, 5000)]); // +20% p50
+        let report = diff(&base, &new, 15.0);
+        assert!(report.is_regression());
+        assert!(report.regressions[0].contains("p50"), "{:?}", report.regressions);
+        // The same delta passes a looser gate.
+        assert!(!diff(&base, &new, 25.0).is_regression());
+    }
+
+    #[test]
+    fn throughput_drop_beyond_threshold_fails() {
+        let base = run(&[("randomfill", 1.0, 1000, 5000)]);
+        let new = run(&[("randomfill", 0.8, 1000, 5000)]); // -20% mops
+        let report = diff(&base, &new, 15.0);
+        assert!(report.is_regression());
+        assert!(report.regressions[0].contains("throughput"), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn missing_phase_fails_and_extra_phase_is_noted() {
+        let base = run(&[("randomfill", 1.0, 1000, 5000), ("readseq", 5.0, 100, 300)]);
+        let new = run(&[("randomfill", 1.0, 1000, 5000), ("mixed-r50", 1.5, 800, 3000)]);
+        let report = diff(&base, &new, 15.0);
+        assert!(report.is_regression());
+        assert!(report.regressions.iter().any(|r| r.contains("readseq")));
+        assert_eq!(report.unmatched, vec!["mixed-r50".to_string()]);
+        let text = report.render();
+        assert!(text.contains("missing"), "{text}");
+        assert!(text.contains("no baseline counterpart"), "{text}");
+    }
+
+    #[test]
+    fn zero_baseline_values_never_divide() {
+        let base = run(&[("randomfill", 0.0, 0, 0)]);
+        let new = run(&[("randomfill", 1.0, 10, 10)]);
+        assert!(!diff(&base, &new, 15.0).is_regression());
+    }
+}

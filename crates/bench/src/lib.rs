@@ -13,6 +13,8 @@
 //!   ablations beyond the paper (MemTable switch protocol, async flush).
 //! * [`report`] — aligned-table stdout reporting + CSV output under
 //!   `results/`.
+//! * [`json`] / [`diff`] — dependency-free JSON reader and the
+//!   `BENCH_*.json` comparator behind the `bench_diff` perf gate.
 //!
 //! Run everything with the `figures` binary:
 //!
@@ -21,8 +23,10 @@
 //! cargo run --release -p dlsm-bench --bin figures -- fig7a --kv 200000 --threads 1,2,4,8,16
 //! ```
 
+pub mod diff;
 pub mod figures;
 pub mod harness;
+pub mod json;
 pub mod report;
 pub mod setup;
 pub mod workload;

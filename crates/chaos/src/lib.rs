@@ -9,9 +9,12 @@
 //! keyed by a single `u64` seed, printed in every panic message — to
 //! reproduce a failure, re-run the test whose seed it names.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dlsm_memnode::MemServer;
+use dlsm_metrics::MetricsRegistry;
+use rdma_sim::ChaosPlan;
 
 /// One scripted operation: `put` (false = delete), key, version counter.
 pub type Op = (bool, u64, u64);
@@ -77,6 +80,47 @@ fn sleep_until(deadline: Instant) {
     }
 }
 
+/// Export a [`ChaosPlan`]'s live state to `reg`: the seed (so a scrape of a
+/// red run names its reproduction), cumulative dropped/blackholed
+/// completions, and how many partition/crash windows are open right now.
+pub fn register_chaos_metrics(plan: &Arc<ChaosPlan>, reg: &MetricsRegistry) {
+    let plan = Arc::clone(plan);
+    reg.register(move |out: &mut dlsm_metrics::Sample| {
+        out.gauge("chaos_seed", plan.seed() as f64);
+        let (partitions, crashes) = plan.active_windows();
+        out.gauge("chaos_active_partition_windows", partitions as f64);
+        out.gauge("chaos_active_crash_windows", crashes as f64);
+        out.counter_with("chaos_dropped_completions", &[], plan.drops());
+        out.counter_with("chaos_blackholed_ops", &[], plan.blackholes());
+    });
+}
+
+/// Dumps a stats report to stderr if the current thread unwinds while the
+/// guard is alive — so a failing chaos oracle ships the LSM shape, stall
+/// attribution, and remote-memory accounting alongside the panic message.
+///
+/// The closure runs only on panic; a clean run costs one branch at drop.
+pub struct ReportOnPanic<F: Fn() -> String> {
+    report: F,
+}
+
+impl<F: Fn() -> String> ReportOnPanic<F> {
+    /// Arm the guard. `report` is typically
+    /// `move || db.stats_report().to_string()` (or the `ShardedDb` form,
+    /// which is already a `String`).
+    pub fn new(report: F) -> Self {
+        ReportOnPanic { report }
+    }
+}
+
+impl<F: Fn() -> String> Drop for ReportOnPanic<F> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("--- stats report at failure ---\n{}", (self.report)());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +140,38 @@ mod tests {
         keys.sort();
         keys.dedup();
         assert_eq!(keys.len(), 500);
+    }
+
+    #[test]
+    fn chaos_collector_exports_plan_state() {
+        use rdma_sim::NodeId;
+
+        let plan = Arc::new(
+            ChaosPlan::new(0xC0FFEE)
+                .crash_window(NodeId(1), Duration::ZERO, Duration::from_secs(3600))
+                .partition_window(NodeId(2), Duration::from_secs(3600), Duration::from_secs(3601)),
+        );
+        let reg = MetricsRegistry::new();
+        register_chaos_metrics(&plan, &reg);
+        let sample = reg.gather();
+        assert_eq!(sample.gauge_value("chaos_seed", &[]), Some(0xC0FFEE as f64));
+        assert_eq!(sample.gauge_value("chaos_active_crash_windows", &[]), Some(1.0));
+        assert_eq!(sample.gauge_value("chaos_active_partition_windows", &[]), Some(0.0));
+        let text = reg.render();
+        assert!(text.contains("chaos_dropped_completions_total 0"), "{text}");
+    }
+
+    #[test]
+    fn report_on_panic_is_silent_without_panic() {
+        // The closure must not run on a clean drop.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = ran.clone();
+        let guard = ReportOnPanic::new(move || {
+            flag.store(true, Ordering::Relaxed);
+            String::new()
+        });
+        drop(guard);
+        assert!(!ran.load(Ordering::Relaxed));
     }
 }

@@ -88,6 +88,10 @@ fn run_chaos(seed: u64) {
     dlsm_trace::set_enabled(true);
     let _trace_dump = dlsm_trace::PanicDump::new(format!("results/chaos_trace_{seed:x}.json"));
 
+    // And the LSM shape / stall / remote-memory snapshot goes to stderr on
+    // any failed assertion below.
+    let _stats_dump = dlsm_chaos::ReportOnPanic::new(|| db.stats_report().to_string());
+
     let epoch = Instant::now();
     let plan = Arc::new(
         ChaosPlan::new(seed)

@@ -92,6 +92,21 @@ pub fn max_bytes_for_level(cfg: &DbConfig, level: usize) -> u64 {
     max
 }
 
+/// Compaction pressure at `level`: ≥ 1.0 means the level is over its
+/// trigger. L0 scores by file count, deeper levels by byte volume against
+/// [`max_bytes_for_level`]. The last level never compacts further and
+/// scores 0. This is the same figure [`pick_compaction`] ranks on; the
+/// gauge sampler and stats report export it per level.
+pub fn level_score(version: &Version, cfg: &DbConfig, level: usize) -> f64 {
+    if level == 0 {
+        version.level(0).len() as f64 / cfg.l0_compaction_trigger as f64
+    } else if level + 1 < version.level_count() {
+        version.level_bytes(level) as f64 / max_bytes_for_level(cfg, level) as f64
+    } else {
+        0.0
+    }
+}
+
 /// Pick the most urgent compaction, if any level is over its trigger.
 ///
 /// `compact_pointer` persists the round-robin cursor per level (LevelDB's
@@ -104,12 +119,8 @@ pub fn pick_compaction(
     compact_pointer.resize(version.level_count(), Vec::new());
     // Score every level; L0 by file count, others by byte volume.
     let mut best: Option<(f64, usize)> = None;
-    let l0_score = version.level(0).len() as f64 / cfg.l0_compaction_trigger as f64;
-    if l0_score >= 1.0 {
-        best = Some((l0_score, 0));
-    }
-    for level in 1..version.level_count() - 1 {
-        let score = version.level_bytes(level) as f64 / max_bytes_for_level(cfg, level) as f64;
+    for level in 0..version.level_count() - 1 {
+        let score = level_score(version, cfg, level);
         if score >= 1.0 && best.is_none_or(|(s, _)| score > s) {
             best = Some((score, level));
         }

@@ -69,9 +69,45 @@ pub(crate) struct Shared {
     /// even though serialization runs in parallel.
     install_turn: Mutex<u64>,
     install_cv: Condvar,
+    /// When this shard was opened (uptime gauge).
+    opened_at: Instant,
+}
+
+/// Point-in-time write-path state, read by the gauge sampler
+/// (`crate::metrics`) and stats report without reaching into `Shared`'s
+/// private fields from sibling modules.
+pub(crate) struct LiveState {
+    /// Bytes used in the current MemTable's arena.
+    pub(crate) mem_bytes: u64,
+    /// Configured MemTable rotation threshold.
+    pub(crate) mem_limit: u64,
+    /// Entries in the current MemTable.
+    pub(crate) mem_entries: u64,
+    /// Sequence numbers left before the current table's range is exhausted.
+    pub(crate) seq_headroom: u64,
+    /// Immutable MemTables awaiting flush.
+    pub(crate) imm_count: usize,
+    /// MemTables enqueued to flush workers.
+    pub(crate) flush_queue_len: usize,
+    /// Time since `Db::open`.
+    pub(crate) uptime: Duration,
 }
 
 impl Shared {
+    pub(crate) fn live_state(&self) -> LiveState {
+        let next_seq = self.seq.load(Ordering::Relaxed);
+        let cur = self.current.read();
+        LiveState {
+            mem_bytes: cur.memory_usage() as u64,
+            mem_limit: self.cfg.memtable_size as u64,
+            mem_entries: cur.len() as u64,
+            seq_headroom: cur.range.end.saturating_sub(next_seq.max(cur.range.start)),
+            imm_count: self.imm_count.load(Ordering::Acquire),
+            flush_queue_len: self.flush_queue_len.load(Ordering::Acquire),
+            uptime: self.opened_at.elapsed(),
+        }
+    }
+
     fn new_memtable(&self, start: SeqNo) -> Arc<MemTable> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         // The naive protocol has no range discipline: any sequence number
@@ -504,6 +540,7 @@ impl Db {
             retire_counter: AtomicU64::new(0),
             install_turn: Mutex::new(0),
             install_cv: Condvar::new(),
+            opened_at: Instant::now(),
             cfg,
         });
 
@@ -565,6 +602,12 @@ impl Db {
     /// Database counters.
     pub fn stats(&self) -> &DbStats {
         &self.shared.stats
+    }
+
+    /// Internal shared state, for sibling modules (`crate::metrics`,
+    /// `crate::report`) that register collectors or build stats reports.
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
     }
 
     /// Live telemetry (latency histograms, breakdown spans, RPC counters).
@@ -1577,6 +1620,10 @@ fn compaction_loop(shared: Arc<Shared>) {
                 DbStats::add(&shared.stats.compaction_subtasks, subtasks);
                 DbStats::add(&shared.stats.compaction_records_in, outcome.records_in);
                 DbStats::add(&shared.stats.compaction_records_out, outcome.records_out);
+                DbStats::add(
+                    &shared.stats.compaction_bytes_out,
+                    outcome.outputs.iter().map(|t| t.extent.len).sum::<u64>(),
+                );
                 shared.notify_stall();
             }
             Err(e) => {

@@ -58,8 +58,10 @@ pub mod db;
 pub mod flush;
 pub mod handle;
 pub mod memtable;
+pub mod metrics;
 pub mod publication;
 pub mod remote;
+pub mod report;
 pub mod scan;
 pub mod shard;
 pub mod stats;
@@ -71,6 +73,7 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use config::{DataPath, DbConfig, SwitchProtocol};
 pub use context::{ComputeContext, MemNodeHandle};
 pub use db::{Db, DbReader, Snapshot};
+pub use report::{LevelStats, StatsReport};
 pub use shard::ShardedDb;
 pub use stats::{DbStats, DbStatsSnapshot};
 pub use telemetry::{DbTelemetry, StallReason};

@@ -30,6 +30,8 @@ pub struct DbStats {
     pub compaction_records_in: AtomicU64,
     /// Records written by compactions.
     pub compaction_records_out: AtomicU64,
+    /// Bytes written to remote memory by compaction outputs.
+    pub compaction_bytes_out: AtomicU64,
     /// Write-stall episodes.
     pub stall_events: AtomicU64,
     /// Total nanoseconds writers spent stalled.
@@ -76,6 +78,7 @@ impl DbStats {
             compaction_subtasks: Self::get(&self.compaction_subtasks),
             compaction_records_in: Self::get(&self.compaction_records_in),
             compaction_records_out: Self::get(&self.compaction_records_out),
+            compaction_bytes_out: Self::get(&self.compaction_bytes_out),
             stall_events: Self::get(&self.stall_events),
             stall_nanos: Self::get(&self.stall_nanos),
             gc_batches: Self::get(&self.gc_batches),
@@ -112,6 +115,8 @@ pub struct DbStatsSnapshot {
     pub compaction_records_in: u64,
     /// Records written by compactions.
     pub compaction_records_out: u64,
+    /// Bytes written to remote memory by compaction outputs.
+    pub compaction_bytes_out: u64,
     /// Write-stall episodes.
     pub stall_events: u64,
     /// Total nanoseconds writers spent stalled.
@@ -154,6 +159,7 @@ impl DbStatsSnapshot {
         f(&mut self.compaction_subtasks, other.compaction_subtasks);
         f(&mut self.compaction_records_in, other.compaction_records_in);
         f(&mut self.compaction_records_out, other.compaction_records_out);
+        f(&mut self.compaction_bytes_out, other.compaction_bytes_out);
         f(&mut self.stall_events, other.stall_events);
         f(&mut self.stall_nanos, other.stall_nanos);
         f(&mut self.gc_batches, other.gc_batches);
@@ -161,7 +167,7 @@ impl DbStatsSnapshot {
     }
 
     /// The counters as `(name, value)` pairs, for telemetry export.
-    pub fn named_counters(&self) -> [(&'static str, u64); 16] {
+    pub fn named_counters(&self) -> [(&'static str, u64); 17] {
         [
             ("puts", self.puts),
             ("deletes", self.deletes),
@@ -175,6 +181,7 @@ impl DbStatsSnapshot {
             ("compaction_subtasks", self.compaction_subtasks),
             ("compaction_records_in", self.compaction_records_in),
             ("compaction_records_out", self.compaction_records_out),
+            ("compaction_bytes_out", self.compaction_bytes_out),
             ("stall_events", self.stall_events),
             ("stall_nanos", self.stall_nanos),
             ("gc_batches", self.gc_batches),
@@ -257,6 +264,6 @@ mod tests {
         assert_eq!(m.stall_events, 1);
         let named: std::collections::HashMap<_, _> = m.named_counters().into_iter().collect();
         assert_eq!(named["puts"], 7);
-        assert_eq!(named.len(), 16);
+        assert_eq!(named.len(), 17);
     }
 }

@@ -244,6 +244,17 @@ impl DedupMap {
             win.entries.retain(|_, e| !matches!(e, Entry::InFlight));
         }
     }
+
+    /// Total remembered entries across all client windows (in-flight,
+    /// canceled, and cached replies) — the dedup-state footprint gauge.
+    pub fn len(&self) -> usize {
+        self.clients.lock().values().map(|w| w.entries.len()).sum()
+    }
+
+    /// True when no client window remembers anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 struct CompactJob {
@@ -397,6 +408,86 @@ impl MemServer {
     /// The at-most-once request window.
     pub fn dedup(&self) -> &Arc<DedupMap> {
         &self.dedup
+    }
+
+    /// Register this server's live state with a metrics registry: region
+    /// utilization split CN-controlled (flush zone) vs MN-controlled
+    /// (compaction zone), dedup-window footprint, and every `server_*`
+    /// counter and latency histogram, all labeled with the node id.
+    ///
+    /// The collector captures `Arc`s of the allocator/stats/dedup state,
+    /// which [`MemServer::crash`]/[`MemServer::restart`] preserve — so a
+    /// registered collector stays accurate across a crash cycle.
+    pub fn register_metrics(&self, reg: &dlsm_metrics::MetricsRegistry) {
+        let node = self.node.id().0.to_string();
+        let allocator = Arc::clone(&self.allocator);
+        let stats = Arc::clone(&self.stats);
+        let dedup = Arc::clone(&self.dedup);
+        let region_size = self.cfg.region_size as u64;
+        let flush_zone = self.cfg.flush_zone;
+        reg.register(move |out: &mut dlsm_metrics::Sample| {
+            let labels: &[(&'static str, &str)] = &[("node", node.as_str())];
+            out.gauge_with("memnode_region_bytes", labels, region_size as f64);
+            // CN-controlled zone: capacity only — the *used* figure lives on
+            // the compute node (its window's RegionAllocator), exported as
+            // dlsm_flush_zone_used_bytes by Db collectors.
+            out.gauge_with("memnode_flush_zone_bytes", labels, flush_zone as f64);
+            out.gauge_with(
+                "memnode_compaction_zone_used_bytes",
+                labels,
+                allocator.in_use() as f64,
+            );
+            out.gauge_with(
+                "memnode_compaction_zone_capacity_bytes",
+                labels,
+                allocator.capacity() as f64,
+            );
+            out.gauge_with(
+                "memnode_compaction_zone_fragments",
+                labels,
+                allocator.fragments() as f64,
+            );
+            out.gauge_with("memnode_dedup_entries", labels, dedup.len() as f64);
+
+            for (name, counter) in [
+                ("memnode_server_busy_nanos", &stats.busy_nanos),
+                ("memnode_server_compactions", &stats.compactions),
+                ("memnode_server_records_in", &stats.records_in),
+                ("memnode_server_records_out", &stats.records_out),
+                ("memnode_server_freed_extents", &stats.freed_extents),
+                ("memnode_server_rpcs", &stats.rpcs),
+                ("memnode_server_failures", &stats.failures),
+                ("memnode_server_replays", &stats.replays),
+                ("memnode_server_dup_dropped", &stats.dup_dropped),
+                ("memnode_server_canceled", &stats.canceled),
+                ("memnode_server_restarts", &stats.restarts),
+            ] {
+                out.counter_with(name, labels, counter.load(Ordering::Relaxed));
+            }
+            for (stage, h) in [
+                ("server_dispatch", stats.dispatch.snapshot()),
+                ("server_compact_merge", stats.merge.snapshot()),
+            ] {
+                out.hist_with(
+                    "memnode_breakdown_latency_ns",
+                    &[("node", node.as_str()), ("stage", stage)],
+                    h,
+                );
+            }
+        });
+    }
+
+    /// Serve a Prometheus scrape of this server's metrics on `addr` (pass
+    /// port 0 for an ephemeral port; read it back from the returned
+    /// server's `local_addr()`).
+    pub fn serve_metrics(
+        &self,
+        addr: &str,
+        sample_period: Option<Duration>,
+    ) -> std::io::Result<dlsm_metrics::MetricsServer> {
+        let reg = dlsm_metrics::MetricsRegistry::new();
+        self.register_metrics(&reg);
+        dlsm_metrics::serve(reg, addr, sample_period)
     }
 
     /// Bytes in use in the compaction zone.

@@ -1,0 +1,258 @@
+//! Prometheus text-exposition (v0.0.4) rendering.
+//!
+//! Deterministic output: families are emitted sorted by name (gauges,
+//! then counters, then histograms), series within a family in sample
+//! order, and labels within a series sorted by key. Counters get the
+//! conventional `_total` suffix; histograms emit cumulative
+//! `_bucket{le=...}` series plus `_sum`/`_count`, and additionally
+//! `{name}_p50/_p90/_p99/_p999` gauges so quantiles are scrapeable
+//! without PromQL `histogram_quantile`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{Gauge, HistMetric, Label, Sample};
+
+/// Render a full sample as Prometheus text exposition.
+pub fn render(sample: &Sample) -> String {
+    let mut out = String::new();
+
+    // Quantile gauges derived from histograms join the real gauges so the
+    // whole gauge section stays sorted by family name.
+    let mut gauges: Vec<Gauge> = sample.gauges.clone();
+    for h in &sample.hists {
+        for (suffix, q) in [("_p50", 0.50), ("_p90", 0.90), ("_p99", 0.99), ("_p999", 0.999)] {
+            gauges.push(Gauge {
+                name: format!("{}{}", h.name, suffix),
+                labels: h.labels.clone(),
+                value: h.snap.quantile(q) as f64,
+            });
+        }
+    }
+
+    for (name, series) in group_by_name(&gauges, |g| &g.name) {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for g in series {
+            let _ = writeln!(out, "{}{} {}", name, render_labels(&g.labels), fmt_f64(g.value));
+        }
+    }
+
+    for (name, series) in group_by_name(&sample.counters, |c| &c.name) {
+        let _ = writeln!(out, "# TYPE {name}_total counter");
+        for c in series {
+            let _ = writeln!(out, "{}_total{} {}", name, render_labels(&c.labels), c.value);
+        }
+    }
+
+    for (name, series) in group_by_name(&sample.hists, |h| &h.name) {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for h in series {
+            render_hist(&mut out, name, h);
+        }
+    }
+
+    out
+}
+
+/// Group items by family name, sorted; preserves sample order within a
+/// family (stable for identical inputs).
+fn group_by_name<'a, T, F: Fn(&'a T) -> &'a String>(
+    items: &'a [T],
+    name_of: F,
+) -> BTreeMap<&'a str, Vec<&'a T>> {
+    let mut map: BTreeMap<&str, Vec<&T>> = BTreeMap::new();
+    for it in items {
+        map.entry(name_of(it).as_str()).or_default().push(it);
+    }
+    map
+}
+
+fn render_hist(out: &mut String, name: &str, h: &HistMetric) {
+    let mut emitted_inf = false;
+    for (bound, cum) in h.snap.cumulative_buckets() {
+        let le = if bound == u64::MAX {
+            emitted_inf = true;
+            "+Inf".to_string()
+        } else {
+            bound.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {}",
+            name,
+            render_labels_plus(&h.labels, "le", &le),
+            cum
+        );
+    }
+    if !emitted_inf {
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {}",
+            name,
+            render_labels_plus(&h.labels, "le", "+Inf"),
+            h.snap.count()
+        );
+    }
+    let _ = writeln!(out, "{}_sum{} {}", name, render_labels(&h.labels), h.snap.sum());
+    let _ = writeln!(out, "{}_count{} {}", name, render_labels(&h.labels), h.snap.count());
+}
+
+/// `{k1="v1",k2="v2"}` with keys sorted, or empty for no labels.
+fn render_labels(labels: &[Label]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<&Label> = labels.iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+    let body: Vec<String> =
+        sorted.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Labels plus one extra pair (the histogram `le` bound), keys sorted.
+fn render_labels_plus(labels: &[Label], key: &'static str, value: &str) -> String {
+    let mut all: Vec<Label> = labels.to_vec();
+    all.push((key, value.to_string()));
+    render_labels(&all)
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a gauge value: integral values render without a fraction,
+/// non-finite values per the exposition spec.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf".to_string() } else { "-Inf".to_string() }
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlsm_telemetry::Histogram;
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label(r#"a\b"c"#), r#"a\\b\"c"#);
+        assert_eq!(escape_label("x\ny"), "x\\ny");
+        let mut s = Sample::new();
+        s.gauge_with("g", &[("path", "a\\b\"c\nd")], 1.0);
+        let text = render(&s);
+        assert!(text.contains(r#"g{path="a\\b\"c\nd"} 1"#), "got: {text}");
+    }
+
+    #[test]
+    fn labels_sorted_by_key() {
+        let mut s = Sample::new();
+        s.gauge_with("g", &[("zeta", "1"), ("alpha", "2"), ("mid", "3")], 5.0);
+        let text = render(&s);
+        assert!(text.contains(r#"g{alpha="2",mid="3",zeta="1"} 5"#), "got: {text}");
+    }
+
+    #[test]
+    fn families_sorted_and_typed() {
+        let mut s = Sample::new();
+        s.gauge("zz_last", 1.0);
+        s.gauge("aa_first", 2.0);
+        s.counter_with("events", &[], 3);
+        let text = render(&s);
+        let aa = text.find("# TYPE aa_first gauge").unwrap();
+        let zz = text.find("# TYPE zz_last gauge").unwrap();
+        assert!(aa < zz);
+        assert!(text.contains("# TYPE events_total counter"));
+        assert!(text.contains("events_total 3"));
+        // One TYPE line per family even with multiple series.
+        let mut s2 = Sample::new();
+        s2.gauge_with("lv", &[("level", "0")], 1.0);
+        s2.gauge_with("lv", &[("level", "1")], 2.0);
+        let t2 = render(&s2);
+        assert_eq!(t2.matches("# TYPE lv gauge").count(), 1);
+        assert!(t2.contains("lv{level=\"0\"} 1\n"));
+        assert!(t2.contains("lv{level=\"1\"} 2\n"));
+    }
+
+    #[test]
+    fn histogram_bucket_sum_count_invariants() {
+        let h = Histogram::new();
+        for v in [100u64, 100, 250, 900, 10_000] {
+            h.record(v);
+        }
+        let mut s = Sample::new();
+        s.hist_with("lat_ns", &[("class", "put")], h.snapshot());
+        let text = render(&s);
+
+        assert!(text.contains("# TYPE lat_ns histogram"));
+        // Every bucket line carries the class label plus le, keys sorted
+        // (class < le alphabetically).
+        let bucket_lines: Vec<&str> =
+            text.lines().filter(|l| l.starts_with("lat_ns_bucket{")).collect();
+        assert!(!bucket_lines.is_empty());
+        for l in &bucket_lines {
+            assert!(l.contains("class=\"put\""), "missing class label: {l}");
+            let class_pos = l.find("class=").unwrap();
+            let le_pos = l.find("le=").unwrap();
+            assert!(class_pos < le_pos, "labels not sorted: {l}");
+        }
+        // Last bucket is +Inf and equals _count.
+        let last = bucket_lines.last().unwrap();
+        assert!(last.contains("le=\"+Inf\""), "last bucket not +Inf: {last}");
+        assert!(last.trim_end().ends_with(" 5"), "+Inf bucket != count: {last}");
+        assert!(text.contains("lat_ns_count{class=\"put\"} 5"));
+        assert!(text.contains(&format!("lat_ns_sum{{class=\"put\"}} {}", 100 + 100 + 250 + 900 + 10_000)));
+        // Cumulative counts never decrease.
+        let counts: Vec<u64> = bucket_lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "not cumulative: {counts:?}");
+        // Quantile gauges emitted alongside.
+        assert!(text.contains("# TYPE lat_ns_p50 gauge"));
+        assert!(text.contains("lat_ns_p99{class=\"put\"}"));
+    }
+
+    #[test]
+    fn small_histogram_still_emits_inf_bucket() {
+        // A histogram whose samples all land below the last bucket must
+        // still close with an explicit +Inf bucket equal to _count.
+        let h = Histogram::new();
+        h.record(5);
+        let mut s = Sample::new();
+        s.hist_with("h", &[], h.snapshot());
+        let text = render(&s);
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 1"), "got: {text}");
+        assert!(text.contains("h_count 1"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(0.25), "0.25");
+        assert_eq!(fmt_f64(-2.0), "-2");
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+        assert_eq!(fmt_f64(f64::INFINITY), "+Inf");
+    }
+
+    #[test]
+    fn empty_sample_renders_empty() {
+        assert_eq!(render(&Sample::new()), "");
+    }
+}

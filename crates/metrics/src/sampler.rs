@@ -1,0 +1,117 @@
+//! Background gauge sampler: snapshots a [`MetricsRegistry`] on a fixed
+//! cadence so readers (the HTTP exporter, a stats dump) see a coherent
+//! recent sample instead of racing collectors on every request.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::{lock, MetricsRegistry, Sample};
+
+/// Periodically gathers a registry into a cached [`Sample`].
+///
+/// The first collection happens synchronously in [`GaugeSampler::start`],
+/// so `latest()` never returns an empty pre-first-tick sample. The loop
+/// sleeps in short slices so `stop()`/`Drop` never waits a full period.
+pub struct GaugeSampler {
+    latest: Arc<Mutex<Sample>>,
+    rounds: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl GaugeSampler {
+    /// Start sampling `registry` every `period`.
+    pub fn start(registry: Arc<MetricsRegistry>, period: Duration) -> GaugeSampler {
+        let latest = Arc::new(Mutex::new(registry.gather()));
+        let rounds = Arc::new(AtomicU64::new(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let latest = latest.clone();
+            let rounds = rounds.clone();
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("gauge-sampler".into())
+                .spawn(move || {
+                    let slice = Duration::from_millis(25).min(period);
+                    let mut elapsed = Duration::ZERO;
+                    while !stop.load(Ordering::Acquire) {
+                        std::thread::sleep(slice);
+                        elapsed += slice;
+                        if elapsed < period {
+                            continue;
+                        }
+                        elapsed = Duration::ZERO;
+                        let sample = registry.gather();
+                        *lock(&latest) = sample;
+                        rounds.fetch_add(1, Ordering::Release);
+                    }
+                })
+                .expect("spawn gauge-sampler")
+        };
+        GaugeSampler { latest, rounds, stop, handle: Some(handle) }
+    }
+
+    /// The most recent sample (always at least the start-time one).
+    pub fn latest(&self) -> Sample {
+        lock(&self.latest).clone()
+    }
+
+    /// How many collection rounds have completed (≥ 1).
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Acquire)
+    }
+
+    /// Stop the sampling thread and wait for it to exit.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for GaugeSampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Counter;
+
+    #[test]
+    fn first_sample_is_synchronous() {
+        let reg = MetricsRegistry::new();
+        reg.register(|out: &mut Sample| out.gauge("x", 9.0));
+        // Huge period: only the synchronous start-time collection runs.
+        let sampler = GaugeSampler::start(reg, Duration::from_secs(3600));
+        assert_eq!(sampler.latest().gauge_value("x", &[]), Some(9.0));
+        assert_eq!(sampler.rounds(), 1);
+    }
+
+    #[test]
+    fn periodic_resampling_observes_changes() {
+        let n = Arc::new(Counter::new(0));
+        let reg = MetricsRegistry::new();
+        let src = n.clone();
+        reg.register(move |out: &mut Sample| {
+            out.gauge("n", src.load(Ordering::Relaxed) as f64)
+        });
+        let mut sampler = GaugeSampler::start(reg, Duration::from_millis(5));
+        n.store(42, Ordering::Relaxed);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while sampler.latest().gauge_value("n", &[]) != Some(42.0) {
+            assert!(std::time::Instant::now() < deadline, "sampler never caught up");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(sampler.rounds() >= 2);
+        sampler.stop();
+        let after = sampler.rounds();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(sampler.rounds(), after, "thread still running after stop");
+    }
+}

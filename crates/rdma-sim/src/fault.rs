@@ -254,6 +254,24 @@ impl ChaosPlan {
         self.blackholes.load(Ordering::Relaxed)
     }
 
+    /// Scripted windows currently open, as
+    /// `(partition_windows, crash_windows)` — the live fabric-state gauge
+    /// chaos runs export alongside drop/blackhole counters.
+    pub fn active_windows(&self) -> (usize, usize) {
+        let elapsed = self.epoch.elapsed();
+        let mut partitions = 0;
+        let mut crashes = 0;
+        for w in &self.windows {
+            if w.from <= elapsed && elapsed < w.until {
+                match w.kind {
+                    WindowKind::Partition => partitions += 1,
+                    WindowKind::Crash => crashes += 1,
+                }
+            }
+        }
+        (partitions, crashes)
+    }
+
     /// Counter-mode PRNG draw: uniform 64 bits for decision `n`.
     fn draw(&self) -> u64 {
         let n = self.counter.fetch_add(1, Ordering::Relaxed);
@@ -381,5 +399,16 @@ mod tests {
         assert!(plan.blackholes() >= 1);
         std::thread::sleep(Duration::from_millis(60));
         assert_eq!(plan.action(&hit), FaultAction::Deliver, "window expired");
+    }
+
+    #[test]
+    fn active_windows_tracks_open_intervals_by_kind() {
+        let plan = ChaosPlan::new(1)
+            .crash_window(NodeId(1), Duration::ZERO, Duration::from_millis(50))
+            .partition_window(NodeId(2), Duration::ZERO, Duration::from_millis(50))
+            .partition_window(NodeId(3), Duration::from_secs(3600), Duration::from_secs(3601));
+        assert_eq!(plan.active_windows(), (1, 1), "future window not active");
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(plan.active_windows(), (0, 0), "expired windows closed");
     }
 }

@@ -311,6 +311,23 @@ impl HistSnapshot {
             .filter(|(_, &n)| n != 0)
             .map(|(i, &n)| (bucket_floor(i), n))
     }
+
+    /// Iterate non-empty buckets as `(upper_bound, cumulative_count)` —
+    /// the Prometheus `_bucket{le=...}` form. Counts are cumulative and
+    /// therefore non-decreasing; the last yielded pair (if any) has
+    /// cumulative count == `count()`. The final bucket's bound saturates
+    /// at `u64::MAX` (rendered as `+Inf` by the exporter).
+    pub fn cumulative_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut cum = 0u64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(move |(i, &n)| {
+                cum += n;
+                (bucket_max(i), cum)
+            })
+    }
 }
 
 impl std::fmt::Display for HistSnapshot {
@@ -408,6 +425,25 @@ mod tests {
         assert_eq!(d.count(), 2);
         assert_eq!(d.sum(), 400);
         assert_eq!(after.delta(&after).count(), 0);
+    }
+
+    #[test]
+    fn cumulative_buckets_monotone_and_total() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 17, 300, 300, 300, 5_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let pairs: Vec<(u64, u64)> = s.cumulative_buckets().collect();
+        assert!(!pairs.is_empty());
+        // Bounds strictly increase, cumulative counts never decrease.
+        assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(pairs.last().unwrap().1, s.count());
+        // u64::MAX lands in the last bucket, whose bound saturates.
+        assert_eq!(pairs.last().unwrap().0, u64::MAX);
+        // Cross-check against the per-bucket view: cumulative of floors.
+        let total: u64 = s.nonzero_buckets().map(|(_, n)| n).sum();
+        assert_eq!(total, s.count());
     }
 
     #[test]
