@@ -36,11 +36,13 @@ pub fn run(opts: &Opts) -> Result<(), String> {
         for &cores in &CORES {
             let sc =
                 build_scenario(SystemKind::Dlsm { lambda: 1 }, &spec, opts.profile(), cores);
+            // ORDERING: relaxed — server busy-time counter read for reporting; no data is published through it.
             let busy0 = sc.servers[0].stats().busy_nanos.load(Ordering::Relaxed);
             let t0 = Instant::now();
             let fill = run_fill(sc.engine.as_ref(), &spec, writers);
             sc.engine.wait_until_quiescent();
             let wall = t0.elapsed();
+            // ORDERING: relaxed — see above; deltas of a monotonic counter.
             let busy = sc.servers[0].stats().busy_nanos.load(Ordering::Relaxed) - busy0;
             let util = ServerStats::utilization(busy, cores, wall) * 100.0;
             eprintln!(

@@ -128,9 +128,11 @@ pub fn run_random_read(
                         let got = reader.get(&key).expect("read");
                         lat.record_elapsed(op0.elapsed());
                         if got.is_none() {
+                            // ORDERING: relaxed — progress counters; the worker join at the end of the run is the synchronization point.
                             misses.fetch_add(1, Ordering::Relaxed);
                         }
                     }
+                    // ORDERING: relaxed — progress counter; join below synchronizes.
                     done.fetch_add(per, Ordering::Relaxed);
                     lat
                 })
@@ -138,6 +140,7 @@ pub fn run_random_read(
             .collect();
         handles.into_iter().map(|h| h.join().expect("read worker")).collect()
     });
+    // ORDERING: relaxed — read after the workers were joined (or for a live progress line that tolerates staleness).
     let ops_done = done.load(Ordering::Relaxed);
     let missed = misses.load(Ordering::Relaxed);
     assert!(

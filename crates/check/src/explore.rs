@@ -1,0 +1,183 @@
+//! Bounded-preemption DFS over the decision tree of a model program.
+//!
+//! Each execution (see `exec`) yields a log of choice points; the explorer
+//! backtracks by incrementing the deepest choice that still has an untried
+//! alternative within the preemption bound, re-running with that prefix.
+//! Choices beyond the prefix default to option 0 ("keep running the current
+//! thread" / "observe the newest store"), so the first execution is the
+//! straight-line sequential one and preemptions are introduced one decision
+//! at a time. The walk terminates when no alternative remains (`complete`)
+//! or when `max_executions` is hit.
+
+use crate::exec::{self, DecisionKind, ExecCfg};
+use std::sync::Arc;
+
+/// A schedule that triggered a violation: the option chosen at each decision
+/// point, in order. Feed back through the same model program for a
+/// deterministic replay.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub message: String,
+    pub schedule: Vec<usize>,
+}
+
+/// Outcome of an exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of distinct interleavings executed (each ran a unique choice
+    /// prefix).
+    pub executions: u64,
+    /// True when every interleaving within the preemption bound was
+    /// explored; false when a violation stopped the walk or
+    /// `max_executions` was reached.
+    pub complete: bool,
+    pub violation: Option<Violation>,
+}
+
+/// Builder for a model-checking run.
+///
+/// ```
+/// use dlsm_check::{Checker, shim::{AtomicU64, Ordering, thread}};
+/// use std::sync::Arc;
+///
+/// let report = Checker::new("counter").check(|| {
+///     let c = Arc::new(AtomicU64::new(0));
+///     let c2 = Arc::clone(&c);
+///     let t = thread::spawn(move || { c2.fetch_add(1, Ordering::AcqRel); });
+///     c.fetch_add(1, Ordering::AcqRel);
+///     t.join().unwrap();
+///     assert_eq!(c.load(Ordering::Acquire), 2);
+/// });
+/// assert!(report.complete && report.executions > 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Checker {
+    name: String,
+    preemption_bound: usize,
+    max_executions: u64,
+    cfg: ExecCfg,
+}
+
+impl Checker {
+    pub fn new(name: &str) -> Self {
+        Checker {
+            name: name.to_string(),
+            preemption_bound: 2,
+            max_executions: 200_000,
+            cfg: ExecCfg::default(),
+        }
+    }
+
+    /// Maximum preemptions (context switches at a point where the current
+    /// thread could have kept running) per execution. Forced switches —
+    /// blocking or finishing — are free. Two catches most bugs (CHESS's
+    /// observation); three is affordable for small programs.
+    pub fn preemption_bound(mut self, n: usize) -> Self {
+        self.preemption_bound = n;
+        self
+    }
+
+    /// Hard cap on executions; hitting it reports `complete: false`.
+    pub fn max_executions(mut self, n: u64) -> Self {
+        self.max_executions = n;
+        self
+    }
+
+    /// Schedule points allowed per execution before declaring livelock.
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.cfg.max_steps = n;
+        self
+    }
+
+    /// Stores kept per atomic location for stale-value nondeterminism
+    /// (1 = always read the newest store, i.e. sequential consistency).
+    pub fn value_history(mut self, n: usize) -> Self {
+        self.cfg.value_history = n.max(1);
+        self
+    }
+
+    /// Seed for `shim::model_rand_u64`.
+    pub fn rng_seed(mut self, seed: u64) -> Self {
+        self.cfg.rng_seed = seed;
+        self
+    }
+
+    /// Explore all interleavings of `f` within the bound. Returns the first
+    /// violation found, if any. `f` runs once per interleaving and must be
+    /// deterministic apart from shim operations.
+    pub fn explore<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut executions: u64 = 0;
+        loop {
+            let res = exec::run_one(self.cfg, prefix.clone(), &f);
+            executions += 1;
+            if let Some(fail) = res.failure {
+                return Report {
+                    executions,
+                    complete: false,
+                    violation: Some(Violation {
+                        message: fail.message,
+                        schedule: res.decisions.iter().map(|d| d.chosen).collect(),
+                    }),
+                };
+            }
+            if executions >= self.max_executions {
+                return Report { executions, complete: false, violation: None };
+            }
+            let mut next: Option<Vec<usize>> = None;
+            for i in (0..res.decisions.len()).rev() {
+                let d = &res.decisions[i];
+                if d.chosen + 1 >= d.options {
+                    continue;
+                }
+                let allowed = match d.kind {
+                    DecisionKind::Value => true,
+                    DecisionKind::Thread => {
+                        // Option 0 = stay on the current thread; any
+                        // alternative is one preemption. Forced switches
+                        // (first_is_current == false) are free.
+                        !d.first_is_current || d.preemptions_before < self.preemption_bound
+                    }
+                };
+                if allowed {
+                    let mut p: Vec<usize> =
+                        res.decisions[..i].iter().map(|x| x.chosen).collect();
+                    p.push(d.chosen + 1);
+                    next = Some(p);
+                    break;
+                }
+            }
+            match next {
+                Some(p) => prefix = p,
+                None => return Report { executions, complete: true, violation: None },
+            }
+        }
+    }
+
+    /// Like [`explore`](Self::explore), but panics with a replayable
+    /// schedule on a violation and on a truncated (incomplete) exploration.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let report = self.explore(f);
+        if let Some(v) = &report.violation {
+            panic!(
+                "model `{}` violated after {} interleavings: {}\n  schedule: {:?}",
+                self.name, report.executions, v.message, v.schedule
+            );
+        }
+        if !report.complete {
+            panic!(
+                "model `{}` exploration truncated at {} executions (raise max_executions \
+                 or shrink the model)",
+                self.name, report.executions
+            );
+        }
+        report
+    }
+}

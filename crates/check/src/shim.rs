@@ -1,0 +1,571 @@
+//! Instrumented drop-in replacements for the std sync primitives.
+//!
+//! Outside a model execution every type passes straight through to its std
+//! counterpart, so a `shim`-enabled build of a crate behaves (and performs)
+//! like the plain build — important because cargo feature unification turns
+//! the feature on for the whole workspace test graph. Inside a model
+//! execution (a thread spawned under `Checker::explore`) every operation
+//! routes through the engine in [`crate::exec`]: a schedule point, the
+//! visibility model, and (for loads with several eligible stores) a value
+//! decision.
+//!
+//! The atomic wrappers are `#[repr(transparent)]` over the std atomics on
+//! purpose: `crates/skiplist` materializes `&AtomicU32` references by casting
+//! raw arena memory, and that cast must keep working when the skip list is
+//! compiled against the shim. Model side-state is keyed by address, and the
+//! physical std atomic always mirrors the latest store in modification
+//! order, so first contact with a location (however it was initialized)
+//! seeds the model history with the right value.
+
+use crate::exec;
+use std::cell::UnsafeCell;
+use std::sync::Mutex as StdMutex;
+use std::sync::RwLock as StdRwLock;
+
+pub use std::sync::atomic::Ordering;
+
+macro_rules! int_atomic {
+    ($name:ident, $std:ty, $prim:ty) => {
+        /// Shim atomic: std passthrough outside a model execution,
+        /// instrumented inside one.
+        #[repr(transparent)]
+        #[derive(Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            pub const fn new(v: $prim) -> Self {
+                Self { inner: <$std>::new(v) }
+            }
+
+            #[inline]
+            fn key(&self) -> usize {
+                self as *const _ as usize
+            }
+
+            #[inline]
+            fn phys(&self) -> u64 {
+                // ORDERING: relaxed — model-internal mirror read; the
+                // logical store history carries all ordering in a model.
+                self.inner.load(Ordering::Relaxed) as u64
+            }
+
+            #[inline]
+            pub fn load(&self, order: Ordering) -> $prim {
+                match exec::with_model(|e, t| e.atomic_load(t, self.key(), self.phys(), order)) {
+                    Some(v) => v as $prim,
+                    None => self.inner.load(order),
+                }
+            }
+
+            #[inline]
+            pub fn store(&self, v: $prim, order: Ordering) {
+                match exec::with_model(|e, t| {
+                    e.atomic_store(t, self.key(), self.phys(), v as u64, order)
+                }) {
+                    // ORDERING: relaxed — mirror write; only the current
+                    // baton-holding thread touches the physical atomic.
+                    Some(()) => self.inner.store(v, Ordering::Relaxed),
+                    None => self.inner.store(v, order),
+                }
+            }
+
+            #[inline]
+            pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                match exec::with_model(|e, t| {
+                    e.atomic_rmw(t, self.key(), self.phys(), order, |_| v as u64)
+                }) {
+                    Some((old, new)) => {
+                        // ORDERING: relaxed — mirror write (see store).
+                        self.inner.store(new as $prim, Ordering::Relaxed);
+                        old as $prim
+                    }
+                    None => self.inner.swap(v, order),
+                }
+            }
+
+            #[inline]
+            pub fn compare_exchange(
+                &self,
+                expected: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match exec::with_model(|e, t| {
+                    e.atomic_cas(
+                        t,
+                        self.key(),
+                        self.phys(),
+                        expected as u64,
+                        new as u64,
+                        success,
+                        failure,
+                    )
+                }) {
+                    Some(Ok(old)) => {
+                        // ORDERING: relaxed — mirror write (see store).
+                        self.inner.store(new, Ordering::Relaxed);
+                        Ok(old as $prim)
+                    }
+                    Some(Err(old)) => Err(old as $prim),
+                    None => self.inner.compare_exchange(expected, new, success, failure),
+                }
+            }
+
+            #[inline]
+            pub fn compare_exchange_weak(
+                &self,
+                expected: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                // The model never fails spuriously; that only prunes
+                // retry-loop interleavings that are equivalent to a lost CAS.
+                self.compare_exchange(expected, new, success, failure)
+            }
+
+            int_atomic!(@rmw fetch_add, $prim, |old: u64, v: $prim| (old as $prim).wrapping_add(v) as u64);
+            int_atomic!(@rmw fetch_sub, $prim, |old: u64, v: $prim| (old as $prim).wrapping_sub(v) as u64);
+            int_atomic!(@rmw fetch_and, $prim, |old: u64, v: $prim| ((old as $prim) & v) as u64);
+            int_atomic!(@rmw fetch_or, $prim, |old: u64, v: $prim| ((old as $prim) | v) as u64);
+            int_atomic!(@rmw fetch_xor, $prim, |old: u64, v: $prim| ((old as $prim) ^ v) as u64);
+            int_atomic!(@rmw fetch_max, $prim, |old: u64, v: $prim| (old as $prim).max(v) as u64);
+            int_atomic!(@rmw fetch_min, $prim, |old: u64, v: $prim| (old as $prim).min(v) as u64);
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // ORDERING: relaxed — debug formatting only.
+                f.debug_tuple(stringify!($name)).field(&self.load(Ordering::Relaxed)).finish()
+            }
+        }
+    };
+    (@rmw $method:ident, $prim:ty, $op:expr) => {
+        #[inline]
+        pub fn $method(&self, v: $prim, order: Ordering) -> $prim {
+            match exec::with_model(|e, t| {
+                e.atomic_rmw(t, self.key(), self.phys(), order, |old| ($op)(old, v))
+            }) {
+                Some((old, new)) => {
+                    // ORDERING: relaxed — mirror write (see store).
+                    self.inner.store(new as $prim, Ordering::Relaxed);
+                    old as $prim
+                }
+                None => self.inner.$method(v, order),
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+/// Shim `AtomicBool`; modeled as a 0/1-valued location.
+#[repr(transparent)]
+#[derive(Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self { inner: std::sync::atomic::AtomicBool::new(v) }
+    }
+
+    #[inline]
+    fn key(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    #[inline]
+    fn phys(&self) -> u64 {
+        // ORDERING: relaxed — model-internal mirror read (see int_atomic).
+        self.inner.load(Ordering::Relaxed) as u64
+    }
+
+    #[inline]
+    pub fn load(&self, order: Ordering) -> bool {
+        match exec::with_model(|e, t| e.atomic_load(t, self.key(), self.phys(), order)) {
+            Some(v) => v != 0,
+            None => self.inner.load(order),
+        }
+    }
+
+    #[inline]
+    pub fn store(&self, v: bool, order: Ordering) {
+        match exec::with_model(|e, t| e.atomic_store(t, self.key(), self.phys(), v as u64, order))
+        {
+            // ORDERING: relaxed — mirror write (see int_atomic store).
+            Some(()) => self.inner.store(v, Ordering::Relaxed),
+            None => self.inner.store(v, order),
+        }
+    }
+
+    #[inline]
+    pub fn swap(&self, v: bool, order: Ordering) -> bool {
+        match exec::with_model(|e, t| e.atomic_rmw(t, self.key(), self.phys(), order, |_| v as u64))
+        {
+            Some((old, new)) => {
+                // ORDERING: relaxed — mirror write (see int_atomic store).
+                self.inner.store(new != 0, Ordering::Relaxed);
+                old != 0
+            }
+            None => self.inner.swap(v, order),
+        }
+    }
+
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        expected: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        match exec::with_model(|e, t| {
+            e.atomic_cas(t, self.key(), self.phys(), expected as u64, new as u64, success, failure)
+        }) {
+            Some(Ok(old)) => {
+                // ORDERING: relaxed — mirror write (see int_atomic store).
+                self.inner.store(new, Ordering::Relaxed);
+                Ok(old != 0)
+            }
+            Some(Err(old)) => Err(old != 0),
+            None => self.inner.compare_exchange(expected, new, success, failure),
+        }
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // ORDERING: relaxed — debug formatting only.
+        f.debug_tuple("AtomicBool").field(&self.load(Ordering::Relaxed)).finish()
+    }
+}
+
+/// Shim `AtomicPtr`; pointers are modeled as their address value.
+#[repr(transparent)]
+pub struct AtomicPtr<T> {
+    inner: std::sync::atomic::AtomicPtr<T>,
+}
+
+impl<T> AtomicPtr<T> {
+    pub const fn new(p: *mut T) -> Self {
+        Self { inner: std::sync::atomic::AtomicPtr::new(p) }
+    }
+
+    #[inline]
+    fn key(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    #[inline]
+    fn phys(&self) -> u64 {
+        // ORDERING: relaxed — model-internal mirror read (see int_atomic).
+        self.inner.load(Ordering::Relaxed) as u64
+    }
+
+    #[inline]
+    pub fn load(&self, order: Ordering) -> *mut T {
+        match exec::with_model(|e, t| e.atomic_load(t, self.key(), self.phys(), order)) {
+            Some(v) => v as *mut T,
+            None => self.inner.load(order),
+        }
+    }
+
+    #[inline]
+    pub fn store(&self, p: *mut T, order: Ordering) {
+        match exec::with_model(|e, t| e.atomic_store(t, self.key(), self.phys(), p as u64, order))
+        {
+            // ORDERING: relaxed — mirror write (see int_atomic store).
+            Some(()) => self.inner.store(p, Ordering::Relaxed),
+            None => self.inner.store(p, order),
+        }
+    }
+
+    #[inline]
+    pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+        match exec::with_model(|e, t| e.atomic_rmw(t, self.key(), self.phys(), order, |_| p as u64))
+        {
+            Some((old, new)) => {
+                // ORDERING: relaxed — mirror write (see int_atomic store).
+                self.inner.store(new as *mut T, Ordering::Relaxed);
+                old as *mut T
+            }
+            None => self.inner.swap(p, order),
+        }
+    }
+
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        expected: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        match exec::with_model(|e, t| {
+            e.atomic_cas(t, self.key(), self.phys(), expected as u64, new as u64, success, failure)
+        }) {
+            Some(Ok(old)) => {
+                // ORDERING: relaxed — mirror write (see int_atomic store).
+                self.inner.store(new, Ordering::Relaxed);
+                Ok(old as *mut T)
+            }
+            Some(Err(old)) => Err(old as *mut T),
+            None => self.inner.compare_exchange(expected, new, success, failure),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // ORDERING: relaxed — debug formatting only.
+        f.debug_tuple("AtomicPtr").field(&self.load(Ordering::Relaxed)).finish()
+    }
+}
+
+/// Shim memory fence.
+#[inline]
+pub fn fence(order: Ordering) {
+    match exec::with_model(|e, t| e.fence(t, order)) {
+        Some(()) => {}
+        None => std::sync::atomic::fence(order),
+    }
+}
+
+/// Deterministic, replay-stable pseudo-random value when called from inside
+/// a model execution; `None` otherwise. Crates under test use this to make
+/// randomized decisions (e.g. skip-list tower heights) reproducible across
+/// the explorer's replays.
+#[inline]
+pub fn model_rand_u64() -> Option<u64> {
+    exec::with_model(|e, t| e.model_rand(t))
+}
+
+/// Is the calling thread part of a running model execution?
+#[inline]
+pub fn in_model() -> bool {
+    exec::in_model()
+}
+
+// ---- Mutex -------------------------------------------------------------
+
+/// Shim mutex. In passthrough mode the raw std mutex provides exclusion; in
+/// model mode ownership lives in the engine so a descheduled holder never
+/// blocks other model threads on a real OS lock.
+pub struct Mutex<T> {
+    raw: StdMutex<()>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: access to `data` is serialized either by `raw` (passthrough) or by
+// the model scheduler's single-owner protocol (model mode), so Mutex<T>
+// provides the same guarantees as std::sync::Mutex<T>.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: see above — &Mutex<T> only hands out data access through a guard.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    native: Option<std::sync::MutexGuard<'a, ()>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(v: T) -> Self {
+        Self { raw: StdMutex::new(()), data: UnsafeCell::new(v) }
+    }
+
+    #[inline]
+    fn key(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match exec::with_model(|e, t| e.mutex_lock(t, self.key())) {
+            Some(()) => MutexGuard { lock: self, native: None },
+            None => MutexGuard { lock: self, native: Some(self.raw.lock().unwrap()) },
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.native.is_none() {
+            // Model-owned; releasing during an abort unwind is a no-op
+            // (with_model returns None while panicking).
+            exec::with_model(|e, t| e.mutex_unlock(t, self.lock.key()));
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves exclusive ownership of the mutex (native
+        // guard held, or model-engine ownership), so no other reference to
+        // `data` exists.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in Deref — the lock protocol guarantees exclusivity.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+// ---- RwLock ------------------------------------------------------------
+
+/// Shim reader-writer lock (same passthrough/model split as [`Mutex`]).
+pub struct RwLock<T> {
+    raw: StdRwLock<()>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: reader/writer exclusion is provided by `raw` in passthrough mode
+// and by the model engine's RwState in model mode, matching std::sync::RwLock.
+unsafe impl<T: Send> Send for RwLock<T> {}
+// SAFETY: see above; shared reads require T: Send + Sync like std's RwLock.
+unsafe impl<T: Send + Sync> Sync for RwLock<T> {}
+
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    native: Option<std::sync::RwLockReadGuard<'a, ()>>,
+}
+
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    native: Option<std::sync::RwLockWriteGuard<'a, ()>>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(v: T) -> Self {
+        Self { raw: StdRwLock::new(()), data: UnsafeCell::new(v) }
+    }
+
+    #[inline]
+    fn key(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match exec::with_model(|e, t| e.rw_read_lock(t, self.key())) {
+            Some(()) => RwLockReadGuard { lock: self, native: None },
+            None => RwLockReadGuard { lock: self, native: Some(self.raw.read().unwrap()) },
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match exec::with_model(|e, t| e.rw_write_lock(t, self.key())) {
+            Some(()) => RwLockWriteGuard { lock: self, native: None },
+            None => RwLockWriteGuard { lock: self, native: Some(self.raw.write().unwrap()) },
+        }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.native.is_none() {
+            exec::with_model(|e, t| e.rw_read_unlock(t, self.lock.key()));
+        }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.native.is_none() {
+            exec::with_model(|e, t| e.rw_write_unlock(t, self.lock.key()));
+        }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: read guard held — writers are excluded by the lock
+        // protocol, so shared access is sound.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: write guard held — all other access is excluded.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: write guard held — all other access is excluded.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+// ---- threads -----------------------------------------------------------
+
+pub mod thread {
+    //! Shim `thread::spawn`/`JoinHandle`: model threads are registered with
+    //! the engine and only run when the scheduler hands them the baton.
+
+    use crate::exec;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    enum Inner<T> {
+        Native(std::thread::JoinHandle<T>),
+        Model { child: usize, slot: Arc<StdMutex<Option<T>>> },
+    }
+
+    pub struct JoinHandle<T>(Inner<T>);
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match exec::current() {
+            Some((e, me)) => {
+                let slot: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+                let s2 = Arc::clone(&slot);
+                let child = e.spawn_model(
+                    me,
+                    Box::new(move || {
+                        let v = f();
+                        *s2.lock().unwrap() = Some(v);
+                    }),
+                );
+                JoinHandle(Inner::Model { child, slot })
+            }
+            None => JoinHandle(Inner::Native(std::thread::spawn(f))),
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Inner::Native(h) => h.join(),
+                Inner::Model { child, slot } => {
+                    let (e, me) =
+                        exec::current().expect("model JoinHandle joined outside its execution");
+                    e.join_model(me, child);
+                    let v = slot.lock().unwrap().take().expect("model thread result missing");
+                    Ok(v)
+                }
+            }
+        }
+    }
+
+    pub fn yield_now() {
+        match exec::current() {
+            Some((e, me)) => e.schedule(me),
+            None => std::thread::yield_now(),
+        }
+    }
+}

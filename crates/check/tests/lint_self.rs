@@ -1,0 +1,50 @@
+//! The lint gate, turned on itself: the workspace must scan clean, and an
+//! injected violation must be caught (ISSUE 5 acceptance: the self-test
+//! proves the scanner is actually looking).
+
+use std::path::Path;
+
+use dlsm_check::lint::{scan_source, scan_workspace, Rule};
+
+fn repo_root() -> &'static Path {
+    // crates/check -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap()
+}
+
+/// `cargo run --bin dlsm_lint` must exit 0 on this workspace; this is the
+/// same scan in test form so `cargo test` alone enforces the gate.
+#[test]
+fn workspace_scans_clean() {
+    let findings = scan_workspace(repo_root()).expect("scan workspace");
+    assert!(
+        findings.is_empty(),
+        "lint findings in workspace:\n{}",
+        findings.iter().map(|f| format!("  {f}\n")).collect::<String>()
+    );
+}
+
+/// An untagged `unsafe` block injected into a synthetic source file must
+/// produce an `unsafe-no-safety` finding — proof the rule actually fires.
+#[test]
+fn injected_untagged_unsafe_is_caught() {
+    let src = "pub fn peek(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    let findings = scan_source(Path::new("crates/fake/src/lib.rs"), src);
+    assert_eq!(findings.len(), 1, "expected exactly one finding: {findings:?}");
+    assert_eq!(findings[0].rule, Rule::UnsafeNoSafety);
+    assert_eq!(findings[0].line, 2);
+}
+
+/// Same for the other two rules: untagged `Ordering::Relaxed`, and a lossy
+/// `as` cast in a wire-codec file.
+#[test]
+fn injected_relaxed_and_lossy_cast_are_caught() {
+    let src = "fn f(x: &std::sync::atomic::AtomicU64) -> u64 {\n    x.load(Ordering::Relaxed)\n}\n";
+    let findings = scan_source(Path::new("crates/fake/src/lib.rs"), src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::RelaxedNoOrdering);
+
+    let src = "fn put(len: usize) -> u32 {\n    len as u32\n}\n";
+    let findings = scan_source(Path::new("crates/memnode/src/wire.rs"), src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::LossyCastInCodec);
+}

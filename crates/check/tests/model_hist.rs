@@ -1,0 +1,43 @@
+//! Model-check the *real* telemetry histogram (`dlsm-telemetry` built with
+//! the `shim` feature): concurrent `record` and `merge_local` on the shared
+//! histogram must never drop a sample or under-count the sum/max, whatever
+//! the interleaving of the relaxed RMWs.
+
+use std::sync::Arc;
+
+use dlsm_check::shim::thread;
+use dlsm_check::Checker;
+use dlsm_telemetry::{Histogram, LocalHist};
+
+/// One thread records directly while the other merges a thread-local
+/// histogram in; the final snapshot must account for every sample exactly
+/// once (fetch_add/fetch_max RMWs are atomic even when relaxed).
+#[test]
+fn concurrent_record_and_merge_counts_everything() {
+    let report = Checker::new("hist-record-merge")
+        .preemption_bound(2)
+        .explore(|| {
+            let hist = Arc::new(Histogram::new());
+            let h = Arc::clone(&hist);
+            let t = thread::spawn(move || {
+                h.record(1);
+                h.record(100);
+            });
+            let mut local = LocalHist::new();
+            local.record(5);
+            local.record(7);
+            hist.merge_local(&local);
+            t.join().unwrap();
+
+            let snap = hist.snapshot();
+            assert_eq!(snap.count(), 4, "a sample was lost");
+            assert_eq!(snap.sum(), 113, "sum under- or over-counted");
+            assert_eq!(snap.max(), 100, "fetch_max lost the maximum");
+        });
+    assert!(
+        report.violation.is_none(),
+        "histogram merge violation: {:?}",
+        report.violation
+    );
+    assert!(report.complete, "state space truncated at {} executions", report.executions);
+}

@@ -1,0 +1,93 @@
+//! Model-check the *real* skip list (`dlsm-skiplist` built with the `shim`
+//! feature) under the dlsm-check scheduler: every atomic op in the insert
+//! and seek paths becomes a schedule point, and relaxed loads can observe
+//! any store the acquire/release visibility model permits.
+
+use std::sync::Arc;
+
+use dlsm_check::shim::thread;
+use dlsm_check::Checker;
+use dlsm_skiplist::{BytewiseComparator, SkipList};
+
+/// Two writers inserting disjoint keys: every key must be present and the
+/// list must come out sorted, in every interleaving the scheduler can
+/// produce (ISSUE 5 acceptance: >= 1000 distinct interleavings, exhaustive).
+#[test]
+fn concurrent_disjoint_inserts_linearize() {
+    let report = Checker::new("skiplist-insert-insert")
+        .preemption_bound(2)
+        .explore(|| {
+            let list = Arc::new(SkipList::with_capacity(BytewiseComparator, 16 << 10));
+            let l1 = Arc::clone(&list);
+            let l2 = Arc::clone(&list);
+            let t1 = thread::spawn(move || {
+                l1.insert(b"alpha", b"1").unwrap();
+                l1.insert(b"delta", b"2").unwrap();
+            });
+            let t2 = thread::spawn(move || {
+                l2.insert(b"bravo", b"3").unwrap();
+            });
+            t1.join().unwrap();
+            t2.join().unwrap();
+
+            assert_eq!(list.len(), 3, "an insert was lost");
+            assert_eq!(list.get(b"alpha"), Some(&b"1"[..]));
+            assert_eq!(list.get(b"bravo"), Some(&b"3"[..]));
+            assert_eq!(list.get(b"delta"), Some(&b"2"[..]));
+            let mut it = list.iter();
+            it.seek_to_first();
+            let mut prev: Option<Vec<u8>> = None;
+            let mut n = 0;
+            while it.valid() {
+                if let Some(p) = &prev {
+                    assert!(p.as_slice() < it.key(), "list out of order");
+                }
+                prev = Some(it.key().to_vec());
+                n += 1;
+                it.advance();
+            }
+            assert_eq!(n, 3, "iterator missed a node");
+        });
+    assert!(
+        report.violation.is_none(),
+        "skiplist insert/insert violation: {:?}",
+        report.violation
+    );
+    assert!(report.complete, "state space truncated at {} executions", report.executions);
+    assert!(
+        report.executions >= 1000,
+        "expected >= 1000 interleavings, explored {}",
+        report.executions
+    );
+}
+
+/// Writer publishes "k1" then "flag"; a concurrent reader that observes
+/// "flag" must also observe "k1" (insert publication is a release-CAS and
+/// `next()` loads are acquire, so program order on the writer carries over).
+#[test]
+fn reader_sees_prefix_of_writer() {
+    let report = Checker::new("skiplist-insert-get")
+        .preemption_bound(2)
+        .explore(|| {
+            let list = Arc::new(SkipList::with_capacity(BytewiseComparator, 16 << 10));
+            let w = Arc::clone(&list);
+            let t = thread::spawn(move || {
+                w.insert(b"k1", b"v1").unwrap();
+                w.insert(b"flag", b"go").unwrap();
+            });
+            if list.get(b"flag").is_some() {
+                assert_eq!(
+                    list.get(b"k1"),
+                    Some(&b"v1"[..]),
+                    "reader saw flag but not the earlier k1 insert"
+                );
+            }
+            t.join().unwrap();
+        });
+    assert!(
+        report.violation.is_none(),
+        "skiplist visibility violation: {:?}",
+        report.violation
+    );
+    assert!(report.complete, "state space truncated at {} executions", report.executions);
+}

@@ -95,6 +95,7 @@ pub(crate) struct LiveState {
 
 impl Shared {
     pub(crate) fn live_state(&self) -> LiveState {
+        // ORDERING: relaxed — gauge snapshot; a slightly stale seq only skews the headroom gauge.
         let next_seq = self.seq.load(Ordering::Relaxed);
         let cur = self.current.read();
         LiveState {
@@ -109,6 +110,7 @@ impl Shared {
     }
 
     fn new_memtable(&self, start: SeqNo) -> Arc<MemTable> {
+        // ORDERING: relaxed — id generation needs uniqueness only, which the atomic RMW provides at any ordering.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         // The naive protocol has no range discipline: any sequence number
         // may land in whatever table is current, so the table must cover
@@ -1572,6 +1574,7 @@ fn compaction_loop(shared: Arc<Shared>) {
         shared.compaction_idle.store(false, Ordering::Release);
 
         let smallest_snapshot = shared.smallest_snapshot();
+        // ORDERING: relaxed — id generation; uniqueness only.
         let next_id = || shared.next_id.fetch_add(1, Ordering::Relaxed);
         let t_compact = Instant::now();
         let _sp =

@@ -147,6 +147,7 @@ impl std::fmt::Debug for TableHandle {
 impl Drop for TableHandle {
     fn drop(&mut self) {
         if let Some((img, budget)) = self.local_copy.lock().take() {
+            // ORDERING: relaxed — cache-budget accounting is approximate by design; the atomic RMW never loses a refund.
             budget.fetch_add(img.len() as u64, std::sync::atomic::Ordering::Relaxed);
         }
         if let Some(gc) = &self.gc {

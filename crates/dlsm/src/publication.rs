@@ -89,6 +89,7 @@ impl Publication {
 impl std::fmt::Debug for Publication {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Publication")
+            // ORDERING: relaxed — Debug formatting only.
             .field("upto", &self.upto.load(Ordering::Relaxed))
             .field("parked", &self.parked.lock().len())
             .finish()

@@ -44,20 +44,24 @@ pub struct DbStats {
 
 impl DbStats {
     pub(crate) fn add(counter: &AtomicU64, v: u64) {
+        // ORDERING: relaxed — monotonic stats counters; readers tolerate staleness and the RMW never loses an increment.
         counter.fetch_add(v, Ordering::Relaxed);
     }
 
     pub(crate) fn bump(counter: &AtomicU64) {
+        // ORDERING: relaxed — see bump_by above.
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Read a counter.
     pub fn get(counter: &AtomicU64) -> u64 {
+        // ORDERING: relaxed — stats read; tolerates staleness.
         counter.load(Ordering::Relaxed)
     }
 
     /// Total time writers spent stalled.
     pub fn stall_time(&self) -> Duration {
+        // ORDERING: relaxed — stats read; tolerates staleness.
         Duration::from_nanos(self.stall_nanos.load(Ordering::Relaxed))
     }
 

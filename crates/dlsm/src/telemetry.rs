@@ -70,6 +70,7 @@ impl StallReason {
 impl DbTelemetry {
     #[inline]
     pub(crate) fn bump(counter: &AtomicU64) {
+        // ORDERING: relaxed — monotonic telemetry counters; stats readers tolerate staleness.
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -79,6 +80,7 @@ impl DbTelemetry {
             StallReason::ImmQueueFull => (&self.stall_imm_events, &self.stall_imm_micros),
             StallReason::L0Limit => (&self.stall_l0_events, &self.stall_l0_micros),
         };
+        // ORDERING: relaxed — event/total pair is read independently for averages; approximate by design.
         events.fetch_add(1, Ordering::Relaxed);
         total.fetch_add(micros, Ordering::Relaxed);
     }
@@ -92,14 +94,17 @@ impl DbTelemetry {
         s.set_breakdown("get_memtable", self.get_memtable.snapshot());
         s.set_breakdown("get_l0", self.get_l0.snapshot());
         s.set_breakdown("get_deep", self.get_deep.snapshot());
+        // ORDERING: relaxed — stats-report reads of monotonic counters.
         s.set_counter("bloom_skips", self.bloom_skips.load(Ordering::Relaxed));
         s.set_counter("l0_cache_hits", self.l0_cache_hits.load(Ordering::Relaxed));
         let (retries, reconnects) = self.net.totals();
         s.set_counter("rpc_retries", retries);
         s.set_counter("rpc_reconnects", reconnects);
+        // ORDERING: relaxed — stats-report reads of monotonic counters.
         s.set_counter("stall_imm_events", self.stall_imm_events.load(Ordering::Relaxed));
         s.set_counter("stall_imm_micros", self.stall_imm_micros.load(Ordering::Relaxed));
         s.set_counter("stall_l0_events", self.stall_l0_events.load(Ordering::Relaxed));
+        // ORDERING: relaxed — stats-report reads of monotonic counters.
         s.set_counter("stall_l0_micros", self.stall_l0_micros.load(Ordering::Relaxed));
         s
     }
@@ -108,10 +113,12 @@ impl DbTelemetry {
     pub fn stall_micros(&self, reason: StallReason) -> (u64, u64) {
         match reason {
             StallReason::ImmQueueFull => (
+                // ORDERING: relaxed — stall gauge reads; tolerate staleness.
                 self.stall_imm_events.load(Ordering::Relaxed),
                 self.stall_imm_micros.load(Ordering::Relaxed),
             ),
             StallReason::L0Limit => (
+                // ORDERING: relaxed — stall gauge reads; tolerate staleness.
                 self.stall_l0_events.load(Ordering::Relaxed),
                 self.stall_l0_micros.load(Ordering::Relaxed),
             ),

@@ -97,6 +97,7 @@ pub struct ClientNetStats {
 impl ClientNetStats {
     /// Current `(retries, reconnects)`.
     pub fn totals(&self) -> (u64, u64) {
+        // ORDERING: relaxed — retry/reconnect counters read for reporting.
         (self.retries.load(Ordering::Relaxed), self.reconnects.load(Ordering::Relaxed))
     }
 }
@@ -182,6 +183,7 @@ impl RpcClient {
         self.retries += 1;
         dlsm_trace::instant(dlsm_trace::Category::Rpc, "rpc_retry", 0);
         if let Some(net) = &self.net {
+            // ORDERING: relaxed — retry counter; reporting only.
             net.retries.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -215,6 +217,7 @@ impl RpcClient {
         self.traffic_carried.merge(&old.traffic());
         self.reconnects += 1;
         if let Some(net) = &self.net {
+            // ORDERING: relaxed — reconnect counter; reporting only.
             net.reconnects.fetch_add(1, Ordering::Relaxed);
         }
         Ok(())
@@ -240,6 +243,7 @@ impl RpcClient {
     }
 
     fn fresh_req_id() -> u64 {
+        // ORDERING: relaxed — request-id generation needs uniqueness only.
         NEXT_REQ_ID.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -550,6 +554,7 @@ impl ImmWaiter {
     }
 
     fn register(&self) -> (u32, Arc<WaitCell>) {
+        // ORDERING: relaxed — compaction unique-id generation; uniqueness only.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let cell = Arc::new(WaitCell { done: Mutex::new(false), cv: Condvar::new() });
         self.pending.lock().insert(id, Arc::clone(&cell));

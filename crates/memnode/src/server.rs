@@ -400,6 +400,7 @@ impl MemServer {
             ("server_canceled", &st.canceled),
             ("server_restarts", &st.restarts),
         ] {
+            // ORDERING: relaxed — stats-report read of a monotonic counter.
             s.set_counter(name, counter.load(Ordering::Relaxed));
         }
         s
@@ -462,6 +463,7 @@ impl MemServer {
                 ("memnode_server_canceled", &stats.canceled),
                 ("memnode_server_restarts", &stats.restarts),
             ] {
+                // ORDERING: relaxed — Prometheus-export read of a monotonic counter.
                 out.counter_with(name, labels, counter.load(Ordering::Relaxed));
             }
             for (stage, h) in [
@@ -546,6 +548,7 @@ impl MemServer {
             &self.stop,
             &self.cfg,
         );
+        // ORDERING: relaxed — restart counter; reporting only.
         self.stats.restarts.fetch_add(1, Ordering::Relaxed);
         self.crashed = false;
     }
@@ -653,6 +656,7 @@ fn dispatcher_loop(ctx: DispatchCtx) {
             Ok(m) => m,
             Err(_) => continue,
         };
+        // ORDERING: relaxed — RPC stats counter; reporting only.
         ctx.stats.rpcs.fetch_add(1, Ordering::Relaxed);
         let (req_id, trace, req) = match Request::decode_with_ctx(&msg.payload) {
             Ok(r) => r,
@@ -662,10 +666,12 @@ fn dispatcher_loop(ctx: DispatchCtx) {
         match ctx.dedup.begin(src, req_id) {
             DedupDecision::Execute => {}
             DedupDecision::InFlight => {
+                // ORDERING: relaxed — dedup/replay counters; reporting only.
                 ctx.stats.dup_dropped.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
             DedupDecision::Replay(cached) => {
+                // ORDERING: relaxed — dedup/replay counters; reporting only.
                 ctx.stats.replays.fetch_add(1, Ordering::Relaxed);
                 // Re-deliver into *this* request's reply buffer (the
                 // retrying client may have reconnected).
@@ -694,6 +700,7 @@ fn dispatcher_loop(ctx: DispatchCtx) {
                 };
                 if let Err(e) = result {
                     eprintln!("memnode: replay delivery failed: {e}");
+                    // ORDERING: relaxed — failure counter; reporting only.
                     ctx.stats.failures.fetch_add(1, Ordering::Relaxed);
                 }
                 continue;
@@ -718,6 +725,7 @@ fn dispatcher_loop(ctx: DispatchCtx) {
             Request::FreeBatch { extents, .. } => {
                 for (off, len) in &extents {
                     ctx.allocator.free(*off, *len);
+                    // ORDERING: relaxed — freed-extent counter; reporting only.
                     ctx.stats.freed_extents.fetch_add(1, Ordering::Relaxed);
                 }
                 Ok(vec![0u8])
@@ -740,6 +748,7 @@ fn dispatcher_loop(ctx: DispatchCtx) {
                         ctx.allocator.free(*off, *len);
                     }
                 }
+                // ORDERING: relaxed — cancel counter; reporting only.
                 ctx.stats.canceled.fetch_add(1, Ordering::Relaxed);
                 Ok(vec![0u8])
             }
@@ -767,6 +776,7 @@ fn dispatcher_loop(ctx: DispatchCtx) {
         };
         if let Err(e) = result {
             eprintln!("memnode: rpc dispatch failed: {e}");
+            // ORDERING: relaxed — failure counter; reporting only.
             ctx.stats.failures.fetch_add(1, Ordering::Relaxed);
         }
         ctx.stats.dispatch.record_elapsed(t_serve.elapsed());
@@ -829,9 +839,11 @@ fn worker_loop(ctx: WorkerCtx) {
             let args = CompactArgs::decode(&arg_buf)?;
             let t0 = Instant::now();
             let reply = execute_compaction(&ctx.region, &ctx.allocator, &args);
+            // ORDERING: relaxed — compaction stats counters; reporting only.
             ctx.stats.busy_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             ctx.stats.merge.record_elapsed(t0.elapsed());
             let reply = reply?;
+            // ORDERING: relaxed — compaction stats counters; reporting only.
             ctx.stats.compactions.fetch_add(1, Ordering::Relaxed);
             ctx.stats.records_in.fetch_add(reply.records_in, Ordering::Relaxed);
             ctx.stats.records_out.fetch_add(reply.records_out, Ordering::Relaxed);
@@ -852,12 +864,14 @@ fn worker_loop(ctx: WorkerCtx) {
                     for (off, len) in extents {
                         ctx.allocator.free(off, len);
                     }
+                    // ORDERING: relaxed — cancel counter; reporting only.
                     ctx.stats.canceled.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
                 body
             }
             Err(e) => {
+                // ORDERING: relaxed — failure counter; reporting only.
                 ctx.stats.failures.fetch_add(1, Ordering::Relaxed);
                 // Errors are never cached; the retry re-executes.
                 ctx.dedup.abort(job.src, job.req_id);
@@ -879,6 +893,7 @@ fn worker_loop(ctx: WorkerCtx) {
             // A lost reply leaves the requester sleeping until its timeout;
             // the retry will replay the cached reply. Make the cause loud.
             eprintln!("memnode: failed to deliver compaction reply: {e}");
+            // ORDERING: relaxed — failure counter; reporting only.
             ctx.stats.failures.fetch_add(1, Ordering::Relaxed);
         }
     }

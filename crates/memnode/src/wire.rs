@@ -75,7 +75,7 @@ impl ReplyFrame {
     /// Frame `payload` for request `req_id`.
     pub fn encode(req_id: u64, payload: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(Self::HEADER + payload.len());
-        put_u32(&mut out, payload.len() as u32);
+        put_len32(&mut out, payload.len());
         put_u64(&mut out, req_id);
         out.extend_from_slice(payload);
         out
@@ -124,6 +124,14 @@ impl BufDesc {
 
 fn bad(e: dlsm_sstable::SstError) -> MemNodeError {
     MemNodeError::BadMessage(e.to_string())
+}
+
+/// Encode a payload/collection length as the u32 the frame formats carry.
+/// Panics instead of silently truncating: every length on the wire is
+/// bounded far below 4 GiB (arena sizes, extent counts, key lengths), so an
+/// overflow here is a logic bug, not an input condition.
+fn put_len32(out: &mut Vec<u8>, len: usize) {
+    put_u32(out, u32::try_from(len).expect("wire length exceeds u32"));
 }
 
 /// Which table format a compaction reads and writes.
@@ -179,14 +187,14 @@ impl CompactArgs {
         out.push(fmt);
         put_u32(&mut out, bs);
         put_u64(&mut out, self.smallest_snapshot);
-        out.push(self.drop_deletions as u8);
+        out.push(u8::from(self.drop_deletions));
         put_u64(&mut out, self.max_output_bytes);
         put_u32(&mut out, self.bits_per_key);
-        put_u32(&mut out, self.range_lo.len() as u32);
+        put_len32(&mut out, self.range_lo.len());
         out.extend_from_slice(&self.range_lo);
-        put_u32(&mut out, self.range_hi.len() as u32);
+        put_len32(&mut out, self.range_hi.len());
         out.extend_from_slice(&self.range_hi);
-        put_u32(&mut out, self.inputs.len() as u32);
+        put_len32(&mut out, self.inputs.len());
         for t in &self.inputs {
             put_u64(&mut out, t.offset);
             put_u64(&mut out, t.len);
@@ -279,11 +287,11 @@ impl CompactReply {
         let mut out = Vec::new();
         put_u64(&mut out, self.records_in);
         put_u64(&mut out, self.records_out);
-        put_u32(&mut out, self.outputs.len() as u32);
+        put_len32(&mut out, self.outputs.len());
         for t in &self.outputs {
             put_u64(&mut out, t.offset);
             put_u64(&mut out, t.len);
-            put_u32(&mut out, t.meta.len() as u32);
+            put_len32(&mut out, t.meta.len());
             out.extend_from_slice(&t.meta);
         }
         out
@@ -382,6 +390,7 @@ impl Request {
     pub fn encode_with_ctx(&self, req_id: u64, ctx: Option<TraceCtx>) -> Vec<u8> {
         let mut out = Vec::new();
         let flag = if ctx.is_some() { TRACE_FLAG } else { 0 };
+        // LOSSY: Op discriminants are 1..=6, always below TRACE_FLAG (0x80).
         out.push(self.op() as u8 | flag);
         put_u64(&mut out, req_id);
         if let Some(c) = ctx {
@@ -394,7 +403,7 @@ impl Request {
                 out.extend_from_slice(payload);
             }
             Request::FreeBatch { extents, .. } => {
-                put_u32(&mut out, extents.len() as u32);
+                put_len32(&mut out, extents.len());
                 for &(o, l) in extents {
                     put_u64(&mut out, o);
                     put_u64(&mut out, l);

@@ -125,6 +125,7 @@ impl FaultHook for FaultPlan {
         if self.drop_every == 0 || self.drop_verb != Some(verb) {
             return false;
         }
+        // ORDERING: relaxed — deterministic every-Nth schedule only needs the RMW's atomicity, not ordering.
         let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
         n.is_multiple_of(self.drop_every)
     }
@@ -246,11 +247,13 @@ impl ChaosPlan {
 
     /// Completions probabilistically dropped so far.
     pub fn drops(&self) -> u64 {
+        // ORDERING: relaxed — fault counters read for reporting.
         self.drops.load(Ordering::Relaxed)
     }
 
     /// Operations blackholed by scripted windows so far.
     pub fn blackholes(&self) -> u64 {
+        // ORDERING: relaxed — fault counters read for reporting.
         self.blackholes.load(Ordering::Relaxed)
     }
 
@@ -274,6 +277,7 @@ impl ChaosPlan {
 
     /// Counter-mode PRNG draw: uniform 64 bits for decision `n`.
     fn draw(&self) -> u64 {
+        // ORDERING: relaxed — every-Nth schedule; atomicity only.
         let n = self.counter.fetch_add(1, Ordering::Relaxed);
         let mut z = self.seed ^ n.wrapping_mul(0x9E3779B97F4A7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
@@ -295,11 +299,13 @@ impl ChaosPlan {
 impl FaultHook for ChaosPlan {
     fn action(&self, ctx: &OpContext) -> FaultAction {
         if self.in_window(ctx.src) || self.in_window(ctx.dst) {
+            // ORDERING: relaxed — fault counter; reporting only.
             self.blackholes.fetch_add(1, Ordering::Relaxed);
             return FaultAction::Blackhole;
         }
         let ppm = self.drop_ppm[verb_index(ctx.verb)];
         if ppm > 0 && self.draw() % 1_000_000 < ppm as u64 {
+            // ORDERING: relaxed — fault counter; reporting only.
             self.drops.fetch_add(1, Ordering::Relaxed);
             return FaultAction::DropCompletion;
         }

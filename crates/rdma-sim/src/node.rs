@@ -55,6 +55,7 @@ impl Node {
     /// Registration is deliberately coarse-grained in dLSM: large regions are
     /// registered once up front and sub-allocated in user space (Sec. X-B).
     pub fn register_region(&self, len: usize) -> Arc<MemoryRegion> {
+        // ORDERING: relaxed — rkey generation needs uniqueness only.
         let rkey = self.next_rkey.fetch_add(1, Ordering::Relaxed);
         let mut regions = self.regions.write();
         let mr = MrId(regions.len() as u32);

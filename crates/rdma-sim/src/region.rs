@@ -56,6 +56,8 @@ struct Slab {
 // simulator-internal copies are `copy_nonoverlapping` on ranges the caller
 // promises are not concurrently written.
 unsafe impl Send for Slab {}
+// SAFETY: same contract as Send above — concurrent access discipline is the
+// caller's, as with real RDMA-registered memory.
 unsafe impl Sync for Slab {}
 
 impl Slab {

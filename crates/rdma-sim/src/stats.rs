@@ -39,17 +39,20 @@ impl FabricStats {
 
     pub(crate) fn record(&self, verb: Verb, bytes: usize) {
         let c = self.counter(verb);
+        // ORDERING: relaxed — verb counters; monotonic, readers tolerate staleness.
         c.ops.fetch_add(1, Ordering::Relaxed);
         c.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Number of operations posted with `verb` so far.
     pub fn ops(&self, verb: Verb) -> u64 {
+        // ORDERING: relaxed — stats reads; tolerate staleness.
         self.counter(verb).ops.load(Ordering::Relaxed)
     }
 
     /// Payload bytes moved by `verb` so far.
     pub fn bytes(&self, verb: Verb) -> u64 {
+        // ORDERING: relaxed — stats reads; tolerate staleness.
         self.counter(verb).bytes.load(Ordering::Relaxed)
     }
 
@@ -58,6 +61,7 @@ impl FabricStats {
         let mut s = StatsSnapshot::default();
         for v in Verb::ALL {
             let c = self.counter(v);
+            // ORDERING: relaxed — stats reads; tolerate staleness.
             s.set(v, c.ops.load(Ordering::Relaxed), c.bytes.load(Ordering::Relaxed));
         }
         s

@@ -5,8 +5,8 @@
 //! individually; the whole arena is released when dropped. Offsets (not
 //! pointers) are handed out so the skip list can store 4-byte links.
 
+use crate::sync::{AtomicUsize, Ordering};
 use std::alloc::{alloc_zeroed, dealloc, Layout};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Error returned when the arena has no room for an allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +63,8 @@ impl Arena {
 
     /// Bytes allocated so far (including alignment padding).
     pub fn allocated(&self) -> usize {
+        // ORDERING: relaxed — usage gauge for the is-full check; staleness
+        // only delays a rotation by one write.
         self.pos.load(Ordering::Relaxed).min(self.cap)
     }
 
@@ -70,6 +72,10 @@ impl Arena {
     /// Returns the offset of the allocation.
     pub fn alloc(&self, size: usize, align: usize) -> Result<u32, ArenaFull> {
         debug_assert!(align.is_power_of_two() && align <= 8);
+        // The bump pointer only *reserves* a range; it publishes no data.
+        // The memory was zeroed before the arena was shared, and node
+        // contents written into a reservation are published by the skip
+        // ORDERING: relaxed — list's Release CAS, not by this counter.
         let mut cur = self.pos.load(Ordering::Relaxed);
         loop {
             let start = cur.next_multiple_of(align);
@@ -85,6 +91,7 @@ impl Arena {
                     remaining: self.cap.saturating_sub(cur),
                 });
             }
+            // ORDERING: relaxed — reservation only; see above.
             match self.pos.compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed) {
                 Ok(_) => return Ok(start as u32),
                 Err(actual) => cur = actual,

@@ -22,6 +22,7 @@
 pub mod arena;
 pub mod comparator;
 pub mod list;
+mod sync;
 
 pub use arena::{Arena, ArenaFull};
 pub use comparator::{BytewiseComparator, Comparator};

@@ -1,7 +1,7 @@
 //! The lock-free skip list.
 
+use crate::sync::{AtomicU32, AtomicUsize, Ordering as AtOrd};
 use std::cmp::Ordering;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering as AtOrd};
 
 use crate::arena::{Arena, ArenaFull};
 use crate::comparator::Comparator;
@@ -60,6 +60,8 @@ impl<C: Comparator> SkipList<C> {
 
     /// Number of entries.
     pub fn len(&self) -> usize {
+        // ORDERING: relaxed — monotonic gauge; callers wanting
+        // read-your-writes go through get(), not len().
         self.len.load(AtOrd::Relaxed)
     }
 
@@ -98,11 +100,17 @@ impl<C: Comparator> SkipList<C> {
         Ok(off)
     }
 
+    /// # Safety
+    /// `node` must be an offset returned by `alloc_node` on this list's
+    /// arena (header fully initialized, in bounds, 4-aligned).
     #[inline]
     unsafe fn header(&self, node: u32) -> &NodeHeader {
         &*(self.arena.ptr_at(node) as *const NodeHeader)
     }
 
+    /// # Safety
+    /// `node` as for [`Self::header`]; the link array is zero-initialized
+    /// by the arena, so reading any level below the node's height is sound.
     #[inline]
     unsafe fn link(&self, node: u32, level: usize) -> &AtomicU32 {
         debug_assert!(level < self.header(node).height as usize);
@@ -134,6 +142,18 @@ impl<C: Comparator> SkipList<C> {
     }
 
     fn random_height() -> usize {
+        // Under the model checker, tower heights must be a deterministic
+        // function of (model thread, call number) or schedule replay would
+        // diverge; outside a model execution the hook returns None.
+        #[cfg(feature = "shim")]
+        if let Some(mut x) = dlsm_check::shim::model_rand_u64() {
+            let mut height = 1;
+            while height < MAX_HEIGHT && x & (BRANCHING - 1) == 0 {
+                height += 1;
+                x >>= 2;
+            }
+            return height;
+        }
         use std::cell::Cell;
         thread_local! {
             static RNG: Cell<u64> = const { Cell::new(0) };
@@ -143,6 +163,7 @@ impl<C: Comparator> SkipList<C> {
             if x == 0 {
                 // Seed from the thread-local's address + a global counter.
                 static SEED: AtomicUsize = AtomicUsize::new(0x9E3779B97F4A7C15);
+                // ORDERING: relaxed — RNG seeding; only distinctness matters.
                 x = SEED.fetch_add(0x2545F4914F6CDD1D, AtOrd::Relaxed) as u64
                     | (state as *const _ as u64) << 1
                     | 1;
@@ -204,11 +225,15 @@ impl<C: Comparator> SkipList<C> {
         // Raise the list height if needed. A racing reader that still sees
         // the old height just misses the taller levels (correctness is
         // unaffected; head links at those levels are null until we link).
+        // max_height is a search hint, not a publication: stale-low just
+        // skips tall levels, stale-high hits null head links. The node is
+        // ORDERING: relaxed — published by the predecessor-link CAS below.
         let mut max_h = self.max_height.load(AtOrd::Relaxed);
         while height > max_h {
             match self.max_height.compare_exchange_weak(
                 max_h,
                 height,
+                // ORDERING: relaxed — see the hint rationale above.
                 AtOrd::Relaxed,
                 AtOrd::Relaxed,
             ) {
@@ -229,14 +254,20 @@ impl<C: Comparator> SkipList<C> {
             loop {
                 let (p, n) = (prev[level], next[level]);
                 // SAFETY: `node` is ours until the CAS below publishes it.
+                // ORDERING: relaxed — pre-publication store to a private
+                // node; the Release CAS below makes it visible.
                 unsafe { self.link(node, level).store(n, AtOrd::Relaxed) };
                 // Publish: Release so the node's fields (and lower links)
                 // are visible to any reader that observes this link.
+                // SAFETY: `p` is head or a published node offset returned
+                // by the splice search.
                 let cas = unsafe {
                     self.link(p, level).compare_exchange(
                         n,
                         node,
                         AtOrd::Release,
+                        // ORDERING: relaxed on failure — we re-search the
+                        // splice with Acquire loads before retrying.
                         AtOrd::Relaxed,
                     )
                 };
@@ -250,6 +281,7 @@ impl<C: Comparator> SkipList<C> {
                 next[level] = nn;
             }
         }
+        // ORDERING: relaxed — len is a gauge (see len()).
         self.len.fetch_add(1, AtOrd::Relaxed);
         Ok(())
     }
@@ -264,6 +296,7 @@ impl<C: Comparator> SkipList<C> {
     fn seek_node(&self, key: &[u8]) -> u32 {
         let mut before = self.head;
         let mut after = 0;
+        // ORDERING: relaxed — height hint only (see insert).
         let top = self.max_height.load(AtOrd::Relaxed).max(1);
         for level in (0..top).rev() {
             let (p, a) = self.find_splice_for_level(key, before, level);

@@ -19,7 +19,7 @@
 //!   delta; this is what crosses thread/process boundaries and lands in
 //!   JSON.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 /// log2 of the number of linear sub-buckets per octave.
 const SUB_BITS: u32 = 3;
@@ -99,6 +99,9 @@ impl Histogram {
     /// Record one value (typically nanoseconds).
     #[inline]
     pub fn record(&self, v: u64) {
+        // RMWs never lose an update regardless of ordering, and the three
+        // words are not read as a consistent triple: snapshots are
+        // ORDERING: relaxed — explicitly approximate while recording.
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
@@ -115,12 +118,15 @@ impl Histogram {
     pub fn merge_local(&self, local: &LocalHist) {
         for (i, &n) in local.buckets.iter().enumerate() {
             if n != 0 {
+                // ORDERING: relaxed — same rationale as record().
                 self.buckets[i].fetch_add(n, Ordering::Relaxed);
             }
         }
         if local.sum != 0 {
+            // ORDERING: relaxed — same rationale as record().
             self.sum.fetch_add(local.sum, Ordering::Relaxed);
         }
+        // ORDERING: relaxed — same rationale as record().
         self.max.fetch_max(local.max, Ordering::Relaxed);
     }
 
@@ -129,12 +135,16 @@ impl Histogram {
         let mut buckets = vec![0u64; BUCKETS];
         let mut count = 0u64;
         for (b, a) in buckets.iter_mut().zip(self.buckets.iter()) {
+            // ORDERING: relaxed — snapshots taken while recorders are live
+            // are approximate by contract; quiescent readers (benchmark
+            // end) are ordered by the thread join.
             *b = a.load(Ordering::Relaxed);
             count += *b;
         }
         HistSnapshot {
             buckets,
             count,
+            // ORDERING: relaxed — see the bucket loads above.
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
         }

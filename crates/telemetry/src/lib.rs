@@ -16,6 +16,7 @@
 
 mod hist;
 mod json;
+mod sync;
 
 pub use hist::{bucket_floor, bucket_index, bucket_max, HistSnapshot, Histogram, LocalHist, BUCKETS};
 pub use json::JsonWriter;

@@ -25,10 +25,12 @@
 //! The crate depends on nothing but `std` and is always compiled in;
 //! "tracing off" is a runtime state, not a cargo feature.
 
+mod sync;
+
+use crate::sync::{fence, AtomicBool, AtomicU64, Ordering};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::marker::PhantomData;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -53,12 +55,15 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 /// Turn tracing on or off process-wide. Off is the default; the only cost
 /// left behind is a relaxed load per probe.
 pub fn set_enabled(on: bool) {
+    // ORDERING: relaxed — the flag gates best-effort probes; rings are
+    // published via the registry mutex, not through this store.
     ENABLED.store(on, Ordering::Relaxed);
 }
 
 /// Is tracing currently enabled?
 #[inline]
 pub fn enabled() -> bool {
+    // ORDERING: relaxed — see set_enabled.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -234,12 +239,20 @@ impl RingShared {
         parent_id: u64,
         arg: u64,
     ) {
+        // ORDERING: relaxed — single writer (the owning thread) claims
+        // slots; the seqlock version word below orders the payload.
         let idx = (self.head.fetch_add(1, Ordering::Relaxed) as usize) % RING_CAP;
         let w = &self.slots[idx].words;
+        // ORDERING: relaxed — own slot, single writer; the Release fence
+        // below orders the odd-version store before the payload stores.
         let v = w[0].load(Ordering::Relaxed);
         w[0].store(v + 1, Ordering::Relaxed); // odd: write in progress
         fence(Ordering::Release);
+        // ORDERING: relaxed payload stores — ordered after the odd version
+        // by the Release fence above and published by the Release store of
+        // the even version below; readers recheck the version word.
         w[1].store(ts_us, Ordering::Relaxed);
+        // ORDERING: relaxed — seqlock payload, as above.
         w[2].store(dur_us, Ordering::Relaxed);
         w[3].store(name.as_ptr() as u64, Ordering::Relaxed);
         w[4].store(name.len() as u64, Ordering::Relaxed);
@@ -247,9 +260,11 @@ impl RingShared {
             EventKind::Span => 0u64,
             EventKind::Instant => 1u64,
         };
+        // ORDERING: relaxed — same seqlock payload protocol as above.
         w[5].store(kind_bits << 8 | cat as u64, Ordering::Relaxed);
         w[6].store(trace_id, Ordering::Relaxed);
         w[7].store(span_id, Ordering::Relaxed);
+        // ORDERING: relaxed — same seqlock payload protocol as above.
         w[8].store(parent_id, Ordering::Relaxed);
         w[9].store(arg, Ordering::Relaxed);
         w[0].store(v + 2, Ordering::Release); // even: published
@@ -262,17 +277,28 @@ impl RingShared {
         if v1 == 0 || v1 % 2 == 1 {
             return None;
         }
+        // ORDERING: relaxed copies — the Acquire fence below plus the
+        // version recheck discard any torn combination, so the loads
+        // themselves need no ordering.
         let copy: [u64; SLOT_WORDS] = std::array::from_fn(|i| w[i].load(Ordering::Relaxed));
         fence(Ordering::Acquire);
+        // ORDERING: relaxed — ordered after the copies by the fence above.
         if w[0].load(Ordering::Relaxed) != v1 {
             return None;
         }
-        // Validated even version ⇒ name ptr/len are a pair some writer
-        // stored together, and writers only ever store `&'static str`s.
+        // SAFETY: validated even version ⇒ name ptr/len are a pair some
+        // writer stored together, and writers only ever store
+        // `&'static str`s; same for the node label below.
         let name = unsafe { static_str(copy[3], copy[4]) };
-        let node_label =
-            unsafe { static_str(self.node_label_ptr.load(Ordering::Relaxed), self.node_label_len.load(Ordering::Relaxed)) };
+        let node_label = unsafe {
+            static_str(
+                self.node_label_ptr.load(Ordering::Acquire),
+                self.node_label_len.load(Ordering::Acquire),
+            )
+        };
         Some(Event {
+            // ORDERING: relaxed — the id is a plain label; the ptr/len pair
+            // above carries the pointer publication (Acquire).
             node_id: self.node_id.load(Ordering::Relaxed),
             node_label,
             tid: self.tid,
@@ -299,6 +325,38 @@ unsafe fn static_str(ptr: u64, len: u64) -> &'static str {
         return "";
     }
     std::str::from_utf8_unchecked(std::slice::from_raw_parts(ptr as usize as *const u8, len as usize))
+}
+
+/// Model-checker hooks (only with the `shim` feature): a bare handle on the
+/// real seqlock ring so the model tests in crates/check can drive
+/// `RingShared::write`/`read` directly, without the thread-local recorder,
+/// the global registry, or wall clocks (all of which would make schedule
+/// replay nondeterministic).
+#[cfg(feature = "shim")]
+pub mod model {
+    use super::{Category, EventKind, RingShared};
+
+    /// A real [`RingShared`] detached from the registry.
+    pub struct ModelRing(RingShared);
+
+    impl ModelRing {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> ModelRing {
+            ModelRing(RingShared::new(1, 0, "model"))
+        }
+
+        /// One seqlock record publish (the owning-writer path): stores
+        /// `ts`/`dur`/`arg` through the real `RingShared::write`.
+        pub fn write(&self, ts: u64, dur: u64, arg: u64) {
+            self.0.write(EventKind::Instant, Category::Db, "model", ts, dur, ts, ts, 0, arg)
+        }
+
+        /// One seqlock read of `slot`; `None` when empty, mid-write, or the
+        /// version recheck failed. Returns `(ts, dur, arg)`.
+        pub fn read(&self, slot: usize) -> Option<(u64, u64, u64)> {
+            self.0.read(slot).map(|e| (e.ts_us, e.dur_us, e.arg))
+        }
+    }
 }
 
 fn registry() -> &'static Mutex<Vec<Arc<RingShared>>> {
@@ -340,6 +398,7 @@ impl RecState {
     fn ring(&mut self) -> &Arc<RingShared> {
         if self.ring.is_none() {
             if self.tid == 0 {
+                // ORDERING: relaxed — tid generation; uniqueness only.
                 self.tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
             }
             let ring = Arc::new(RingShared::new(self.tid, self.node_id, self.node_label));
@@ -351,6 +410,7 @@ impl RecState {
 
     fn fresh_span_id(&mut self) -> u64 {
         if self.tid == 0 {
+            // ORDERING: relaxed — tid generation; uniqueness only.
             self.tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
         }
         self.next_serial += 1;
@@ -372,9 +432,16 @@ pub fn set_thread_node(node_id: u64, node_label: &'static str) {
         rec.node_id = node_id;
         rec.node_label = node_label;
         if let Some(ring) = &rec.ring {
+            // Release (upgraded from relaxed): these words publish a
+            // pointer the collector dereferences, so the string bytes must
+            // be visible before the ptr/len are. The ptr/len words are only
+            // a consistent pair because labeling happens once, at thread
+            // startup, before any collector can run — re-labeling a live
+            // ring could still tear the pair and is not supported.
+            // ORDERING: relaxed — node_id is a plain integer label.
             ring.node_id.store(node_id, Ordering::Relaxed);
-            ring.node_label_ptr.store(node_label.as_ptr() as u64, Ordering::Relaxed);
-            ring.node_label_len.store(node_label.len() as u64, Ordering::Relaxed);
+            ring.node_label_ptr.store(node_label.as_ptr() as u64, Ordering::Release);
+            ring.node_label_len.store(node_label.len() as u64, Ordering::Release);
         }
     });
 }
