@@ -80,4 +80,14 @@ pub trait EngineReader {
     /// Full forward scan; returns the number of live entries visited
     /// (the `readseq` benchmark).
     fn scan_all(&mut self) -> Result<u64>;
+
+    /// Bounded range scan: visit live entries with key ≥ `start` in key
+    /// order, stopping after `limit` entries; returns the count visited
+    /// (the YCSB-E scan verb).
+    fn scan_from(
+        &mut self,
+        start: &[u8],
+        limit: u64,
+        visit: &mut dyn FnMut(&[u8], &[u8]),
+    ) -> Result<u64>;
 }

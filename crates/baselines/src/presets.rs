@@ -107,6 +107,24 @@ impl EngineReader for LsmReader {
         }
         Ok(n)
     }
+
+    fn scan_from(
+        &mut self,
+        start: &[u8],
+        limit: u64,
+        visit: &mut dyn FnMut(&[u8], &[u8]),
+    ) -> Result<u64> {
+        let mut n = 0;
+        for item in self.inner.scan(start)? {
+            if n >= limit {
+                break;
+            }
+            let (k, v) = item?;
+            visit(&k, &v);
+            n += 1;
+        }
+        Ok(n)
+    }
 }
 
 fn open(deps: &EngineDeps, cfg: DbConfig, lambda: usize, name: &str) -> Result<DlsmEngine> {

@@ -356,6 +356,25 @@ impl<'t> EngineReader for ShermanReader<'t> {
     fn scan_all(&mut self) -> Result<u64> {
         self.tree.scan_all(|_, _| {})
     }
+
+    fn scan_from(
+        &mut self,
+        start: &[u8],
+        limit: u64,
+        visit: &mut dyn FnMut(&[u8], &[u8]),
+    ) -> Result<u64> {
+        // Sherman has no cursor API; walk the full leaf chain and window it.
+        // Costs a full scan per call — fine for correctness coverage, not a
+        // representative scan benchmark (use the LSM engines for YCSB-E).
+        let mut n = 0;
+        self.tree.scan_all(|k, v| {
+            if k >= start && n < limit {
+                visit(k, v);
+                n += 1;
+            }
+        })?;
+        Ok(n)
+    }
 }
 
 #[cfg(test)]

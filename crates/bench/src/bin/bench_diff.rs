@@ -1,30 +1,36 @@
 //! Compare two `db_bench` JSON summaries — the CI perf gate.
 //!
 //! ```text
-//! bench_diff <baseline.json> <candidate.json> [--threshold PCT]
+//! bench_diff <baseline.json> <candidate.json> [--threshold PCT] [--strict]
 //! ```
 //!
 //! Prints a per-phase delta table (throughput, p50, p99) and exits:
 //!
-//! * `0` — every baseline phase is present and within the threshold
-//!   (default 15%; improvements of any size pass),
-//! * `1` — at least one phase regressed beyond the threshold or went
-//!   missing,
+//! * `0` — every matched phase is within the threshold (default 15%;
+//!   improvements of any size pass). Phases present on only one side are
+//!   warned about but tolerated, unless `--strict`,
+//! * `1` — at least one phase regressed beyond the threshold (or, with
+//!   `--strict`, a baseline phase went missing),
 //! * `2` — usage or parse error.
 //!
 //! CI runs this against the committed `results/BENCH_dlsm.json` baseline;
 //! refresh the baseline per the procedure in the README when a deliberate
 //! performance change lands.
 
-use dlsm_bench::diff::{diff, BenchRun};
+use dlsm_bench::diff::{diff_opts, BenchRun};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<String> = Vec::new();
     let mut threshold = 15.0f64;
+    let mut strict = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--strict" => {
+                strict = true;
+                i += 1;
+            }
             "--threshold" => {
                 let value = args.get(i + 1).cloned().unwrap_or_default();
                 threshold = value
@@ -66,7 +72,7 @@ fn main() {
         );
     }
 
-    let report = diff(&base, &new, threshold);
+    let report = diff_opts(&base, &new, threshold, strict);
     println!("bench_diff: {} vs {} (threshold {threshold}%)", paths[0], paths[1]);
     print!("{}", report.render());
     if report.is_regression() {
@@ -76,6 +82,6 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     eprintln!("bench_diff: {msg}");
-    eprintln!("usage: bench_diff <baseline.json> <candidate.json> [--threshold PCT]");
+    eprintln!("usage: bench_diff <baseline.json> <candidate.json> [--threshold PCT] [--strict]");
     std::process::exit(2);
 }

@@ -8,7 +8,27 @@
 //!   --system      dlsm | dlsm-block | rocksdb-8k | rocksdb-2k |
 //!                 memory-rocksdb | nova | sherman        (default dlsm)
 //!   --benchmarks  comma list of: randomfill randomread readseq
-//!                 readrandomwriterandom mixed-rNN          (default all three)
+//!                 readrandomwriterandom mixed-rNN, or any workload preset
+//!                 name (see --workload)                    (default all three)
+//!   --workload    comma list of workload presets to run INSTEAD of
+//!                 --benchmarks: ycsb-a b c d e f, delete-churn,
+//!                 flash-crowd, diurnal, burst, bigfill. Workload phases
+//!                 preload their own keys (no implicit fill) and report
+//!                 per-verb op counts
+//!   --mix         override the preset op mix, as
+//!                 read:insert:update:rmw:delete:scan percentages summing
+//!                 to 100 (e.g. 50:0:50:0:0:0)
+//!   --zipf-theta  override key skew: Zipfian theta in (0,1)  (presets pick
+//!                 their own; YCSB default 0.99)
+//!   --scan-len    max entries per scan op                  (preset default)
+//!   --rate        target ops/s across all threads (0 = unthrottled; the
+//!                 diurnal/burst presets shape this rate over the phase)
+//!   --duration    run each workload phase for this many seconds instead
+//!                 of a fixed op count
+//!   --verify      encode key+version into every value and check
+//!                 read-your-writes / tombstone correctness inline; any
+//!                 violation fails the run (exit 1)
+//!   --seed        workload RNG seed (per-thread streams derive from it)
 //!   --num         key-value pairs                          (default 200000)
 //!   --threads     front-end threads                        (default 8)
 //!   --key-size    bytes                                    (default 20)
@@ -36,12 +56,22 @@
 //! latency quantiles and RDMA verb traffic, plus the engine's and memory
 //! nodes' full telemetry snapshots (DESIGN.md §8).
 
-use dlsm_bench::harness::{run_fill, run_mixed, run_random_read, run_scan, PhaseResult};
+use dlsm_bench::generator::ChooserKind;
+use dlsm_bench::harness::{run_fill, run_mixed, run_random_read, run_scan, run_workload, PhaseResult};
 use dlsm_bench::report::{fmt_mops, fmt_us, Table};
-use dlsm_bench::setup::{build_scenario, SystemKind};
-use dlsm_bench::workload::WorkloadSpec;
+use dlsm_bench::setup::{build_scenario_sized, workload_headroom, SystemKind};
+use dlsm_bench::workload::{preset, OpKind, OpMix, WorkloadSpec};
 use dlsm_telemetry::{write_hist_json, JsonWriter};
 use rdma_sim::{NetworkProfile, StatsSnapshot, Verb};
+
+/// Extra per-phase JSON facts a workload phase carries beyond the common
+/// throughput/latency/traffic block.
+struct WorkloadInfo {
+    mix: String,
+    verify: bool,
+    kinds: [(&'static str, u64); 6],
+    violations: u64,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,6 +93,13 @@ fn main() {
     let mut trace = false;
     let mut metrics_addr: Option<String> = None;
     let mut metrics_hold_secs = 0u64;
+    let mut mix_override: Option<OpMix> = None;
+    let mut zipf_theta: Option<f64> = None;
+    let mut scan_len: Option<u64> = None;
+    let mut rate: Option<u64> = None;
+    let mut duration_secs: Option<f64> = None;
+    let mut verify = false;
+    let mut seed: Option<u64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -72,10 +109,28 @@ fn main() {
             i += 1;
             continue;
         }
+        if args[i] == "--verify" {
+            verify = true;
+            i += 1;
+            continue;
+        }
         let value = args.get(i + 1).cloned().unwrap_or_default();
         match args[i].as_str() {
             "--system" => system = value,
-            "--benchmarks" => benchmarks = value.split(',').map(|s| s.trim().to_string()).collect(),
+            "--benchmarks" | "--workload" => {
+                benchmarks = value.split(',').map(|s| s.trim().to_string()).collect()
+            }
+            "--mix" => {
+                mix_override = Some(OpMix::parse(&value).unwrap_or_else(|e| {
+                    eprintln!("bad --mix '{value}': {e}");
+                    std::process::exit(2);
+                }))
+            }
+            "--zipf-theta" => zipf_theta = Some(value.parse().expect("--zipf-theta")),
+            "--scan-len" => scan_len = Some(value.parse().expect("--scan-len")),
+            "--rate" => rate = Some(value.parse().expect("--rate")),
+            "--duration" => duration_secs = Some(value.parse().expect("--duration")),
+            "--seed" => seed = Some(value.parse().expect("--seed")),
             "--num" => num = value.parse().expect("--num"),
             "--threads" => threads = value.parse().expect("--threads"),
             "--key-size" => key_size = value.parse().expect("--key-size"),
@@ -108,6 +163,12 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(t) = zipf_theta {
+        if !(0.0..1.0).contains(&t) || t == 0.0 {
+            eprintln!("--zipf-theta must be in (0, 1), got {t}");
+            std::process::exit(2);
+        }
+    }
     let spec = WorkloadSpec { num_kv: num, key_size, value_size };
     let read_ops = reads.unwrap_or(num);
     let profile = NetworkProfile::edr_100g().scaled(scale);
@@ -119,7 +180,11 @@ fn main() {
         dlsm_trace::set_enabled(true);
         println!("tracing: enabled (flight-recorder rings, dumps under results/)");
     }
-    let sc = build_scenario(kind, &spec, profile, cores);
+    // Churny workload phases (delete/insert-heavy mixes) pin more dead data
+    // remotely between compactions; size the memory node for it up front.
+    let preset_cfgs: Vec<_> = benchmarks.iter().filter_map(|b| preset(b)).collect();
+    let headroom = workload_headroom(&preset_cfgs);
+    let sc = build_scenario_sized(kind, &spec, profile, cores, headroom, |c| c);
     // The exporter covers both sides of the fabric: the engine's per-shard
     // live gauges and every memory node's allocator/server series. A 250 ms
     // gauge sampler keeps scrapes O(copy) no matter how hot the run is.
@@ -138,36 +203,98 @@ fn main() {
         srv
     });
     let before = sc.fabric.stats().snapshot();
-    // (phase result, fabric traffic that phase caused).
-    let mut results: Vec<(PhaseResult, StatsSnapshot)> = Vec::new();
+    // (phase result, fabric traffic that phase caused, workload extras).
+    let mut results: Vec<(PhaseResult, StatsSnapshot, Option<WorkloadInfo>)> = Vec::new();
     let mut filled = false;
     for bench in &benchmarks {
         let phase_before = sc.fabric.stats().snapshot();
-        let result = match bench.as_str() {
+        let (result, info) = match bench.as_str() {
             "randomfill" => {
                 let r = run_fill(sc.engine.as_ref(), &spec, threads);
                 filled = true;
-                r
+                (r, None)
             }
             "randomread" => {
                 ensure_filled(&sc, &spec, &mut filled, threads);
                 sc.engine.wait_until_quiescent();
-                run_random_read(sc.engine.as_ref(), &spec, threads, read_ops)
+                (run_random_read(sc.engine.as_ref(), &spec, threads, read_ops), None)
             }
             "readseq" => {
                 ensure_filled(&sc, &spec, &mut filled, threads);
                 sc.engine.wait_until_quiescent();
-                run_scan(sc.engine.as_ref(), spec.num_kv)
+                (run_scan(sc.engine.as_ref(), spec.num_kv), None)
             }
             mixed if mixed.starts_with("mixed-r") || mixed == "readrandomwriterandom" => {
                 ensure_filled(&sc, &spec, &mut filled, threads);
                 let pct: u8 = mixed.strip_prefix("mixed-r").and_then(|p| p.parse().ok()).unwrap_or(50);
-                run_mixed(sc.engine.as_ref(), &spec, threads, read_ops, pct)
+                (run_mixed(sc.engine.as_ref(), &spec, threads, read_ops, pct), None)
             }
-            other => {
-                eprintln!("unknown benchmark {other}");
-                continue;
-            }
+            other => match preset(other) {
+                Some(mut cfg) => {
+                    if let Some(m) = mix_override {
+                        cfg.mix = m;
+                    }
+                    if let Some(t) = zipf_theta {
+                        cfg.chooser = match cfg.chooser {
+                            ChooserKind::Latest { .. } => ChooserKind::Latest { theta: t },
+                            _ => ChooserKind::Zipfian { theta: t },
+                        };
+                    }
+                    if let Some(l) = scan_len {
+                        cfg.scan_len = l;
+                    }
+                    if let Some(r) = rate {
+                        cfg.rate_ops_per_sec = r;
+                    }
+                    if let Some(s) = seed {
+                        cfg.seed = s;
+                    }
+                    cfg.verify = cfg.verify || verify;
+                    // Workload phases preload their own key range (with the
+                    // verified codec when verifying) — no implicit fill.
+                    let ops = if duration_secs.is_some() { u64::MAX } else { read_ops };
+                    let dur = duration_secs.map(std::time::Duration::from_secs_f64);
+                    let out = run_workload(sc.engine.as_ref(), &spec, &cfg, threads, ops, dur);
+                    let m = cfg.mix;
+                    let mut kinds = [("", 0u64); 6];
+                    for (slot, (k, n)) in
+                        kinds.iter_mut().zip(OpKind::ALL.iter().zip(out.kind_counts))
+                    {
+                        *slot = (k.name(), n);
+                    }
+                    let by_kind: Vec<String> = kinds
+                        .iter()
+                        .filter(|(_, n)| *n > 0)
+                        .map(|(k, n)| format!("{k}={n}"))
+                        .collect();
+                    println!("  {:<22} ops by kind: {}", cfg.name, by_kind.join(" "));
+                    if out.violations > 0 {
+                        eprintln!(
+                            "  {:<22} VERIFICATION FAILED: {} violation(s)",
+                            cfg.name, out.violations
+                        );
+                        for s in &out.violation_samples {
+                            eprintln!("    - {s}");
+                        }
+                    } else if cfg.verify {
+                        println!("  {:<22} verification: clean", cfg.name);
+                    }
+                    let info = WorkloadInfo {
+                        mix: format!(
+                            "{}:{}:{}:{}:{}:{}",
+                            m.read, m.insert, m.update, m.rmw, m.delete, m.scan
+                        ),
+                        verify: cfg.verify,
+                        kinds,
+                        violations: out.violations,
+                    };
+                    (out.result, Some(info))
+                }
+                None => {
+                    eprintln!("unknown benchmark {other}");
+                    continue;
+                }
+            },
         };
         println!(
             "{:<24} {:>10} ops in {:>8.3}s = {:>8} Mops/s",
@@ -177,14 +304,14 @@ fn main() {
             fmt_mops(result.mops()),
         );
         let phase_traffic = sc.fabric.stats().snapshot().delta(&phase_before);
-        results.push((result, phase_traffic));
+        results.push((result, phase_traffic, info));
     }
 
     let mut lat = Table::new(
         format!("{} latency (us)", sc.engine.name()),
         &["phase", "ops", "Mops/s", "p50", "p90", "p99", "p99.9", "max"],
     );
-    for (r, _) in &results {
+    for (r, _, _) in &results {
         lat.row(vec![
             r.phase.clone(),
             r.ops.to_string(),
@@ -233,6 +360,12 @@ fn main() {
         srv.stop();
     }
     sc.shutdown();
+    let violations: u64 =
+        results.iter().filter_map(|(_, _, w)| w.as_ref()).map(|w| w.violations).sum();
+    if violations > 0 {
+        eprintln!("db_bench: {violations} verification violation(s) — failing the run");
+        std::process::exit(1);
+    }
 }
 
 /// Flight-recorder output (dumped before shutdown so the server threads'
@@ -273,7 +406,7 @@ fn run_json(
     threads: usize,
     scale: f64,
     sc: &dlsm_bench::setup::Scenario,
-    results: &[(PhaseResult, StatsSnapshot)],
+    results: &[(PhaseResult, StatsSnapshot, Option<WorkloadInfo>)],
     traffic: &StatsSnapshot,
 ) -> String {
     let mut w = JsonWriter::new();
@@ -287,7 +420,7 @@ fn run_json(
     w.field_f64("scale", scale);
     w.key("phases");
     w.begin_array();
-    for (r, phase_traffic) in results {
+    for (r, phase_traffic, info) in results {
         w.begin_object();
         w.field_str("phase", &r.phase);
         w.field_u64("threads", r.threads as u64);
@@ -298,6 +431,20 @@ fn run_json(
         write_hist_json(&mut w, &r.lat);
         w.key("rdma");
         write_verb_traffic(&mut w, phase_traffic);
+        if let Some(wl) = info {
+            w.key("workload");
+            w.begin_object();
+            w.field_str("mix", &wl.mix);
+            w.field_bool("verify", wl.verify);
+            w.key("kinds");
+            w.begin_object();
+            for (k, n) in wl.kinds {
+                w.field_u64(k, n);
+            }
+            w.end_object();
+            w.field_u64("violations", wl.violations);
+            w.end_object();
+        }
         w.end_object();
     }
     w.end_array();

@@ -3,10 +3,12 @@
 //! Parses two `BENCH_*.json` run summaries (the files `db_bench` writes),
 //! matches phases by name, and reports per-phase deltas for throughput and
 //! the latency quantiles. A phase **regresses** when, beyond the given
-//! threshold, its throughput drops or its p50/p99 rises; a phase present in
-//! the baseline but missing from the candidate also counts (a silently
-//! skipped phase must not pass the gate). Extra phases in the candidate are
-//! listed but judged against nothing.
+//! threshold, its throughput drops or its p50/p99 rises. Phases present on
+//! only one side (a baseline from an older phase list, a candidate adding a
+//! new workload) are **warned about but tolerated** by default, so a
+//! baseline file and a candidate produced by different `db_bench` versions
+//! still diff cleanly; pass `strict_phases` ([`diff_opts`], `--strict`) to
+//! make a baseline phase missing from the candidate fail the gate.
 
 use crate::json::{self, Json};
 
@@ -107,6 +109,9 @@ pub struct DiffReport {
     /// Human-readable descriptions of every threshold violation; empty for
     /// a passing gate.
     pub regressions: Vec<String>,
+    /// Non-fatal asymmetries: baseline phases the candidate skipped (when
+    /// not strict). Printed, never gate-failing.
+    pub warnings: Vec<String>,
     /// Candidate phases with no baseline counterpart (informational).
     pub unmatched: Vec<String>,
     threshold: f64,
@@ -114,11 +119,25 @@ pub struct DiffReport {
 
 /// Compare `new` against `base`. `threshold_pct` is the allowed relative
 /// change in percent (e.g. `15.0`): throughput may drop and p50/p99 may
-/// rise by strictly less than this before the gate fails.
+/// rise by strictly less than this before the gate fails. Phases present
+/// on one side only are warnings, not regressions — see [`diff_opts`].
 pub fn diff(base: &BenchRun, new: &BenchRun, threshold_pct: f64) -> DiffReport {
+    diff_opts(base, new, threshold_pct, false)
+}
+
+/// [`diff`] with phase-set policy: with `strict_phases`, a baseline phase
+/// missing from the candidate fails the gate (a silently skipped phase
+/// must not pass a pinned-phase-list CI run).
+pub fn diff_opts(
+    base: &BenchRun,
+    new: &BenchRun,
+    threshold_pct: f64,
+    strict_phases: bool,
+) -> DiffReport {
     let threshold = threshold_pct / 100.0;
     let mut rows = Vec::new();
     let mut regressions = Vec::new();
+    let mut warnings = Vec::new();
     for b in &base.phases {
         let row = DeltaRow {
             phase: b.phase.clone(),
@@ -126,7 +145,12 @@ pub fn diff(base: &BenchRun, new: &BenchRun, threshold_pct: f64) -> DiffReport {
             new: new.phase(&b.phase).cloned(),
         };
         if row.new.is_none() {
-            regressions.push(format!("phase {} missing from candidate run", b.phase));
+            let msg = format!("phase {} missing from candidate run", b.phase);
+            if strict_phases {
+                regressions.push(msg);
+            } else {
+                warnings.push(msg);
+            }
         }
         if let Some(drop) = row.rel(|p| p.mops) {
             if -drop >= threshold {
@@ -163,7 +187,7 @@ pub fn diff(base: &BenchRun, new: &BenchRun, threshold_pct: f64) -> DiffReport {
         .filter(|p| base.phase(&p.phase).is_none())
         .map(|p| p.phase.clone())
         .collect();
-    DiffReport { rows, regressions, unmatched, threshold }
+    DiffReport { rows, regressions, warnings, unmatched, threshold }
 }
 
 impl DiffReport {
@@ -240,6 +264,9 @@ impl DiffReport {
         }
         for u in &self.unmatched {
             out.push_str(&format!("note: phase {u} has no baseline counterpart\n"));
+        }
+        for w in &self.warnings {
+            out.push_str(&format!("warn: {w}\n"));
         }
         if self.is_regression() {
             out.push_str(&format!(
@@ -344,16 +371,41 @@ mod tests {
     }
 
     #[test]
-    fn missing_phase_fails_and_extra_phase_is_noted() {
+    fn missing_phase_warns_by_default_and_extra_phase_is_noted() {
         let base = run(&[("randomfill", 1.0, 1000, 5000), ("readseq", 5.0, 100, 300)]);
         let new = run(&[("randomfill", 1.0, 1000, 5000), ("mixed-r50", 1.5, 800, 3000)]);
         let report = diff(&base, &new, 15.0);
-        assert!(report.is_regression());
-        assert!(report.regressions.iter().any(|r| r.contains("readseq")));
+        assert!(!report.is_regression(), "{:?}", report.regressions);
+        assert!(report.warnings.iter().any(|w| w.contains("readseq")));
         assert_eq!(report.unmatched, vec!["mixed-r50".to_string()]);
         let text = report.render();
         assert!(text.contains("missing"), "{text}");
+        assert!(text.contains("warn:"), "{text}");
         assert!(text.contains("no baseline counterpart"), "{text}");
+    }
+
+    #[test]
+    fn missing_phase_fails_under_strict() {
+        let base = run(&[("randomfill", 1.0, 1000, 5000), ("readseq", 5.0, 100, 300)]);
+        let new = run(&[("randomfill", 1.0, 1000, 5000)]);
+        let report = diff_opts(&base, &new, 15.0, true);
+        assert!(report.is_regression());
+        assert!(report.regressions.iter().any(|r| r.contains("readseq")));
+        assert!(report.warnings.is_empty());
+    }
+
+    #[test]
+    fn fully_disjoint_phase_sets_still_render() {
+        // Baselines from an older db_bench vs a candidate running only the
+        // new workload presets: nothing matches, nothing crashes.
+        let base = run(&[("randomfill", 1.0, 1000, 5000)]);
+        let new = run(&[("ycsb-a", 0.8, 1200, 6000), ("delete-churn", 0.5, 900, 4000)]);
+        let report = diff(&base, &new, 15.0);
+        assert!(!report.is_regression(), "{:?}", report.regressions);
+        assert_eq!(report.warnings.len(), 1);
+        assert_eq!(report.unmatched.len(), 2);
+        let text = report.render();
+        assert!(text.contains("OK"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Seedable key-choice generators for the workload suite (DESIGN.md §10).
+//!
+//! A chooser turns a uniform random stream into a *rank* in `[0, n)` with a
+//! configured popularity distribution; ranks are then mapped onto the key
+//! space through a deterministic scramble so that popular ranks are spread
+//! uniformly across the (range-sharded) key space instead of clustering at
+//! its low end. Everything is seeded through [`stream_seed`], which derives
+//! statistically independent per-thread streams from one base seed — the
+//! property the determinism test suite pins down.
+//!
+//! The Zipfian sampler is the classic Gray et al. rejection-free inverse
+//! transform (the same one YCSB's `ZipfianGenerator` uses): an `O(n)` zeta
+//! precomputation at construction, then `O(1)` per sample.
+
+use crate::workload::WorkloadRng;
+
+/// SplitMix64 finalizer: a full-avalanche bijection on `u64`.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the seed of stream `stream` (e.g. a thread index) from `base`.
+///
+/// Two distinct `(base, stream)` pairs map to uncorrelated xorshift seeds;
+/// the same pair always maps to the same seed, so a run is reproducible
+/// from `(base seed, thread count)` alone.
+pub fn stream_seed(base: u64, stream: u64) -> u64 {
+    // Mix the stream id through two rounds so adjacent ids land far apart.
+    splitmix64(splitmix64(base) ^ splitmix64(stream.wrapping_mul(0xA24B_AED4_963E_E407)))
+}
+
+/// Deterministic rank scramble: maps popularity rank `r` to a pseudo-random
+/// slot in `[0, n)` so hot ranks don't cluster at the low end of the key
+/// space (YCSB's `ScrambledZipfianGenerator` does the same with FNV). The
+/// map is a fixed function of `r`, so rank 0 is always the *same* hot slot.
+pub fn scramble(rank: u64, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // Multiply-shift reduction keeps the result unbiased for any n.
+    ((splitmix64(rank) as u128 * n as u128) >> 64) as u64
+}
+
+/// The popularity distribution of one workload's key choices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChooserKind {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with parameter `theta` (YCSB default 0.99), scrambled.
+    Zipfian {
+        /// Skew parameter in `(0, 1)`; higher = more skewed.
+        theta: f64,
+    },
+    /// A hot set of `hot_per_mille`/1000 of the keys receives
+    /// `hot_access_pct`% of accesses (flash-crowd shape); the rest are
+    /// uniform over the cold keys.
+    HotSet {
+        /// Hot-set size in tenths of a percent of the key space (≥ 1 key).
+        hot_per_mille: u32,
+        /// Percentage of accesses that land in the hot set.
+        hot_access_pct: u8,
+    },
+    /// Skew toward the most recently inserted keys (YCSB D): rank 0 is the
+    /// newest key. Not scrambled — recency is the point.
+    Latest {
+        /// Zipfian skew of the recency distribution.
+        theta: f64,
+    },
+}
+
+/// A built chooser: draws ranks in `[0, n)` for a fixed capacity `n`
+/// (per-draw the caller may clamp to a smaller live count, see
+/// [`KeyChooser::next_in`]).
+#[derive(Debug, Clone)]
+pub struct KeyChooser {
+    kind: ChooserKind,
+    n: u64,
+    zipf: Option<Zipfian>,
+}
+
+impl KeyChooser {
+    /// Build a chooser over a key space of `n` ranks.
+    pub fn new(kind: ChooserKind, n: u64) -> KeyChooser {
+        assert!(n > 0, "empty key space");
+        let zipf = match kind {
+            ChooserKind::Zipfian { theta } | ChooserKind::Latest { theta } => {
+                Some(Zipfian::new(n, theta))
+            }
+            _ => None,
+        };
+        KeyChooser { kind, n, zipf }
+    }
+
+    /// The capacity the chooser was built for.
+    pub fn capacity(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw a rank in `[0, live)` where `live <= capacity` is the current
+    /// number of choosable keys. Distribution properties hold exactly at
+    /// `live == capacity`; with a smaller live set the draw is clamped by
+    /// re-reduction (the YCSB approach for growing/shrinking key sets).
+    pub fn next_in(&self, rng: &mut WorkloadRng, live: u64) -> u64 {
+        debug_assert!(live > 0 && live <= self.n);
+        let raw = match self.kind {
+            ChooserKind::Uniform => rng.below(self.n),
+            ChooserKind::Zipfian { .. } => {
+                scramble(self.zipf.as_ref().unwrap().next(rng), self.n)
+            }
+            ChooserKind::HotSet { hot_per_mille, hot_access_pct } => {
+                let hot_n = (self.n * hot_per_mille as u64 / 1000).max(1);
+                if rng.below(100) < hot_access_pct as u64 {
+                    // Hot ranks are themselves scrambled slots so the hot
+                    // set is spread across shards.
+                    scramble(rng.below(hot_n), self.n)
+                } else {
+                    rng.below(self.n)
+                }
+            }
+            ChooserKind::Latest { .. } => {
+                // Rank 0 = newest: invert a zipfian draw over the live set.
+                let z = self.zipf.as_ref().unwrap().next(rng) % live;
+                return live - 1 - z;
+            }
+        };
+        if raw < live {
+            raw
+        } else {
+            // Out-of-live draws re-reduce uniformly; preserves determinism.
+            ((splitmix64(raw) as u128 * live as u128) >> 64) as u64
+        }
+    }
+
+    /// Draw a rank over the full capacity.
+    pub fn next(&self, rng: &mut WorkloadRng) -> u64 {
+        self.next_in(rng, self.n)
+    }
+
+    /// The analytic probability of (pre-scramble) popularity rank `r` —
+    /// what the statistical suite checks the empirical frequencies against.
+    /// Only meaningful for `Zipfian`/`Latest` kinds.
+    pub fn analytic_rank_p(&self, r: u64) -> f64 {
+        match (&self.kind, &self.zipf) {
+            (ChooserKind::Uniform, _) => 1.0 / self.n as f64,
+            (_, Some(z)) => z.rank_p(r),
+            (ChooserKind::HotSet { hot_per_mille, hot_access_pct }, None) => {
+                let hot_n = (self.n * *hot_per_mille as u64 / 1000).max(1);
+                let hot = *hot_access_pct as f64 / 100.0;
+                if r < hot_n {
+                    hot / hot_n as f64 + (1.0 - hot) / self.n as f64
+                } else {
+                    (1.0 - hot) / self.n as f64
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Gray et al. Zipfian sampler: `P(rank = r) ∝ 1 / (r + 1)^theta`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    half_pow_theta: f64,
+}
+
+impl Zipfian {
+    /// Precompute the zeta terms for a key space of `n` ranks.
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        assert!(n > 0, "empty key space");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1), got {theta}");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { n, theta, alpha, zetan, eta, half_pow_theta: 0.5f64.powf(theta) }
+    }
+
+    /// Draw one rank in `[0, n)`; rank 0 is the most popular.
+    pub fn next(&self, rng: &mut WorkloadRng) -> u64 {
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + self.half_pow_theta {
+            return 1;
+        }
+        let r = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        r.min(self.n - 1)
+    }
+
+    /// The analytic probability of rank `r`.
+    pub fn rank_p(&self, r: u64) -> f64 {
+        1.0 / ((r + 1) as f64).powf(self.theta) / self.zetan
+    }
+}
+
+/// `zeta(n, theta) = Σ_{i=1..n} 1/i^theta`.
+fn zeta(n: u64, theta: f64) -> f64 {
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_seeds_are_distinct_and_stable() {
+        let a = stream_seed(42, 0);
+        assert_eq!(a, stream_seed(42, 0), "same (base, stream) must agree");
+        let seeds: Vec<u64> = (0..64).map(|t| stream_seed(42, t)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len(), "per-thread seeds collided");
+        assert_ne!(stream_seed(1, 0), stream_seed(2, 0), "base seed must matter");
+    }
+
+    #[test]
+    fn scramble_is_deterministic_and_in_range() {
+        for n in [1u64, 7, 1000, 1 << 40] {
+            for r in 0..100 {
+                let s = scramble(r, n);
+                assert!(s < n);
+                assert_eq!(s, scramble(r, n));
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_rank_zero_is_most_popular() {
+        let z = Zipfian::new(1_000, 0.99);
+        let mut rng = WorkloadRng::new(7);
+        let mut counts = vec![0u64; 1_000];
+        for _ in 0..100_000 {
+            counts[z.next(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 0 must beat rank 10: {} vs {}", counts[0], counts[10]);
+        assert!(counts[0] > counts[999] * 10, "head must dwarf tail");
+        // The analytic pmf sums to ~1.
+        let total: f64 = (0..1_000).map(|r| z.rank_p(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
+    }
+
+    #[test]
+    fn latest_skews_toward_the_end() {
+        let c = KeyChooser::new(ChooserKind::Latest { theta: 0.99 }, 1_000);
+        let mut rng = WorkloadRng::new(3);
+        let mut newest = 0u64;
+        const DRAWS: u64 = 20_000;
+        for _ in 0..DRAWS {
+            if c.next_in(&mut rng, 1_000) >= 990 {
+                newest += 1;
+            }
+        }
+        // The newest 1% receives far more than 1% of draws.
+        assert!(newest > DRAWS / 10, "latest chooser not recency-skewed: {newest}/{DRAWS}");
+        // Draws over a smaller live set stay in range.
+        for _ in 0..1_000 {
+            assert!(c.next_in(&mut rng, 17) < 17);
+        }
+    }
+
+    #[test]
+    fn hot_set_ranks_stay_in_range() {
+        let c = KeyChooser::new(
+            ChooserKind::HotSet { hot_per_mille: 10, hot_access_pct: 90 },
+            5_000,
+        );
+        let mut rng = WorkloadRng::new(11);
+        for _ in 0..10_000 {
+            assert!(c.next(&mut rng) < 5_000);
+        }
+        // The analytic pmf sums to ~1 as well.
+        let total: f64 = (0..5_000).map(|r| c.analytic_rank_p(r)).sum();
+        assert!((total - 1.0).abs() < 1e-6, "hot-set pmf sums to {total}");
+    }
+}

@@ -5,12 +5,17 @@
 //! hot path), merged into the [`PhaseResult`] when the phase ends.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use dlsm_baselines::Engine;
 use dlsm_telemetry::{HistSnapshot, LocalHist};
 
-use crate::workload::{fill_indices, Phase, WorkloadRng, WorkloadSpec};
+use crate::generator::{stream_seed, KeyChooser};
+use crate::workload::{
+    decode_verified, encode_verified, fill_indices, OpKind, Phase, WorkloadCfg, WorkloadRng,
+    WorkloadSpec,
+};
 
 /// Result of one measured phase.
 #[derive(Debug, Clone)]
@@ -228,6 +233,404 @@ pub fn run_mixed(
     }
 }
 
+/// Result of one mixed-workload phase: the standard [`PhaseResult`] plus
+/// per-op-kind counts and the inline-verification verdict.
+#[derive(Debug, Clone)]
+pub struct WorkloadOutcome {
+    /// Throughput/latency like every other phase.
+    pub result: PhaseResult,
+    /// Operations completed per kind, [`OpKind::ALL`] order.
+    pub kind_counts: [u64; 6],
+    /// Consistency violations found by inline verification (0 when
+    /// verification is off).
+    pub violations: u64,
+    /// Up to a handful of violation descriptions, for diagnosis.
+    pub violation_samples: Vec<String>,
+}
+
+/// Per-thread key-partition state: thread `t` of `T` owns the indices
+/// `{i : i % T == t}`, addressed by *rank* `r` (index `t + r*T`). Single
+/// ownership is what makes read-your-writes an exact inline oracle: the
+/// newest version of an owned key is always this thread's last write.
+struct ThreadPartition {
+    thread: u64,
+    threads: u64,
+    owned: u64,
+    /// Ranks `[0, written)` have been written at least once.
+    written: u64,
+    /// Next never-written rank (inserts consume these).
+    insert_cursor: u64,
+    /// Last written version per rank (0 = never written); only tracked in
+    /// verify mode.
+    versions: Vec<u64>,
+    /// Whether the rank's newest write was a delete.
+    deleted: Vec<bool>,
+}
+
+impl ThreadPartition {
+    fn new(spec: &WorkloadSpec, thread: u64, threads: u64, preload_pct: u8, verify: bool) -> Self {
+        let owned = (spec.num_kv + threads - 1 - thread) / threads;
+        let preload = if preload_pct >= 100 {
+            owned
+        } else {
+            (owned * preload_pct as u64 / 100).min(owned)
+        };
+        ThreadPartition {
+            thread,
+            threads,
+            owned,
+            written: preload,
+            insert_cursor: preload,
+            versions: if verify { vec![0; owned as usize] } else { Vec::new() },
+            deleted: if verify { vec![false; owned as usize] } else { Vec::new() },
+        }
+    }
+
+    /// The key index of rank `r`.
+    fn index(&self, rank: u64) -> u64 {
+        self.thread + rank * self.threads
+    }
+}
+
+/// Run one mixed workload phase (preload excluded from measurement).
+///
+/// `ops` is the total op budget across threads; with `duration` set the
+/// phase instead runs until the wall clock expires (whichever comes first;
+/// pass `ops = u64::MAX` for purely time-bound runs).
+pub fn run_workload(
+    engine: &dyn Engine,
+    spec: &WorkloadSpec,
+    cfg: &WorkloadCfg,
+    threads: usize,
+    ops: u64,
+    duration: Option<Duration>,
+) -> WorkloadOutcome {
+    assert!(threads > 0);
+    assert!(
+        spec.num_kv >= threads as u64,
+        "key space smaller than thread count"
+    );
+    // Threads preload their partitions, then rendezvous; the measured
+    // clock starts only when every thread is ready to issue traffic.
+    let start_barrier = Barrier::new(threads);
+    let t0_cell = parking_lot::Mutex::new(None::<Instant>);
+    let per = if duration.is_some() && ops == u64::MAX {
+        u64::MAX
+    } else {
+        ops / threads as u64
+    };
+    let outcomes = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let start_barrier = &start_barrier;
+                let t0_cell = &t0_cell;
+                s.spawn(move || {
+                    let mut part = ThreadPartition::new(
+                        spec,
+                        t as u64,
+                        threads as u64,
+                        cfg.preload_pct,
+                        cfg.verify,
+                    );
+                    preload(engine, spec, cfg, &mut part);
+                    // All preloads finish, then one thread drains background
+                    // work, then the measured window opens for everyone.
+                    start_barrier.wait();
+                    if t == 0 {
+                        engine.wait_until_quiescent();
+                    }
+                    start_barrier.wait();
+                    let t0 = *t0_cell.lock().get_or_insert_with(Instant::now);
+                    drive(engine, spec, cfg, &mut part, per, duration, t0)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("workload worker")).collect::<Vec<_>>()
+    });
+    let t0 = t0_cell.lock().expect("phase started");
+    let elapsed = t0.elapsed();
+    let mut kind_counts = [0u64; 6];
+    let mut violations = 0;
+    let mut violation_samples = Vec::new();
+    let mut locals = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        for (total, c) in kind_counts.iter_mut().zip(o.kind_counts) {
+            *total += c;
+        }
+        violations += o.violations;
+        if violation_samples.len() < 5 {
+            violation_samples.extend(o.violation_samples);
+            violation_samples.truncate(5);
+        }
+        locals.push(o.lat);
+    }
+    WorkloadOutcome {
+        result: PhaseResult {
+            phase: cfg.name.clone(),
+            engine: engine.name().to_string(),
+            threads,
+            ops: kind_counts.iter().sum(),
+            elapsed,
+            lat: merge_locals(locals),
+        },
+        kind_counts,
+        violations,
+        violation_samples,
+    }
+}
+
+/// Write this thread's preload ranks (version 1). Runs before the measured
+/// window; uses the verified codec when verification is on so every later
+/// read can be checked.
+fn preload(engine: &dyn Engine, spec: &WorkloadSpec, cfg: &WorkloadCfg, part: &mut ThreadPartition) {
+    for r in 0..part.written {
+        let i = part.index(r);
+        let value = if cfg.verify {
+            encode_verified(spec, i, 1)
+        } else {
+            spec.value(i, 1)
+        };
+        engine.put(&spec.key(i), &value).expect("preload put");
+        if cfg.verify {
+            part.versions[r as usize] = 1;
+        }
+    }
+}
+
+struct ThreadOutcome {
+    lat: LocalHist,
+    kind_counts: [u64; 6],
+    violations: u64,
+    violation_samples: Vec<String>,
+}
+
+/// One thread's measured loop.
+fn drive(
+    engine: &dyn Engine,
+    spec: &WorkloadSpec,
+    cfg: &WorkloadCfg,
+    part: &mut ThreadPartition,
+    per: u64,
+    duration: Option<Duration>,
+    t0: Instant,
+) -> ThreadOutcome {
+    let mut rng = WorkloadRng::new(stream_seed(cfg.seed, part.thread));
+    let chooser = KeyChooser::new(cfg.chooser, part.owned.max(1));
+    let mut reader = engine.reader();
+    let mut out = ThreadOutcome {
+        lat: LocalHist::new(),
+        kind_counts: [0; 6],
+        violations: 0,
+        violation_samples: Vec::new(),
+    };
+    // Pacing state: with a target rate, each op k has a virtual deadline
+    // accumulated from the (shape-modulated) instantaneous rate.
+    let thread_rate = cfg.rate_ops_per_sec as f64 / part.threads as f64;
+    let mut virtual_ns = 0.0f64;
+    let mut n = 0u64;
+    while n < per {
+        if let Some(d) = duration {
+            if t0.elapsed() >= d {
+                break;
+            }
+        }
+        if thread_rate > 0.0 {
+            let progress = match duration {
+                Some(d) => t0.elapsed().as_secs_f64() / d.as_secs_f64(),
+                None => {
+                    if per == u64::MAX {
+                        0.0
+                    } else {
+                        n as f64 / per as f64
+                    }
+                }
+            };
+            let rate = thread_rate * cfg.shape.multiplier(progress);
+            virtual_ns += 1e9 / rate.max(1.0);
+            let target = Duration::from_nanos(virtual_ns as u64);
+            let now = t0.elapsed();
+            if now < target {
+                std::thread::sleep(target - now);
+            }
+        }
+        let kind = effective_kind(cfg.mix.pick(&mut rng), part);
+        let op0 = Instant::now();
+        match kind {
+            OpKind::Read => {
+                let rank = choose_rank(&chooser, &mut rng, part);
+                let i = part.index(rank);
+                let got = reader.get(&spec.key(i)).expect("workload read");
+                out.lat.record_elapsed(op0.elapsed());
+                if cfg.verify {
+                    verify_read(&mut out, part, rank, i, got.as_deref());
+                }
+            }
+            OpKind::Update | OpKind::Insert => {
+                let rank = if kind == OpKind::Insert {
+                    let r = part.insert_cursor;
+                    part.insert_cursor += 1;
+                    part.written = part.written.max(part.insert_cursor);
+                    r
+                } else {
+                    choose_rank(&chooser, &mut rng, part)
+                };
+                let i = part.index(rank);
+                let version = next_version(part, rank);
+                let value = if cfg.verify {
+                    encode_verified(spec, i, version)
+                } else {
+                    spec.value(i, version)
+                };
+                engine.put(&spec.key(i), &value).expect("workload put");
+                out.lat.record_elapsed(op0.elapsed());
+                record_write(part, rank, version, cfg.verify);
+            }
+            OpKind::Rmw => {
+                let rank = choose_rank(&chooser, &mut rng, part);
+                let i = part.index(rank);
+                let key = spec.key(i);
+                let got = reader.get(&key).expect("rmw read");
+                if cfg.verify {
+                    verify_read(&mut out, part, rank, i, got.as_deref());
+                }
+                let version = next_version(part, rank);
+                let value = if cfg.verify {
+                    encode_verified(spec, i, version)
+                } else {
+                    spec.value(i, version)
+                };
+                engine.put(&key, &value).expect("rmw write");
+                out.lat.record_elapsed(op0.elapsed());
+                record_write(part, rank, version, cfg.verify);
+            }
+            OpKind::Delete => {
+                let rank = choose_rank(&chooser, &mut rng, part);
+                let i = part.index(rank);
+                engine.delete(&spec.key(i)).expect("workload delete");
+                out.lat.record_elapsed(op0.elapsed());
+                if cfg.verify {
+                    part.deleted[rank as usize] = true;
+                }
+            }
+            OpKind::Scan => {
+                let rank = choose_rank(&chooser, &mut rng, part);
+                let start = spec.key(part.index(rank));
+                let len = 1 + rng.below(cfg.scan_len.max(1));
+                let mut bad: Option<String> = None;
+                let verify = cfg.verify;
+                let visited = reader
+                    .scan_from(&start, len, &mut |k, v| {
+                        if verify && bad.is_none() {
+                            // Any scanned value must decode and must belong
+                            // to the key it came back under.
+                            match decode_verified(v) {
+                                Some((idx, _)) if spec.key(idx) == k => {}
+                                Some((idx, _)) => {
+                                    bad = Some(format!(
+                                        "scan: value of key {k:?} claims index {idx}"
+                                    ));
+                                }
+                                None => {
+                                    bad = Some(format!(
+                                        "scan: undecodable value under key {k:?}"
+                                    ));
+                                }
+                            }
+                        }
+                    })
+                    .expect("workload scan");
+                out.lat.record_elapsed(op0.elapsed());
+                debug_assert!(visited <= len);
+                if let Some(msg) = bad {
+                    out.violations += 1;
+                    if out.violation_samples.len() < 3 {
+                        out.violation_samples.push(msg);
+                    }
+                }
+            }
+        }
+        let slot = OpKind::ALL.iter().position(|&x| x == kind).unwrap();
+        out.kind_counts[slot] += 1;
+        n += 1;
+    }
+    out
+}
+
+/// Downgrade ops that need state the partition doesn't have: inserts with
+/// an exhausted tail become updates; reads/updates/rmw/deletes before any
+/// key exists become inserts.
+fn effective_kind(kind: OpKind, part: &ThreadPartition) -> OpKind {
+    match kind {
+        OpKind::Insert if part.insert_cursor >= part.owned => OpKind::Update,
+        OpKind::Insert => OpKind::Insert,
+        _ if part.written == 0 => OpKind::Insert,
+        k => k,
+    }
+}
+
+/// Choose a written rank with the configured popularity distribution; the
+/// scramble maps hot ranks onto spread-out slots of the written prefix.
+fn choose_rank(chooser: &KeyChooser, rng: &mut WorkloadRng, part: &ThreadPartition) -> u64 {
+    debug_assert!(part.written > 0);
+    chooser.next_in(rng, part.written.min(chooser.capacity()))
+}
+
+fn next_version(part: &ThreadPartition, rank: u64) -> u64 {
+    if part.versions.is_empty() {
+        1
+    } else {
+        part.versions[rank as usize] + 1
+    }
+}
+
+fn record_write(part: &mut ThreadPartition, rank: u64, version: u64, verify: bool) {
+    if verify {
+        part.versions[rank as usize] = version;
+        part.deleted[rank as usize] = false;
+    }
+}
+
+/// The read-your-writes / tombstone oracle: this thread owns the key, so
+/// the engine must return exactly the last version it wrote — or nothing,
+/// iff the newest write was a delete (or the key was never written).
+fn verify_read(
+    out: &mut ThreadOutcome,
+    part: &ThreadPartition,
+    rank: u64,
+    index: u64,
+    got: Option<&[u8]>,
+) {
+    let expect_version = part.versions[rank as usize];
+    let expect_live = expect_version > 0 && !part.deleted[rank as usize];
+    let fail = |out: &mut ThreadOutcome, msg: String| {
+        out.violations += 1;
+        if out.violation_samples.len() < 3 {
+            out.violation_samples.push(msg);
+        }
+    };
+    match got {
+        None if expect_live => fail(
+            out,
+            format!("read: key {index} v{expect_version} lost (read-your-writes)"),
+        ),
+        Some(_) if !expect_live => fail(
+            out,
+            format!("read: key {index} resurrected after delete"),
+        ),
+        Some(v) if expect_live => match decode_verified(v) {
+            Some((idx, ver)) if idx == index && ver == expect_version => {}
+            Some((idx, ver)) => fail(
+                out,
+                format!(
+                    "read: key {index} expected v{expect_version}, got index {idx} v{ver}"
+                ),
+            ),
+            None => fail(out, format!("read: key {index} returned undecodable value")),
+        },
+        _ => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +679,76 @@ mod tests {
         assert_eq!(mixed.ops, 1_000);
         assert_eq!(mixed.lat.count(), 1_000);
 
+        engine.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn workload_phase_runs_verified_and_clean() {
+        let fabric = Fabric::new(NetworkProfile::instant());
+        let server = MemServer::start(
+            &fabric,
+            MemServerConfig {
+                region_size: 96 << 20,
+                flush_zone: 40 << 20,
+                compaction_workers: 2,
+                dispatchers: 1,
+            },
+        );
+        let deps = EngineDeps {
+            ctx: ComputeContext::new(&fabric),
+            memnodes: vec![MemNodeHandle::from_server(&server)],
+        };
+        let engine = build_dlsm(&deps, DbConfig::small(), 1).unwrap();
+        let spec = WorkloadSpec { num_kv: 4_000, key_size: 20, value_size: 64 };
+        let mut cfg = crate::workload::preset("ycsb-a").unwrap();
+        cfg.verify = true;
+        let out = run_workload(&engine, &spec, &cfg, 2, 2_000, None);
+        assert_eq!(out.result.phase, "ycsb-a");
+        assert_eq!(out.result.ops, 2_000);
+        assert_eq!(out.result.lat.count(), 2_000);
+        assert_eq!(out.kind_counts.iter().sum::<u64>(), 2_000);
+        // A 50/50 mix: both reads and updates actually ran.
+        assert!(out.kind_counts[0] > 500, "reads: {:?}", out.kind_counts);
+        assert!(out.kind_counts[2] > 500, "updates: {:?}", out.kind_counts);
+        assert_eq!(out.violations, 0, "violations: {:?}", out.violation_samples);
+        engine.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn duration_bound_stops_the_phase() {
+        let fabric = Fabric::new(NetworkProfile::instant());
+        let server = MemServer::start(
+            &fabric,
+            MemServerConfig {
+                region_size: 96 << 20,
+                flush_zone: 40 << 20,
+                compaction_workers: 2,
+                dispatchers: 1,
+            },
+        );
+        let deps = EngineDeps {
+            ctx: ComputeContext::new(&fabric),
+            memnodes: vec![MemNodeHandle::from_server(&server)],
+        };
+        let engine = build_dlsm(&deps, DbConfig::small(), 1).unwrap();
+        let spec = WorkloadSpec { num_kv: 1_000, key_size: 20, value_size: 50 };
+        let cfg = crate::workload::preset("ycsb-c").unwrap();
+        let out = run_workload(
+            &engine,
+            &spec,
+            &cfg,
+            2,
+            u64::MAX,
+            Some(Duration::from_millis(150)),
+        );
+        assert!(out.result.ops > 0, "time-bound phase did no work");
+        assert!(
+            out.result.elapsed < Duration::from_secs(10),
+            "phase failed to stop: {:?}",
+            out.result.elapsed
+        );
         engine.shutdown();
         server.shutdown();
     }

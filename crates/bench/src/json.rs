@@ -48,6 +48,15 @@ impl Json {
         }
     }
 
+    /// The numeric payload truncated to `u64`, if this is a non-negative
+    /// number (counter fields: ops, violations, kind counts).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
     /// The items, if this is an array.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
@@ -248,6 +257,8 @@ mod tests {
         let v = parse(doc).unwrap();
         assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
         assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_num(), Some(-300.0));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_u64(), None, "negative");
         assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
         assert_eq!(v.get("b").unwrap().get("d"), Some(&Json::Bool(true)));
         assert_eq!(v.get("b").unwrap().get("e"), Some(&Json::Null));

@@ -3,7 +3,11 @@
 //!
 //! * [`workload`] — db_bench-style workload generation: `randomfill`,
 //!   `randomread`, `readseq`, `readrandomwriterandom`, with the paper's
-//!   20-byte keys and 400-byte values.
+//!   20-byte keys and 400-byte values; plus YCSB-style op mixes, named
+//!   presets (`ycsb-a`..`ycsb-f`, `delete-churn`, `flash-crowd`, ...) and
+//!   the verified value codec used by `--verify` runs.
+//! * [`generator`] — seedable key choosers (uniform, Zipfian, hot-set,
+//!   latest) with per-thread deterministic streams.
 //! * [`harness`] — multi-threaded drivers measuring throughput over any
 //!   [`dlsm_baselines::Engine`].
 //! * [`setup`] — fabric/server/engine construction with paper-ratio
@@ -25,6 +29,7 @@
 
 pub mod diff;
 pub mod figures;
+pub mod generator;
 pub mod harness;
 pub mod json;
 pub mod report;

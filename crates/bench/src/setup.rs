@@ -111,6 +111,22 @@ pub fn server_config(bytes_on_node: u64, workers: usize) -> MemServerConfig {
     }
 }
 
+/// Remote-memory headroom multiplier (≥ 1) for a set of workload phases.
+/// Delete churn pins tombstones plus the dead versions they shadow in the
+/// flush zone until compaction reclaims them, and insert/update-heavy mixes
+/// accumulate overwritten versions the same way — both make the steady-state
+/// sizing in [`server_config`] too tight.
+pub fn workload_headroom(cfgs: &[crate::workload::WorkloadCfg]) -> u64 {
+    let churny = |c: &crate::workload::WorkloadCfg| {
+        c.mix.has_deletes() || (c.mix.insert + c.mix.update + c.mix.rmw) >= 40
+    };
+    if cfgs.iter().any(churny) {
+        2
+    } else {
+        1
+    }
+}
+
 /// Build a single-compute / single-memory-node scenario for `kind`.
 pub fn build_scenario(
     kind: SystemKind,
@@ -118,7 +134,7 @@ pub fn build_scenario(
     profile: NetworkProfile,
     remote_workers: usize,
 ) -> Scenario {
-    build_scenario_with(kind, spec, profile, remote_workers, |c| c)
+    build_scenario_sized(kind, spec, profile, remote_workers, 1, |c| c)
 }
 
 /// [`build_scenario`] with a configuration hook (e.g. bulkload mode).
@@ -129,8 +145,24 @@ pub fn build_scenario_with(
     remote_workers: usize,
     mutate: impl Fn(DbConfig) -> DbConfig,
 ) -> Scenario {
+    build_scenario_sized(kind, spec, profile, remote_workers, 1, mutate)
+}
+
+/// [`build_scenario_with`] plus a remote-memory headroom multiplier (see
+/// [`workload_headroom`]).
+pub fn build_scenario_sized(
+    kind: SystemKind,
+    spec: &WorkloadSpec,
+    profile: NetworkProfile,
+    remote_workers: usize,
+    headroom: u64,
+    mutate: impl Fn(DbConfig) -> DbConfig,
+) -> Scenario {
     let fabric = Fabric::new(profile);
-    let server = MemServer::start(&fabric, server_config(spec.data_bytes(), remote_workers));
+    let server = MemServer::start(
+        &fabric,
+        server_config(spec.data_bytes() * headroom.max(1), remote_workers),
+    );
     let ctx = ComputeContext::new(&fabric);
     let mem = MemNodeHandle::from_server(&server);
     let deps = EngineDeps { ctx: Arc::clone(&ctx), memnodes: vec![Arc::clone(&mem)] };
@@ -172,6 +204,15 @@ mod tests {
         let big = scaled_db_config(&WorkloadSpec { num_kv: 10_000_000, ..Default::default() });
         assert!(big.memtable_size > small.memtable_size);
         assert_eq!(big.sstable_size as usize, big.memtable_size);
+    }
+
+    #[test]
+    fn headroom_doubles_for_churny_mixes() {
+        let steady = crate::workload::preset("ycsb-c").unwrap();
+        let churn = crate::workload::preset("delete-churn").unwrap();
+        assert_eq!(workload_headroom(std::slice::from_ref(&steady)), 1);
+        assert_eq!(workload_headroom(&[steady, churn]), 2);
+        assert_eq!(workload_headroom(&[]), 1);
     }
 
     #[test]

@@ -89,6 +89,11 @@ impl WorkloadRng {
         debug_assert!(n > 0);
         ((self.next_u64() as u128 * n as u128) >> 64) as u64
     }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
 }
 
 /// The access pattern of one benchmark phase.
@@ -117,6 +122,323 @@ impl Phase {
             Phase::Mixed { read_pct } => format!("mixed-r{read_pct}"),
         }
     }
+}
+
+/// One operation kind in a mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Point read of an existing key.
+    Read,
+    /// Insert of a not-yet-written key.
+    Insert,
+    /// Overwrite of an existing key.
+    Update,
+    /// Read-modify-write: read, bump the version, write back.
+    Rmw,
+    /// Delete (tombstone) an existing key.
+    Delete,
+    /// Short range scan from a chosen key.
+    Scan,
+}
+
+impl OpKind {
+    /// All kinds, in mix order.
+    pub const ALL: [OpKind; 6] =
+        [OpKind::Read, OpKind::Insert, OpKind::Update, OpKind::Rmw, OpKind::Delete, OpKind::Scan];
+
+    /// Stable name for reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Read => "read",
+            OpKind::Insert => "insert",
+            OpKind::Update => "update",
+            OpKind::Rmw => "rmw",
+            OpKind::Delete => "delete",
+            OpKind::Scan => "scan",
+        }
+    }
+}
+
+/// An operation mix: percentages per [`OpKind`], summing to 100.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Read percentage.
+    pub read: u8,
+    /// Insert percentage.
+    pub insert: u8,
+    /// Update percentage.
+    pub update: u8,
+    /// Read-modify-write percentage.
+    pub rmw: u8,
+    /// Delete percentage.
+    pub delete: u8,
+    /// Scan percentage.
+    pub scan: u8,
+}
+
+impl OpMix {
+    /// A pure-read mix.
+    pub const READ_ONLY: OpMix =
+        OpMix { read: 100, insert: 0, update: 0, rmw: 0, delete: 0, scan: 0 };
+
+    /// Parse `read:insert:update:rmw:delete:scan` (e.g. `50:0:50:0:0:0`).
+    pub fn parse(s: &str) -> Result<OpMix, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 6 {
+            return Err(format!("expected 6 ':'-separated percentages, got {}", parts.len()));
+        }
+        let mut v = [0u8; 6];
+        for (slot, p) in v.iter_mut().zip(&parts) {
+            *slot = p.parse().map_err(|_| format!("bad percentage '{p}'"))?;
+        }
+        let mix = OpMix { read: v[0], insert: v[1], update: v[2], rmw: v[3], delete: v[4], scan: v[5] };
+        if mix.total() != 100 {
+            return Err(format!("mix must sum to 100, got {}", mix.total()));
+        }
+        Ok(mix)
+    }
+
+    fn total(&self) -> u16 {
+        self.read as u16
+            + self.insert as u16
+            + self.update as u16
+            + self.rmw as u16
+            + self.delete as u16
+            + self.scan as u16
+    }
+
+    /// Whether the mix writes at all (insert/update/rmw/delete).
+    pub fn has_writes(&self) -> bool {
+        self.insert + self.update + self.rmw + self.delete > 0
+    }
+
+    /// Whether the mix deletes.
+    pub fn has_deletes(&self) -> bool {
+        self.delete > 0
+    }
+
+    /// Pick the next op kind (one uniform draw; cumulative thresholds).
+    pub fn pick(&self, rng: &mut WorkloadRng) -> OpKind {
+        debug_assert_eq!(self.total(), 100, "mix must sum to 100");
+        let mut x = rng.below(100);
+        for (kind, share) in OpKind::ALL.iter().zip([
+            self.read, self.insert, self.update, self.rmw, self.delete, self.scan,
+        ]) {
+            if x < share as u64 {
+                return *kind;
+            }
+            x -= share as u64;
+        }
+        OpKind::Read // unreachable with a valid mix
+    }
+}
+
+/// Time-varying load shaping applied on top of a target rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadShape {
+    /// Constant target rate.
+    Steady,
+    /// Sinusoidal day/night ramp: rate swings between 25% and 100% of the
+    /// target over `cycles` full periods across the phase.
+    Diurnal {
+        /// Number of full ramp cycles across the phase.
+        cycles: u32,
+    },
+    /// Square-wave bursts: full rate for `duty_pct`% of each of the 8
+    /// windows the phase is split into, 10% of the rate otherwise.
+    Burst {
+        /// Percentage of each window spent at full rate.
+        duty_pct: u8,
+    },
+}
+
+impl LoadShape {
+    /// Rate multiplier in `(0, 1]` at phase progress `p ∈ [0, 1)`.
+    pub fn multiplier(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        match self {
+            LoadShape::Steady => 1.0,
+            LoadShape::Diurnal { cycles } => {
+                let phase = p * *cycles as f64 * std::f64::consts::TAU;
+                0.625 - 0.375 * phase.cos() // swings 0.25..=1.0
+            }
+            LoadShape::Burst { duty_pct } => {
+                let in_window = (p * 8.0).fract() < *duty_pct as f64 / 100.0;
+                if in_window {
+                    1.0
+                } else {
+                    0.1
+                }
+            }
+        }
+    }
+}
+
+/// A fully-specified mixed workload: what `db_bench --workload <name>`
+/// runs and what [`crate::harness::run_workload`] executes.
+#[derive(Debug, Clone)]
+pub struct WorkloadCfg {
+    /// Phase name used in reports and `BENCH_*.json`.
+    pub name: String,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Key popularity distribution.
+    pub chooser: crate::generator::ChooserKind,
+    /// Maximum entries visited per scan op.
+    pub scan_len: u64,
+    /// Percentage of the key space loaded before the measured phase;
+    /// inserts consume the remaining tail.
+    pub preload_pct: u8,
+    /// Load shaping (only effective with `rate_ops_per_sec > 0`).
+    pub shape: LoadShape,
+    /// Total target ops/sec across all threads; 0 = unthrottled.
+    pub rate_ops_per_sec: u64,
+    /// Verify reads inline: values encode key index + version, each read
+    /// checks read-your-writes and delete visibility against a per-thread
+    /// oracle (threads own disjoint key partitions).
+    pub verify: bool,
+    /// Base RNG seed; per-thread streams derive from it.
+    pub seed: u64,
+}
+
+impl WorkloadCfg {
+    fn new(name: &str, mix: OpMix, chooser: crate::generator::ChooserKind) -> WorkloadCfg {
+        WorkloadCfg {
+            name: name.to_string(),
+            mix,
+            chooser,
+            scan_len: 32,
+            preload_pct: 100,
+            shape: LoadShape::Steady,
+            rate_ops_per_sec: 0,
+            verify: false,
+            seed: 0xD15A,
+        }
+    }
+}
+
+/// The named workload presets: YCSB A–F plus the dLSM-specific scenarios
+/// (delete/TTL churn, hot-key flash crowd, diurnal ramp, burst, bulk fill).
+pub fn preset(name: &str) -> Option<WorkloadCfg> {
+    use crate::generator::ChooserKind;
+    let zipf = ChooserKind::Zipfian { theta: 0.99 };
+    let mix = |r, i, u, m, d, s| OpMix { read: r, insert: i, update: u, rmw: m, delete: d, scan: s };
+    let cfg = match name {
+        // YCSB core workloads (Cooper et al.), zipfian-skewed.
+        "ycsb-a" => WorkloadCfg::new("ycsb-a", mix(50, 0, 50, 0, 0, 0), zipf),
+        "ycsb-b" => WorkloadCfg::new("ycsb-b", mix(95, 0, 5, 0, 0, 0), zipf),
+        "ycsb-c" => WorkloadCfg::new("ycsb-c", OpMix::READ_ONLY, zipf),
+        "ycsb-d" => {
+            let mut c = WorkloadCfg::new(
+                "ycsb-d",
+                mix(95, 5, 0, 0, 0, 0),
+                ChooserKind::Latest { theta: 0.99 },
+            );
+            c.preload_pct = 80; // leave a tail for the inserts
+            c
+        }
+        "ycsb-e" => {
+            let mut c = WorkloadCfg::new("ycsb-e", mix(0, 5, 0, 0, 0, 95), zipf);
+            c.preload_pct = 80;
+            c
+        }
+        "ycsb-f" => WorkloadCfg::new("ycsb-f", mix(50, 0, 0, 50, 0, 0), zipf),
+        // Delete/TTL churn: a rolling live window — inserts push new keys,
+        // deletes tombstone old ones, reads probe both live and dead keys.
+        "delete-churn" => {
+            let mut c = WorkloadCfg::new(
+                "delete-churn",
+                mix(20, 40, 0, 0, 40, 0),
+                ChooserKind::Uniform,
+            );
+            c.preload_pct = 50;
+            c
+        }
+        // Hot-key flash crowd: 0.1% of keys take 90% of a read-mostly load.
+        "flash-crowd" => WorkloadCfg::new(
+            "flash-crowd",
+            mix(95, 0, 5, 0, 0, 0),
+            ChooserKind::HotSet { hot_per_mille: 1, hot_access_pct: 90 },
+        ),
+        // Diurnal ramp: zipfian read-mostly traffic whose rate swings
+        // 0.25x–1x over two cycles (requires a --rate to throttle against;
+        // a default keeps the shape visible out of the box).
+        "diurnal" => {
+            let mut c = WorkloadCfg::new("diurnal", mix(70, 0, 30, 0, 0, 0), zipf);
+            c.shape = LoadShape::Diurnal { cycles: 2 };
+            c.rate_ops_per_sec = 50_000;
+            c
+        }
+        // Burst: square-wave flash load, 30% duty cycle.
+        "burst" => {
+            let mut c = WorkloadCfg::new("burst", mix(70, 0, 30, 0, 0, 0), zipf);
+            c.shape = LoadShape::Burst { duty_pct: 30 };
+            c.rate_ops_per_sec = 50_000;
+            c
+        }
+        // Bulk fill: pure inserts over the whole key space (pair with
+        // --num in the millions for the multi-million-key dataset runs).
+        "bigfill" => {
+            let mut c = WorkloadCfg::new(
+                "bigfill",
+                mix(0, 100, 0, 0, 0, 0),
+                ChooserKind::Uniform,
+            );
+            c.preload_pct = 0;
+            c
+        }
+        _ => return None,
+    };
+    Some(cfg)
+}
+
+/// Every preset name, for usage text and exhaustive tests.
+pub const PRESET_NAMES: [&str; 11] = [
+    "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f",
+    "delete-churn", "flash-crowd", "diurnal", "burst", "bigfill",
+];
+
+/// Magic prefix of verified values (see [`encode_verified`]).
+const VERIFIED_MAGIC: u64 = 0xD15A_5EED_F00D_CAFE;
+
+/// Minimum value size able to carry the verified header.
+pub const VERIFIED_MIN_VALUE: usize = 32;
+
+/// Encode a self-verifying value: magic, key index, version, and a
+/// checksum binding the two, padded deterministically to `value_size`.
+/// Any read can then prove which key/version a value belongs to.
+pub fn encode_verified(spec: &WorkloadSpec, index: u64, version: u64) -> Vec<u8> {
+    let size = spec.value_size.max(VERIFIED_MIN_VALUE);
+    let mut out = Vec::with_capacity(size);
+    out.extend_from_slice(&VERIFIED_MAGIC.to_le_bytes());
+    out.extend_from_slice(&index.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
+    let check = VERIFIED_MAGIC ^ index.wrapping_mul(SPREAD) ^ version.rotate_left(17);
+    out.extend_from_slice(&check.to_le_bytes());
+    let mut x = index ^ version;
+    while out.len() < size {
+        x = x.wrapping_mul(SPREAD).wrapping_add(1);
+        out.push((x >> 56) as u8);
+    }
+    out.truncate(size);
+    out
+}
+
+/// Decode a verified value; `None` if it is not one (wrong magic or
+/// checksum — i.e. corruption or a value written outside verify mode).
+pub fn decode_verified(value: &[u8]) -> Option<(u64, u64)> {
+    if value.len() < VERIFIED_MIN_VALUE {
+        return None;
+    }
+    let word = |i: usize| u64::from_le_bytes(value[i * 8..(i + 1) * 8].try_into().unwrap());
+    if word(0) != VERIFIED_MAGIC {
+        return None;
+    }
+    let (index, version, check) = (word(1), word(2), word(3));
+    if check != VERIFIED_MAGIC ^ index.wrapping_mul(SPREAD) ^ version.rotate_left(17) {
+        return None;
+    }
+    Some((index, version))
 }
 
 /// A random permutation-ish fill order: thread `t` of `n` inserts the
@@ -171,6 +493,85 @@ mod tests {
         let mut all: Vec<u64> = (0..4).flat_map(|t| fill_indices(&spec, t, 4)).collect();
         all.sort_unstable();
         assert_eq!(all, (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn op_mix_parses_and_picks_within_shares() {
+        let mix = OpMix::parse("50:10:20:10:5:5").unwrap();
+        assert_eq!(mix.read, 50);
+        assert_eq!(mix.scan, 5);
+        assert!(mix.has_writes() && mix.has_deletes());
+        assert!(OpMix::parse("50:50").is_err());
+        assert!(OpMix::parse("50:10:20:10:5:6").is_err(), "sums to 101");
+        let mut rng = WorkloadRng::new(9);
+        let mut counts = [0u64; 6];
+        for _ in 0..100_000 {
+            let k = mix.pick(&mut rng);
+            counts[OpKind::ALL.iter().position(|&x| x == k).unwrap()] += 1;
+        }
+        // Each share within ±20% relative of its nominal slice.
+        for (c, share) in counts.iter().zip([50u64, 10, 20, 10, 5, 5]) {
+            let expect = share * 1_000;
+            assert!(
+                (*c as i64 - expect as i64).unsigned_abs() < expect / 5,
+                "share off: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_preset_is_listed_and_resolves() {
+        for name in PRESET_NAMES {
+            let cfg = preset(name).unwrap_or_else(|| panic!("preset {name} missing"));
+            assert_eq!(cfg.name, name);
+        }
+        assert!(preset("ycsb-z").is_none());
+        // The ISSUE-critical scenarios exist with the right shapes.
+        assert!(preset("delete-churn").unwrap().mix.has_deletes());
+        assert!(matches!(
+            preset("flash-crowd").unwrap().chooser,
+            crate::generator::ChooserKind::HotSet { .. }
+        ));
+        assert!(matches!(preset("diurnal").unwrap().shape, LoadShape::Diurnal { .. }));
+    }
+
+    #[test]
+    fn load_shapes_stay_in_bounds() {
+        for shape in [
+            LoadShape::Steady,
+            LoadShape::Diurnal { cycles: 2 },
+            LoadShape::Burst { duty_pct: 30 },
+        ] {
+            for i in 0..=100 {
+                let m = shape.multiplier(i as f64 / 100.0);
+                assert!(m > 0.0 && m <= 1.0, "{shape:?} at {i}% → {m}");
+            }
+        }
+        // Diurnal actually swings; burst actually bursts.
+        assert!(LoadShape::Diurnal { cycles: 1 }.multiplier(0.0) < 0.3);
+        assert!(LoadShape::Diurnal { cycles: 1 }.multiplier(0.5) > 0.9);
+        assert_eq!(LoadShape::Burst { duty_pct: 30 }.multiplier(0.01), 1.0);
+        assert_eq!(LoadShape::Burst { duty_pct: 30 }.multiplier(0.12), 0.1);
+    }
+
+    #[test]
+    fn verified_values_roundtrip_and_reject_corruption() {
+        let spec = WorkloadSpec { value_size: 64, ..Default::default() };
+        let v = encode_verified(&spec, 12345, 7);
+        assert_eq!(v.len(), 64);
+        assert_eq!(decode_verified(&v), Some((12345, 7)));
+        // Tampering with any header byte kills it.
+        for i in 0..32 {
+            let mut bad = v.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(decode_verified(&bad), None, "corruption at byte {i} undetected");
+        }
+        // Plain (non-verified) values never decode.
+        assert_eq!(decode_verified(&spec.value(12345, 7)), None);
+        assert_eq!(decode_verified(b"short"), None);
+        // Tiny configured value sizes are padded up to the header minimum.
+        let tiny = WorkloadSpec { value_size: 8, ..Default::default() };
+        assert_eq!(encode_verified(&tiny, 1, 1).len(), VERIFIED_MIN_VALUE);
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Statistical and determinism tests for the workload generator layer
+//! (DESIGN.md §10). All tests are seeded — no flaky randomness — and every
+//! statistical property is checked across three seeds.
+
+use dlsm_bench::generator::{scramble, stream_seed, ChooserKind, KeyChooser, Zipfian};
+use dlsm_bench::workload::{preset, OpKind, WorkloadRng};
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+/// Zipfian head ranks match the analytic pmf. The Gray et al. sampler is
+/// exact for ranks 0 and 1 (the two special-cased branches) and a
+/// continuous approximation beyond, which is known to overshoot the next
+/// few ranks by up to ~20%; the tolerances encode exactly that profile,
+/// with 300k draws so sampling noise is negligible next to it.
+#[test]
+fn zipfian_rank_frequency_matches_analytic() {
+    const N: u64 = 10_000;
+    const DRAWS: u64 = 300_000;
+    let z = Zipfian::new(N, 0.99);
+    for seed in SEEDS {
+        let mut rng = WorkloadRng::new(seed);
+        let mut counts = vec![0u64; N as usize];
+        for _ in 0..DRAWS {
+            counts[z.next(&mut rng) as usize] += 1;
+        }
+        let mut head_tv = 0.0f64;
+        for r in 0..20u64 {
+            let expect = z.rank_p(r);
+            let got = counts[r as usize] as f64 / DRAWS as f64;
+            let rel = (got - expect).abs() / expect;
+            let tol = if r < 2 { 0.05 } else { 0.25 };
+            assert!(
+                rel < tol,
+                "seed {seed} rank {r}: empirical {got:.5} vs analytic {expect:.5} ({:.1}% off)",
+                rel * 100.0
+            );
+            head_tv += (got - expect).abs();
+        }
+        assert!(head_tv < 0.04, "seed {seed}: head total-variation {head_tv:.4}");
+        // Monotone head: more popular ranks really are drawn more often.
+        assert!(counts[0] > counts[5] && counts[5] > counts[50], "seed {seed}");
+    }
+}
+
+/// The uniform chooser covers the whole key space evenly: 200k draws over
+/// 10k keys hit every key, with per-key counts inside a generous Poisson
+/// envelope around the mean of 20.
+#[test]
+fn uniform_chooser_covers_the_key_space() {
+    const N: u64 = 10_000;
+    const DRAWS: u64 = 200_000;
+    for seed in SEEDS {
+        let c = KeyChooser::new(ChooserKind::Uniform, N);
+        let mut rng = WorkloadRng::new(seed);
+        let mut counts = vec![0u64; N as usize];
+        for _ in 0..DRAWS {
+            counts[c.next(&mut rng) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*min >= 1, "seed {seed}: some key never drawn");
+        assert!(*max <= 60, "seed {seed}: hottest key drawn {max} times (mean 20)");
+    }
+}
+
+/// The hot-set chooser sends the configured access fraction to the
+/// configured slice of keys: 1% of keys get 90% ± 1.5% of accesses.
+#[test]
+fn hot_set_fraction_is_as_configured() {
+    const N: u64 = 50_000;
+    const DRAWS: u64 = 200_000;
+    let kind = ChooserKind::HotSet { hot_per_mille: 10, hot_access_pct: 90 };
+    let hot_n = N * 10 / 1000;
+    // The hot set is the scrambled image of ranks [0, hot_n).
+    let hot: std::collections::HashSet<u64> = (0..hot_n).map(|r| scramble(r, N)).collect();
+    assert!(hot.len() as u64 >= hot_n * 99 / 100, "scramble collided too much");
+    for seed in SEEDS {
+        let c = KeyChooser::new(kind, N);
+        let mut rng = WorkloadRng::new(seed);
+        let mut in_hot = 0u64;
+        for _ in 0..DRAWS {
+            if hot.contains(&c.next(&mut rng)) {
+                in_hot += 1;
+            }
+        }
+        let frac = in_hot as f64 / DRAWS as f64;
+        // 90% targeted + ~0.1% of the uniform remainder lands in the hot
+        // slice by chance.
+        assert!(
+            (frac - 0.901).abs() < 0.015,
+            "seed {seed}: hot fraction {frac:.4}, expected ≈ 0.901"
+        );
+    }
+}
+
+/// One thread's op stream, exactly as `run_workload` derives it: a
+/// per-thread rng seeded by `stream_seed`, ops picked by the preset mix,
+/// ranks by the preset chooser.
+fn op_stream(preset_name: &str, base_seed: u64, thread: u64, len: usize) -> Vec<(OpKind, u64)> {
+    let cfg = preset(preset_name).expect(preset_name);
+    let mut rng = WorkloadRng::new(stream_seed(base_seed, thread));
+    let chooser = KeyChooser::new(cfg.chooser, 25_000);
+    (0..len).map(|_| (cfg.mix.pick(&mut rng), chooser.next(&mut rng))).collect()
+}
+
+/// Same (seed, thread) → byte-identical op stream, across presets and
+/// seeds: a run is reproducible from the base seed and thread count alone.
+#[test]
+fn identical_seed_and_thread_give_identical_streams() {
+    for preset_name in ["ycsb-a", "delete-churn", "ycsb-e"] {
+        for seed in SEEDS {
+            for thread in [0u64, 3, 7] {
+                let a = op_stream(preset_name, seed, thread, 5_000);
+                let b = op_stream(preset_name, seed, thread, 5_000);
+                assert_eq!(a, b, "{preset_name} seed {seed} thread {thread} not reproducible");
+            }
+        }
+    }
+}
+
+/// Different threads (and different base seeds) produce uncorrelated
+/// streams: pairwise agreement is no better than chance.
+#[test]
+fn different_threads_give_disjoint_streams() {
+    const LEN: usize = 5_000;
+    for seed in SEEDS {
+        let streams: Vec<Vec<(OpKind, u64)>> =
+            (0..4).map(|t| op_stream("ycsb-a", seed, t, LEN)).collect();
+        for i in 0..streams.len() {
+            for j in (i + 1)..streams.len() {
+                let agree =
+                    streams[i].iter().zip(&streams[j]).filter(|(a, b)| a == b).count();
+                // Position-wise (kind, rank) agreement by chance is well
+                // under 1%; identical streams would agree 100%.
+                assert!(
+                    agree < LEN / 50,
+                    "seed {seed}: threads {i}/{j} agree at {agree}/{LEN} positions"
+                );
+            }
+        }
+        // A different base seed reshuffles every thread's stream too.
+        let other = op_stream("ycsb-a", seed + 100, 0, LEN);
+        let agree = streams[0].iter().zip(&other).filter(|(a, b)| a == b).count();
+        assert!(agree < LEN / 50, "seed {seed} vs {}: streams agree too much", seed + 100);
+    }
+}

@@ -1052,6 +1052,7 @@ impl DbReader {
                 }
                 MemGet::Deleted => {
                     tel.get_memtable.record_elapsed(t0.elapsed());
+                    crate::telemetry::DbTelemetry::bump(&tel.get_tombstones);
                     return Ok(None);
                 }
                 MemGet::NotFound => {}
@@ -1072,6 +1073,7 @@ impl DbReader {
                     }
                     TableGet::Deleted => {
                         tel.get_l0.record_elapsed(t_l0.elapsed());
+                        crate::telemetry::DbTelemetry::bump(&tel.get_tombstones);
                         return Ok(None);
                     }
                     TableGet::NotFound => {}
@@ -1093,6 +1095,7 @@ impl DbReader {
                     }
                     TableGet::Deleted => {
                         tel.get_deep.record_elapsed(t_deep.elapsed());
+                        crate::telemetry::DbTelemetry::bump(&tel.get_tombstones);
                         return Ok(None);
                     }
                     TableGet::NotFound => {}
@@ -1468,6 +1471,7 @@ fn flush_loop(shared: Arc<Shared>, rx: Receiver<Arc<MemTable>>) {
         };
         if let Some(out) = &out {
             DbStats::add(&shared.stats.flush_bytes, out.extent.len);
+            DbStats::add(&shared.stats.flush_tombstones, mem.tombstones());
         }
         // Serialization ran in parallel; installation happens strictly in
         // MemTable retirement order (see `install_in_order`).

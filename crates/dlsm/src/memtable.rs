@@ -32,6 +32,9 @@ pub struct MemTable {
     /// (or deeper, via compaction) before an older one is installed would
     /// put newer versions *below* older ones and break reads.
     pub flush_order: std::sync::atomic::AtomicU64,
+    /// Tombstones successfully inserted into this table, so the flush path
+    /// can account delete traffic without re-walking the skip list.
+    tombstones: std::sync::atomic::AtomicU64,
     list: Arc<SkipList<InternalKeyComparator>>,
     size_limit: usize,
 }
@@ -43,6 +46,7 @@ impl MemTable {
             id,
             range,
             flush_order: std::sync::atomic::AtomicU64::new(u64::MAX),
+            tombstones: std::sync::atomic::AtomicU64::new(0),
             list: Arc::new(SkipList::with_capacity(InternalKeyComparator, arena_bytes)),
             size_limit,
         }
@@ -64,7 +68,19 @@ impl MemTable {
     ) -> Result<(), ArenaFull> {
         debug_assert!(self.covers(seq), "seq {seq} outside range {:?}", self.range);
         let ikey = InternalKey::new(user_key, seq, vt);
-        self.list.insert(ikey.as_bytes(), value)
+        let out = self.list.insert(ikey.as_bytes(), value);
+        if out.is_ok() && vt == ValueType::Deletion {
+            // ORDERING: relaxed — monotonic stats counter; only read after
+            // the table is immutable (flush accounting tolerates staleness).
+            self.tombstones.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Tombstones inserted into this table so far.
+    pub fn tombstones(&self) -> u64 {
+        // ORDERING: relaxed — stats read; tolerates staleness.
+        self.tombstones.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Newest version of `user_key` visible at `snapshot`.

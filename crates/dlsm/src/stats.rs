@@ -22,6 +22,9 @@ pub struct DbStats {
     pub flushes: AtomicU64,
     /// Bytes written to remote memory by flushes.
     pub flush_bytes: AtomicU64,
+    /// Tombstones carried into remote memory by flushes (delete churn that
+    /// compaction must later reclaim).
+    pub flush_tombstones: AtomicU64,
     /// Completed compactions.
     pub compactions: AtomicU64,
     /// Sub-compaction tasks issued.
@@ -78,6 +81,7 @@ impl DbStats {
             reseqs: Self::get(&self.reseqs),
             flushes: Self::get(&self.flushes),
             flush_bytes: Self::get(&self.flush_bytes),
+            flush_tombstones: Self::get(&self.flush_tombstones),
             compactions: Self::get(&self.compactions),
             compaction_subtasks: Self::get(&self.compaction_subtasks),
             compaction_records_in: Self::get(&self.compaction_records_in),
@@ -111,6 +115,8 @@ pub struct DbStatsSnapshot {
     pub flushes: u64,
     /// Bytes written to remote memory by flushes.
     pub flush_bytes: u64,
+    /// Tombstones carried into remote memory by flushes.
+    pub flush_tombstones: u64,
     /// Completed compactions.
     pub compactions: u64,
     /// Sub-compaction tasks issued.
@@ -159,6 +165,7 @@ impl DbStatsSnapshot {
         f(&mut self.reseqs, other.reseqs);
         f(&mut self.flushes, other.flushes);
         f(&mut self.flush_bytes, other.flush_bytes);
+        f(&mut self.flush_tombstones, other.flush_tombstones);
         f(&mut self.compactions, other.compactions);
         f(&mut self.compaction_subtasks, other.compaction_subtasks);
         f(&mut self.compaction_records_in, other.compaction_records_in);
@@ -171,7 +178,7 @@ impl DbStatsSnapshot {
     }
 
     /// The counters as `(name, value)` pairs, for telemetry export.
-    pub fn named_counters(&self) -> [(&'static str, u64); 17] {
+    pub fn named_counters(&self) -> [(&'static str, u64); 18] {
         [
             ("puts", self.puts),
             ("deletes", self.deletes),
@@ -181,6 +188,7 @@ impl DbStatsSnapshot {
             ("reseqs", self.reseqs),
             ("flushes", self.flushes),
             ("flush_bytes", self.flush_bytes),
+            ("flush_tombstones", self.flush_tombstones),
             ("compactions", self.compactions),
             ("compaction_subtasks", self.compaction_subtasks),
             ("compaction_records_in", self.compaction_records_in),
@@ -268,6 +276,6 @@ mod tests {
         assert_eq!(m.stall_events, 1);
         let named: std::collections::HashMap<_, _> = m.named_counters().into_iter().collect();
         assert_eq!(named["puts"], 7);
-        assert_eq!(named.len(), 17);
+        assert_eq!(named.len(), 18);
     }
 }

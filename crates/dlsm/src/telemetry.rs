@@ -32,6 +32,10 @@ pub struct DbTelemetry {
     pub bloom_skips: AtomicU64,
     /// Table probes resolved from a compute-local L0 image (hot-L0 cache).
     pub l0_cache_hits: AtomicU64,
+    /// `get`s answered "absent" by a tombstone (as opposed to never finding
+    /// any version of the key). Delete-heavy workloads watch this to verify
+    /// that deletes actually shadow older values.
+    pub get_tombstones: AtomicU64,
     /// RPC retry/reconnect totals aggregated over every client this
     /// database opens (flush, GC, compaction pool, two-sided readers).
     pub net: Arc<ClientNetStats>,
@@ -97,6 +101,8 @@ impl DbTelemetry {
         // ORDERING: relaxed — stats-report reads of monotonic counters.
         s.set_counter("bloom_skips", self.bloom_skips.load(Ordering::Relaxed));
         s.set_counter("l0_cache_hits", self.l0_cache_hits.load(Ordering::Relaxed));
+        // ORDERING: relaxed — stats-report read of a monotonic counter.
+        s.set_counter("get_tombstones", self.get_tombstones.load(Ordering::Relaxed));
         let (retries, reconnects) = self.net.totals();
         s.set_counter("rpc_retries", retries);
         s.set_counter("rpc_reconnects", reconnects);
@@ -152,10 +158,12 @@ mod tests {
         t.get_memtable.record(200);
         DbTelemetry::bump(&t.bloom_skips);
         DbTelemetry::bump(&t.bloom_skips);
+        DbTelemetry::bump(&t.get_tombstones);
         let s = t.snapshot();
         assert_eq!(s.op(OpClass::GetHit).count(), 1);
         assert_eq!(s.breakdown_hist("get_memtable").count(), 1);
         assert_eq!(s.counter("bloom_skips"), 2);
+        assert_eq!(s.counter("get_tombstones"), 1);
         assert_eq!(s.counter("rpc_retries"), 0);
     }
 

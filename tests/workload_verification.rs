@@ -3,9 +3,10 @@
 
 use std::sync::Arc;
 
-use dlsm_repro::bench::harness::{run_fill, run_mixed, run_random_read, run_scan};
+use dlsm_repro::bench::harness::{run_fill, run_mixed, run_random_read, run_scan, run_workload};
 use dlsm_repro::bench::setup::{build_scenario, scaled_db_config, SystemKind};
-use dlsm_repro::bench::workload::{fill_indices, WorkloadSpec};
+use dlsm_repro::bench::workload::{fill_indices, preset, OpKind, WorkloadSpec, PRESET_NAMES};
+use dlsm_repro::telemetry::OpClass;
 use dlsm_repro::dlsm::{ComputeContext, Db, DbConfig, MemNodeHandle};
 use dlsm_repro::memnode::{MemServer, MemServerConfig};
 use dlsm_repro::rdma_sim::{Fabric, NetworkProfile};
@@ -106,6 +107,82 @@ fn shutdown_under_load_is_clean() {
         stop.store(true, std::sync::atomic::Ordering::Release);
     });
     server.shutdown();
+}
+
+#[test]
+fn every_workload_preset_runs_verified_and_clean() {
+    // Each preset drives dLSM with inline verification on: read-your-writes
+    // and tombstone checks must hold for every op mix, chooser, and shape.
+    let spec = WorkloadSpec { num_kv: 6_000, key_size: 20, value_size: 64 };
+    for name in PRESET_NAMES {
+        let mut cfg = preset(name).unwrap();
+        cfg.verify = true;
+        // Shaped presets target a wall-clock rate; drop the throttle so the
+        // test stays fast (the shape math itself is unit-tested).
+        cfg.rate_ops_per_sec = 0;
+        let sc = build_scenario(
+            SystemKind::Dlsm { lambda: 1 },
+            &spec,
+            NetworkProfile::instant(),
+            2,
+        );
+        let out = run_workload(sc.engine.as_ref(), &spec, &cfg, 2, 3_000, None);
+        assert_eq!(out.result.ops, 3_000, "{name}");
+        assert_eq!(out.kind_counts.iter().sum::<u64>(), 3_000, "{name}");
+        assert_eq!(
+            out.violations, 0,
+            "{name}: verification violations: {:?}",
+            out.violation_samples
+        );
+        sc.shutdown();
+    }
+}
+
+#[test]
+fn mixed_workload_oracle_agrees_with_engine_telemetry() {
+    // YCSB-A then delete-churn on one engine, verified; afterwards the
+    // engine's own counters must reconcile exactly with the op log.
+    let spec = WorkloadSpec { num_kv: 8_000, key_size: 20, value_size: 64 };
+    let sc = build_scenario(
+        SystemKind::Dlsm { lambda: 1 },
+        &spec,
+        NetworkProfile::instant(),
+        2,
+    );
+    let mut total_kinds = [0u64; 6];
+    for name in ["ycsb-a", "delete-churn"] {
+        let mut cfg = preset(name).unwrap();
+        cfg.verify = true;
+        let out = run_workload(sc.engine.as_ref(), &spec, &cfg, 2, 10_000, None);
+        assert_eq!(
+            out.violations, 0,
+            "{name}: verification violations: {:?}",
+            out.violation_samples
+        );
+        for (t, c) in total_kinds.iter_mut().zip(out.kind_counts) {
+            *t += c;
+        }
+    }
+    let tel = sc.engine.telemetry().expect("dlsm exposes telemetry");
+    let reads = total_kinds[OpKind::Read as usize];
+    let rmws = total_kinds[OpKind::Rmw as usize];
+    let deletes = total_kinds[OpKind::Delete as usize];
+    assert!(deletes > 0, "delete-churn issued no deletes: {total_kinds:?}");
+    // Every read and rmw issues exactly one engine get; nothing else does.
+    assert_eq!(tel.counter("gets"), reads + rmws);
+    // Every get is classified exactly once as hit or miss.
+    assert_eq!(
+        tel.op(OpClass::GetHit).count() + tel.op(OpClass::GetMiss).count(),
+        reads + rmws
+    );
+    // Every delete op reached the engine.
+    assert_eq!(tel.counter("deletes"), deletes);
+    // Churned reads really did hit tombstones (the delete-path telemetry),
+    // and each tombstone answer is one of the counted misses.
+    let tombstones = tel.counter("get_tombstones");
+    assert!(tombstones > 0, "no read ever saw a tombstone");
+    assert!(tombstones <= tel.op(OpClass::GetMiss).count());
+    sc.shutdown();
 }
 
 #[test]
