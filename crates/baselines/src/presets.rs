@@ -186,6 +186,9 @@ pub fn build_rocksdb_rdma(deps: &EngineDeps, base: DbConfig, block_size: u32) ->
         data_path: DataPath::OneSided,
         switch_protocol: SwitchProtocol::NaiveDoubleChecked,
         serialized_writes: true,
+        // Baselines run without the dLSM compute-side read cache.
+        cache: dlsm::CacheConfig::default(),
+        local_l0_cache_bytes: 0,
         ..base
     };
     let name = format!("RocksDB-RDMA ({} KB)", block_size >> 10);
@@ -201,6 +204,9 @@ pub fn build_memory_rocksdb(deps: &EngineDeps, base: DbConfig) -> Result<DlsmEng
         data_path: DataPath::OneSided,
         switch_protocol: SwitchProtocol::NaiveDoubleChecked,
         serialized_writes: true,
+        // Baselines run without the dLSM compute-side read cache.
+        cache: dlsm::CacheConfig::default(),
+        local_l0_cache_bytes: 0,
         ..base
     };
     open(deps, cfg, 1, "Memory-RocksDB-RDMA")
@@ -215,6 +221,9 @@ pub fn build_nova_lsm(deps: &EngineDeps, base: DbConfig, subranges: usize) -> Re
         data_path: DataPath::TwoSidedRpc,
         switch_protocol: SwitchProtocol::NaiveDoubleChecked,
         serialized_writes: false,
+        // Baselines run without the dLSM compute-side read cache.
+        cache: dlsm::CacheConfig::default(),
+        local_l0_cache_bytes: 0,
         l0_stop_writes_trigger: base
             .l0_stop_writes_trigger
             .map(|t| shard_trigger(t, subranges)),

@@ -35,6 +35,9 @@
 //!   --value-size  bytes                                    (default 400)
 //!   --lambda      dLSM shards                              (default 1)
 //!   --reads       ops for read/mixed phases                (default = num)
+//!   --cache       on | off — compute-side read cache (dLSM engines only;
+//!                 default on, sized to the dataset)
+//!   --cache-bytes explicit read-cache budget in bytes (implies on)
 //!   --scale       network cost scale (1.0 = EDR)           (default 1.0)
 //!   --cores       memory-node compaction cores             (default 12)
 //!   --json        output path for the machine-readable run summary
@@ -73,6 +76,53 @@ struct WorkloadInfo {
     violations: u64,
 }
 
+/// The engine's read-cache counters (absolute values, from the `cache_*`
+/// telemetry rows). `None` when the engine runs without a cache.
+#[derive(Clone, Copy, Default)]
+struct CacheCounters {
+    hits: u64,
+    misses: u64,
+    bytes_saved: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+impl CacheCounters {
+    fn sample(engine: &dyn dlsm_baselines::Engine) -> Option<CacheCounters> {
+        let snap = engine.telemetry()?;
+        // The cache exports its capacity even when idle; its absence means
+        // the engine runs uncached (or is a baseline without telemetry).
+        snap.counters.iter().find(|(n, _)| n == "cache_capacity_bytes")?;
+        Some(CacheCounters {
+            hits: snap.counter("cache_block_hits") + snap.counter("cache_extent_hits"),
+            misses: snap.counter("cache_block_misses") + snap.counter("cache_extent_misses"),
+            bytes_saved: snap.counter("cache_bytes_saved"),
+            evictions: snap.counter("cache_evictions"),
+            invalidations: snap.counter("cache_invalidations"),
+        })
+    }
+
+    /// Counter growth across one phase.
+    fn delta(self, before: CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits - before.hits,
+            misses: self.misses - before.misses,
+            bytes_saved: self.bytes_saved - before.bytes_saved,
+            evictions: self.evictions - before.evictions,
+            invalidations: self.invalidations - before.invalidations,
+        }
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut system = "dlsm".to_string();
@@ -100,6 +150,8 @@ fn main() {
     let mut duration_secs: Option<f64> = None;
     let mut verify = false;
     let mut seed: Option<u64> = None;
+    let mut cache_arg: Option<String> = None;
+    let mut cache_bytes: Option<u64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -137,6 +189,8 @@ fn main() {
             "--value-size" => value_size = value.parse().expect("--value-size"),
             "--lambda" => lambda = value.parse().expect("--lambda"),
             "--reads" => reads = Some(value.parse().expect("--reads")),
+            "--cache" => cache_arg = Some(value),
+            "--cache-bytes" => cache_bytes = Some(value.parse().expect("--cache-bytes")),
             "--scale" => scale = value.parse().expect("--scale"),
             "--cores" => cores = value.parse().expect("--cores"),
             "--json" => json_path = Some(value),
@@ -169,6 +223,18 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let cache_off = match cache_arg.as_deref() {
+        None | Some("on") => false,
+        Some("off") => true,
+        Some(other) => {
+            eprintln!("--cache takes on|off, got {other}");
+            std::process::exit(2);
+        }
+    };
+    if cache_off && cache_bytes.is_some() {
+        eprintln!("--cache off and --cache-bytes are mutually exclusive");
+        std::process::exit(2);
+    }
     let spec = WorkloadSpec { num_kv: num, key_size, value_size };
     let read_ops = reads.unwrap_or(num);
     let profile = NetworkProfile::edr_100g().scaled(scale);
@@ -184,7 +250,22 @@ fn main() {
     // remotely between compactions; size the memory node for it up front.
     let preset_cfgs: Vec<_> = benchmarks.iter().filter_map(|b| preset(b)).collect();
     let headroom = workload_headroom(&preset_cfgs);
-    let sc = build_scenario_sized(kind, &spec, profile, cores, headroom, |c| c);
+    let sc = build_scenario_sized(kind, &spec, profile, cores, headroom, |mut c| {
+        if cache_off {
+            c.cache = dlsm::CacheConfig::default(); // capacity 0 = disabled
+            c.local_l0_cache_bytes = 0;
+        } else if let Some(b) = cache_bytes {
+            c.cache.capacity_bytes = b;
+        }
+        c
+    });
+    if cache_off {
+        println!("cache: off");
+    } else {
+        let budget =
+            cache_bytes.unwrap_or(dlsm_bench::setup::scaled_db_config(&spec).cache.capacity_bytes);
+        println!("cache: {:.0} MiB budget (dLSM engines)", budget as f64 / (1 << 20) as f64);
+    }
     // The exporter covers both sides of the fabric: the engine's per-shard
     // live gauges and every memory node's allocator/server series. A 250 ms
     // gauge sampler keeps scrapes O(copy) no matter how hot the run is.
@@ -203,9 +284,13 @@ fn main() {
         srv
     });
     let before = sc.fabric.stats().snapshot();
-    // (phase result, fabric traffic that phase caused, workload extras).
-    let mut results: Vec<(PhaseResult, StatsSnapshot, Option<WorkloadInfo>)> = Vec::new();
+    // (phase result, fabric traffic that phase caused, workload extras,
+    // read-cache counter growth over the phase).
+    #[allow(clippy::type_complexity)]
+    let mut results: Vec<(PhaseResult, StatsSnapshot, Option<WorkloadInfo>, Option<CacheCounters>)> =
+        Vec::new();
     let mut filled = false;
+    let mut cache_prev = CacheCounters::sample(sc.engine.as_ref());
     for bench in &benchmarks {
         let phase_before = sc.fabric.stats().snapshot();
         let (result, info) = match bench.as_str() {
@@ -304,14 +389,32 @@ fn main() {
             fmt_mops(result.mops()),
         );
         let phase_traffic = sc.fabric.stats().snapshot().delta(&phase_before);
-        results.push((result, phase_traffic, info));
+        let cache_now = CacheCounters::sample(sc.engine.as_ref());
+        let cache_delta = match (cache_now, cache_prev) {
+            (Some(now), Some(prev)) => Some(now.delta(prev)),
+            _ => None,
+        };
+        cache_prev = cache_now;
+        if let Some(c) = &cache_delta {
+            if c.hits + c.misses > 0 {
+                println!(
+                    "  {:<22} cache: {:.1}% hit rate, {:.1} MiB saved, {} evictions, {} invalidations",
+                    result.phase,
+                    c.hit_rate() * 100.0,
+                    c.bytes_saved as f64 / (1 << 20) as f64,
+                    c.evictions,
+                    c.invalidations,
+                );
+            }
+        }
+        results.push((result, phase_traffic, info, cache_delta));
     }
 
     let mut lat = Table::new(
         format!("{} latency (us)", sc.engine.name()),
         &["phase", "ops", "Mops/s", "p50", "p90", "p99", "p99.9", "max"],
     );
-    for (r, _, _) in &results {
+    for (r, _, _, _) in &results {
         lat.row(vec![
             r.phase.clone(),
             r.ops.to_string(),
@@ -361,7 +464,7 @@ fn main() {
     }
     sc.shutdown();
     let violations: u64 =
-        results.iter().filter_map(|(_, _, w)| w.as_ref()).map(|w| w.violations).sum();
+        results.iter().filter_map(|(_, _, w, _)| w.as_ref()).map(|w| w.violations).sum();
     if violations > 0 {
         eprintln!("db_bench: {violations} verification violation(s) — failing the run");
         std::process::exit(1);
@@ -406,7 +509,7 @@ fn run_json(
     threads: usize,
     scale: f64,
     sc: &dlsm_bench::setup::Scenario,
-    results: &[(PhaseResult, StatsSnapshot, Option<WorkloadInfo>)],
+    results: &[(PhaseResult, StatsSnapshot, Option<WorkloadInfo>, Option<CacheCounters>)],
     traffic: &StatsSnapshot,
 ) -> String {
     let mut w = JsonWriter::new();
@@ -420,7 +523,7 @@ fn run_json(
     w.field_f64("scale", scale);
     w.key("phases");
     w.begin_array();
-    for (r, phase_traffic, info) in results {
+    for (r, phase_traffic, info, cache) in results {
         w.begin_object();
         w.field_str("phase", &r.phase);
         w.field_u64("threads", r.threads as u64);
@@ -431,6 +534,17 @@ fn run_json(
         write_hist_json(&mut w, &r.lat);
         w.key("rdma");
         write_verb_traffic(&mut w, phase_traffic);
+        if let Some(c) = cache {
+            w.key("cache");
+            w.begin_object();
+            w.field_u64("hits", c.hits);
+            w.field_u64("misses", c.misses);
+            w.field_f64("hit_rate", c.hit_rate());
+            w.field_u64("bytes_saved", c.bytes_saved);
+            w.field_u64("evictions", c.evictions);
+            w.field_u64("invalidations", c.invalidations);
+            w.end_object();
+        }
         if let Some(wl) = info {
             w.key("workload");
             w.begin_object();

@@ -25,6 +25,23 @@ pub struct PhaseMetrics {
     pub p50_ns: u64,
     /// 99th-percentile latency, nanoseconds.
     pub p99_ns: u64,
+    /// Fabric READ verbs issued per op (`rdma.read.ops / ops`); `None`
+    /// for summaries predating per-phase traffic or zero-op phases.
+    pub read_ops_per_op: Option<f64>,
+    /// Read-cache figures from the phase's `cache` block; `None` when the
+    /// engine ran cache-off or the summary predates the cache subsystem.
+    pub cache: Option<CachePhaseMetrics>,
+}
+
+/// The per-phase read-cache block `db_bench` emits for dLSM engines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachePhaseMetrics {
+    /// Hit rate over block + extent lookups, 0..=1.
+    pub hit_rate: f64,
+    /// Fabric bytes the cache absorbed this phase.
+    pub bytes_saved: u64,
+    /// Policy evictions this phase.
+    pub evictions: u64,
 }
 
 /// One parsed `BENCH_*.json`.
@@ -57,16 +74,35 @@ impl BenchRun {
                     .ok_or_else(|| format!("phase {i}: missing {key}"))
             };
             let lat = p.get("latency").ok_or_else(|| format!("phase {i}: missing latency"))?;
+            let ops = num(p, "ops")? as u64;
+            // Lenient extras: older summaries lack these blocks entirely,
+            // and cache-off runs omit `cache` — both must still parse.
+            let read_ops_per_op = p
+                .get("rdma")
+                .and_then(|r| r.get("read"))
+                .and_then(|r| r.get("ops"))
+                .and_then(Json::as_num)
+                .filter(|_| ops > 0)
+                .map(|reads| reads / ops as f64);
+            let cache = p.get("cache").and_then(|c| {
+                Some(CachePhaseMetrics {
+                    hit_rate: c.get("hit_rate").and_then(Json::as_num)?,
+                    bytes_saved: c.get("bytes_saved").and_then(Json::as_num)? as u64,
+                    evictions: c.get("evictions").and_then(Json::as_num)? as u64,
+                })
+            });
             out.push(PhaseMetrics {
                 phase: p
                     .get("phase")
                     .and_then(Json::as_str)
                     .ok_or_else(|| format!("phase {i}: missing phase name"))?
                     .to_string(),
-                ops: num(p, "ops")? as u64,
+                ops,
                 mops: num(p, "mops")?,
                 p50_ns: num(lat, "p50_ns")? as u64,
                 p99_ns: num(lat, "p99_ns")? as u64,
+                read_ops_per_op,
+                cache,
             });
         }
         Ok(BenchRun { system, phases: out })
@@ -262,6 +298,51 @@ impl DiffReport {
             out.push_str(&fmt_row(&cells));
             out.push('\n');
         }
+        // Cache / fabric efficiency, informational (never gates): the gate
+        // judges latency and throughput; these explain *why* they moved.
+        let cache_rows: Vec<String> = self
+            .rows
+            .iter()
+            .filter_map(|r| {
+                let n = r.new.as_ref()?;
+                if r.base.cache.is_none()
+                    && n.cache.is_none()
+                    && r.base.read_ops_per_op.is_none()
+                    && n.read_ops_per_op.is_none()
+                {
+                    return None;
+                }
+                let hit = |p: &PhaseMetrics| match &p.cache {
+                    Some(c) => format!("{:.1}%", c.hit_rate * 100.0),
+                    None => "off".to_string(),
+                };
+                let saved = |p: &PhaseMetrics| match &p.cache {
+                    Some(c) => format!("{:.1} MiB", c.bytes_saved as f64 / (1 << 20) as f64),
+                    None => "—".to_string(),
+                };
+                let reads = |p: &PhaseMetrics| match p.read_ops_per_op {
+                    Some(v) => format!("{v:.3}"),
+                    None => "—".to_string(),
+                };
+                Some(format!(
+                    "  {}: hit {} → {}, READ/op {} → {}, saved {} → {}",
+                    r.phase,
+                    hit(&r.base),
+                    hit(n),
+                    reads(&r.base),
+                    reads(n),
+                    saved(&r.base),
+                    saved(n),
+                ))
+            })
+            .collect();
+        if !cache_rows.is_empty() {
+            out.push_str("read cache / fabric (informational):\n");
+            for row in cache_rows {
+                out.push_str(&row);
+                out.push('\n');
+            }
+        }
         for u in &self.unmatched {
             out.push_str(&format!("note: phase {u} has no baseline counterpart\n"));
         }
@@ -299,6 +380,8 @@ mod tests {
                     mops,
                     p50_ns: p50,
                     p99_ns: p99,
+                    read_ops_per_op: None,
+                    cache: None,
                 })
                 .collect(),
         }
@@ -323,6 +406,54 @@ mod tests {
         assert_eq!(r.phases[0].phase, "randomfill");
         assert_eq!(r.phases[0].p99_ns, 9000);
         assert!((r.phases[0].mops - 0.033).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_cache_and_fabric_blocks_leniently() {
+        let text = r#"{
+            "system": "dlsm",
+            "phases": [
+                {"phase": "ycsb-c", "ops": 1000, "mops": 0.5,
+                 "latency": {"p50_ns": 1000, "p99_ns": 2000},
+                 "rdma": {"read": {"ops": 50, "bytes": 12345}},
+                 "cache": {"hits": 950, "misses": 50, "hit_rate": 0.95,
+                           "bytes_saved": 1048576, "evictions": 3,
+                           "invalidations": 1}},
+                {"phase": "randomfill", "ops": 1000, "mops": 1.0,
+                 "latency": {"p50_ns": 800, "p99_ns": 1500},
+                 "rdma": {}}
+            ]
+        }"#;
+        let r = BenchRun::parse(text).unwrap();
+        let warm = &r.phases[0];
+        assert_eq!(warm.read_ops_per_op, Some(0.05));
+        let cache = warm.cache.expect("cache block parsed");
+        assert!((cache.hit_rate - 0.95).abs() < 1e-9);
+        assert_eq!(cache.bytes_saved, 1 << 20);
+        assert_eq!(cache.evictions, 3);
+        // A phase without the blocks still parses (older baselines).
+        let cold = &r.phases[1];
+        assert_eq!(cold.read_ops_per_op, None);
+        assert_eq!(cold.cache, None);
+    }
+
+    #[test]
+    fn cache_deltas_render_without_gating() {
+        let mut base = run(&[("ycsb-c", 1.0, 1000, 5000)]);
+        let mut new = run(&[("ycsb-c", 1.0, 1000, 5000)]);
+        base.phases[0].read_ops_per_op = Some(0.9);
+        new.phases[0].read_ops_per_op = Some(0.002);
+        new.phases[0].cache =
+            Some(CachePhaseMetrics { hit_rate: 0.998, bytes_saved: 7 << 20, evictions: 4 });
+        let report = diff(&base, &new, 15.0);
+        assert!(!report.is_regression(), "cache lines must never gate");
+        let text = report.render();
+        assert!(text.contains("read cache / fabric"), "{text}");
+        assert!(text.contains("hit off → 99.8%"), "{text}");
+        assert!(text.contains("READ/op 0.900 → 0.002"), "{text}");
+        // Runs with no cache/fabric data on either side stay table-only.
+        let plain = diff(&run(&[("a", 1.0, 1, 1)]), &run(&[("a", 1.0, 1, 1)]), 15.0);
+        assert!(!plain.render().contains("read cache"), "{}", plain.render());
     }
 
     #[test]

@@ -90,6 +90,19 @@ pub fn scaled_db_config(spec: &WorkloadSpec) -> DbConfig {
         compaction_subtasks: 12.min(host_cores),
         l0_compaction_trigger: 4,
         l0_stop_writes_trigger: Some(36),
+        // Compute-side read cache: ON by default for dLSM engines, sized so
+        // the extent pool can hold the *live* remote data (logical data
+        // plus transient write amplification) within a laptop-plausible
+        // local-DRAM budget — a pool smaller than the working set spends
+        // its promotion budget re-fetching evicted images instead of
+        // serving hits. The RocksDB/Nova baseline builders zero this — the
+        // cache is part of the dLSM design under test, not of the
+        // comparison systems.
+        cache: dlsm::CacheConfig {
+            capacity_bytes: (spec.data_bytes() * 2).clamp(32 << 20, 1 << 30),
+            extent_percent: 75,
+            ..dlsm::CacheConfig::default()
+        },
         ..DbConfig::default()
     }
 }

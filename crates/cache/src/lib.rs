@@ -1,0 +1,980 @@
+//! # dlsm-cache — compute-side read cache
+//!
+//! The paper's compute nodes keep only a thin search path local (bloom +
+//! index); every deep point read still pays a data fetch over the fabric.
+//! This crate closes that gap with a sharded, budgeted, **scan-resistant**
+//! read cache (DESIGN.md §11):
+//!
+//! * **Block pool** — SSTable data blocks (or single byte-addressable
+//!   records) keyed by `(table id, offset)`. A hit turns a one-RTT read
+//!   into a zero-RTT read.
+//! * **Hot-extent pool** — whole byte-addressable table images keyed by
+//!   table id, generalizing the old `local_l0_cache_bytes` flush-time
+//!   mirror: images are admitted at flush time *and* promoted on demand
+//!   once a remote table proves hot (ghost-frequency admission).
+//! * **S3-FIFO admission/eviction** — per shard: a small probationary FIFO,
+//!   a main FIFO, a ghost list of recently evicted keys, and 2-bit
+//!   frequency counters. One-touch scan traffic dies in the small queue;
+//!   re-referenced entries promote to main. Hits never reorder a list —
+//!   no LRU lock convoy on the read path.
+//! * **Version-aware invalidation** — table ids are never reused, and
+//!   [`ReadCache::invalidate_table`] both purges a table's entries and
+//!   *fences* the id in a dead-table set so a racing in-flight fill can
+//!   never resurrect a block of a freed extent. Hooked into version
+//!   install, where compaction obsoletes its inputs — before GC can
+//!   recycle their extents.
+//!
+//! The crate is dependency-free (std only) so it can sit under the model
+//! checker and on the hottest path without pulling anything in.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Per-entry bookkeeping overhead charged against the byte budget
+/// (map slot + queue slot + `Arc` header, roughly).
+const ENTRY_OVERHEAD: u64 = 96;
+
+/// Never admit a single object larger than this into the *block* pool —
+/// oversized reads (compaction scans, whole-extent fetches) would wipe a
+/// shard in one admission.
+const MAX_BLOCK_ADMIT: usize = 256 << 10;
+
+/// Frequency counter saturation (S3-FIFO uses tiny counters by design).
+const FREQ_MAX: u8 = 3;
+
+/// How many dead table ids the invalidation fence remembers. Ids are never
+/// reused, so aging an id out of the fence can only re-admit bytes that a
+/// *very* slow in-flight read fetched while the table was still pinned —
+/// harmless for correctness, bounded waste for budget.
+const DEAD_FENCE_CAP: usize = 1 << 16;
+
+/// Configuration for the compute-side read cache.
+///
+/// Lives inside `DbConfig` as `cache`; `capacity_bytes == 0` disables the
+/// cache entirely (the read path then behaves exactly as before).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total byte budget across both pools. 0 disables the cache.
+    pub capacity_bytes: u64,
+    /// Percentage of the budget reserved for the hot-extent pool
+    /// (whole byte-addressable table images); the rest is the block pool.
+    pub extent_percent: u8,
+    /// Shard count (rounded up to a power of two). 0 = auto-size from the
+    /// host's available parallelism.
+    pub shards: usize,
+    /// Percentage of each shard's budget given to the probationary small
+    /// queue (S3-FIFO's scan filter).
+    pub small_percent: u8,
+    /// Total ghost-list capacity (recently evicted key fingerprints),
+    /// split across shards.
+    pub ghost_entries: usize,
+    /// Probe misses against one remote table before its whole extent is
+    /// fetched and admitted into the extent pool. 0 disables on-demand
+    /// promotion (flush-time images are still admitted).
+    pub promote_extent_after: u32,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: 0,
+            extent_percent: 60,
+            shards: 0,
+            small_percent: 10,
+            ghost_entries: 8192,
+            promote_extent_after: 4,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Whether the cache is enabled at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity_bytes > 0
+    }
+
+    /// A config with the given total budget and default policy knobs.
+    pub fn with_capacity(capacity_bytes: u64) -> CacheConfig {
+        CacheConfig { capacity_bytes, ..CacheConfig::default() }
+    }
+}
+
+/// Monotonic cache counters, shared by both pools.
+///
+/// All counters are statistics only: they order nothing, so every access is
+/// relaxed (each carries its own ORDERING tag at the use site).
+#[derive(Default)]
+pub struct CacheStats {
+    /// Block-pool hits.
+    pub block_hits: AtomicU64,
+    /// Block-pool misses.
+    pub block_misses: AtomicU64,
+    /// Extent-pool hits (one per table probe served from a local image).
+    pub extent_hits: AtomicU64,
+    /// Extent-pool misses.
+    pub extent_misses: AtomicU64,
+    /// Entries admitted (both pools).
+    pub inserts: AtomicU64,
+    /// Entries evicted by the policy (both pools).
+    pub evictions: AtomicU64,
+    /// Entries purged by table invalidation (both pools).
+    pub invalidations: AtomicU64,
+    /// Fabric bytes that cache hits avoided reading.
+    pub bytes_saved: AtomicU64,
+    /// Whole-extent images admitted by on-demand promotion.
+    pub extent_promotions: AtomicU64,
+    /// Fabric bytes spent fetching images for on-demand promotion.
+    pub promoted_bytes: AtomicU64,
+}
+
+/// A point-in-time copy of [`CacheStats`] plus occupancy gauges.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Block-pool hits.
+    pub block_hits: u64,
+    /// Block-pool misses.
+    pub block_misses: u64,
+    /// Extent-pool hits.
+    pub extent_hits: u64,
+    /// Extent-pool misses.
+    pub extent_misses: u64,
+    /// Entries admitted.
+    pub inserts: u64,
+    /// Entries evicted by the policy.
+    pub evictions: u64,
+    /// Entries purged by invalidation.
+    pub invalidations: u64,
+    /// Fabric bytes that hits avoided reading.
+    pub bytes_saved: u64,
+    /// On-demand whole-extent promotions.
+    pub extent_promotions: u64,
+    /// Fabric bytes spent fetching images for on-demand promotion.
+    pub promoted_bytes: u64,
+    /// Bytes currently resident (both pools, including entry overhead).
+    pub resident_bytes: u64,
+    /// Configured total budget.
+    pub capacity_bytes: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Total hits across both pools.
+    pub fn hits(&self) -> u64 {
+        self.block_hits + self.extent_hits
+    }
+
+    /// Total misses across both pools.
+    pub fn misses(&self) -> u64 {
+        self.block_misses + self.extent_misses
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 when the cache saw no traffic.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+/// Cache key: which table, and where inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    table: u64,
+    offset: u64,
+}
+
+/// splitmix64 — cheap, well-mixed, dependency-free hashing for shard
+/// selection and ghost fingerprints.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn key_hash(key: CacheKey) -> u64 {
+    mix64(key.table ^ mix64(key.offset))
+}
+
+/// Which FIFO queue an entry currently sits in.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    Small,
+    Main,
+}
+
+struct Entry {
+    data: Arc<Vec<u8>>,
+    charge: u64,
+    freq: u8,
+    loc: Loc,
+}
+
+/// One S3-FIFO shard. Everything lives under one mutex: a hit is a hash
+/// lookup plus a saturating frequency bump — O(1), no list reordering, so
+/// the critical section is a handful of instructions (the convoy LRU builds
+/// by rotating its recency list on every hit cannot form).
+struct Shard {
+    inner: Mutex<ShardInner>,
+}
+
+struct ShardInner {
+    map: HashMap<CacheKey, Entry>,
+    small: VecDeque<CacheKey>,
+    main: VecDeque<CacheKey>,
+    /// Ghost list: fingerprints of keys recently evicted from the small
+    /// queue, with a re-reference count (also used for extent-promotion
+    /// heat). FIFO-bounded by `ghost_cap`.
+    ghost: HashMap<u64, u32>,
+    ghost_fifo: VecDeque<u64>,
+    small_bytes: u64,
+    main_bytes: u64,
+}
+
+impl ShardInner {
+    fn total_bytes(&self) -> u64 {
+        self.small_bytes + self.main_bytes
+    }
+}
+
+/// One budgeted pool (blocks or extents): a vector of S3-FIFO shards.
+struct Pool {
+    shards: Vec<Shard>,
+    /// Per-shard byte budget.
+    shard_capacity: u64,
+    /// Per-shard small-queue target.
+    small_capacity: u64,
+    /// Per-shard ghost capacity.
+    ghost_cap: usize,
+    /// Bytes resident across all shards (gauge; maintained under the shard
+    /// locks, read lock-free by metrics).
+    resident: AtomicU64,
+    /// Policy evictions (this pool).
+    evictions: AtomicU64,
+    /// Admissions (this pool).
+    inserts: AtomicU64,
+    /// Invalidation purges (this pool).
+    invalidations: AtomicU64,
+}
+
+/// Outcome of a ghost-list consultation during admission.
+enum Admit {
+    Small,
+    Main,
+}
+
+impl Pool {
+    fn new(capacity: u64, shards: usize, small_percent: u8, ghost_entries: usize) -> Pool {
+        let shards = shards.max(1);
+        let shard_capacity = (capacity / shards as u64).max(1);
+        let small_capacity =
+            (shard_capacity * u64::from(small_percent.clamp(1, 90)) / 100).max(ENTRY_OVERHEAD);
+        let ghost_cap = (ghost_entries / shards).max(64);
+        let shards = (0..shards)
+            .map(|_| Shard {
+                inner: Mutex::new(ShardInner {
+                    map: HashMap::new(),
+                    small: VecDeque::new(),
+                    main: VecDeque::new(),
+                    ghost: HashMap::new(),
+                    ghost_fifo: VecDeque::new(),
+                    small_bytes: 0,
+                    main_bytes: 0,
+                }),
+            })
+            .collect();
+        Pool {
+            shards,
+            shard_capacity,
+            small_capacity,
+            ghost_cap,
+            resident: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, hash: u64) -> &Shard {
+        // Shard count is a power of two chosen at construction.
+        &self.shards[(hash >> 48) as usize & (self.shards.len() - 1)]
+    }
+
+    /// Look up `key`; a hit bumps the entry's saturating frequency counter.
+    fn get(&self, key: CacheKey) -> Option<Arc<Vec<u8>>> {
+        let mut inner = self.shard_for(key_hash(key)).inner.lock().unwrap();
+        let entry = inner.map.get_mut(&key)?;
+        entry.freq = (entry.freq + 1).min(FREQ_MAX);
+        Some(Arc::clone(&entry.data))
+    }
+
+    /// Whether `key` is resident, without touching frequency or stats.
+    fn peek(&self, key: CacheKey) -> Option<Arc<Vec<u8>>> {
+        let inner = self.shard_for(key_hash(key)).inner.lock().unwrap();
+        inner.map.get(&key).map(|e| Arc::clone(&e.data))
+    }
+
+    /// Admit `data` under `key`. Returns false if the object alone exceeds
+    /// the shard budget or the key is already resident.
+    fn insert(&self, key: CacheKey, data: Arc<Vec<u8>>) -> bool {
+        let charge = data.len() as u64 + ENTRY_OVERHEAD;
+        if charge > self.shard_capacity {
+            return false;
+        }
+        let hash = key_hash(key);
+        let mut inner = self.shard_for(hash).inner.lock().unwrap();
+        if inner.map.contains_key(&key) {
+            return false; // racing fill already admitted it
+        }
+        // Ghost hit => the key was evicted recently while still wanted:
+        // admit straight into the main queue (S3-FIFO's second chance).
+        let admit = if inner.ghost.remove(&hash).is_some() {
+            Admit::Main
+        } else {
+            Admit::Small
+        };
+        let loc = match admit {
+            Admit::Small => {
+                inner.small_bytes += charge;
+                inner.small.push_back(key);
+                Loc::Small
+            }
+            Admit::Main => {
+                inner.main_bytes += charge;
+                inner.main.push_back(key);
+                Loc::Main
+            }
+        };
+        inner.map.insert(key, Entry { data, charge, freq: 0, loc });
+        // ORDERING: relaxed — occupancy gauge; exactness is maintained by the shard lock, the atomic only publishes it.
+        self.resident.fetch_add(charge, Ordering::Relaxed);
+        // ORDERING: relaxed — statistics counter, no ordering required.
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.evict_to_fit(&mut inner);
+        true
+    }
+
+    /// S3-FIFO eviction until the shard fits its budget.
+    fn evict_to_fit(&self, inner: &mut ShardInner) {
+        while inner.total_bytes() > self.shard_capacity {
+            let from_small = inner.small_bytes > self.small_capacity || inner.main.is_empty();
+            if from_small {
+                let Some(key) = inner.small.pop_front() else {
+                    if inner.main.is_empty() {
+                        break; // nothing left to evict
+                    }
+                    continue;
+                };
+                let Some(entry) = inner.map.get_mut(&key) else {
+                    continue; // invalidated while queued
+                };
+                if entry.loc != Loc::Small {
+                    continue; // stale queue slot from an earlier promotion
+                }
+                if entry.freq > 0 {
+                    // Re-referenced while on probation: promote to main.
+                    entry.freq = 0;
+                    entry.loc = Loc::Main;
+                    let charge = entry.charge;
+                    inner.small_bytes -= charge;
+                    inner.main_bytes += charge;
+                    inner.main.push_back(key);
+                } else {
+                    let entry = inner.map.remove(&key).unwrap();
+                    inner.small_bytes -= entry.charge;
+                    self.forget(entry.charge, &self.evictions);
+                    self.remember_ghost(inner, key_hash(key));
+                }
+            } else {
+                let Some(key) = inner.main.pop_front() else {
+                    continue;
+                };
+                let Some(entry) = inner.map.get_mut(&key) else {
+                    continue;
+                };
+                if entry.loc != Loc::Main {
+                    continue;
+                }
+                if entry.freq > 0 {
+                    // Second chance: decay and recirculate.
+                    entry.freq -= 1;
+                    inner.main.push_back(key);
+                } else {
+                    let entry = inner.map.remove(&key).unwrap();
+                    inner.main_bytes -= entry.charge;
+                    self.forget(entry.charge, &self.evictions);
+                }
+            }
+        }
+    }
+
+    /// Account one entry's departure (eviction or invalidation).
+    fn forget(&self, charge: u64, counter: &AtomicU64) {
+        // ORDERING: relaxed — occupancy gauge maintained under the shard lock.
+        self.resident.fetch_sub(charge, Ordering::Relaxed);
+        // ORDERING: relaxed — statistics counter, no ordering required.
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an evicted key's fingerprint in the FIFO-bounded ghost list.
+    fn remember_ghost(&self, inner: &mut ShardInner, hash: u64) {
+        if inner.ghost.insert(hash, 1).is_none() {
+            inner.ghost_fifo.push_back(hash);
+            while inner.ghost_fifo.len() > self.ghost_cap {
+                if let Some(old) = inner.ghost_fifo.pop_front() {
+                    inner.ghost.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Bump (and report) the ghost heat of `hash` — used for on-demand
+    /// extent promotion, where the "key" never entered the cache proper.
+    fn ghost_heat(&self, hash: u64) -> u32 {
+        let shard = self.shard_for(hash);
+        let mut inner = shard.inner.lock().unwrap();
+        match inner.ghost.get_mut(&hash) {
+            Some(heat) => {
+                *heat = heat.saturating_add(1);
+                *heat
+            }
+            None => {
+                let cap = self.ghost_cap;
+                inner.ghost.insert(hash, 1);
+                inner.ghost_fifo.push_back(hash);
+                while inner.ghost_fifo.len() > cap {
+                    if let Some(old) = inner.ghost_fifo.pop_front() {
+                        inner.ghost.remove(&old);
+                    }
+                }
+                1
+            }
+        }
+    }
+
+    /// Drop the ghost entry for `hash` (after a successful promotion).
+    fn clear_ghost(&self, hash: u64) {
+        let mut inner = self.shard_for(hash).inner.lock().unwrap();
+        inner.ghost.remove(&hash);
+    }
+
+    /// Purge every entry belonging to `table` from every shard.
+    fn remove_table(&self, table: u64) {
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock().unwrap();
+            let victims: Vec<CacheKey> =
+                inner.map.keys().filter(|k| k.table == table).copied().collect();
+            if victims.is_empty() {
+                continue;
+            }
+            for key in victims {
+                if let Some(entry) = inner.map.remove(&key) {
+                    match entry.loc {
+                        Loc::Small => inner.small_bytes -= entry.charge,
+                        Loc::Main => inner.main_bytes -= entry.charge,
+                    }
+                    self.forget(entry.charge, &self.invalidations);
+                }
+            }
+            // Compact the queues so invalidation storms cannot grow them
+            // without bound on a cache that never reaches capacity.
+            inner.small.retain(|k| k.table != table);
+            inner.main.retain(|k| k.table != table);
+        }
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        // ORDERING: relaxed — gauge read for reporting only.
+        self.resident.load(Ordering::Relaxed)
+    }
+}
+
+/// FIFO-bounded set of dead (invalidated) table ids: the version fence.
+struct DeadFence {
+    set: std::collections::HashSet<u64>,
+    fifo: VecDeque<u64>,
+}
+
+impl DeadFence {
+    fn mark(&mut self, table: u64) {
+        if self.set.insert(table) {
+            self.fifo.push_back(table);
+            while self.fifo.len() > DEAD_FENCE_CAP {
+                if let Some(old) = self.fifo.pop_front() {
+                    self.set.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn contains(&self, table: u64) -> bool {
+        self.set.contains(&table)
+    }
+}
+
+/// The compute-side read cache: block pool + hot-extent pool + dead-table
+/// fence, shared by every reader thread of one `Db` shard.
+pub struct ReadCache {
+    cfg: CacheConfig,
+    blocks: Pool,
+    extents: Pool,
+    dead: Mutex<DeadFence>,
+    stats: CacheStats,
+    /// Extent-pool total capacity (for promotion sizing checks).
+    extent_capacity: u64,
+}
+
+impl ReadCache {
+    /// Build a cache from `cfg`; `None` when the config disables caching.
+    pub fn new(cfg: CacheConfig) -> Option<Arc<ReadCache>> {
+        if !cfg.enabled() {
+            return None;
+        }
+        let shards = if cfg.shards == 0 {
+            std::thread::available_parallelism().map_or(8, |n| n.get() * 2).clamp(4, 64)
+        } else {
+            cfg.shards
+        }
+        .next_power_of_two();
+        let extent_capacity =
+            cfg.capacity_bytes * u64::from(cfg.extent_percent.min(100)) / 100;
+        let block_capacity = cfg.capacity_bytes - extent_capacity;
+        let blocks =
+            Pool::new(block_capacity.max(1), shards, cfg.small_percent, cfg.ghost_entries);
+        // Extent entries are few and large: fewer shards, bigger per-shard
+        // budget, so one shard can hold a whole table image.
+        let extents = Pool::new(
+            extent_capacity.max(1),
+            (shards / 4).max(1),
+            cfg.small_percent.max(25),
+            cfg.ghost_entries / 4,
+        );
+        let cache = ReadCache {
+            cfg,
+            blocks,
+            extents,
+            dead: Mutex::new(DeadFence { set: Default::default(), fifo: VecDeque::new() }),
+            stats: CacheStats::default(),
+            extent_capacity: extent_capacity.max(1),
+        };
+        Some(Arc::new(cache))
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Total byte budget.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.cfg.capacity_bytes
+    }
+
+    /// Bytes currently resident across both pools.
+    pub fn resident_bytes(&self) -> u64 {
+        self.blocks.resident_bytes() + self.extents.resident_bytes()
+    }
+
+    fn is_dead(&self, table: u64) -> bool {
+        self.dead.lock().unwrap().contains(table)
+    }
+
+    /// Look up a data block / record of `table` at `offset`. A hit also
+    /// accounts the fabric bytes the caller did not have to read.
+    pub fn block_get(&self, table: u64, offset: u64) -> Option<Arc<Vec<u8>>> {
+        match self.blocks.get(CacheKey { table, offset }) {
+            Some(data) => {
+                // ORDERING: relaxed — statistics counters, no ordering required.
+                self.stats.block_hits.fetch_add(1, Ordering::Relaxed);
+                // ORDERING: relaxed — statistics counter, no ordering required.
+                self.stats.bytes_saved.fetch_add(data.len() as u64, Ordering::Relaxed);
+                Some(data)
+            }
+            None => {
+                // ORDERING: relaxed — statistics counter, no ordering required.
+                self.stats.block_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Offer a freshly fetched block for admission. Refused for dead
+    /// tables (the version fence) and for oversized objects.
+    pub fn block_admit(&self, table: u64, offset: u64, data: &Arc<Vec<u8>>) {
+        if data.len() > MAX_BLOCK_ADMIT || self.is_dead(table) {
+            return;
+        }
+        self.blocks.insert(CacheKey { table, offset }, Arc::clone(data));
+        // Re-check after the insert: an invalidation may have marked the
+        // fence and purged between our pre-check and the insert above, in
+        // which case we must undo our own resurrection. (If the mark lands
+        // after this check, the invalidator's purge runs later still and
+        // removes the entry itself.) `check/tests/model_cache.rs` explores
+        // this exact window.
+        if self.is_dead(table) {
+            self.blocks.remove_table(table);
+        }
+    }
+
+    /// Look up `table`'s whole local image, counting hit/miss stats.
+    /// Callers report the bytes a hit actually saved via [`Self::note_saved`]
+    /// (a probe serves one record, not the whole image).
+    pub fn extent_get(&self, table: u64) -> Option<Arc<Vec<u8>>> {
+        match self.extents.get(CacheKey { table, offset: 0 }) {
+            Some(img) => {
+                // ORDERING: relaxed — statistics counter, no ordering required.
+                self.stats.extent_hits.fetch_add(1, Ordering::Relaxed);
+                Some(img)
+            }
+            None => {
+                // ORDERING: relaxed — statistics counter, no ordering required.
+                self.stats.extent_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Look up `table`'s image without touching stats or frequency (used by
+    /// paths that only need to know whether a local image exists).
+    pub fn extent_peek(&self, table: u64) -> Option<Arc<Vec<u8>>> {
+        self.extents.peek(CacheKey { table, offset: 0 })
+    }
+
+    /// Admit a whole table image (flush-time mirror or on-demand
+    /// promotion). Returns whether it was admitted.
+    pub fn extent_admit(&self, table: u64, image: Arc<Vec<u8>>) -> bool {
+        if self.is_dead(table) {
+            return false;
+        }
+        let admitted = self.extents.insert(CacheKey { table, offset: 0 }, image);
+        // Same post-insert fence re-check as `block_admit`: close the
+        // check-then-insert window against a concurrent `invalidate_table`.
+        if self.is_dead(table) {
+            self.extents.remove_table(table);
+            return false;
+        }
+        admitted
+    }
+
+    /// Whether a flush should mirror its image locally: the extent pool
+    /// must exist and be able to hold an image of `len` bytes.
+    pub fn wants_flush_image(&self, len: u64) -> bool {
+        len + ENTRY_OVERHEAD <= self.extents.shard_capacity
+    }
+
+    /// Record a table-probe miss for `table` (image of `image_len` bytes);
+    /// returns true when the table has proven hot enough that the caller
+    /// should fetch and [`Self::extent_admit`] its whole image.
+    pub fn note_extent_miss(&self, table: u64, image_len: u64) -> bool {
+        if self.cfg.promote_extent_after == 0
+            || image_len + ENTRY_OVERHEAD > self.extents.shard_capacity
+            || self.is_dead(table)
+        {
+            return false;
+        }
+        let hash = key_hash(CacheKey { table, offset: 0 });
+        let heat = self.extents.ghost_heat(hash);
+        if heat < self.cfg.promote_extent_after {
+            return false;
+        }
+        // Promotion economics: fetching an image costs a whole-extent
+        // fabric READ, so cumulative promotion traffic is capped at the
+        // bytes hits have actually saved plus one free fill of the extent
+        // pool (the cold-start allowance). A working set larger than the
+        // pool would otherwise thrash — evict, re-heat via the ghost,
+        // re-fetch megabytes per point miss — and read far more from the
+        // fabric than the cache ever saves. Under the cap a refused
+        // promotion keeps its ghost heat, so it proceeds as soon as
+        // savings catch up.
+        // ORDERING: relaxed — both loads are advisory throttle inputs; two
+        // racing promoters may both pass, overshooting by at most one
+        // image per thread, which the budget comparison tolerates.
+        let spent = self.stats.promoted_bytes.load(Ordering::Relaxed);
+        // ORDERING: relaxed — see above; advisory throttle input.
+        let saved = self.stats.bytes_saved.load(Ordering::Relaxed);
+        if spent + image_len > saved + self.extent_capacity {
+            return false;
+        }
+        self.extents.clear_ghost(hash);
+        // ORDERING: relaxed — statistics counter, no ordering required.
+        self.stats.extent_promotions.fetch_add(1, Ordering::Relaxed);
+        // ORDERING: relaxed — throttle accumulator; see the loads above.
+        self.stats.promoted_bytes.fetch_add(image_len, Ordering::Relaxed);
+        true
+    }
+
+    /// Account fabric bytes a cache hit avoided reading (extent-pool hits;
+    /// block-pool hits account themselves in [`Self::block_get`]).
+    pub fn note_saved(&self, bytes: u64) {
+        // ORDERING: relaxed — statistics counter, no ordering required.
+        self.stats.bytes_saved.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Version-aware invalidation: purge every cached object of `table`
+    /// and fence the id so racing in-flight fills cannot resurrect them.
+    /// Called on version install for obsoleted tables, before GC recycles
+    /// their extents (idempotent).
+    pub fn invalidate_table(&self, table: u64) {
+        // Fence FIRST: a fill racing with this call either lands before the
+        // purge (and is removed by it), checks the fence after this mark
+        // (and is refused), or slips its insert between mark and purge —
+        // in which case its own post-insert re-check (see `block_admit`)
+        // observes the mark and undoes it. Either way no entry of `table`
+        // survives once both calls return.
+        self.dead.lock().unwrap().mark(table);
+        self.blocks.remove_table(table);
+        self.extents.remove_table(table);
+    }
+
+    /// Point-in-time counters + occupancy.
+    pub fn snapshot(&self) -> CacheStatsSnapshot {
+        // ORDERING: relaxed — statistics reads for reporting only.
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        CacheStatsSnapshot {
+            block_hits: ld(&self.stats.block_hits),
+            block_misses: ld(&self.stats.block_misses),
+            extent_hits: ld(&self.stats.extent_hits),
+            extent_misses: ld(&self.stats.extent_misses),
+            inserts: ld(&self.blocks.inserts) + ld(&self.extents.inserts),
+            evictions: ld(&self.blocks.evictions) + ld(&self.extents.evictions),
+            invalidations: ld(&self.blocks.invalidations) + ld(&self.extents.invalidations),
+            bytes_saved: ld(&self.stats.bytes_saved),
+            extent_promotions: ld(&self.stats.extent_promotions),
+            promoted_bytes: ld(&self.stats.promoted_bytes),
+            resident_bytes: self.resident_bytes(),
+            capacity_bytes: self.cfg.capacity_bytes,
+        }
+    }
+
+    /// Extent-pool capacity (promotion sizing).
+    pub fn extent_capacity(&self) -> u64 {
+        self.extent_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: u64) -> Arc<ReadCache> {
+        ReadCache::new(CacheConfig {
+            capacity_bytes: capacity,
+            extent_percent: 50,
+            shards: 1,
+            small_percent: 10,
+            ghost_entries: 256,
+            promote_extent_after: 3,
+        })
+        .unwrap()
+    }
+
+    fn blob(n: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![0xAB; n])
+    }
+
+    #[test]
+    fn disabled_config_builds_nothing() {
+        assert!(ReadCache::new(CacheConfig::default()).is_none());
+        assert!(!CacheConfig::default().enabled());
+        assert!(CacheConfig::with_capacity(1).enabled());
+    }
+
+    #[test]
+    fn block_hit_after_admit_and_stats() {
+        let c = cache(1 << 20);
+        assert!(c.block_get(1, 100).is_none());
+        c.block_admit(1, 100, &blob(500));
+        let got = c.block_get(1, 100).expect("hit");
+        assert_eq!(got.len(), 500);
+        let s = c.snapshot();
+        assert_eq!(s.block_hits, 1);
+        assert_eq!(s.block_misses, 1);
+        assert_eq!(s.bytes_saved, 500);
+        assert_eq!(s.inserts, 1);
+        assert!(s.hit_ratio() > 0.49 && s.hit_ratio() < 0.51);
+        assert!(s.resident_bytes > 500);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let c = cache(64 << 10); // 32 KiB block pool (1 shard)
+        for i in 0..1000u64 {
+            c.block_admit(1, i * 4096, &blob(1024));
+        }
+        let s = c.snapshot();
+        assert!(s.evictions > 0, "must have evicted");
+        assert!(
+            c.blocks.resident_bytes() <= 32 << 10,
+            "block pool over budget: {}",
+            c.blocks.resident_bytes()
+        );
+    }
+
+    #[test]
+    fn scan_resistance_one_touch_traffic_cannot_evict_hot_main() {
+        let c = cache(64 << 10); // 32 KiB block pool, small queue = 3.2 KiB
+        // Hot set: admit, then re-reference so eviction pressure promotes
+        // them from the probationary queue into main.
+        for i in 0..8u64 {
+            c.block_admit(7, i, &blob(1024));
+        }
+        for _ in 0..3 {
+            for i in 0..8u64 {
+                assert!(c.block_get(7, i).is_some(), "hot warmup");
+            }
+        }
+        // Scan: a long stream of one-touch fills (forces continuous
+        // eviction). The hot set must survive because one-touch entries die
+        // in the small queue without displacing main.
+        for i in 0..2000u64 {
+            c.block_admit(8, 1_000_000 + i, &blob(1024));
+        }
+        let mut survivors = 0;
+        for i in 0..8u64 {
+            if c.block_get(7, i).is_some() {
+                survivors += 1;
+            }
+        }
+        assert!(survivors >= 6, "scan evicted the hot set: {survivors}/8 left");
+    }
+
+    #[test]
+    fn ghost_readmission_goes_to_main() {
+        let c = cache(64 << 10);
+        c.block_admit(1, 1, &blob(1024));
+        // Push it out through the small queue with one-touch traffic.
+        for i in 0..200u64 {
+            c.block_admit(2, i, &blob(1024));
+        }
+        assert!(c.block_get(1, 1).is_none(), "should have been evicted");
+        // Re-admit: the ghost list remembers it, so it enters main...
+        c.block_admit(1, 1, &blob(1024));
+        // ...and survives another one-touch storm.
+        for i in 1000..1200u64 {
+            c.block_admit(2, i, &blob(1024));
+        }
+        assert!(c.block_get(1, 1).is_some(), "ghost re-admission must stick in main");
+    }
+
+    #[test]
+    fn invalidation_purges_and_fences() {
+        let c = cache(1 << 20);
+        c.block_admit(3, 0, &blob(100));
+        c.block_admit(3, 200, &blob(100));
+        c.block_admit(4, 0, &blob(100));
+        assert!(c.extent_admit(3, blob(5000)));
+        c.invalidate_table(3);
+        assert!(c.block_get(3, 0).is_none());
+        assert!(c.block_get(3, 200).is_none());
+        assert!(c.extent_get(3).is_none());
+        assert!(c.block_get(4, 0).is_some(), "other tables untouched");
+        assert_eq!(c.snapshot().invalidations, 3);
+        // The fence refuses late fills for the dead table.
+        c.block_admit(3, 0, &blob(100));
+        assert!(!c.extent_admit(3, blob(100)));
+        assert!(c.block_get(3, 0).is_none(), "dead table must not be re-admitted");
+        // Resident accounting survived the purge.
+        let before = c.resident_bytes();
+        c.invalidate_table(3); // idempotent
+        assert_eq!(c.resident_bytes(), before);
+    }
+
+    #[test]
+    fn extent_promotion_after_threshold() {
+        let c = cache(1 << 20); // promote_extent_after = 3
+        assert!(!c.note_extent_miss(9, 10_000));
+        assert!(!c.note_extent_miss(9, 10_000));
+        assert!(c.note_extent_miss(9, 10_000), "third miss crosses the threshold");
+        assert!(c.extent_admit(9, blob(10_000)));
+        assert!(c.extent_get(9).is_some());
+        assert_eq!(c.snapshot().extent_promotions, 1);
+        // Oversized images are never promoted.
+        assert!(!c.note_extent_miss(10, 10 << 20));
+        // Disabled promotion never fires.
+        let c2 = ReadCache::new(CacheConfig {
+            promote_extent_after: 0,
+            ..CacheConfig::with_capacity(1 << 20)
+        })
+        .unwrap();
+        for _ in 0..10 {
+            assert!(!c2.note_extent_miss(1, 100));
+        }
+    }
+
+    #[test]
+    fn promotion_spend_is_capped_by_savings() {
+        let c = cache(1 << 20); // extent budget 512 KiB, promote after 3
+        let img = 200 << 10; // each promotion would fetch 200 KiB
+        let mut promoted = 0;
+        for t in 0..50u64 {
+            for _ in 0..3 {
+                if c.note_extent_miss(t, img) {
+                    promoted += 1;
+                }
+            }
+        }
+        // Cold start: one pool fill (512 KiB → two 200 KiB images) is free;
+        // with zero savings the throttle then pins further fetches even
+        // though every table's ghost heat is past the threshold.
+        assert_eq!(promoted, 2, "cold-start allowance admitted {promoted}");
+        let s = c.snapshot();
+        assert_eq!(s.promoted_bytes, 2 * img);
+        assert!(s.promoted_bytes <= s.bytes_saved + c.extent_capacity());
+        // Savings unlock promotion again — the heat was never forgotten,
+        // so one more miss suffices.
+        c.note_saved(1 << 20);
+        assert!(c.note_extent_miss(7, img), "promotion must resume once savings cover it");
+        assert_eq!(c.snapshot().promoted_bytes, 3 * img);
+    }
+
+    #[test]
+    fn extent_peek_does_not_touch_stats() {
+        let c = cache(1 << 20);
+        assert!(c.extent_peek(1).is_none());
+        c.extent_admit(1, blob(100));
+        assert!(c.extent_peek(1).is_some());
+        let s = c.snapshot();
+        assert_eq!(s.extent_hits + s.extent_misses, 0);
+    }
+
+    #[test]
+    fn wants_flush_image_respects_extent_budget() {
+        let c = cache(1 << 20); // extent pool 512 KiB, 1 shard
+        assert!(c.wants_flush_image(100 << 10));
+        assert!(!c.wants_flush_image(1 << 20));
+    }
+
+    #[test]
+    fn concurrent_hammer_is_consistent() {
+        let c = cache(256 << 10);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2000u64 {
+                    let table = 1 + (i % 5);
+                    match i % 4 {
+                        0 => c.block_admit(table, i * 64, &Arc::new(vec![t as u8; 256])),
+                        1 => {
+                            let _ = c.block_get(table, (i - 1) * 64);
+                        }
+                        2 => {
+                            let _ = c.extent_admit(table, Arc::new(vec![t as u8; 4096]));
+                        }
+                        _ => c.invalidate_table(1 + ((i + t) % 5)),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // After the storm the books still balance: no negative occupancy
+        // (would wrap), nothing above budget per pool.
+        assert!(c.blocks.resident_bytes() < 1 << 40, "occupancy wrapped negative");
+        assert!(c.extents.resident_bytes() < 1 << 40, "occupancy wrapped negative");
+    }
+}

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dlsm::handle::Origin;
-use dlsm::{ComputeContext, Db, DbConfig, DbReader, MemNodeHandle};
+use dlsm::{CacheConfig, ComputeContext, Db, DbConfig, DbReader, MemNodeHandle};
 use dlsm_chaos::{kb, script, CrashDriver};
 use dlsm_memnode::{MemServer, MemServerConfig, RetryPolicy};
 use dlsm_telemetry::OpClass;
@@ -61,6 +61,15 @@ fn chaos_config() -> DbConfig {
             // timeout would otherwise burn seconds per attempt during the
             // crash window.
             attempt_timeout: Some(Duration::from_millis(200)),
+        },
+        // Chaos runs with the read cache ON (ISSUE 7): dropped completions,
+        // the crash window and compaction-driven invalidation must never
+        // make a cached read diverge from the model. Aggressive promotion
+        // so the hot-extent path is exercised, not just flush mirroring.
+        cache: CacheConfig {
+            capacity_bytes: 8 << 20,
+            promote_extent_after: 2,
+            ..CacheConfig::default()
         },
         ..DbConfig::small()
     }
@@ -175,12 +184,27 @@ fn run_chaos(seed: u64) {
 
     // Zero lost acked writes / zero stale reads: every key agrees with the
     // model, present and absent alike, then the full scan agrees in order.
+    // Each key is read TWICE: the first read may miss the cache and fill it
+    // from the fabric (an uncached read), the second is the cached replay —
+    // both must be byte-identical to the model, so a cached read can never
+    // diverge from its uncached twin even after crash-window compactions
+    // invalidated and re-filled entries mid-run.
+    let cache_before = db.cache_stats().expect("chaos runs with the cache on");
     for k in 0..KEY_SPACE {
         let got = reader
             .get(&kb(k))
             .unwrap_or_else(|e| panic!("seed {seed:#x}: final read of key {k} failed: {e:?}"));
         assert_eq!(got, model.get(&k).cloned(), "seed {seed:#x}: key {k} diverged");
+        let replay = reader
+            .get(&kb(k))
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: cached re-read of key {k} failed: {e:?}"));
+        assert_eq!(replay, got, "seed {seed:#x}: cached re-read of key {k} diverged");
     }
+    let cache_after = db.cache_stats().unwrap();
+    assert!(
+        cache_after.bytes_saved > cache_before.bytes_saved,
+        "seed {seed:#x}: double-read sweep of {KEY_SPACE} keys saved no fabric bytes"
+    );
     let want: Vec<(Vec<u8>, Vec<u8>)> = {
         let mut v: Vec<_> = model.iter().map(|(k, val)| (kb(*k), val.clone())).collect();
         v.sort();
@@ -231,6 +255,58 @@ fn run_chaos(seed: u64) {
     assert!(
         retries > 0,
         "seed {seed:#x}: crash window caused no RPC retries ({reconnects} reconnects)"
+    );
+    // 4. Read-cache coherence: the counters must reconcile with each other
+    //    and with the fabric even after drops, retries and the restart.
+    //    Every resident entry was admitted exactly once, so admissions
+    //    bound removals; bytes the cache claims to have saved require at
+    //    least one hit; occupancy respects the budget; and once compaction
+    //    obsoleted tables, the version fence must have purged entries.
+    let cs = cache_after;
+    assert!(cs.hits() > 0, "seed {seed:#x}: cache served no hits in a 10k-op run");
+    assert!(cs.bytes_saved > 0, "seed {seed:#x}: cache hits saved no fabric bytes");
+    assert!(
+        cs.inserts >= cs.evictions + cs.invalidations,
+        "seed {seed:#x}: cache removed more entries ({} evicted + {} invalidated) than it admitted ({})",
+        cs.evictions,
+        cs.invalidations,
+        cs.inserts
+    );
+    assert!(
+        cs.resident_bytes <= cs.capacity_bytes,
+        "seed {seed:#x}: cache over budget ({} / {} B)",
+        cs.resident_bytes,
+        cs.capacity_bytes
+    );
+    if stats.compactions > 0 {
+        assert!(
+            cs.invalidations > 0,
+            "seed {seed:#x}: {} compactions obsoleted tables but the cache purged nothing",
+            stats.compactions
+        );
+    }
+    // Bytes the cache claims to have saved are real avoided fabric READs:
+    // after the double-read sweep warmed every live table, a third full
+    // sweep must be served entirely from local blocks and extents — zero
+    // fabric READ bytes (the one-RTT point read became zero-RTT) — while
+    // staying byte-identical to the model.
+    let warm_read_before = fabric.stats().snapshot().bytes(Verb::Read);
+    let warm_saved_before = db.cache_stats().unwrap().bytes_saved;
+    for k in 0..KEY_SPACE {
+        let got = reader
+            .get(&kb(k))
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: warm read of key {k} failed: {e:?}"));
+        assert_eq!(got, model.get(&k).cloned(), "seed {seed:#x}: warm key {k} diverged");
+    }
+    let warm_read_delta =
+        fabric.stats().snapshot().bytes(Verb::Read).saturating_sub(warm_read_before);
+    assert_eq!(
+        warm_read_delta, 0,
+        "seed {seed:#x}: fully warm sweep still read {warm_read_delta} B from the fabric"
+    );
+    assert!(
+        db.cache_stats().unwrap().bytes_saved > warm_saved_before,
+        "seed {seed:#x}: warm sweep was not served by the cache"
     );
 
     // Leak accounting: sum the extents the surviving version references,

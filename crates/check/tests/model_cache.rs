@@ -1,0 +1,159 @@
+//! Model-check the read cache's version fence from `crates/cache`
+//! (ISSUE 7): concurrent admit / lookup / evict / invalidate on a
+//! miniature shard re-implemented over the dlsm-check shim. The property
+//! under test is the one the fence exists for: **once
+//! `invalidate_table(T)` has returned, no lookup of `T` ever hits** — a
+//! cached block can never serve data from a deleted extent.
+//!
+//! The protocol modelled is exactly the crate's check-insert-recheck
+//! dance: an admission pre-checks the dead set, inserts, then re-checks
+//! and undoes its own insert if an invalidation marked the fence in the
+//! window. The straw man (`FENCED = false`) skips the fence entirely —
+//! purge-only invalidation — and the checker must catch it serving a
+//! stale block after an in-flight fill resurrects the dead table's entry.
+
+use std::sync::Arc;
+
+use dlsm_check::shim::{thread, Mutex};
+use dlsm_check::Checker;
+
+/// One cache shard in miniature: a FIFO of `(table, bytes)` entries (the
+/// S3-FIFO queues collapse to one FIFO — eviction order is irrelevant to
+/// the fence) plus the dead-table set.
+struct MiniShard {
+    cap: usize,
+    entries: Mutex<Vec<(u64, u64)>>,
+    dead: Mutex<Vec<u64>>,
+}
+
+impl MiniShard {
+    fn new(cap: usize) -> Arc<MiniShard> {
+        Arc::new(MiniShard { cap, entries: Mutex::new(Vec::new()), dead: Mutex::new(Vec::new()) })
+    }
+
+    fn is_dead(&self, table: u64) -> bool {
+        self.dead.lock().contains(&table)
+    }
+
+    fn get(&self, table: u64) -> Option<u64> {
+        self.entries.lock().iter().find(|e| e.0 == table).map(|e| e.1)
+    }
+
+    /// `ReadCache::block_admit`: fence pre-check, insert (evicting FIFO
+    /// order past `cap`), fence re-check undoing our own resurrection.
+    /// `FENCED = false` is the straw man: insert unconditionally.
+    fn admit<const FENCED: bool>(&self, table: u64, bytes: u64) {
+        if FENCED && self.is_dead(table) {
+            return;
+        }
+        {
+            let mut e = self.entries.lock();
+            e.retain(|x| x.0 != table); // overwrite, don't duplicate
+            e.push((table, bytes));
+            if e.len() > self.cap {
+                e.remove(0); // evict the FIFO head
+            }
+        }
+        if FENCED && self.is_dead(table) {
+            self.entries.lock().retain(|x| x.0 != table);
+        }
+    }
+
+    /// `ReadCache::invalidate_table`: mark the fence FIRST, then purge.
+    /// The straw man purges without ever marking usable state — the dead
+    /// list is still recorded (after the purge) so the oracle knows which
+    /// tables must never hit again.
+    fn invalidate<const FENCED: bool>(&self, table: u64) {
+        if FENCED {
+            self.dead.lock().push(table);
+        }
+        self.entries.lock().retain(|x| x.0 != table);
+        if !FENCED {
+            self.dead.lock().push(table);
+        }
+    }
+}
+
+/// Drive the shard with a filler racing an invalidator, a reader mixing
+/// in lookups, and a capacity small enough that admissions evict. The
+/// oracle inside every interleaving: after `invalidate(1)` returns,
+/// `get(1)` misses — and it keeps missing at join time even though the
+/// filler may still have been mid-admission when the first probe ran.
+fn explore<const FENCED: bool>() -> dlsm_check::Report {
+    Checker::new(if FENCED { "cache-fence" } else { "cache-fence-strawman" })
+        .preemption_bound(3)
+        .explore(|| {
+            let shard = MiniShard::new(2);
+
+            // In-flight fill of table 1 (bytes already fetched from the
+            // fabric) racing the invalidation, plus traffic on table 2
+            // to exercise eviction alongside.
+            let s1 = Arc::clone(&shard);
+            let filler = thread::spawn(move || {
+                s1.admit::<FENCED>(1, 10);
+                s1.admit::<FENCED>(2, 20);
+            });
+
+            // Reader: lookups must only ever observe a table's one
+            // immutable value, live or not.
+            let s2 = Arc::clone(&shard);
+            let reader = thread::spawn(move || {
+                for t in [1u64, 2] {
+                    if let Some(v) = s2.get(t) {
+                        assert_eq!(v, t * 10, "table {t} served foreign bytes {v}");
+                    }
+                }
+            });
+
+            // Invalidator: compaction obsoletes table 1 and immediately
+            // re-probes — the stale-serve oracle.
+            shard.invalidate::<FENCED>(1);
+            assert!(
+                shard.get(1).is_none(),
+                "dead table 1 served a cached block after invalidate returned"
+            );
+
+            filler.join().unwrap();
+            reader.join().unwrap();
+
+            // Quiescent oracle: every dead table drained, capacity held.
+            let entries = shard.entries.lock();
+            for &t in shard.dead.lock().iter() {
+                assert!(
+                    !entries.iter().any(|e| e.0 == t),
+                    "dead table {t} still resident at join"
+                );
+            }
+            assert!(entries.len() <= 2, "capacity exceeded: {:?}", *entries);
+        })
+}
+
+/// The fenced protocol holds the no-stale-serve property across every
+/// interleaving — including the fill that pre-checks the fence before the
+/// mark and inserts after the purge (the re-check undoes it). Exhaustive
+/// over >= 1000 interleavings (ISSUE 7 acceptance).
+#[test]
+fn fenced_cache_never_serves_a_dead_table() {
+    let report = explore::<true>();
+    assert!(report.violation.is_none(), "fence violation: {:?}", report.violation);
+    assert!(report.complete, "state space truncated at {} executions", report.executions);
+    assert!(
+        report.executions >= 1000,
+        "expected >= 1000 interleavings, explored {}",
+        report.executions
+    );
+}
+
+/// The straw man (no fence: purge-only invalidation, unconditional
+/// admission) *must* be caught serving a stale block: the in-flight fill
+/// lands after the purge and the dead table's entry is resurrected. If
+/// the checker stops finding this, the model (or the scheduler) broke.
+#[test]
+fn unfenced_cache_is_caught_serving_stale_blocks() {
+    let report = explore::<false>();
+    assert!(
+        report.violation.is_some(),
+        "checker failed to catch the unfenced resurrection in {} executions",
+        report.executions
+    );
+}

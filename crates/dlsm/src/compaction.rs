@@ -438,7 +438,9 @@ pub fn run_local(
                 let channel = read_channel_for(ctx, memnode, cfg, net)?;
                 let iters: Vec<Box<dyn ForwardIter>> = job
                     .all_inputs()
-                    .map(|t| crate::remote::table_iter(&channel, t, cfg.scan_prefetch))
+                    // Compaction sweeps every input once; caching those
+                    // reads would only churn the point-read working set.
+                    .map(|t| crate::remote::table_iter(&channel, t, cfg.scan_prefetch, None))
                     .collect();
                 let merged =
                     ClampIter::new(MergingIter::new(iters), lo.clone(), hi.clone());

@@ -60,8 +60,8 @@ pub(crate) struct Shared {
     write_serializer: Mutex<()>,
     /// In-order sequence publication (the visible snapshot horizon).
     publication: crate::publication::Publication,
-    /// Remaining budget for the compute-local hot-L0 table cache.
-    l0_cache_budget: Arc<AtomicU64>,
+    /// Compute-side read cache (blocks + hot extents); `None` when disabled.
+    pub(crate) cache: Option<Arc<dlsm_cache::ReadCache>>,
     /// Next retirement order to assign (at switch time).
     retire_counter: AtomicU64,
     /// Retirement order whose flush should install next; flush workers
@@ -538,7 +538,7 @@ impl Db {
             compaction_idle: AtomicBool::new(true),
             write_serializer: Mutex::new(()),
             publication: crate::publication::Publication::new(1),
-            l0_cache_budget: Arc::new(AtomicU64::new(cfg.local_l0_cache_bytes)),
+            cache: dlsm_cache::ReadCache::new(cfg.cache.clone()),
             retire_counter: AtomicU64::new(0),
             install_turn: Mutex::new(0),
             install_cv: Condvar::new(),
@@ -627,7 +627,17 @@ impl Db {
         for (name, v) in self.shared.stats.snapshot().named_counters() {
             s.set_counter(name, v);
         }
+        if let Some(cs) = self.cache_stats() {
+            for (name, v) in crate::named_cache_counters(&cs) {
+                s.set_counter(name, v);
+            }
+        }
         s
+    }
+
+    /// Read-cache counters and occupancy, if the cache is enabled.
+    pub fn cache_stats(&self) -> Option<dlsm_cache::CacheStatsSnapshot> {
+        self.shared.cache.as_ref().map(|c| c.snapshot())
     }
 
     /// Tables per level of the current version.
@@ -845,7 +855,8 @@ impl Db {
         for (li, _) in (0..version.level_count()).enumerate() {
             for t in version.level(li) {
                 if t.smallest_user() <= key && key <= t.largest_user() {
-                    let got = crate::remote::table_get(&channel, t, key, seq);
+                    let got =
+                        crate::remote::table_get(&channel, t, key, seq, self.shared.cache.as_ref());
                     let _ = writeln!(
                         out,
                         "  L{li} table id={} [{:?}..{:?}] -> {:?}",
@@ -977,7 +988,7 @@ impl DbReader {
         }
         for t in version.level(0) {
             if t.smallest_user() <= key && key <= t.largest_user() {
-                let got = table_get(&self.channel, t, key, seq)?;
+                let got = table_get(&self.channel, t, key, seq, self.shared.cache.as_ref())?;
                 let _ = writeln!(trace, "  L0 id={} -> {:?}", t.id, got);
                 match got {
                     TableGet::Found(v) => return Ok((Some(v), trace)),
@@ -988,7 +999,7 @@ impl DbReader {
         }
         for level in 1..version.level_count() {
             if let Some(t) = version.table_for_key(level, key) {
-                let got = table_get(&self.channel, t, key, seq)?;
+                let got = table_get(&self.channel, t, key, seq, self.shared.cache.as_ref())?;
                 let _ = writeln!(trace, "  L{level} id={} -> {:?}", t.id, got);
                 match got {
                     TableGet::Found(v) => return Ok((Some(v), trace)),
@@ -1115,8 +1126,9 @@ impl DbReader {
         seq: SeqNo,
     ) -> Result<TableGet> {
         let _sp = dlsm_trace::span_arg(dlsm_trace::Category::Db, "probe_table", t.id);
-        let local = t.local_copy().is_some();
-        let got = table_get(&self.channel, t, key, seq)?;
+        let cache = self.shared.cache.as_ref();
+        let local = cache.is_some_and(|c| c.extent_peek(t.id).is_some());
+        let got = table_get(&self.channel, t, key, seq, cache)?;
         match &got {
             TableGet::NotFound => {
                 if matches!(t.meta, MetaKind::ByteAddr(_)) {
@@ -1193,7 +1205,12 @@ impl DbReader {
             key_idx: usize,
             buf: Vec<u8>,
             expected_index: usize,
+            /// Record offset within the table (cache key on admission).
+            offset: u64,
             table: Arc<TableHandle>,
+            /// Resolved from the cache — no fabric read to post, and the
+            /// record must not be re-admitted.
+            local: bool,
         }
 
         loop {
@@ -1214,32 +1231,57 @@ impl DbReader {
                                 break;
                             }
                             Locate::Record { index, offset, len } => {
-                                if let Some(image) = table.local_copy() {
-                                    // Hot-cache hit: resolve locally.
-                                    let rec = &image[offset as usize..offset as usize + len];
-                                    let mut slice = vec![0u8; len];
-                                    slice.copy_from_slice(rec);
-                                    wave.push(Fetch {
-                                        key_idx: i,
-                                        buf: slice,
-                                        expected_index: index,
-                                        table: Arc::clone(table),
-                                    });
-                                } else {
-                                    wave.push(Fetch {
-                                        key_idx: i,
-                                        buf: vec![0u8; len],
-                                        expected_index: index,
-                                        table: Arc::clone(table),
-                                    });
+                                // Cache-first: a hot-extent image or a
+                                // cached record resolves locally; a table
+                                // hot enough to promote is fetched whole so
+                                // the rest of the batch (and every later
+                                // read) is local too.
+                                let slice_of = |image: &Arc<Vec<u8>>| {
+                                    image[offset as usize..offset as usize + len].to_vec()
+                                };
+                                let mut local_buf: Option<Vec<u8>> = None;
+                                if let Some(c) = &self.shared.cache {
+                                    if let Some(image) = c.extent_get(table.id) {
+                                        c.note_saved(len as u64);
+                                        local_buf = Some(slice_of(&image));
+                                    } else if let Some(rec) = c.block_get(table.id, offset) {
+                                        if rec.len() == len {
+                                            local_buf = Some(rec.as_ref().clone());
+                                        }
+                                    } else if c.note_extent_miss(table.id, table.extent.len) {
+                                        if let Ok(img) = crate::remote::fetch_extent_image(
+                                            &self.channel,
+                                            table,
+                                        ) {
+                                            c.extent_admit(table.id, Arc::clone(&img));
+                                            // The promotion read paid for
+                                            // this record; no bytes saved.
+                                            local_buf = Some(slice_of(&img));
+                                        }
+                                    }
                                 }
+                                let local = local_buf.is_some();
+                                wave.push(Fetch {
+                                    key_idx: i,
+                                    buf: local_buf.unwrap_or_else(|| vec![0u8; len]),
+                                    expected_index: index,
+                                    offset,
+                                    table: Arc::clone(table),
+                                    local,
+                                });
                                 break;
                             }
                         },
                         // Block tables cannot split decision from fetch;
                         // resolve synchronously.
                         MetaKind::Block(_, _) => {
-                            match table_get(&self.channel, table, keys[i], seq)? {
+                            match table_get(
+                                &self.channel,
+                                table,
+                                keys[i],
+                                seq,
+                                self.shared.cache.as_ref(),
+                            )? {
                                 TableGet::Found(v) => {
                                     DbStats::bump(&self.shared.stats.get_hits);
                                     out[i] = Some(v);
@@ -1270,8 +1312,8 @@ impl DbReader {
                 let mut qp = qp.borrow_mut();
                 let mut pending = 0usize;
                 for (wi, f) in wave.iter_mut().enumerate() {
-                    if f.table.local_copy().is_some() {
-                        continue; // buf already filled from the local image
+                    if f.local {
+                        continue; // buf already filled from the cache
                     }
                     let (off, len) = match &f.table.meta {
                         MetaKind::ByteAddr(meta) => meta.index.record(f.expected_index),
@@ -1294,7 +1336,7 @@ impl DbReader {
             } else {
                 // Two-sided channel: no posting interface; fetch serially.
                 for f in wave.iter_mut() {
-                    if f.table.local_copy().is_some() {
+                    if f.local {
                         continue;
                     }
                     let (off, len) = match &f.table.meta {
@@ -1312,11 +1354,17 @@ impl DbReader {
             for f in wave {
                 let MetaKind::ByteAddr(meta) = &f.table.meta else { unreachable!() };
                 let expected_key = meta.index.key(f.expected_index);
-                match dlsm_sstable::byte_addr::parse_record_bytes(&f.buf) {
+                let buf = Arc::new(f.buf);
+                match dlsm_sstable::byte_addr::parse_record_bytes(&buf) {
                     Ok((ikey, value)) if ikey == expected_key => {
                         DbStats::bump(&self.shared.stats.get_hits);
                         out[f.key_idx] = Some(value.to_vec());
                         resolved[f.key_idx] = true;
+                        if !f.local {
+                            if let Some(c) = &self.shared.cache {
+                                c.block_admit(f.table.id, f.offset, &buf);
+                            }
+                        }
                     }
                     Ok(_) => {
                         return Err(DbError::Sst("record key does not match index".into()))
@@ -1406,15 +1454,12 @@ fn flush_loop(shared: Arc<Shared>, rx: Receiver<Arc<MemTable>>) {
                 continue;
             }
         };
-        // Keep a local mirror of this table if the hot-L0 cache has budget
-        // (reserved up front; credited back when the table handle drops).
-        let want_local = shared.cfg.local_l0_cache_bytes > 0
-            && shared
-                .l0_cache_budget
-                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| {
-                    b.checked_sub(mem.memory_usage() as u64)
-                })
-                .is_ok();
+        // Mirror this table into the extent cache if an image of its size
+        // would fit a shard (the cache's own policy evicts colder images).
+        let want_local = shared
+            .cache
+            .as_ref()
+            .is_some_and(|c| c.wants_flush_image(mem.memory_usage() as u64));
         // Retry on remote-memory pressure or transient RPC trouble: GC or
         // compaction may free space, and a starved dispatcher recovers.
         let mut attempts = 0u32;
@@ -1489,27 +1534,10 @@ fn flush_loop(shared: Arc<Shared>, rx: Receiver<Arc<MemTable>>) {
                     out.num_entries,
                     Some(Arc::clone(&shared.gc)),
                 );
-                match (want_local, out.local_image.take()) {
-                    (true, Some(image)) => {
-                        // Adjust the reservation to the actual image size.
-                        let reserved = mem.memory_usage() as u64;
-                        let actual = image.len() as u64;
-                        if reserved > actual {
-                            shared
-                                .l0_cache_budget
-                                .fetch_add(reserved - actual, Ordering::AcqRel);
-                        }
-                        handle.attach_local_copy(
-                            Arc::new(image),
-                            Arc::clone(&shared.l0_cache_budget),
-                        );
-                    }
-                    (true, None) => {
-                        shared
-                            .l0_cache_budget
-                            .fetch_add(mem.memory_usage() as u64, Ordering::AcqRel);
-                    }
-                    _ => {}
+                if let (Some(c), Some(image)) = (&shared.cache, out.local_image.take()) {
+                    // Flush-time admission: the freshest L0 table is by
+                    // definition hot (every read consults it first).
+                    c.extent_admit(handle.id, Arc::new(image));
                 }
                 let mut edit = VersionEdit::default();
                 edit.add(0, handle);
@@ -1622,6 +1650,18 @@ fn compaction_loop(shared: Arc<Shared>) {
                     edit.add(job.level + 1, Arc::clone(t));
                 }
                 let v = shared.versions.install(&edit);
+                if let Some(c) = &shared.cache {
+                    // Version-aware invalidation: the inputs this edit
+                    // obsoleted are purged and their ids fenced *at install*
+                    // — before GC can recycle the extents — so no cached
+                    // block can outlive (or be refilled for) a dead table.
+                    // Pinned snapshots still read those tables correctly:
+                    // they fall back to the fabric, and the ids are never
+                    // reused.
+                    for t in job.inputs_lo.iter().chain(job.inputs_hi.iter()) {
+                        c.invalidate_table(t.id);
+                    }
+                }
                 shared.l0_count.store(v.level(0).len(), Ordering::Release);
                 DbStats::bump(&shared.stats.compactions);
                 DbStats::add(&shared.stats.compaction_subtasks, subtasks);

@@ -9,9 +9,6 @@ use parking_lot::Mutex;
 
 use crate::context::RemoteRegion;
 
-/// A cached local table image plus the budget counter it was charged to.
-type LocalCopy = (Arc<Vec<u8>>, Arc<std::sync::atomic::AtomicU64>);
-
 /// An extent of remote memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Extent {
@@ -67,10 +64,6 @@ pub struct TableHandle {
     pub largest: Vec<u8>,
     /// Number of records.
     pub num_entries: u64,
-    /// Optional compute-local copy of the table image (the Sec. VI hot-table
-    /// cache): when present, reads are served from local memory with zero
-    /// network cost. The paired budget counter is credited back on drop.
-    local_copy: Mutex<Option<LocalCopy>>,
     gc: Option<Arc<GcSink>>,
 }
 
@@ -97,24 +90,8 @@ impl TableHandle {
             smallest,
             largest,
             num_entries,
-            local_copy: Mutex::new(None),
             gc,
         })
-    }
-
-    /// Attach a compute-local copy of the table image, charging `budget`
-    /// (which is credited back when the handle drops).
-    pub fn attach_local_copy(
-        &self,
-        image: Arc<Vec<u8>>,
-        budget: Arc<std::sync::atomic::AtomicU64>,
-    ) {
-        *self.local_copy.lock() = Some((image, budget));
-    }
-
-    /// The local image, if cached.
-    pub fn local_copy(&self) -> Option<Arc<Vec<u8>>> {
-        self.local_copy.lock().as_ref().map(|(img, _)| Arc::clone(img))
     }
 
     /// Smallest user key.
@@ -146,10 +123,6 @@ impl std::fmt::Debug for TableHandle {
 
 impl Drop for TableHandle {
     fn drop(&mut self) {
-        if let Some((img, budget)) = self.local_copy.lock().take() {
-            // ORDERING: relaxed — cache-budget accounting is approximate by design; the atomic RMW never loses a refund.
-            budget.fetch_add(img.len() as u64, std::sync::atomic::Ordering::Relaxed);
-        }
         if let Some(gc) = &self.gc {
             gc.enqueue(self.origin, self.extent);
         }

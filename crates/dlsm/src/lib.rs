@@ -73,10 +73,33 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use config::{DataPath, DbConfig, SwitchProtocol};
 pub use context::{ComputeContext, MemNodeHandle};
 pub use db::{Db, DbReader, Snapshot};
+pub use dlsm_cache::{CacheConfig, CacheStatsSnapshot, ReadCache};
 pub use report::{LevelStats, StatsReport};
 pub use shard::ShardedDb;
 pub use stats::{DbStats, DbStatsSnapshot};
 pub use telemetry::{DbTelemetry, StallReason};
+
+/// The read cache's counters as `(name, value)` telemetry rows, with the
+/// `cache_` prefix every consumer (stats report, Prometheus exporter,
+/// bench JSON, telemetry oracles) keys on. Counters merge additively
+/// across shards; `cache_resident_bytes` / `cache_capacity_bytes` sum to
+/// fleet totals.
+pub fn named_cache_counters(cs: &dlsm_cache::CacheStatsSnapshot) -> Vec<(&'static str, u64)> {
+    vec![
+        ("cache_block_hits", cs.block_hits),
+        ("cache_block_misses", cs.block_misses),
+        ("cache_extent_hits", cs.extent_hits),
+        ("cache_extent_misses", cs.extent_misses),
+        ("cache_inserts", cs.inserts),
+        ("cache_evictions", cs.evictions),
+        ("cache_invalidations", cs.invalidations),
+        ("cache_bytes_saved", cs.bytes_saved),
+        ("cache_extent_promotions", cs.extent_promotions),
+        ("cache_promoted_bytes", cs.promoted_bytes),
+        ("cache_resident_bytes", cs.resident_bytes),
+        ("cache_capacity_bytes", cs.capacity_bytes),
+    ]
+}
 
 /// Errors surfaced by the database.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -155,9 +155,24 @@ fn collect_shard(shared: &Shared, labels: &[(&'static str, &str)], out: &mut Sam
         out.gauge_with("dlsm_stall_fraction", &l, micros as f64 / uptime_micros);
     }
 
+    let cache_snap = shared.cache.as_ref().map(|c| c.snapshot());
+    if let Some(cs) = &cache_snap {
+        out.gauge_with("dlsm_cache_hit_ratio", labels, cs.hit_ratio());
+        out.gauge_with("dlsm_cache_resident_bytes", labels, cs.resident_bytes as f64);
+        out.gauge_with("dlsm_cache_capacity_bytes", labels, cs.capacity_bytes as f64);
+        out.gauge_with("dlsm_cache_bytes_saved", labels, cs.bytes_saved as f64);
+        out.gauge_with("dlsm_cache_evictions", labels, cs.evictions as f64);
+        out.gauge_with("dlsm_cache_invalidations", labels, cs.invalidations as f64);
+    }
+
     let mut snap = shared.telemetry.snapshot();
     for (name, v) in shared.stats.snapshot().named_counters() {
         snap.set_counter(name, v);
+    }
+    if let Some(cs) = &cache_snap {
+        for (name, v) in crate::named_cache_counters(cs) {
+            snap.set_counter(name, v);
+        }
     }
     out.push_telemetry("dlsm_", labels, &snap);
 }

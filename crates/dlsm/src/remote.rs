@@ -14,12 +14,13 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
+use dlsm_cache::ReadCache;
 use dlsm_memnode::RpcClient;
-use dlsm_sstable::block::BlockTableReader;
-use dlsm_sstable::byte_addr::{ByteAddrIter, ByteAddrReader, TableGet};
+use dlsm_sstable::block::{BlockFetcher, BlockTableReader};
+use dlsm_sstable::byte_addr::{ByteAddrIter, ByteAddrReader, Locate, TableGet};
 use dlsm_sstable::iter::ForwardIter;
 use dlsm_sstable::key::SeqNo;
-use dlsm_sstable::source::DataSource;
+use dlsm_sstable::source::{CachedSource, DataSource, SliceSource};
 use dlsm_sstable::SstError;
 use rdma_sim::QueuePair;
 
@@ -141,26 +142,121 @@ impl AsRef<[u8]> for ArcBytes {
     }
 }
 
+/// Binds the shared [`ReadCache`] to one table, at the [`BlockFetcher`]
+/// granularity the sstable readers understand: data blocks for the block
+/// format, single records for the byte-addressable format — both keyed
+/// `(table id, offset)` in the cache's block pool.
+pub struct TableFetcher {
+    cache: Arc<ReadCache>,
+    table: u64,
+}
+
+impl TableFetcher {
+    /// A fetcher for `table`'s objects in `cache`.
+    pub fn new(cache: &Arc<ReadCache>, table: u64) -> Arc<TableFetcher> {
+        Arc::new(TableFetcher { cache: Arc::clone(cache), table })
+    }
+}
+
+impl BlockFetcher for TableFetcher {
+    fn fetch(&self, offset: u64) -> Option<Arc<Vec<u8>>> {
+        self.cache.block_get(self.table, offset)
+    }
+
+    fn admit(&self, offset: u64, data: &Arc<Vec<u8>>) {
+        self.cache.block_admit(self.table, offset, data);
+    }
+}
+
+/// Fetch `handle`'s whole extent in one fabric read (the on-demand
+/// promotion path: a table that keeps missing earns a single large read so
+/// every later probe is local).
+pub(crate) fn fetch_extent_image(
+    channel: &ReadChannel,
+    handle: &TableHandle,
+) -> Result<Arc<Vec<u8>>> {
+    let source = RemoteSource::for_table(channel, handle);
+    let mut buf = vec![0u8; handle.extent.len as usize];
+    source.read(0, &mut buf)?;
+    Ok(Arc::new(buf))
+}
+
+/// If the extent pool holds an image of `handle`, serve probes from it.
+/// Counts the hit and the record bytes the image saved (exact, via a local
+/// index lookup — no fabric traffic either way).
+fn image_get(
+    cache: &Arc<ReadCache>,
+    image: Arc<Vec<u8>>,
+    handle: &TableHandle,
+    user_key: &[u8],
+    seq: SeqNo,
+    count_saved: bool,
+) -> Result<TableGet> {
+    if count_saved {
+        if let MetaKind::ByteAddr(meta) = &handle.meta {
+            if let Locate::Record { len, .. } = meta.locate(user_key, seq) {
+                cache.note_saved(len as u64);
+            }
+        }
+    }
+    let source = SliceSource(ArcBytes(image));
+    match &handle.meta {
+        MetaKind::ByteAddr(meta) => {
+            Ok(ByteAddrReader::new(Arc::clone(meta), source).get(user_key, seq)?)
+        }
+        MetaKind::Block(bmc, _) => {
+            Ok(BlockTableReader::from_cache(source, bmc.clone()).get(user_key, seq)?)
+        }
+    }
+}
+
 /// Point lookup against one table handle. One bloom probe + one read of a
 /// single record for byte-addressable tables; a whole-block read for block
-/// tables. Tables with a compute-local image (the hot-L0 cache) are served
-/// from local memory with zero network cost.
+/// tables. With a [`ReadCache`], reads go cache-first: a hot-extent image
+/// serves the probe with zero fabric traffic, otherwise the record/block
+/// fetch consults the block pool and admits its miss.
 pub fn table_get(
     channel: &ReadChannel,
     handle: &TableHandle,
     user_key: &[u8],
     seq: SeqNo,
+    cache: Option<&Arc<ReadCache>>,
 ) -> Result<TableGet> {
-    if let Some(image) = handle.local_copy() {
-        let source = dlsm_sstable::source::SliceSource(ArcBytes(image));
-        return match &handle.meta {
+    if let Some(c) = cache {
+        if let Some(image) = c.extent_get(handle.id) {
+            return image_get(c, image, handle, user_key, seq, true);
+        }
+        match &handle.meta {
             MetaKind::ByteAddr(meta) => {
-                Ok(ByteAddrReader::new(Arc::clone(meta), source).get(user_key, seq)?)
+                // Decide from local metadata first: bloom/index negatives
+                // cost nothing and must not count as cache traffic (or
+                // extent-promotion heat).
+                match meta.locate(user_key, seq) {
+                    Locate::NotFound => return Ok(TableGet::NotFound),
+                    Locate::Deleted => return Ok(TableGet::Deleted),
+                    Locate::Record { .. } => {}
+                }
+                if c.note_extent_miss(handle.id, handle.extent.len) {
+                    if let Ok(image) = fetch_extent_image(channel, handle) {
+                        c.extent_admit(handle.id, Arc::clone(&image));
+                        // The promotion read just paid for this probe — no
+                        // saved bytes to claim until the next one.
+                        return image_get(c, image, handle, user_key, seq, false);
+                    }
+                }
+                let source = CachedSource::new(
+                    RemoteSource::for_table(channel, handle),
+                    TableFetcher::new(c, handle.id),
+                );
+                return Ok(ByteAddrReader::new(Arc::clone(meta), source).get(user_key, seq)?);
             }
-            MetaKind::Block(cache, _) => {
-                Ok(BlockTableReader::from_cache(source, cache.clone()).get(user_key, seq)?)
+            MetaKind::Block(bmc, _) => {
+                let source = RemoteSource::for_table(channel, handle);
+                let reader = BlockTableReader::from_cache(source, bmc.clone())
+                    .with_fetcher(TableFetcher::new(c, handle.id));
+                return Ok(reader.get(user_key, seq)?);
             }
-        };
+        }
     }
     let source = RemoteSource::for_table(channel, handle);
     match &handle.meta {
@@ -168,28 +264,31 @@ pub fn table_get(
             let reader = ByteAddrReader::new(Arc::clone(meta), source);
             Ok(reader.get(user_key, seq)?)
         }
-        MetaKind::Block(cache, _) => {
-            let reader = BlockTableReader::from_cache(source, cache.clone());
+        MetaKind::Block(bmc, _) => {
+            let reader = BlockTableReader::from_cache(source, bmc.clone());
             Ok(reader.get(user_key, seq)?)
         }
     }
 }
 
 /// Build an owning iterator over one table handle with the given prefetch
-/// window.
+/// window. Scans only *peek* at the extent pool (a resident image is free
+/// to use) — they never admit, bump frequencies, or touch the block pool,
+/// so sequential sweeps cannot displace the point-read working set.
 pub fn table_iter(
     channel: &ReadChannel,
     handle: &TableHandle,
     prefetch: usize,
+    cache: Option<&Arc<ReadCache>>,
 ) -> Box<dyn ForwardIter> {
-    if let Some(image) = handle.local_copy() {
-        let source = dlsm_sstable::source::SliceSource(ArcBytes(image));
+    if let Some(image) = cache.and_then(|c| c.extent_peek(handle.id)) {
+        let source = SliceSource(ArcBytes(image));
         return match &handle.meta {
             MetaKind::ByteAddr(meta) => {
                 Box::new(ByteAddrIter::from_parts(Arc::clone(meta), source, prefetch))
             }
-            MetaKind::Block(cache, _) => {
-                Box::new(BlockTableReader::from_cache(source, cache.clone()).iter(prefetch))
+            MetaKind::Block(bmc, _) => {
+                Box::new(BlockTableReader::from_cache(source, bmc.clone()).iter(prefetch))
             }
         };
     }
@@ -198,8 +297,8 @@ pub fn table_iter(
         MetaKind::ByteAddr(meta) => {
             Box::new(ByteAddrIter::from_parts(Arc::clone(meta), source, prefetch))
         }
-        MetaKind::Block(cache, _) => {
-            let reader = BlockTableReader::from_cache(source, cache.clone());
+        MetaKind::Block(bmc, _) => {
+            let reader = BlockTableReader::from_cache(source, bmc.clone());
             Box::new(reader.iter(prefetch))
         }
     }
@@ -261,7 +360,7 @@ mod tests {
         let channel =
             ReadChannel::one_sided(fabric.create_qp(compute.id(), memory.id()).unwrap());
         let before = fabric.stats().snapshot();
-        let got = table_get(&channel, &handle, b"key0042", 100).unwrap();
+        let got = table_get(&channel, &handle, b"key0042", 100, None).unwrap();
         assert_eq!(got, TableGet::Found(b"val42".to_vec()));
         let d = fabric.stats().snapshot().delta(&before);
         // Exactly one RDMA read, sized as one record (not a block).
@@ -269,7 +368,7 @@ mod tests {
         assert!(d.bytes(Verb::Read) < 64, "read {} bytes", d.bytes(Verb::Read));
         // A bloom miss costs zero network reads.
         let before = fabric.stats().snapshot();
-        let got = table_get(&channel, &handle, b"nope", 100).unwrap();
+        let got = table_get(&channel, &handle, b"nope", 100, None).unwrap();
         assert_eq!(got, TableGet::NotFound);
         assert_eq!(fabric.stats().snapshot().delta(&before).ops(Verb::Read), 0);
     }

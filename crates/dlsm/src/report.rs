@@ -77,6 +77,8 @@ pub struct StatsReport {
     pub flush_zone_fragments: usize,
     /// MemNode-origin extents queued for the next batched free RPC.
     pub gc_backlog: usize,
+    /// Read-cache counters and occupancy (`None` when the cache is off).
+    pub cache: Option<dlsm_cache::CacheStatsSnapshot>,
     /// Every [`crate::DbStats`] counter at report time.
     pub counters: DbStatsSnapshot,
 }
@@ -162,6 +164,25 @@ impl std::fmt::Display for StatsReport {
             mib(self.live_bytes[2]),
             self.gc_backlog,
         )?;
+        if let Some(cs) = &self.cache {
+            writeln!(
+                f,
+                "Read cache: {:.2}/{:.2} MiB resident, hit ratio {:.1}% \
+                 (block {}/{}, extent {}/{}); {:.2} MiB fabric reads saved; \
+                 {} evictions, {} invalidations, {} promotions",
+                mib(cs.resident_bytes),
+                mib(cs.capacity_bytes),
+                cs.hit_ratio() * 100.0,
+                cs.block_hits,
+                cs.block_hits + cs.block_misses,
+                cs.extent_hits,
+                cs.extent_hits + cs.extent_misses,
+                mib(cs.bytes_saved),
+                cs.evictions,
+                cs.invalidations,
+                cs.extent_promotions,
+            )?;
+        }
         writeln!(f, "Counters: {}", self.counters)
     }
 }
@@ -232,6 +253,7 @@ impl Db {
             flush_zone_capacity: alloc.capacity(),
             flush_zone_fragments: alloc.fragments(),
             gc_backlog: shared.gc.remote_pending_len(),
+            cache: self.cache_stats(),
             counters,
         };
         drop(version);

@@ -27,6 +27,8 @@ pub struct LevelConcatIter {
     prefetch: usize,
     idx: usize,
     cur: Option<Box<dyn ForwardIter>>,
+    /// Read cache, consulted peek-only (scans must not perturb it).
+    cache: Option<Arc<dlsm_cache::ReadCache>>,
 }
 
 impl LevelConcatIter {
@@ -35,14 +37,16 @@ impl LevelConcatIter {
         tables: Vec<Arc<TableHandle>>,
         channel: ReadChannel,
         prefetch: usize,
+        cache: Option<Arc<dlsm_cache::ReadCache>>,
     ) -> LevelConcatIter {
-        LevelConcatIter { tables, channel, prefetch, idx: usize::MAX, cur: None }
+        LevelConcatIter { tables, channel, prefetch, idx: usize::MAX, cur: None, cache }
     }
 
     fn open(&mut self, i: usize) {
         self.idx = i;
-        self.cur = (i < self.tables.len())
-            .then(|| table_iter(&self.channel, &self.tables[i], self.prefetch));
+        self.cur = (i < self.tables.len()).then(|| {
+            table_iter(&self.channel, &self.tables[i], self.prefetch, self.cache.as_ref())
+        });
     }
 
     /// Move forward past exhausted tables.
@@ -141,7 +145,7 @@ impl DbScan {
             children.push(Box::new(mem.iter()));
         }
         for t in version.level(0) {
-            children.push(table_iter(channel, t, prefetch));
+            children.push(table_iter(channel, t, prefetch, shared.cache.as_ref()));
         }
         for level in 1..version.level_count() {
             if !version.level(level).is_empty() {
@@ -149,6 +153,7 @@ impl DbScan {
                     version.level(level).to_vec(),
                     channel.clone(),
                     prefetch,
+                    shared.cache.clone(),
                 )));
             }
         }

@@ -38,6 +38,18 @@ pub fn shard_of(key: &[u8], n: usize) -> usize {
     ((x as u128 * n as u128) >> 64) as usize
 }
 
+/// Divide the read-cache budget across λ shards: `cfg.cache.capacity_bytes`
+/// is the *node-wide* budget, and each per-shard `Db` owns its own cache, so
+/// the total stays what the caller configured. (The deprecated
+/// `local_l0_cache_bytes` alias keeps its historical per-shard meaning.)
+fn split_cache_budget(mut cfg: DbConfig, lambda: usize) -> DbConfig {
+    if cfg.cache.enabled() && lambda > 1 {
+        cfg.cache.capacity_bytes = (cfg.cache.capacity_bytes / lambda as u64).max(1 << 20);
+        cfg.cache.ghost_entries = (cfg.cache.ghost_entries / lambda).max(1024);
+    }
+    cfg
+}
+
 impl ShardedDb {
     /// Open λ shards on one compute node against the given memory nodes
     /// (shard *i* uses `memnodes[i % memnodes.len()]` — round-robin
@@ -49,6 +61,7 @@ impl ShardedDb {
         lambda: usize,
     ) -> Result<ShardedDb> {
         assert!(!memnodes.is_empty(), "need at least one memory node");
+        let cfg = split_cache_budget(cfg, lambda.max(1));
         let mut shards = Vec::with_capacity(lambda.max(1));
         for i in 0..lambda.max(1) {
             let mem = Arc::clone(&memnodes[i % memnodes.len()]);
@@ -65,6 +78,7 @@ impl ShardedDb {
         cfg: DbConfig,
     ) -> Result<ShardedDb> {
         assert!(!handles.is_empty(), "need at least one shard handle");
+        let cfg = split_cache_budget(cfg, handles.len());
         let mut shards = Vec::with_capacity(handles.len());
         for mem in handles {
             shards.push(Db::open(Arc::clone(&ctx), mem, cfg.clone())?);

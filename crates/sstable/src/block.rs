@@ -219,15 +219,30 @@ impl<'a> ExactSizeIterator for UserKeys<'a> {
     }
 }
 
+/// Cache-first fetch policy for table bytes: point reads consult the
+/// fetcher before touching the [`DataSource`] and offer fresh fetches back
+/// for admission. Implemented by the compute-side read cache (dlsm-cache);
+/// the offsets are table-relative, so one fetcher instance is bound to one
+/// table. Scans deliberately bypass the fetcher (scan resistance).
+pub trait BlockFetcher: Send + Sync {
+    /// The cached bytes at `offset`, if resident.
+    fn fetch(&self, offset: u64) -> Option<Arc<Vec<u8>>>;
+
+    /// Offer freshly read bytes at `offset` for admission.
+    fn admit(&self, offset: u64, data: &Arc<Vec<u8>>);
+}
+
 /// Reader over a block-based table.
 ///
 /// `open` performs three remote reads (footer, index, filter) and caches the
-/// results; per-lookup traffic is then one block-sized read.
+/// results; per-lookup traffic is then one block-sized read — or zero when a
+/// [`BlockFetcher`] is attached and holds the block.
 pub struct BlockTableReader<S: DataSource> {
     source: S,
     index: Arc<Vec<BlockHandleOwned>>,
     bloom: Arc<BloomFilter>,
     num_entries: u64,
+    fetcher: Option<Arc<dyn BlockFetcher>>,
 }
 
 #[derive(Debug, Clone)]
@@ -274,7 +289,19 @@ impl<S: DataSource> BlockTableReader<S> {
             off += 12;
             index.push(BlockHandleOwned { last_key: k.to_vec(), offset: boff, len: blen });
         }
-        Ok(BlockTableReader { source, index: Arc::new(index), bloom: Arc::new(bloom), num_entries })
+        Ok(BlockTableReader {
+            source,
+            index: Arc::new(index),
+            bloom: Arc::new(bloom),
+            num_entries,
+            fetcher: None,
+        })
+    }
+
+    /// Attach a cache-first [`BlockFetcher`] for data-block reads.
+    pub fn with_fetcher(mut self, fetcher: Arc<dyn BlockFetcher>) -> BlockTableReader<S> {
+        self.fetcher = Some(fetcher);
+        self
     }
 
     /// Number of records in the table.
@@ -304,8 +331,25 @@ impl<S: DataSource> BlockTableReader<S> {
             return Ok(TableGet::NotFound);
         }
         let h = &self.index[bi];
-        let mut block = vec![0u8; h.len as usize];
-        self.source.read(h.offset, &mut block)?;
+        // Cache-first: a resident block costs zero fabric reads; a miss is
+        // fetched from the source and offered back for admission.
+        let block: Arc<Vec<u8>> = match &self.fetcher {
+            Some(f) => match f.fetch(h.offset) {
+                Some(cached) if cached.len() == h.len as usize => cached,
+                _ => {
+                    let mut buf = vec![0u8; h.len as usize];
+                    self.source.read(h.offset, &mut buf)?;
+                    let buf = Arc::new(buf);
+                    f.admit(h.offset, &buf);
+                    buf
+                }
+            },
+            None => {
+                let mut buf = vec![0u8; h.len as usize];
+                self.source.read(h.offset, &mut buf)?;
+                Arc::new(buf)
+            }
+        };
         let count = get_u32(&block, 0)?;
         let mut off = 4usize;
         for _ in 0..count {
@@ -355,6 +399,7 @@ impl<S: DataSource> BlockTableReader<S> {
             index: cache.index,
             bloom: cache.bloom,
             num_entries: cache.num_entries,
+            fetcher: None,
         }
     }
 

@@ -37,7 +37,8 @@ pub mod source;
 pub use bloom::BloomFilter;
 pub use iter::{ClampIter, ForwardIter, MergingIter};
 pub use key::{InternalKey, InternalKeyComparator, SeqNo, ValueType, MAX_SEQ};
-pub use source::{DataSource, SliceSource};
+pub use block::BlockFetcher;
+pub use source::{CachedSource, DataSource, SliceSource};
 
 /// Errors surfaced by table building and reading.
 #[derive(Debug, Clone, PartialEq, Eq)]
