@@ -45,6 +45,12 @@
 //!   --trace       enable the flight recorder; on exit dump the full
 //!                 Chrome/Perfetto trace, the 5 slowest traces, and the
 //!                 stall-attribution "doctor" report under results/
+//!   --profile     run the continuous span-stack sampling profiler for the
+//!                 whole run (implies --trace, so p99.9 exemplars resolve
+//!                 to traces): per-phase "where did the wall time go"
+//!                 attribution in the output and JSON, plus a flamegraph
+//!                 folded file results/PROFILE_<system>.folded
+//!   --profile-hz  profiler sampling frequency                (default 997)
 //!   --metrics-addr      serve Prometheus text exposition on this address
 //!                       for the duration of the run (port 0 = ephemeral;
 //!                       the bound address is printed). Exposes the
@@ -66,6 +72,35 @@ use dlsm_bench::setup::{build_scenario_sized, workload_headroom, SystemKind};
 use dlsm_bench::workload::{preset, OpKind, OpMix, WorkloadSpec};
 use dlsm_telemetry::{write_hist_json, JsonWriter};
 use rdma_sim::{NetworkProfile, StatsSnapshot, Verb};
+use std::collections::HashSet;
+
+/// One phase's profiler cut: the folded-sample delta over the phase plus
+/// the engine's own stalled-writer share of front-end thread wall-time.
+struct PhaseProfile {
+    snap: dlsm_profile::ProfileSnapshot,
+    stall_fraction: f64,
+}
+
+/// Everything one phase contributes to the report: harness result, fabric
+/// traffic it caused, workload extras, read-cache counter growth, and the
+/// profiler cut (present only under `--profile`).
+type PhaseRow =
+    (PhaseResult, StatsSnapshot, Option<WorkloadInfo>, Option<CacheCounters>, Option<PhaseProfile>);
+
+/// Total microseconds writers spent stalled, from the engine's telemetry
+/// counters (0 for engines without stall accounting).
+fn engine_stall_micros(engine: &dyn dlsm_baselines::Engine) -> u64 {
+    engine
+        .telemetry()
+        .map(|s| s.counter("stall_imm_micros") + s.counter("stall_l0_micros"))
+        .unwrap_or(0)
+}
+
+/// Identity of one ring event, for deduplicating events collected at
+/// several phase boundaries.
+fn event_key(e: &dlsm_trace::Event) -> (u64, u64, u64, u64) {
+    (e.trace_id, e.tid, e.span_id, e.ts_us)
+}
 
 /// Extra per-phase JSON facts a workload phase carries beyond the common
 /// throughput/latency/traffic block.
@@ -141,6 +176,10 @@ fn main() {
     let mut cores = 12usize;
     let mut json_path: Option<String> = None;
     let mut trace = false;
+    let mut profiling = false;
+    // An off-round default frequency so the sampler never phase-locks with
+    // millisecond-periodic engine work.
+    let mut profile_hz = 997u64;
     let mut metrics_addr: Option<String> = None;
     let mut metrics_hold_secs = 0u64;
     let mut mix_override: Option<OpMix> = None;
@@ -163,6 +202,11 @@ fn main() {
         }
         if args[i] == "--verify" {
             verify = true;
+            i += 1;
+            continue;
+        }
+        if args[i] == "--profile" {
+            profiling = true;
             i += 1;
             continue;
         }
@@ -194,6 +238,7 @@ fn main() {
             "--scale" => scale = value.parse().expect("--scale"),
             "--cores" => cores = value.parse().expect("--cores"),
             "--json" => json_path = Some(value),
+            "--profile-hz" => profile_hz = value.parse().expect("--profile-hz"),
             "--metrics-addr" => metrics_addr = Some(value),
             "--metrics-hold-secs" => metrics_hold_secs = value.parse().expect("--metrics-hold-secs"),
             other => {
@@ -242,10 +287,22 @@ fn main() {
     println!(
         "db_bench: system={system} num={num} threads={threads} kv={key_size}+{value_size}B scale={scale}"
     );
+    if profiling && !trace {
+        // Exemplar capture pins tail latencies to trace ids, and the
+        // slowest-traces dump is where those ids resolve — profiling
+        // without tracing would produce dangling exemplars.
+        trace = true;
+    }
     if trace {
         dlsm_trace::set_enabled(true);
         println!("tracing: enabled (flight-recorder rings, dumps under results/)");
     }
+    let mut profiler = profiling.then(|| {
+        assert!(profile_hz > 0, "--profile-hz must be positive");
+        let period = std::time::Duration::from_secs_f64(1.0 / profile_hz as f64);
+        println!("profiling: span-stack sampling at {profile_hz} Hz");
+        dlsm_profile::Profiler::start(period)
+    });
     // Churny workload phases (delete/insert-heavy mixes) pin more dead data
     // remotely between compactions; size the memory node for it up front.
     let preset_cfgs: Vec<_> = benchmarks.iter().filter_map(|b| preset(b)).collect();
@@ -271,9 +328,13 @@ fn main() {
     // gauge sampler keeps scrapes O(copy) no matter how hot the run is.
     let metrics_server = metrics_addr.map(|addr| {
         let reg = dlsm_metrics::MetricsRegistry::new();
+        dlsm_metrics::register_process_metrics(&reg);
         sc.engine.register_metrics(&reg);
         for s in &sc.servers {
             s.register_metrics(&reg);
+        }
+        if let Some(p) = &profiler {
+            p.register_metrics(&reg);
         }
         let srv = dlsm_metrics::serve(reg, addr.as_str(), Some(std::time::Duration::from_millis(250)))
             .unwrap_or_else(|e| {
@@ -284,16 +345,22 @@ fn main() {
         srv
     });
     let before = sc.fabric.stats().snapshot();
-    // (phase result, fabric traffic that phase caused, workload extras,
-    // read-cache counter growth over the phase).
-    #[allow(clippy::type_complexity)]
-    let mut results: Vec<(PhaseResult, StatsSnapshot, Option<WorkloadInfo>, Option<CacheCounters>)> =
-        Vec::new();
+    let mut results: Vec<PhaseRow> = Vec::new();
+    // Ring events belonging to exemplar traces, captured at each phase
+    // boundary before the flight-recorder rings wrap over them.
+    let mut exemplar_events: Vec<dlsm_trace::Event> = Vec::new();
+    let mut exemplar_keys: HashSet<(u64, u64, u64, u64)> = HashSet::new();
     let mut filled = false;
     let mut cache_prev = CacheCounters::sample(sc.engine.as_ref());
     for bench in &benchmarks {
+        // Attribute the main thread's orchestration time (implicit fills,
+        // quiescence waits, worker joins) to the phase it serves.
+        let _task =
+            dlsm_trace::profile_span(Box::leak(format!("phase:{bench}").into_boxed_str()));
+        let prof_before = profiler.as_ref().map(|p| p.snapshot());
+        let stall_before = engine_stall_micros(sc.engine.as_ref());
         let phase_before = sc.fabric.stats().snapshot();
-        let (result, info) = match bench.as_str() {
+        let (mut result, info) = match bench.as_str() {
             "randomfill" => {
                 let r = run_fill(sc.engine.as_ref(), &spec, threads);
                 filled = true;
@@ -389,6 +456,47 @@ fn main() {
             fmt_mops(result.mops()),
         );
         let phase_traffic = sc.fabric.stats().snapshot().delta(&phase_before);
+        let phase_profile = profiler.as_ref().map(|p| {
+            let snap = p.snapshot().delta(prof_before.as_ref().expect("profile before"));
+            let stalled_us = engine_stall_micros(sc.engine.as_ref()) - stall_before;
+            let thread_us = result.elapsed.as_micros() as f64 * result.threads as f64;
+            let stall_fraction = if thread_us > 0.0 { stalled_us as f64 / thread_us } else { 0.0 };
+            PhaseProfile { snap, stall_fraction }
+        });
+        if let Some(pp) = &phase_profile {
+            println!(
+                "  {:<22} profile: {} samples, attribution {:.1}%, stall {:.1}%, fabric {:.1}%, write-stall {:.2}% of thread-time",
+                result.phase,
+                pp.snap.samples,
+                100.0 * pp.snap.attribution(),
+                100.0 * pp.snap.stall_share(),
+                100.0 * pp.snap.fabric_share(),
+                100.0 * pp.stall_fraction,
+            );
+        }
+        if trace && !result.exemplars.is_empty() {
+            // Grab the exemplar traces' events now: by run end the rings
+            // may have wrapped past this phase. Exemplars whose root span
+            // the rings have *already* wrapped over can no longer resolve
+            // to a trace — drop them, so every published exemplar does.
+            let ids: HashSet<u64> = result.exemplars.iter().map(|e| e.trace_id).collect();
+            let events = dlsm_trace::collect_events();
+            let complete: HashSet<u64> = events
+                .iter()
+                .filter(|e| {
+                    e.kind == dlsm_trace::EventKind::Span
+                        && e.parent_id == 0
+                        && ids.contains(&e.trace_id)
+                })
+                .map(|e| e.trace_id)
+                .collect();
+            result.exemplars.retain(|x| complete.contains(&x.trace_id));
+            for e in events {
+                if complete.contains(&e.trace_id) && exemplar_keys.insert(event_key(&e)) {
+                    exemplar_events.push(e);
+                }
+            }
+        }
         let cache_now = CacheCounters::sample(sc.engine.as_ref());
         let cache_delta = match (cache_now, cache_prev) {
             (Some(now), Some(prev)) => Some(now.delta(prev)),
@@ -407,14 +515,14 @@ fn main() {
                 );
             }
         }
-        results.push((result, phase_traffic, info, cache_delta));
+        results.push((result, phase_traffic, info, cache_delta, phase_profile));
     }
 
     let mut lat = Table::new(
         format!("{} latency (us)", sc.engine.name()),
         &["phase", "ops", "Mops/s", "p50", "p90", "p99", "p99.9", "max"],
     );
-    for (r, _, _, _) in &results {
+    for (r, _, _, _, _) in &results {
         lat.row(vec![
             r.phase.clone(),
             r.ops.to_string(),
@@ -443,6 +551,22 @@ fn main() {
         print!("{report}");
     }
 
+    // Whole-run profile: the doctor-style wall-time attribution plus the
+    // flamegraph-ready folded file. Stop sampling first so the final
+    // snapshot is stable.
+    if let Some(p) = &mut profiler {
+        p.stop();
+        let snap = p.snapshot();
+        print!("{}", snap.report(&format!("{system}, whole run")));
+        let folded_path = format!("results/PROFILE_{}.folded", sanitize(&system));
+        let write = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write(&folded_path, snap.folded()));
+        match write {
+            Ok(()) => println!("wrote {folded_path} ({} paths)", snap.paths.len()),
+            Err(e) => eprintln!("failed to write {folded_path}: {e}"),
+        }
+    }
+
     let path = json_path.unwrap_or_else(|| format!("BENCH_{}.json", sanitize(&system)));
     let json = run_json(&system, &spec, threads, scale, &sc, &results, &traffic);
     match std::fs::write(&path, json) {
@@ -450,7 +574,7 @@ fn main() {
         Err(e) => eprintln!("failed to write {path}: {e}"),
     }
     if trace {
-        dump_traces(&system);
+        dump_traces(&system, &exemplar_events);
     }
     if let Some(mut srv) = metrics_server {
         if metrics_hold_secs > 0 {
@@ -464,7 +588,7 @@ fn main() {
     }
     sc.shutdown();
     let violations: u64 =
-        results.iter().filter_map(|(_, _, w, _)| w.as_ref()).map(|w| w.violations).sum();
+        results.iter().filter_map(|(_, _, w, _, _)| w.as_ref()).map(|w| w.violations).sum();
     if violations > 0 {
         eprintln!("db_bench: {violations} verification violation(s) — failing the run");
         std::process::exit(1);
@@ -473,8 +597,10 @@ fn main() {
 
 /// Flight-recorder output (dumped before shutdown so the server threads'
 /// rings are still registered): the full Perfetto-loadable trace, a
-/// slowest-traces cut, and the plain-text stall-attribution report.
-fn dump_traces(system: &str) {
+/// slowest-traces cut — widened with every exemplar trace captured at
+/// phase boundaries, so each JSON exemplar resolves to a complete trace —
+/// and the plain-text stall-attribution report.
+fn dump_traces(system: &str, exemplar_events: &[dlsm_trace::Event]) {
     dlsm_trace::set_enabled(false);
     let events = dlsm_trace::collect_events();
     let sys = sanitize(system);
@@ -485,7 +611,14 @@ fn dump_traces(system: &str) {
         Err(e) => eprintln!("failed to write {full}: {e}"),
     }
 
-    let slowest = dlsm_trace::slowest_traces(&events, 5);
+    let mut slowest = dlsm_trace::slowest_traces(&events, 5);
+    if !exemplar_events.is_empty() {
+        let have: HashSet<(u64, u64, u64, u64)> = slowest.iter().map(event_key).collect();
+        slowest.extend(
+            exemplar_events.iter().filter(|e| !have.contains(&event_key(e))).cloned(),
+        );
+        slowest.sort_by_key(|e| (e.ts_us, e.span_id));
+    }
     let slow_path = format!("results/TRACE_{sys}_slowest.json");
     match std::fs::write(&slow_path, dlsm_trace::chrome_trace(&slowest)) {
         Ok(()) => println!("wrote {slow_path} ({} events)", slowest.len()),
@@ -509,7 +642,7 @@ fn run_json(
     threads: usize,
     scale: f64,
     sc: &dlsm_bench::setup::Scenario,
-    results: &[(PhaseResult, StatsSnapshot, Option<WorkloadInfo>, Option<CacheCounters>)],
+    results: &[PhaseRow],
     traffic: &StatsSnapshot,
 ) -> String {
     let mut w = JsonWriter::new();
@@ -523,7 +656,7 @@ fn run_json(
     w.field_f64("scale", scale);
     w.key("phases");
     w.begin_array();
-    for (r, phase_traffic, info, cache) in results {
+    for (r, phase_traffic, info, cache, prof) in results {
         w.begin_object();
         w.field_str("phase", &r.phase);
         w.field_u64("threads", r.threads as u64);
@@ -532,6 +665,17 @@ fn run_json(
         w.field_f64("mops", r.mops());
         w.key("latency");
         write_hist_json(&mut w, &r.lat);
+        if !r.exemplars.is_empty() {
+            w.key("exemplars");
+            dlsm_telemetry::write_exemplars_json(&mut w, &r.exemplars);
+        }
+        if let Some(pp) = prof {
+            w.key("profile");
+            w.begin_object();
+            pp.snap.write_json_fields(&mut w);
+            w.field_f64("stall_fraction", pp.stall_fraction);
+            w.end_object();
+        }
         w.key("rdma");
         write_verb_traffic(&mut w, phase_traffic);
         if let Some(c) = cache {

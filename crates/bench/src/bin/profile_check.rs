@@ -1,0 +1,358 @@
+//! Validate the profiler artifacts produced by `db_bench --profile`:
+//!
+//! 1. the folded flamegraph file (`PROFILE_<sys>.folded`) parses — every
+//!    line is `semicolon;separated;path <count>`, counts are positive,
+//!    paths are unique;
+//! 2. sample counts are monotone — the whole-run folded total covers at
+//!    least every per-phase delta in `BENCH_<sys>.json`, and at least the
+//!    sum of all phase deltas (phases are disjoint slices of one run);
+//! 3. every phase attributes at least `--min-attribution` (default 0.95)
+//!    of its thread wall-time to leaf span paths, stall buckets included;
+//! 4. every p999 exemplar resolves: its trace id appears as a **root**
+//!    span (`"parent_id":"0x0"`) in the slowest-traces cut, so the whole
+//!    trace is inspectable, not just a dangling id.
+//!
+//! CI runs this against the smoke-bench artifacts; exit status is
+//! non-zero on any violation. A BENCH file with **no** profile blocks
+//! fails: the caller asked for profile validation, so silently-absent
+//! profiles are a bug, not a pass.
+//!
+//! JSON parsing lives in [`dlsm_bench::json`], shared with `bench_diff`
+//! and `trace_check`.
+
+use std::collections::{HashMap, HashSet};
+
+use dlsm_bench::json::{self, Json};
+
+/// Parsed folded file: path -> sample count.
+fn parse_folded(text: &str) -> Result<HashMap<String, u64>, String> {
+    let mut out = HashMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let (path, count) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("folded line {}: no 'path count' split: {line:?}", i + 1))?;
+        if path.is_empty() {
+            return Err(format!("folded line {}: empty path", i + 1));
+        }
+        let count: u64 = count
+            .parse()
+            .map_err(|e| format!("folded line {}: bad count {count:?}: {e}", i + 1))?;
+        if count == 0 {
+            return Err(format!("folded line {}: zero-sample path {path:?}", i + 1));
+        }
+        if out.insert(path.to_string(), count).is_some() {
+            return Err(format!("folded line {}: duplicate path {path:?}", i + 1));
+        }
+    }
+    Ok(out)
+}
+
+/// One phase's profile delta as published in BENCH json.
+struct PhaseProfile {
+    phase: String,
+    samples: u64,
+    torn: u64,
+    attribution: f64,
+}
+
+/// One phase's exemplar list: (value_ns, trace_id_hex) pairs.
+struct PhaseExemplars {
+    phase: String,
+    ids: Vec<(u64, String)>,
+}
+
+fn read_num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{ctx}: missing numeric {key:?}"))
+}
+
+/// Pull per-phase profile blocks and exemplar lists out of a BENCH file.
+fn parse_bench(text: &str) -> Result<(Vec<PhaseProfile>, Vec<PhaseExemplars>), String> {
+    let root = json::parse(text)?;
+    let phases = root
+        .get("phases")
+        .and_then(Json::as_arr)
+        .ok_or("BENCH json: missing phases array")?;
+    let mut profiles = Vec::new();
+    let mut exemplars = Vec::new();
+    for ph in phases {
+        let name = ph
+            .get("phase")
+            .and_then(Json::as_str)
+            .ok_or("BENCH json: phase without a name")?
+            .to_string();
+        if let Some(prof) = ph.get("profile") {
+            let ctx = format!("phase {name:?} profile");
+            // LOSSY: sample counts are far below 2^53, exact in f64.
+            let samples = read_num(prof, "samples", &ctx)? as u64;
+            let torn = read_num(prof, "torn", &ctx)? as u64;
+            let attribution = read_num(prof, "attribution", &ctx)?;
+            if read_num(prof, "ticks", &ctx)? <= 0.0 {
+                return Err(format!("{ctx}: zero sampling ticks"));
+            }
+            profiles.push(PhaseProfile { phase: name.clone(), samples, torn, attribution });
+        }
+        if let Some(Json::Arr(exs)) = ph.get("exemplars") {
+            let mut ids = Vec::new();
+            for (i, ex) in exs.iter().enumerate() {
+                let ctx = format!("phase {name:?} exemplar {i}");
+                // LOSSY: value_ns below 2^53 (~104 days), exact in f64.
+                let value_ns = read_num(ex, "value_ns", &ctx)? as u64;
+                let floor = read_num(ex, "bucket_floor_ns", &ctx)? as u64;
+                if value_ns < floor {
+                    return Err(format!("{ctx}: value {value_ns} below bucket floor {floor}"));
+                }
+                let hex = ex
+                    .get("trace_id_hex")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{ctx}: missing trace_id_hex"))?;
+                if !hex.starts_with("0x") || hex == "0x0" {
+                    return Err(format!("{ctx}: bad trace id {hex:?}"));
+                }
+                ids.push((value_ns, hex.to_string()));
+            }
+            exemplars.push(PhaseExemplars { phase: name, ids });
+        }
+    }
+    Ok((profiles, exemplars))
+}
+
+/// Trace ids (hex, `0x…`) that open a **root** span in a chrome trace:
+/// a `B` event whose `args.parent_id` is `"0x0"`. An exemplar resolving
+/// to one of these has its complete trace in the file.
+fn root_trace_ids(text: &str) -> Result<HashSet<String>, String> {
+    if text.trim().is_empty() {
+        return Ok(HashSet::new());
+    }
+    let root = json::parse(text)?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("slowest json: missing traceEvents array")?;
+    let mut ids = HashSet::new();
+    for ev in events {
+        if ev.get("ph").and_then(Json::as_str) != Some("B") {
+            continue;
+        }
+        let Some(args) = ev.get("args") else { continue };
+        if args.get("parent_id").and_then(Json::as_str) == Some("0x0") {
+            if let Some(tid) = args.get("trace_id").and_then(Json::as_str) {
+                ids.insert(tid.to_string());
+            }
+        }
+    }
+    Ok(ids)
+}
+
+/// All cross-artifact checks; returns a summary line on success.
+fn validate(
+    bench: &str,
+    folded: &str,
+    slowest: &str,
+    min_attribution: f64,
+) -> Result<String, String> {
+    let paths = parse_folded(folded)?;
+    let folded_total: u64 = paths.values().sum();
+    if paths.is_empty() {
+        return Err("folded file has no sample paths".into());
+    }
+
+    let (profiles, exemplars) = parse_bench(bench)?;
+    if profiles.is_empty() {
+        return Err("BENCH json has no per-phase profile blocks (run with --profile?)".into());
+    }
+
+    // Monotonicity: the folded file holds the whole run minus torn reads;
+    // each phase block is a disjoint delta of the same counters, so the
+    // whole-run total must cover every phase and their sum.
+    let mut phase_sum = 0u64;
+    for p in &profiles {
+        if p.torn > p.samples {
+            return Err(format!(
+                "phase {:?}: torn {} exceeds samples {}",
+                p.phase, p.torn, p.samples
+            ));
+        }
+        let visible = p.samples - p.torn;
+        if visible > folded_total {
+            return Err(format!(
+                "phase {:?}: {} attributable samples exceed whole-run folded total {}",
+                p.phase, visible, folded_total
+            ));
+        }
+        phase_sum += visible;
+        if !(0.0..=1.0).contains(&p.attribution) {
+            return Err(format!("phase {:?}: attribution {} outside [0,1]", p.phase, p.attribution));
+        }
+        if p.attribution < min_attribution {
+            return Err(format!(
+                "phase {:?}: attribution {:.3} below required {:.3}",
+                p.phase, p.attribution, min_attribution
+            ));
+        }
+    }
+    if phase_sum > folded_total {
+        return Err(format!(
+            "phase sample deltas sum to {phase_sum}, exceeding whole-run folded total {folded_total}"
+        ));
+    }
+
+    // Exemplar resolution: every published p999 exemplar must point at a
+    // complete trace in the slowest cut.
+    let roots = root_trace_ids(slowest)?;
+    let mut n_exemplars = 0usize;
+    for pe in &exemplars {
+        for (value_ns, hex) in &pe.ids {
+            if !roots.contains(hex) {
+                return Err(format!(
+                    "phase {:?}: exemplar {hex} ({value_ns} ns) has no root span in slowest cut",
+                    pe.phase
+                ));
+            }
+            n_exemplars += 1;
+        }
+    }
+
+    Ok(format!(
+        "{} phases ({} samples over {} paths), {} exemplars all resolve, min attribution {:.1}%",
+        profiles.len(),
+        folded_total,
+        paths.len(),
+        n_exemplars,
+        profiles.iter().map(|p| p.attribution).fold(f64::INFINITY, f64::min) * 100.0
+    ))
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("profile_check: cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut min_attribution = 0.95;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--min-attribution" {
+            i += 1;
+            min_attribution = args
+                .get(i)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("profile_check: --min-attribution needs a number");
+                    std::process::exit(2);
+                });
+        } else {
+            files.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let [bench, folded, slowest] = files.as_slice() else {
+        eprintln!(
+            "usage: profile_check <BENCH.json> <PROFILE.folded> <TRACE_slowest.json> \
+             [--min-attribution 0.95]"
+        );
+        std::process::exit(2);
+    };
+    match validate(&read(bench), &read(folded), &read(slowest), min_attribution) {
+        Ok(s) => println!("profile_check: OK — {s}"),
+        Err(e) => {
+            eprintln!("profile_check: INVALID — {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BENCH: &str = r#"{
+      "phases": [
+        {"phase": "fillrandom", "threads": 2,
+         "profile": {"samples": 100, "ticks": 50, "torn": 2, "attribution": 0.99,
+                     "stall_share": 0.1, "fabric_share": 0.0, "top": [], "stall_fraction": 0.0},
+         "exemplars": [{"value_ns": 900, "bucket_floor_ns": 512,
+                        "trace_id": 161, "trace_id_hex": "0xa1"}]},
+        {"phase": "readrandom", "threads": 2,
+         "profile": {"samples": 60, "ticks": 30, "torn": 0, "attribution": 0.97,
+                     "stall_share": 0.0, "fabric_share": 0.2, "top": [], "stall_fraction": 0.0}}
+      ]
+    }"#;
+
+    const FOLDED: &str = "compute;phase:fill;put 120\ncompute;(stall:write) 40\n";
+
+    const SLOWEST: &str = r#"{"traceEvents":[
+      {"ph":"B","pid":0,"tid":1,"ts":1,"name":"op",
+       "args":{"trace_id":"0xa1","span_id":"0xa1","parent_id":"0x0","arg":0}},
+      {"ph":"E","pid":0,"tid":1,"ts":9,"name":"op"}
+    ]}"#;
+
+    #[test]
+    fn accepts_consistent_artifacts() {
+        let s = validate(BENCH, FOLDED, SLOWEST, 0.95).expect("must validate");
+        assert!(s.contains("2 phases"), "{s}");
+        assert!(s.contains("1 exemplars"), "{s}");
+    }
+
+    #[test]
+    fn rejects_low_attribution() {
+        let e = validate(BENCH, FOLDED, SLOWEST, 0.98).unwrap_err();
+        assert!(e.contains("attribution"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unresolvable_exemplar() {
+        // Same trace id but as a child span — a dangling fragment, not a
+        // complete trace.
+        let child_only = r#"{"traceEvents":[
+          {"ph":"B","pid":0,"tid":1,"ts":1,"name":"op",
+           "args":{"trace_id":"0xa1","span_id":"0xa2","parent_id":"0xa1","arg":0}},
+          {"ph":"E","pid":0,"tid":1,"ts":9,"name":"op"}
+        ]}"#;
+        let e = validate(BENCH, FOLDED, child_only, 0.95).unwrap_err();
+        assert!(e.contains("no root span"), "{e}");
+        let e = validate(BENCH, FOLDED, r#"{"traceEvents":[]}"#, 0.95).unwrap_err();
+        assert!(e.contains("no root span"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_monotone_sample_counts() {
+        // One phase alone exceeds the whole-run folded total.
+        let big = BENCH.replace(r#""samples": 100"#, r#""samples": 500"#);
+        let e = validate(&big, FOLDED, SLOWEST, 0.95).unwrap_err();
+        assert!(e.contains("exceed"), "{e}");
+        // Phases individually fit but their sum does not.
+        let sum = BENCH
+            .replace(r#""samples": 100"#, r#""samples": 150"#)
+            .replace(r#""samples": 60"#, r#""samples": 150"#);
+        let e = validate(&sum, FOLDED, SLOWEST, 0.95).unwrap_err();
+        assert!(e.contains("sum"), "{e}");
+    }
+
+    #[test]
+    fn rejects_malformed_folded_files() {
+        assert!(parse_folded("path;a 3\npath;b 4\n").is_ok());
+        assert!(parse_folded("noseparator\n").is_err());
+        assert!(parse_folded("path;a 0\n").is_err());
+        assert!(parse_folded("path;a x\n").is_err());
+        assert!(parse_folded("path;a 3\npath;a 4\n").is_err());
+        let e = validate(BENCH, "", SLOWEST, 0.95).unwrap_err();
+        assert!(e.contains("no sample paths"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bench_without_profile_blocks() {
+        let bare = r#"{"phases": [{"phase": "fillrandom", "threads": 1}]}"#;
+        let e = validate(bare, FOLDED, SLOWEST, 0.95).unwrap_err();
+        assert!(e.contains("no per-phase profile blocks"), "{e}");
+    }
+}

@@ -31,6 +31,23 @@ pub struct PhaseMetrics {
     /// Read-cache figures from the phase's `cache` block; `None` when the
     /// engine ran cache-off or the summary predates the cache subsystem.
     pub cache: Option<CachePhaseMetrics>,
+    /// Profiler figures from the phase's `profile` block; `None` unless the
+    /// run used `--profile` (the block predates nothing a gate needs — it
+    /// is informational, like `cache`).
+    pub profile: Option<ProfilePhaseMetrics>,
+}
+
+/// The per-phase continuous-profiler block `db_bench --profile` emits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfilePhaseMetrics {
+    /// Fraction of samples attributed to leaf span paths, 0..=1.
+    pub attribution: f64,
+    /// Fraction of samples in explicit stall (off-CPU) buckets.
+    pub stall_share: f64,
+    /// Fraction of samples waiting on the fabric (RDMA/RPC leaves).
+    pub fabric_share: f64,
+    /// Engine-counted writer-stall share of front-end thread wall-time.
+    pub stall_fraction: f64,
 }
 
 /// The per-phase read-cache block `db_bench` emits for dLSM engines.
@@ -91,6 +108,14 @@ impl BenchRun {
                     evictions: c.get("evictions").and_then(Json::as_num)? as u64,
                 })
             });
+            let profile = p.get("profile").and_then(|c| {
+                Some(ProfilePhaseMetrics {
+                    attribution: c.get("attribution").and_then(Json::as_num)?,
+                    stall_share: c.get("stall_share").and_then(Json::as_num)?,
+                    fabric_share: c.get("fabric_share").and_then(Json::as_num)?,
+                    stall_fraction: c.get("stall_fraction").and_then(Json::as_num)?,
+                })
+            });
             out.push(PhaseMetrics {
                 phase: p
                     .get("phase")
@@ -103,6 +128,7 @@ impl BenchRun {
                 p99_ns: num(lat, "p99_ns")? as u64,
                 read_ops_per_op,
                 cache,
+                profile,
             });
         }
         Ok(BenchRun { system, phases: out })
@@ -343,6 +369,45 @@ impl DiffReport {
                 out.push('\n');
             }
         }
+        // Profiler attribution, informational like the cache rows: when a
+        // latency gate fires, these say whether the time moved into stalls,
+        // onto the fabric, or stayed on-CPU.
+        let profile_rows: Vec<String> = self
+            .rows
+            .iter()
+            .filter_map(|r| {
+                let n = r.new.as_ref()?;
+                if r.base.profile.is_none() && n.profile.is_none() {
+                    return None;
+                }
+                let share = |p: Option<&ProfilePhaseMetrics>,
+                             f: fn(&ProfilePhaseMetrics) -> f64| match p {
+                    Some(m) => format!("{:.1}%", f(m) * 100.0),
+                    None => "—".to_string(),
+                };
+                let b = r.base.profile.as_ref();
+                let c = n.profile.as_ref();
+                Some(format!(
+                    "  {}: stall {} → {}, fabric {} → {}, write-stall {} → {}, attribution {} → {}",
+                    r.phase,
+                    share(b, |m| m.stall_share),
+                    share(c, |m| m.stall_share),
+                    share(b, |m| m.fabric_share),
+                    share(c, |m| m.fabric_share),
+                    share(b, |m| m.stall_fraction),
+                    share(c, |m| m.stall_fraction),
+                    share(b, |m| m.attribution),
+                    share(c, |m| m.attribution),
+                ))
+            })
+            .collect();
+        if !profile_rows.is_empty() {
+            out.push_str("profile time-share (informational):\n");
+            for row in profile_rows {
+                out.push_str(&row);
+                out.push('\n');
+            }
+        }
         for u in &self.unmatched {
             out.push_str(&format!("note: phase {u} has no baseline counterpart\n"));
         }
@@ -382,6 +447,7 @@ mod tests {
                     p99_ns: p99,
                     read_ops_per_op: None,
                     cache: None,
+                    profile: None,
                 })
                 .collect(),
         }
@@ -454,6 +520,54 @@ mod tests {
         // Runs with no cache/fabric data on either side stay table-only.
         let plain = diff(&run(&[("a", 1.0, 1, 1)]), &run(&[("a", 1.0, 1, 1)]), 15.0);
         assert!(!plain.render().contains("read cache"), "{}", plain.render());
+    }
+
+    #[test]
+    fn profile_deltas_parse_and_render_without_gating() {
+        let text = r#"{
+            "system": "dlsm",
+            "phases": [
+                {"phase": "randomread", "ops": 1000, "mops": 0.5,
+                 "latency": {"p50_ns": 1000, "p99_ns": 2000},
+                 "profile": {"samples": 5000, "ticks": 1000, "torn": 2,
+                             "attribution": 0.97, "stall_share": 0.12,
+                             "fabric_share": 0.33, "top": [],
+                             "stall_fraction": 0.08},
+                 "rdma": {}}
+            ]
+        }"#;
+        let parsed = BenchRun::parse(text).unwrap();
+        let prof = parsed.phases[0].profile.expect("profile block parsed");
+        assert!((prof.stall_share - 0.12).abs() < 1e-9);
+        assert!((prof.stall_fraction - 0.08).abs() < 1e-9);
+
+        let mut base = run(&[("randomread", 1.0, 1000, 5000)]);
+        base.phases[0].profile = Some(ProfilePhaseMetrics {
+            attribution: 0.99,
+            stall_share: 0.02,
+            fabric_share: 0.40,
+            stall_fraction: 0.01,
+        });
+        let mut new = run(&[("randomread", 1.0, 1000, 5000)]);
+        new.phases[0].profile = Some(ProfilePhaseMetrics {
+            attribution: 0.98,
+            stall_share: 0.30,
+            fabric_share: 0.10,
+            stall_fraction: 0.25,
+        });
+        let report = diff(&base, &new, 15.0);
+        assert!(!report.is_regression(), "profile lines must never gate");
+        let text = report.render();
+        assert!(text.contains("profile time-share"), "{text}");
+        assert!(text.contains("stall 2.0% → 30.0%"), "{text}");
+        assert!(text.contains("write-stall 1.0% → 25.0%"), "{text}");
+        // A profile block on one side only still renders.
+        new.phases[0].profile = None;
+        let half = diff(&base, &new, 15.0).render();
+        assert!(half.contains("stall 2.0% → —"), "{half}");
+        // No profile data on either side: section absent.
+        let plain = diff(&run(&[("a", 1.0, 1, 1)]), &run(&[("a", 1.0, 1, 1)]), 15.0);
+        assert!(!plain.render().contains("profile time-share"), "{}", plain.render());
     }
 
     #[test]

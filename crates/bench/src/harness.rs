@@ -9,7 +9,7 @@ use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use dlsm_baselines::Engine;
-use dlsm_telemetry::{HistSnapshot, LocalHist};
+use dlsm_telemetry::{Exemplar, ExemplarStore, HistSnapshot, LocalHist};
 
 use crate::generator::{stream_seed, KeyChooser};
 use crate::workload::{
@@ -32,6 +32,10 @@ pub struct PhaseResult {
     pub elapsed: Duration,
     /// Per-op latency distribution (nanoseconds), merged across threads.
     pub lat: HistSnapshot,
+    /// Tail exemplars (≥ p99 of this phase's distribution), slowest first:
+    /// each carries the trace id of the op that produced it, so a p999
+    /// number resolves to a concrete trace. Empty when tracing is off.
+    pub exemplars: Vec<Exemplar>,
 }
 
 impl PhaseResult {
@@ -73,21 +77,56 @@ fn merge_locals(locals: Vec<LocalHist>) -> HistSnapshot {
     all.snapshot()
 }
 
+/// A `phase:<name>` task label for [`dlsm_trace::profile_span`]. Leaked
+/// once per phase start — a handful of short strings per bench run.
+fn phase_label(name: &str) -> &'static str {
+    Box::leak(format!("phase:{name}").into_boxed_str())
+}
+
+/// Offer one finished op as a tail-exemplar candidate. With tracing on,
+/// the op's root span just closed on this thread, so
+/// [`dlsm_trace::last_trace_id`] identifies exactly this op's trace; the
+/// store keeps one sample per latency bucket.
+#[inline]
+fn offer_exemplar(store: &ExemplarStore, d: Duration) {
+    if dlsm_trace::enabled() {
+        // LOSSY: ~584 years of nanoseconds fit in u64.
+        store.record(d.as_nanos() as u64, dlsm_trace::last_trace_id());
+    }
+}
+
+/// The phase's ≥p99 exemplar cut, slowest first.
+fn exemplar_cut(store: &ExemplarStore, lat: &HistSnapshot) -> Vec<Exemplar> {
+    if lat.count() == 0 {
+        return Vec::new();
+    }
+    let mut v = store.snapshot_above(lat.quantile(0.99));
+    v.sort_by_key(|e| std::cmp::Reverse(e.value_ns));
+    v.truncate(dlsm_telemetry::MAX_EXEMPLARS_PER_CLASS);
+    v
+}
+
 /// `randomfill`: every key written exactly once, in spread-random order,
 /// from `threads` writers.
 pub fn run_fill(engine: &dyn Engine, spec: &WorkloadSpec, threads: usize) -> PhaseResult {
+    let label = phase_label(&Phase::RandomFill.name());
+    let exemplars = ExemplarStore::default();
     let t0 = Instant::now();
     let locals = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
+                let exemplars = &exemplars;
                 s.spawn(move || {
+                    let _task = dlsm_trace::profile_span(label);
                     let mut lat = LocalHist::new();
                     for i in fill_indices(spec, t as u64, threads as u64) {
                         let key = spec.key(i);
                         let value = spec.value(i, 0);
                         let op0 = Instant::now();
                         engine.put(&key, &value).expect("fill put");
-                        lat.record_elapsed(op0.elapsed());
+                        let d = op0.elapsed();
+                        lat.record_elapsed(d);
+                        offer_exemplar(exemplars, d);
                     }
                     lat
                 })
@@ -95,13 +134,15 @@ pub fn run_fill(engine: &dyn Engine, spec: &WorkloadSpec, threads: usize) -> Pha
             .collect();
         handles.into_iter().map(|h| h.join().expect("fill worker")).collect()
     });
+    let lat = merge_locals(locals);
     PhaseResult {
         phase: Phase::RandomFill.name(),
         engine: engine.name().to_string(),
         threads,
         ops: spec.num_kv,
         elapsed: t0.elapsed(),
-        lat: merge_locals(locals),
+        exemplars: exemplar_cut(&exemplars, &lat),
+        lat,
     }
 }
 
@@ -114,13 +155,17 @@ pub fn run_random_read(
 ) -> PhaseResult {
     let done = AtomicU64::new(0);
     let misses = AtomicU64::new(0);
+    let label = phase_label(&Phase::RandomRead.name());
+    let exemplars = ExemplarStore::default();
     let t0 = Instant::now();
     let locals = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let done = &done;
                 let misses = &misses;
+                let exemplars = &exemplars;
                 s.spawn(move || {
+                    let _task = dlsm_trace::profile_span(label);
                     let mut lat = LocalHist::new();
                     let mut rng = WorkloadRng::new(0xBEE5 + t as u64);
                     let mut reader = engine.reader();
@@ -131,7 +176,9 @@ pub fn run_random_read(
                         let key = spec.key(i);
                         let op0 = Instant::now();
                         let got = reader.get(&key).expect("read");
-                        lat.record_elapsed(op0.elapsed());
+                        let d = op0.elapsed();
+                        lat.record_elapsed(d);
+                        offer_exemplar(exemplars, d);
                         if got.is_none() {
                             // ORDERING: relaxed — progress counters; the worker join at the end of the run is the synchronization point.
                             misses.fetch_add(1, Ordering::Relaxed);
@@ -153,13 +200,15 @@ pub fn run_random_read(
         "{}: {missed}/{ops_done} reads missed — data loss?",
         engine.name()
     );
+    let lat = merge_locals(locals);
     PhaseResult {
         phase: Phase::RandomRead.name(),
         engine: engine.name().to_string(),
         threads,
         ops: ops_done,
         elapsed: t0.elapsed(),
-        lat: merge_locals(locals),
+        exemplars: exemplar_cut(&exemplars, &lat),
+        lat,
     }
 }
 
@@ -167,6 +216,7 @@ pub fn run_random_read(
 /// histogram holds one sample — the whole scan (per-entry `scan_next` time
 /// lives in the engine's own telemetry).
 pub fn run_scan(engine: &dyn Engine, expected: u64) -> PhaseResult {
+    let _task = dlsm_trace::profile_span(phase_label(&Phase::ReadSeq.name()));
     let t0 = Instant::now();
     let mut reader = engine.reader();
     let mut lat = LocalHist::new();
@@ -184,6 +234,8 @@ pub fn run_scan(engine: &dyn Engine, expected: u64) -> PhaseResult {
         ops: n,
         elapsed: t0.elapsed(),
         lat: lat.snapshot(),
+        // One op total — a "tail" exemplar of a single sample says nothing.
+        exemplars: Vec::new(),
     }
 }
 
@@ -196,11 +248,15 @@ pub fn run_mixed(
     ops: u64,
     read_pct: u8,
 ) -> PhaseResult {
+    let label = phase_label(&Phase::Mixed { read_pct }.name());
+    let exemplars = ExemplarStore::default();
     let t0 = Instant::now();
     let locals = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
+                let exemplars = &exemplars;
                 s.spawn(move || {
+                    let _task = dlsm_trace::profile_span(label);
                     let mut lat = LocalHist::new();
                     let mut rng = WorkloadRng::new(0x5EED + t as u64);
                     let mut reader = engine.reader();
@@ -210,11 +266,15 @@ pub fn run_mixed(
                         if rng.below(100) < u64::from(read_pct) {
                             let op0 = Instant::now();
                             let _ = reader.get(&spec.key(i)).expect("mixed read");
-                            lat.record_elapsed(op0.elapsed());
+                            let d = op0.elapsed();
+                            lat.record_elapsed(d);
+                            offer_exemplar(exemplars, d);
                         } else {
                             let op0 = Instant::now();
                             engine.put(&spec.key(i), &spec.value(i, n + 1)).expect("mixed write");
-                            lat.record_elapsed(op0.elapsed());
+                            let d = op0.elapsed();
+                            lat.record_elapsed(d);
+                            offer_exemplar(exemplars, d);
                         }
                     }
                     lat
@@ -223,13 +283,15 @@ pub fn run_mixed(
             .collect();
         handles.into_iter().map(|h| h.join().expect("mixed worker")).collect()
     });
+    let lat = merge_locals(locals);
     PhaseResult {
         phase: Phase::Mixed { read_pct }.name(),
         engine: engine.name().to_string(),
         threads,
         ops: (ops / threads as u64) * threads as u64,
         elapsed: t0.elapsed(),
-        lat: merge_locals(locals),
+        exemplars: exemplar_cut(&exemplars, &lat),
+        lat,
     }
 }
 
@@ -314,6 +376,8 @@ pub fn run_workload(
     // clock starts only when every thread is ready to issue traffic.
     let start_barrier = Barrier::new(threads);
     let t0_cell = parking_lot::Mutex::new(None::<Instant>);
+    let label = phase_label(&cfg.name);
+    let exemplars = ExemplarStore::default();
     let per = if duration.is_some() && ops == u64::MAX {
         u64::MAX
     } else {
@@ -324,7 +388,9 @@ pub fn run_workload(
             .map(|t| {
                 let start_barrier = &start_barrier;
                 let t0_cell = &t0_cell;
+                let exemplars = &exemplars;
                 s.spawn(move || {
+                    let _task = dlsm_trace::profile_span(label);
                     let mut part = ThreadPartition::new(
                         spec,
                         t as u64,
@@ -341,7 +407,7 @@ pub fn run_workload(
                     }
                     start_barrier.wait();
                     let t0 = *t0_cell.lock().get_or_insert_with(Instant::now);
-                    drive(engine, spec, cfg, &mut part, per, duration, t0)
+                    drive(engine, spec, cfg, &mut part, per, duration, t0, exemplars)
                 })
             })
             .collect();
@@ -364,6 +430,7 @@ pub fn run_workload(
         }
         locals.push(o.lat);
     }
+    let lat = merge_locals(locals);
     WorkloadOutcome {
         result: PhaseResult {
             phase: cfg.name.clone(),
@@ -371,7 +438,8 @@ pub fn run_workload(
             threads,
             ops: kind_counts.iter().sum(),
             elapsed,
-            lat: merge_locals(locals),
+            exemplars: exemplar_cut(&exemplars, &lat),
+            lat,
         },
         kind_counts,
         violations,
@@ -405,6 +473,7 @@ struct ThreadOutcome {
 }
 
 /// One thread's measured loop.
+#[allow(clippy::too_many_arguments)]
 fn drive(
     engine: &dyn Engine,
     spec: &WorkloadSpec,
@@ -413,6 +482,7 @@ fn drive(
     per: u64,
     duration: Option<Duration>,
     t0: Instant,
+    exemplars: &ExemplarStore,
 ) -> ThreadOutcome {
     let mut rng = WorkloadRng::new(stream_seed(cfg.seed, part.thread));
     let chooser = KeyChooser::new(cfg.chooser, part.owned.max(1));
@@ -460,7 +530,9 @@ fn drive(
                 let rank = choose_rank(&chooser, &mut rng, part);
                 let i = part.index(rank);
                 let got = reader.get(&spec.key(i)).expect("workload read");
-                out.lat.record_elapsed(op0.elapsed());
+                let d = op0.elapsed();
+                out.lat.record_elapsed(d);
+                offer_exemplar(exemplars, d);
                 if cfg.verify {
                     verify_read(&mut out, part, rank, i, got.as_deref());
                 }
@@ -482,7 +554,9 @@ fn drive(
                     spec.value(i, version)
                 };
                 engine.put(&spec.key(i), &value).expect("workload put");
-                out.lat.record_elapsed(op0.elapsed());
+                let d = op0.elapsed();
+                out.lat.record_elapsed(d);
+                offer_exemplar(exemplars, d);
                 record_write(part, rank, version, cfg.verify);
             }
             OpKind::Rmw => {
@@ -500,14 +574,18 @@ fn drive(
                     spec.value(i, version)
                 };
                 engine.put(&key, &value).expect("rmw write");
-                out.lat.record_elapsed(op0.elapsed());
+                let d = op0.elapsed();
+                out.lat.record_elapsed(d);
+                offer_exemplar(exemplars, d);
                 record_write(part, rank, version, cfg.verify);
             }
             OpKind::Delete => {
                 let rank = choose_rank(&chooser, &mut rng, part);
                 let i = part.index(rank);
                 engine.delete(&spec.key(i)).expect("workload delete");
-                out.lat.record_elapsed(op0.elapsed());
+                let d = op0.elapsed();
+                out.lat.record_elapsed(d);
+                offer_exemplar(exemplars, d);
                 if cfg.verify {
                     part.deleted[rank as usize] = true;
                 }
@@ -539,7 +617,9 @@ fn drive(
                         }
                     })
                     .expect("workload scan");
-                out.lat.record_elapsed(op0.elapsed());
+                let d = op0.elapsed();
+                out.lat.record_elapsed(d);
+                offer_exemplar(exemplars, d);
                 debug_assert!(visited <= len);
                 if let Some(msg) = bad {
                     out.violations += 1;
@@ -712,6 +792,47 @@ mod tests {
         assert!(out.kind_counts[0] > 500, "reads: {:?}", out.kind_counts);
         assert!(out.kind_counts[2] > 500, "updates: {:?}", out.kind_counts);
         assert_eq!(out.violations, 0, "violations: {:?}", out.violation_samples);
+        engine.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn tracing_on_yields_resolvable_exemplars() {
+        let fabric = Fabric::new(NetworkProfile::instant());
+        let server = MemServer::start(
+            &fabric,
+            MemServerConfig {
+                region_size: 96 << 20,
+                flush_zone: 40 << 20,
+                compaction_workers: 2,
+                dispatchers: 1,
+            },
+        );
+        let deps = EngineDeps {
+            ctx: ComputeContext::new(&fabric),
+            memnodes: vec![MemNodeHandle::from_server(&server)],
+        };
+        let engine = build_dlsm(&deps, DbConfig::small(), 1).unwrap();
+        let spec = WorkloadSpec { num_kv: 3_000, key_size: 20, value_size: 50 };
+        dlsm_trace::set_enabled(true);
+        let fill = run_fill(&engine, &spec, 2);
+        engine.wait_until_quiescent();
+        let rr = run_random_read(&engine, &spec, 2, 1_500);
+        dlsm_trace::set_enabled(false);
+        for r in [&fill, &rr] {
+            assert!(!r.exemplars.is_empty(), "{}: no exemplars with tracing on", r.phase);
+            let p99 = r.lat.quantile(0.99);
+            for e in &r.exemplars {
+                assert_ne!(e.trace_id, 0, "{}: exemplar without a trace id", r.phase);
+                assert!(
+                    e.bucket_max_ns() >= p99,
+                    "{}: exemplar bucket below the p99 cut",
+                    r.phase
+                );
+            }
+            // Slowest first.
+            assert!(r.exemplars.windows(2).all(|w| w[0].value_ns >= w[1].value_ns));
+        }
         engine.shutdown();
         server.shutdown();
     }

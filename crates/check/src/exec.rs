@@ -173,25 +173,31 @@ thread_local! {
 }
 
 /// Fast check used by the shim passthrough: is this OS thread part of a
-/// running model execution?
+/// running model execution? `try_with`: thread-local destructors (e.g. a
+/// trace recorder marking its live stack dead) still run shim ops after
+/// `CURRENT` itself was destroyed — they must take the passthrough, not
+/// panic mid-teardown (a panicking TLS destructor aborts the process).
 pub fn in_model() -> bool {
-    !std::thread::panicking() && CURRENT.with(|c| c.borrow().is_some())
+    !std::thread::panicking()
+        && CURRENT.try_with(|c| c.borrow().is_some()).unwrap_or(false)
 }
 
 pub(crate) fn current() -> Option<(Arc<Exec>, usize)> {
     if std::thread::panicking() {
         return None;
     }
-    CURRENT.with(|c| c.borrow().clone())
+    // try_with: passthrough during TLS destruction, see `in_model`.
+    CURRENT.try_with(|c| c.borrow().clone()).ok().flatten()
 }
 
 pub(crate) fn with_model<R>(f: impl FnOnce(&Arc<Exec>, usize) -> R) -> Option<R> {
     // While unwinding (violation or abort), guard Drop impls still run shim
     // ops; route them to the passthrough so we never panic inside a panic.
+    // Same for TLS destruction (try_with), see `in_model`.
     if std::thread::panicking() {
         return None;
     }
-    let cur = CURRENT.with(|c| c.borrow().clone());
+    let cur = CURRENT.try_with(|c| c.borrow().clone()).ok().flatten();
     cur.map(|(e, tid)| f(&e, tid))
 }
 
@@ -206,7 +212,8 @@ fn install_quiet_hook() {
     HOOK.call_once(|| {
         let prev = panic::take_hook();
         panic::set_hook(Box::new(move |info| {
-            let in_model = CURRENT.with(|c| c.borrow().is_some());
+            // try_with: a panic during TLS teardown must still report.
+            let in_model = CURRENT.try_with(|c| c.borrow().is_some()).unwrap_or(false);
             if !in_model {
                 prev(info);
             }

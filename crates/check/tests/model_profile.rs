@@ -1,0 +1,130 @@
+//! Model-check the profiler's live span-stack seqlock (`dlsm-trace` built
+//! with the `shim` feature, via its `model::ModelStack` handle): the owning
+//! thread pushes/pops frames while the sampler reads concurrently, and a
+//! sample must always be one of the stack's *real* prefix states — never a
+//! depth/frame mixture from two different instants.
+//!
+//! The straw-man twin publishes the depth word before the frame payload
+//! with no version guard (the "just use atomics" profiler); the checker
+//! must catch it handing the sampler a frame that was never pushed.
+
+use std::sync::Arc;
+
+use dlsm_check::shim::{thread, AtomicU64, Ordering};
+use dlsm_check::Checker;
+use dlsm_trace::model::ModelStack;
+
+/// The states the writer's program `push(1); pop(); push(2)` actually
+/// passes through, by frame args outermost-first. The second push reuses
+/// frame slot 0 in place (1 -> 2) — the overwrite is where an unguarded
+/// reader would blend two instants.
+fn is_real_state(s: &[u64]) -> bool {
+    matches!(s, [] | [1] | [2])
+}
+
+/// Owner mutating vs. concurrent sampler on the real seqlock stack: every
+/// successful sample is a state the stack truly occupied. Torn attempts
+/// return `None` (and are counted by the profiler) — they are never
+/// *served*. Exhaustive over >= 1000 interleavings.
+#[test]
+fn sampler_only_observes_real_stack_states() {
+    let report = Checker::new("profile-stack-sample")
+        .preemption_bound(4)
+        .explore(|| {
+            let stack = Arc::new(ModelStack::new());
+            let w = Arc::clone(&stack);
+            let t = thread::spawn(move || {
+                w.push(1);
+                w.pop();
+                w.push(2); // overwrites frame slot 0 in place: 1 -> 2
+            });
+            if let Some(s) = stack.try_sample() {
+                assert!(is_real_state(&s), "sampler observed impossible stack state {s:?}");
+            }
+            t.join().unwrap();
+        });
+    assert!(report.violation.is_none(), "stack seqlock violation: {:?}", report.violation);
+    assert!(report.complete, "state space truncated at {} executions", report.executions);
+    assert!(
+        report.executions >= 1000,
+        "expected >= 1000 interleavings, explored {}",
+        report.executions
+    );
+}
+
+/// The sampler must also never be *starved into lying*: at quiescence
+/// (writer joined) a sample always succeeds and reports the final state.
+#[test]
+fn quiescent_stack_always_samples_final_state() {
+    let report = Checker::new("profile-stack-quiescent")
+        .preemption_bound(4)
+        .explore(|| {
+            let stack = Arc::new(ModelStack::new());
+            let w = Arc::clone(&stack);
+            let t = thread::spawn(move || {
+                w.push(1);
+                w.push(2);
+                w.pop();
+            });
+            t.join().unwrap();
+            let s = stack.try_sample().expect("quiescent stack must never read torn");
+            assert_eq!(s, vec![1], "final state after push/push/pop");
+        });
+    assert!(report.violation.is_none(), "quiescent violation: {:?}", report.violation);
+    assert!(report.complete, "state space truncated at {} executions", report.executions);
+}
+
+/// The straw man the seqlock exists to rule out: depth published before
+/// the frame payload, no version word. A sampler can read the bumped depth
+/// and then the *unwritten* frame slot.
+struct TornStack {
+    depth: AtomicU64,
+    frames: [AtomicU64; 2],
+}
+
+impl TornStack {
+    fn new() -> TornStack {
+        TornStack { depth: AtomicU64::new(0), frames: [AtomicU64::new(0), AtomicU64::new(0)] }
+    }
+
+    /// Buggy push: the depth word races ahead of its frame.
+    fn push(&self, arg: u64) {
+        let d = self.depth.load(Ordering::Relaxed) as usize;
+        self.depth.store(d as u64 + 1, Ordering::Release);
+        self.frames[d].store(arg, Ordering::Release);
+    }
+
+    /// Reader with no recheck: trusts whatever depth it saw first.
+    fn sample(&self) -> Vec<u64> {
+        let d = (self.depth.load(Ordering::Acquire) as usize).min(2);
+        (0..d).map(|i| self.frames[i].load(Ordering::Acquire)).collect()
+    }
+}
+
+/// The checker *must* catch the straw man serving a frame that was never
+/// pushed (arg 0 where only 1 and 2 exist). If this stops failing, the
+/// model — or the scheduler driving it — broke.
+#[test]
+fn torn_strawman_is_caught_serving_phantom_frames() {
+    let report = Checker::new("profile-stack-strawman")
+        .preemption_bound(4)
+        .explore(|| {
+            let stack = Arc::new(TornStack::new());
+            let w = Arc::clone(&stack);
+            let t = thread::spawn(move || {
+                w.push(1);
+                w.push(2);
+            });
+            let s = stack.sample();
+            assert!(
+                matches!(s.as_slice(), [] | [1] | [1, 2]),
+                "straw-man sampler observed phantom stack state {s:?}"
+            );
+            t.join().unwrap();
+        });
+    assert!(
+        report.violation.is_some(),
+        "checker failed to catch the torn straw man in {} executions",
+        report.executions
+    );
+}

@@ -385,7 +385,7 @@ impl Shared {
                     }
                 }
                 // One Put sample per committed batch (not per entry).
-                self.telemetry.ops.record_elapsed(dlsm_telemetry::OpClass::Put, t0.elapsed());
+                self.telemetry.record_op(dlsm_telemetry::OpClass::Put, t0.elapsed());
                 return Ok(crate::batch::BatchCommit { first_seq: base, count: n });
             }
         }
@@ -401,7 +401,7 @@ impl Shared {
             SwitchProtocol::NaiveDoubleChecked => self.write_naive(user_key, value, vt),
         };
         if result.is_ok() {
-            self.telemetry.ops.record_elapsed(dlsm_telemetry::OpClass::Put, t0.elapsed());
+            self.telemetry.record_op(dlsm_telemetry::OpClass::Put, t0.elapsed());
         }
         result
     }
@@ -1035,7 +1035,7 @@ impl DbReader {
             } else {
                 dlsm_telemetry::OpClass::GetMiss
             };
-            self.shared.telemetry.ops.record_elapsed(class, t0.elapsed());
+            self.shared.telemetry.record_op(class, t0.elapsed());
         }
         outcome
     }
@@ -1414,6 +1414,9 @@ impl DbReader {
 }
 
 fn flush_loop(shared: Arc<Shared>, rx: Receiver<Arc<MemTable>>) {
+    // Profiler task root: samples of this thread — including idle recv
+    // waits between flushes — attribute to the flush worker.
+    let _task = dlsm_trace::profile_span("flush_worker");
     let mut qp;
     let mut rpc;
     let two_sided = shared.cfg.data_path == DataPath::TwoSidedRpc;
@@ -1484,10 +1487,7 @@ fn flush_loop(shared: Arc<Shared>, rx: Receiver<Arc<MemTable>>) {
                 shared.cfg.flush_poll_timeout,
             ) {
                 Ok(out) => {
-                    shared
-                        .telemetry
-                        .ops
-                        .record_elapsed(dlsm_telemetry::OpClass::Flush, t_flush.elapsed());
+                    shared.telemetry.record_op(dlsm_telemetry::OpClass::Flush, t_flush.elapsed());
                     break Some(out);
                 }
                 Err(DbError::OutOfRemoteMemory { .. }) => {
@@ -1558,6 +1558,8 @@ fn flush_loop(shared: Arc<Shared>, rx: Receiver<Arc<MemTable>>) {
 }
 
 fn compaction_loop(shared: Arc<Shared>) {
+    // Profiler task root (see flush_loop).
+    let _task = dlsm_trace::profile_span("compaction_worker");
     let mut compact_pointer: Vec<Vec<u8>> = Vec::new();
     let mut gc_client: Option<RpcClient> = None;
     let mut consecutive_failures = 0u32;
@@ -1637,10 +1639,7 @@ fn compaction_loop(shared: Arc<Shared>) {
         };
         match result {
             Ok(outcome) => {
-                shared
-                    .telemetry
-                    .ops
-                    .record_elapsed(dlsm_telemetry::OpClass::CompactRpc, t_compact.elapsed());
+                shared.telemetry.record_op(dlsm_telemetry::OpClass::CompactRpc, t_compact.elapsed());
                 consecutive_failures = 0;
                 let mut edit = VersionEdit::default();
                 edit.delete(job.level, job.inputs_lo.iter().map(|t| t.id).collect());

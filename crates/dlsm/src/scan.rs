@@ -235,9 +235,7 @@ impl Iterator for DbScan {
         let t0 = std::time::Instant::now();
         let item = self.step().transpose();
         if item.is_some() {
-            self.telemetry
-                .ops
-                .record_elapsed(dlsm_telemetry::OpClass::ScanNext, t0.elapsed());
+            self.telemetry.record_op(dlsm_telemetry::OpClass::ScanNext, t0.elapsed());
         }
         item
     }

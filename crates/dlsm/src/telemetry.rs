@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dlsm_memnode::ClientNetStats;
-use dlsm_telemetry::{Histogram, OpHistograms, TelemetrySnapshot, VerbTraffic};
+use dlsm_telemetry::{Histogram, OpClass, OpHistograms, TelemetrySnapshot, VerbTraffic};
 
 /// Lock-free telemetry shared by one database instance and every reader,
 /// flush thread, and compaction coordinator it spawns.
@@ -78,6 +78,20 @@ impl DbTelemetry {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one finished op, pinning the sample to the op's open trace
+    /// (if any) so high-bucket latencies carry an exemplar trace id. Call
+    /// while the op span is still open; with tracing off this is exactly
+    /// `ops.record_elapsed`.
+    #[inline]
+    pub(crate) fn record_op(&self, class: OpClass, d: std::time::Duration) {
+        // LOSSY: ~584 years of nanoseconds fit in u64.
+        let nanos = d.as_nanos() as u64;
+        match dlsm_trace::current_ctx() {
+            Some(ctx) => self.ops.record_traced(class, nanos, ctx.trace_id),
+            None => self.ops.record(class, nanos),
+        }
+    }
+
     /// Account one finished stall episode to its cause.
     pub(crate) fn note_stall(&self, reason: StallReason, micros: u64) {
         let (events, total) = match reason {
@@ -95,6 +109,12 @@ impl DbTelemetry {
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let mut s = TelemetrySnapshot::new();
         s.ops = self.ops.snapshot().to_vec();
+        for class in OpClass::ALL {
+            let high = self.ops.exemplars_above_p99(class);
+            if !high.is_empty() {
+                s.set_exemplars(class.name(), high);
+            }
+        }
         s.set_breakdown("get_memtable", self.get_memtable.snapshot());
         s.set_breakdown("get_l0", self.get_l0.snapshot());
         s.set_breakdown("get_deep", self.get_deep.snapshot());

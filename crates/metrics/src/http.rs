@@ -27,7 +27,15 @@ impl Source {
     fn render(&self) -> String {
         match self {
             Source::Live(reg) => reg.render(),
-            Source::Cached(sampler) => expo::render(&sampler.latest()),
+            Source::Cached(sampler) => {
+                // Stamp sampler health onto every cached scrape: a wedged
+                // sampler otherwise serves an ever-staler sample that looks
+                // perfectly healthy to the scraper.
+                let mut s = sampler.latest();
+                s.gauge("dlsm_sampler_staleness_seconds", sampler.staleness().as_secs_f64());
+                s.gauge("dlsm_sampler_rounds", sampler.rounds() as f64);
+                expo::render(&s)
+            }
         }
     }
 }
@@ -206,6 +214,8 @@ mod tests {
             serve(reg, "127.0.0.1:0", Some(Duration::from_millis(10))).expect("bind");
         let resp = http_get(server.local_addr(), "/metrics");
         assert!(resp.contains("g 7"), "got: {resp}");
+        assert!(resp.contains("dlsm_sampler_staleness_seconds"), "got: {resp}");
+        assert!(resp.contains("dlsm_sampler_rounds"), "got: {resp}");
     }
 
     #[test]

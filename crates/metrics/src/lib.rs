@@ -25,9 +25,11 @@
 
 pub mod expo;
 mod http;
+mod process;
 mod sampler;
 
 pub use http::{serve, MetricsServer};
+pub use process::register_process_metrics;
 pub use sampler::GaugeSampler;
 
 use std::sync::{Arc, Mutex, MutexGuard};

@@ -1,0 +1,106 @@
+//! Process identity & liveness metrics (ISSUE 8 satellite): every scrape
+//! should say *what build* is serving it and *how long* the process has
+//! been up — without that, a dashboard cannot tell a restarted node from a
+//! wedged one, or correlate a perf change with the commit that caused it.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use crate::{MetricsRegistry, Sample};
+
+/// Best-effort short git commit hash for the running build: the
+/// `DLSM_GIT_HASH` environment variable if set (CI), else a walk up from
+/// the working directory to `.git/HEAD`, else `"unknown"`. Resolved once
+/// at registration — the binary does not change mid-run.
+fn git_hash() -> String {
+    if let Ok(h) = std::env::var("DLSM_GIT_HASH") {
+        let h = h.trim().to_string();
+        if !h.is_empty() {
+            return truncate_hash(h);
+        }
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    for _ in 0..8 {
+        let head = dir.join(".git/HEAD");
+        if let Ok(contents) = std::fs::read_to_string(&head) {
+            let contents = contents.trim();
+            if let Some(refpath) = contents.strip_prefix("ref: ") {
+                if let Ok(hash) = std::fs::read_to_string(dir.join(".git").join(refpath.trim())) {
+                    return truncate_hash(hash.trim().to_string());
+                }
+                // Packed refs: scan for the ref name.
+                if let Ok(packed) = std::fs::read_to_string(dir.join(".git/packed-refs")) {
+                    for line in packed.lines() {
+                        if let Some(hash) = line.strip_suffix(refpath.trim()) {
+                            return truncate_hash(hash.trim().to_string());
+                        }
+                    }
+                }
+                return "unknown".into();
+            }
+            return truncate_hash(contents.to_string()); // detached HEAD
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    "unknown".into()
+}
+
+fn truncate_hash(mut h: String) -> String {
+    if h.len() >= 12 && h.chars().all(|c| c.is_ascii_hexdigit()) {
+        h.truncate(12);
+        h
+    } else if h.is_empty() {
+        "unknown".into()
+    } else {
+        h
+    }
+}
+
+/// Register the process-identity collectors on `registry`:
+///
+/// * `dlsm_build_info{version,git_hash} 1` — the classic info-gauge
+///   pattern: the value is constant, the labels carry the identity.
+/// * `dlsm_process_uptime_seconds` — seconds since registration (process
+///   start, as long as callers register at startup).
+pub fn register_process_metrics(registry: &MetricsRegistry) {
+    let start = Instant::now();
+    let version = env!("CARGO_PKG_VERSION");
+    let git = git_hash();
+    registry.register(move |out: &mut Sample| {
+        out.gauge_with("dlsm_build_info", &[("version", version), ("git_hash", git.as_str())], 1.0);
+        out.gauge("dlsm_process_uptime_seconds", start.elapsed().as_secs_f64());
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_info_and_uptime_are_served() {
+        let reg = MetricsRegistry::new();
+        register_process_metrics(&reg);
+        let s = reg.gather();
+        let info = s.gauges.iter().find(|g| g.name == "dlsm_build_info").expect("build info");
+        assert_eq!(info.value, 1.0);
+        assert!(info.labels.iter().any(|(k, v)| *k == "version" && !v.is_empty()));
+        assert!(info.labels.iter().any(|(k, v)| *k == "git_hash" && !v.is_empty()));
+        let up = s.gauge_value("dlsm_process_uptime_seconds", &[]).expect("uptime");
+        assert!(up >= 0.0);
+        // Uptime advances between gathers.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let up2 = reg.gather().gauge_value("dlsm_process_uptime_seconds", &[]).unwrap();
+        assert!(up2 > up);
+    }
+
+    #[test]
+    fn env_override_wins_and_is_truncated() {
+        // Not set via std::env::set_var (process-global, racy across
+        // tests); exercise the truncation helper directly instead.
+        assert_eq!(truncate_hash("0123456789abcdef0123".into()), "0123456789ab");
+        assert_eq!(truncate_hash("short".into()), "short");
+        assert_eq!(truncate_hash(String::new()), "unknown");
+    }
+}

@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::{lock, MetricsRegistry, Sample};
 
@@ -17,6 +17,10 @@ use crate::{lock, MetricsRegistry, Sample};
 pub struct GaugeSampler {
     latest: Arc<Mutex<Sample>>,
     rounds: Arc<AtomicU64>,
+    /// Microseconds since `epoch` at which the latest round completed —
+    /// `staleness()` turns this into "how old is the cached sample".
+    last_round_us: Arc<AtomicU64>,
+    epoch: Instant,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
@@ -24,12 +28,15 @@ pub struct GaugeSampler {
 impl GaugeSampler {
     /// Start sampling `registry` every `period`.
     pub fn start(registry: Arc<MetricsRegistry>, period: Duration) -> GaugeSampler {
+        let epoch = Instant::now();
         let latest = Arc::new(Mutex::new(registry.gather()));
         let rounds = Arc::new(AtomicU64::new(1));
+        let last_round_us = Arc::new(AtomicU64::new(0));
         let stop = Arc::new(AtomicBool::new(false));
         let handle = {
             let latest = latest.clone();
             let rounds = rounds.clone();
+            let last_round_us = last_round_us.clone();
             let stop = stop.clone();
             std::thread::Builder::new()
                 .name("gauge-sampler".into())
@@ -45,12 +52,16 @@ impl GaugeSampler {
                         elapsed = Duration::ZERO;
                         let sample = registry.gather();
                         *lock(&latest) = sample;
+                        // LOSSY: micros-since-start fits u64 for ~584k years.
+                        // ORDERING: relaxed — staleness is an advisory gauge.
+                        last_round_us
+                            .store(epoch.elapsed().as_micros() as u64, Ordering::Relaxed);
                         rounds.fetch_add(1, Ordering::Release);
                     }
                 })
                 .expect("spawn gauge-sampler")
         };
-        GaugeSampler { latest, rounds, stop, handle: Some(handle) }
+        GaugeSampler { latest, rounds, last_round_us, epoch, stop, handle: Some(handle) }
     }
 
     /// The most recent sample (always at least the start-time one).
@@ -61,6 +72,16 @@ impl GaugeSampler {
     /// How many collection rounds have completed (≥ 1).
     pub fn rounds(&self) -> u64 {
         self.rounds.load(Ordering::Acquire)
+    }
+
+    /// Age of the cached sample: time since the last completed collection
+    /// round. A scraper watching `dlsm_sampler_staleness_seconds` can tell
+    /// a wedged sampler (staleness ≫ period) from a healthy one.
+    pub fn staleness(&self) -> Duration {
+        // ORDERING: relaxed — advisory gauge, a stale read just shifts the
+        // reported age by at most one round.
+        let last = Duration::from_micros(self.last_round_us.load(Ordering::Relaxed));
+        self.epoch.elapsed().saturating_sub(last)
     }
 
     /// Stop the sampling thread and wait for it to exit.
@@ -113,5 +134,16 @@ mod tests {
         let after = sampler.rounds();
         std::thread::sleep(Duration::from_millis(30));
         assert_eq!(sampler.rounds(), after, "thread still running after stop");
+    }
+
+    #[test]
+    fn staleness_grows_once_stopped() {
+        let reg = MetricsRegistry::new();
+        let mut sampler = GaugeSampler::start(reg, Duration::from_millis(5));
+        sampler.stop();
+        let s1 = sampler.staleness();
+        std::thread::sleep(Duration::from_millis(20));
+        let s2 = sampler.staleness();
+        assert!(s2 > s1, "staleness did not grow after stop: {s1:?} -> {s2:?}");
     }
 }

@@ -14,10 +14,12 @@
 //! This crate depends on nothing but `std`, so every layer — `rdma-sim`
 //! consumers, `dlsm`, `memnode`, `bench`, `chaos` — can use it freely.
 
+mod exemplar;
 mod hist;
 mod json;
 mod sync;
 
+pub use exemplar::{Exemplar, ExemplarStore};
 pub use hist::{bucket_floor, bucket_index, bucket_max, HistSnapshot, Histogram, LocalHist, BUCKETS};
 pub use json::JsonWriter;
 
@@ -73,11 +75,13 @@ impl OpClass {
     }
 }
 
-/// One shared [`Histogram`] per [`OpClass`]. Recording is lock-free; a
+/// One shared [`Histogram`] per [`OpClass`], each with an [`ExemplarStore`]
+/// pinning its high buckets to trace ids. Recording is lock-free; a
 /// snapshot freezes all six at once.
 #[derive(Debug, Default)]
 pub struct OpHistograms {
     hists: [Histogram; 6],
+    exemplars: [ExemplarStore; 6],
 }
 
 impl OpHistograms {
@@ -90,10 +94,24 @@ impl OpHistograms {
         &self.hists[class.idx()]
     }
 
+    /// Exemplar slots for one op class.
+    #[inline]
+    pub fn exemplars(&self, class: OpClass) -> &ExemplarStore {
+        &self.exemplars[class.idx()]
+    }
+
     /// Record a latency (nanoseconds) for one operation class.
     #[inline]
     pub fn record(&self, class: OpClass, nanos: u64) {
         self.hists[class.idx()].record(nanos);
+    }
+
+    /// [`record`](OpHistograms::record), and — when `trace_id` is nonzero —
+    /// also offer the sample as its bucket's exemplar.
+    #[inline]
+    pub fn record_traced(&self, class: OpClass, nanos: u64, trace_id: u64) {
+        self.hists[class.idx()].record(nanos);
+        self.exemplars[class.idx()].record(nanos, trace_id);
     }
 
     #[inline]
@@ -103,6 +121,16 @@ impl OpHistograms {
 
     pub fn snapshot(&self) -> [HistSnapshot; 6] {
         OpClass::ALL.map(|c| self.hists[c.idx()].snapshot())
+    }
+
+    /// Exemplars for `class` in buckets at or above this class's current
+    /// p99 — the cut [`TelemetrySnapshot`] carries.
+    pub fn exemplars_above_p99(&self, class: OpClass) -> Vec<Exemplar> {
+        let h = self.hists[class.idx()].snapshot();
+        if h.count() == 0 {
+            return Vec::new();
+        }
+        self.exemplars[class.idx()].snapshot_above(h.p99())
     }
 }
 
@@ -137,7 +165,13 @@ pub struct TelemetrySnapshot {
     pub counters: Vec<(String, u64)>,
     /// Per-verb RDMA traffic, in verb order.
     pub rdma: Vec<VerbTraffic>,
+    /// High-bucket exemplars per op-class name, sorted by name: every
+    /// p999 in this snapshot's histograms resolves to a trace id here.
+    pub exemplars: Vec<(String, Vec<Exemplar>)>,
 }
+
+/// Exemplars retained per op class after a merge (slowest kept).
+pub const MAX_EXEMPLARS_PER_CLASS: usize = 32;
 
 impl TelemetrySnapshot {
     pub fn new() -> TelemetrySnapshot {
@@ -178,6 +212,22 @@ impl TelemetrySnapshot {
         match self.breakdown.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
             Ok(i) => self.breakdown[i].1 = h,
             Err(i) => self.breakdown.insert(i, (name.to_string(), h)),
+        }
+    }
+
+    /// Exemplars recorded for one op-class name (empty if absent).
+    pub fn exemplars_for(&self, name: &str) -> &[Exemplar] {
+        self.exemplars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    pub fn set_exemplars(&mut self, name: &str, v: Vec<Exemplar>) {
+        match self.exemplars.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => self.exemplars[i].1 = v,
+            Err(i) => self.exemplars.insert(i, (name.to_string(), v)),
         }
     }
 
@@ -224,6 +274,15 @@ impl TelemetrySnapshot {
             } else {
                 self.rdma.push(t.clone());
             }
+        }
+        // Exemplars from different sources: union per class, slowest
+        // first, capped so merged snapshots stay bounded.
+        for (name, theirs) in &other.exemplars {
+            let mut combined = self.exemplars_for(name).to_vec();
+            combined.extend(theirs.iter().copied());
+            combined.sort_by_key(|e| std::cmp::Reverse(e.value_ns));
+            combined.truncate(MAX_EXEMPLARS_PER_CLASS);
+            self.set_exemplars(name, combined);
         }
     }
 
@@ -287,7 +346,19 @@ impl TelemetrySnapshot {
                 rdma.push(VerbTraffic { verb: t.verb.clone(), ops: 0, bytes: 0 });
             }
         }
-        TelemetrySnapshot { ops, breakdown, counters, rdma }
+        // An exemplar that already existed verbatim in `earlier` was not
+        // re-recorded during the interval: drop it. Identity (not seq
+        // comparison) so merged multi-shard snapshots — whose seq counters
+        // are independent — still delta correctly.
+        let exemplars = self
+            .exemplars
+            .iter()
+            .map(|(name, v)| {
+                let old = earlier.exemplars_for(name);
+                (name.clone(), v.iter().filter(|e| !old.contains(e)).copied().collect())
+            })
+            .collect();
+        TelemetrySnapshot { ops, breakdown, counters, rdma, exemplars }
     }
 
     /// Serialize into an open JSON object (caller owns begin/end, so extra
@@ -323,6 +394,15 @@ impl TelemetrySnapshot {
             w.end_object();
         }
         w.end_object();
+        if !self.exemplars.is_empty() {
+            w.key("exemplars");
+            w.begin_object();
+            for (name, v) in &self.exemplars {
+                w.key(name);
+                write_exemplars_json(w, v);
+            }
+            w.end_object();
+        }
     }
 
     /// Standalone JSON object.
@@ -347,6 +427,22 @@ pub fn write_hist_json(w: &mut JsonWriter, h: &HistSnapshot) {
     w.field_u64("p999_ns", h.p999());
     w.field_u64("max_ns", h.max());
     w.end_object();
+}
+
+/// Exemplar list as a JSON array: value, bucket bounds, and the trace id
+/// both as a decimal and as the `0x` hex string the Chrome trace dump uses
+/// (so tooling can grep one against the other).
+pub fn write_exemplars_json(w: &mut JsonWriter, v: &[Exemplar]) {
+    w.begin_array();
+    for e in v {
+        w.begin_object();
+        w.field_u64("value_ns", e.value_ns);
+        w.field_u64("bucket_floor_ns", e.bucket_floor_ns());
+        w.field_u64("trace_id", e.trace_id);
+        w.field_str("trace_id_hex", &format!("{:#x}", e.trace_id));
+        w.end_object();
+    }
+    w.end_array();
 }
 
 #[cfg(test)]
@@ -444,6 +540,34 @@ mod tests {
         for key in ["\"ops\"", "\"get_hit\"", "\"p50_ns\"", "\"p99_ns\"", "\"counters\"", "\"rdma\"", "\"bytes\""] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn exemplars_merge_and_delta() {
+        let ops = OpHistograms::new();
+        // 100 fast ops and one slow one: p99 sits below the slow sample.
+        for _ in 0..100 {
+            ops.record_traced(OpClass::GetHit, 1_000, 0x1);
+        }
+        ops.record_traced(OpClass::GetHit, 9_000_000, 0xBEEF);
+        let high = ops.exemplars_above_p99(OpClass::GetHit);
+        assert!(high.iter().any(|e| e.trace_id == 0xBEEF && e.value_ns == 9_000_000), "{high:?}");
+
+        let mut a = TelemetrySnapshot::new();
+        a.set_exemplars("get_hit", high.clone());
+        let mut b = TelemetrySnapshot::new();
+        b.set_exemplars("get_hit", vec![Exemplar { bucket: 400, value_ns: 50_000_000, trace_id: 0xCAFE, seq: 1 }]);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.exemplars_for("get_hit")[0].trace_id, 0xCAFE, "slowest first");
+
+        // Delta drops exemplars already present verbatim in `earlier`.
+        let d = m.delta(&a);
+        assert!(d.exemplars_for("get_hit").iter().all(|e| e.trace_id == 0xCAFE));
+
+        let json = m.to_json();
+        assert!(json.contains("\"exemplars\""), "{json}");
+        assert!(json.contains("\"trace_id_hex\":\"0xcafe\""), "{json}");
     }
 
     #[test]

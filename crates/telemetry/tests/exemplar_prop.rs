@@ -1,0 +1,103 @@
+//! Property tests for exemplar capture under concurrent recorders (ISSUE 8
+//! satellite): however many threads race on the same [`ExemplarStore`],
+//! every exemplar that comes out must be *internally consistent* — its
+//! trace id belongs to an op that was actually recorded with a latency in
+//! that exemplar's bucket range. A torn slot (writer A's value paired with
+//! writer B's trace id) would violate this, because each recorded pair
+//! encodes its value in its trace id.
+
+use dlsm_telemetry::{bucket_index, ExemplarStore, OpClass, OpHistograms};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Encode the recorded value into its trace id, tagged per thread, so the
+/// oracle can recompute what a consistent (value, trace) pairing must be.
+fn trace_for(thread: u64, value_ns: u64) -> u64 {
+    (thread + 1) << 48 | (value_ns & 0xFFFF_FFFF_FFFF)
+}
+
+fn value_strategy() -> impl Strategy<Value = u64> {
+    any::<u64>().prop_map(|raw| match raw % 3 {
+        0 => (raw >> 2) % 1_000 + 1,
+        1 => (raw >> 2) % 1_000_000 + 1,
+        _ => (raw >> 2) % 10_000_000_000 + 1,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Concurrent recorders never produce a torn exemplar: every snapshot
+    /// entry's trace id decodes to a value in the same bucket the exemplar
+    /// claims, and the value itself was genuinely recorded by that thread.
+    #[test]
+    fn concurrent_exemplars_are_never_torn(
+        per_thread in prop::collection::vec(
+            prop::collection::vec(value_strategy(), 1..60), 2..5),
+    ) {
+        let store = Arc::new(ExemplarStore::new());
+        let all: Vec<Vec<u64>> = per_thread;
+        std::thread::scope(|s| {
+            for (t, values) in all.iter().enumerate() {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    for &v in values {
+                        store.record(v, trace_for(t as u64, v));
+                    }
+                });
+            }
+        });
+        for e in store.snapshot() {
+            let thread = (e.trace_id >> 48) - 1;
+            prop_assert!((thread as usize) < all.len(), "unknown thread in {e:?}");
+            // The trace id must encode the exemplar's own value: a torn
+            // slot mixing two writers' words fails here.
+            prop_assert_eq!(
+                e.trace_id, trace_for(thread, e.value_ns),
+                "value/trace pairing torn: {:?}", e
+            );
+            // The claimed bucket is the value's bucket...
+            prop_assert_eq!(e.bucket, bucket_index(e.value_ns));
+            prop_assert!(e.value_ns >= e.bucket_floor_ns());
+            prop_assert!(e.value_ns <= e.bucket_max_ns());
+            // ...and that thread really recorded that value.
+            prop_assert!(
+                all[thread as usize].contains(&e.value_ns),
+                "exemplar {:?} was never recorded by thread {}", e, thread
+            );
+        }
+    }
+
+    /// The ≥p99 cut through OpHistograms: every exemplar it returns sits in
+    /// a bucket at or above the p99 bucket, and belongs to a recorded op in
+    /// that latency range.
+    #[test]
+    fn p99_cut_returns_only_high_bucket_ops(
+        values in prop::collection::vec(value_strategy(), 10..300),
+    ) {
+        let ops = OpHistograms::new();
+        std::thread::scope(|s| {
+            for chunk in values.chunks(64) {
+                let ops = &ops;
+                s.spawn(move || {
+                    for &v in chunk {
+                        ops.record_traced(OpClass::Put, v, trace_for(0, v));
+                    }
+                });
+            }
+        });
+        let p99 = ops.hist(OpClass::Put).snapshot().p99();
+        let high = ops.exemplars_above_p99(OpClass::Put);
+        // The slowest op always has an exemplar in the cut.
+        let max = *values.iter().max().unwrap();
+        prop_assert!(
+            high.iter().any(|e| bucket_index(e.value_ns) == bucket_index(max)),
+            "max value {} missing from {:?}", max, high
+        );
+        for e in high {
+            prop_assert!(e.bucket >= bucket_index(p99), "{e:?} below p99 bucket");
+            prop_assert_eq!(e.trace_id, trace_for(0, e.value_ns), "torn: {:?}", e);
+            prop_assert!(values.contains(&e.value_ns), "never recorded: {e:?}");
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Live span-stack publication for the continuous profiler (DESIGN.md §12).
+//!
+//! Every profiled thread owns one [`LiveStackShared`]: a fixed array of
+//! [`STACK_CAP`] frames plus a depth word, guarded by a single seqlock
+//! version word. The owning thread is the only writer — a span open/close
+//! is a handful of `Relaxed` stores bracketed by the version bump, exactly
+//! the discipline the trace rings use — and the profiler's sampler thread
+//! reads with the usual acquire/recheck dance, rejecting (and counting)
+//! torn snapshots instead of ever blocking the mutatee.
+//!
+//! With profiling disabled a probe never touches this module; with it
+//! enabled the cost per span is ~6 relaxed stores and two fences.
+
+use crate::sync::{fence, AtomicU64, Ordering};
+use crate::Category;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Frames retained per thread stack. Deeper nesting still counts toward
+/// `depth` (so pops stay balanced) but the extra frames are not stored;
+/// the sample is flagged truncated.
+pub const STACK_CAP: usize = 32;
+
+/// Words per frame: `[name_ptr, name_len, meta]` with `meta` packing
+/// `category | arg << 8`.
+const FRAME_WORDS: usize = 3;
+
+pub(crate) struct LiveStackShared {
+    tid: u64,
+    /// 1 while the owning thread is alive; 0 once its thread-locals ran
+    /// down. Dead stacks are skipped by the sampler (their threads no
+    /// longer accumulate wall-time).
+    alive: AtomicU64,
+    node_id: AtomicU64,
+    node_label_ptr: AtomicU64,
+    node_label_len: AtomicU64,
+    /// Seqlock version word: odd = the owner is mutating the stack.
+    version: AtomicU64,
+    /// True open-frame count (may exceed [`STACK_CAP`]).
+    depth: AtomicU64,
+    frames: [[AtomicU64; FRAME_WORDS]; STACK_CAP],
+}
+
+impl LiveStackShared {
+    pub(crate) fn new(tid: u64, node_id: u64, node_label: &'static str) -> LiveStackShared {
+        LiveStackShared {
+            tid,
+            alive: AtomicU64::new(1),
+            node_id: AtomicU64::new(node_id),
+            node_label_ptr: AtomicU64::new(node_label.as_ptr() as u64),
+            node_label_len: AtomicU64::new(node_label.len() as u64),
+            version: AtomicU64::new(0),
+            depth: AtomicU64::new(0),
+            frames: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+        }
+    }
+
+    pub(crate) fn set_node(&self, node_id: u64, node_label: &'static str) {
+        // The ptr/len pair is Release for the same reason as the ring
+        // labels (the collector dereferences it) and is only consistent
+        // because nodes are labeled once, at thread startup.
+        // ORDERING: relaxed — node_id is a plain integer label.
+        self.node_id.store(node_id, Ordering::Relaxed);
+        self.node_label_ptr.store(node_label.as_ptr() as u64, Ordering::Release);
+        self.node_label_len.store(node_label.len() as u64, Ordering::Release);
+    }
+
+    pub(crate) fn mark_dead(&self) {
+        // ORDERING: release — pairs with the sampler's Acquire load; frames
+        // written before death must not be sampled after it.
+        self.alive.store(0, Ordering::Release);
+    }
+
+    /// Single-writer (the owning thread) seqlock push of one frame.
+    pub(crate) fn push(&self, name: &'static str, cat: Category, arg: u64) {
+        // ORDERING: relaxed — single writer claims the version; the Release
+        // fence below orders the odd-version store before the frame stores.
+        let v = self.version.load(Ordering::Relaxed);
+        self.version.store(v + 1, Ordering::Relaxed); // odd: mutating
+        fence(Ordering::Release);
+        // ORDERING: relaxed payload stores — ordered after the odd version
+        // by the fence above, published by the Release store of the even
+        // version below; samplers recheck the version word.
+        let d = self.depth.load(Ordering::Relaxed) as usize;
+        if d < STACK_CAP {
+            let f = &self.frames[d];
+            // ORDERING: relaxed — seqlock payload stores, as above.
+            f[0].store(name.as_ptr() as u64, Ordering::Relaxed);
+            f[1].store(name.len() as u64, Ordering::Relaxed);
+            // ORDERING: relaxed — same seqlock payload protocol as above.
+            f[2].store(cat as u64 | arg << 8, Ordering::Relaxed);
+        }
+        // ORDERING: relaxed — seqlock payload, as above.
+        self.depth.store(d as u64 + 1, Ordering::Relaxed);
+        self.version.store(v + 2, Ordering::Release); // even: published
+    }
+
+    /// Single-writer seqlock pop of the innermost frame.
+    pub(crate) fn pop(&self) {
+        // ORDERING: relaxed — single writer; same protocol as `push`.
+        let v = self.version.load(Ordering::Relaxed);
+        self.version.store(v + 1, Ordering::Relaxed); // odd: mutating
+        fence(Ordering::Release);
+        // ORDERING: relaxed — seqlock payload; see `push`.
+        let d = self.depth.load(Ordering::Relaxed);
+        self.depth.store(d.saturating_sub(1), Ordering::Relaxed);
+        self.version.store(v + 2, Ordering::Release); // even: published
+    }
+
+    /// One seqlock read attempt: `Err(())` when the stack was mid-write or
+    /// the version recheck failed (torn), `Ok((frames, truncated))` on a
+    /// consistent snapshot.
+    pub(crate) fn sample_once(&self) -> Result<(Vec<StackFrame>, bool), ()> {
+        let v1 = self.version.load(Ordering::Acquire);
+        if v1 % 2 == 1 {
+            return Err(());
+        }
+        // ORDERING: relaxed copies — the Acquire fence below plus the
+        // version recheck discard any torn combination, so the loads
+        // themselves need no ordering.
+        let depth = self.depth.load(Ordering::Relaxed) as usize;
+        let stored = depth.min(STACK_CAP);
+        let copy: Vec<[u64; FRAME_WORDS]> = (0..stored)
+            .map(|i| {
+                let f = &self.frames[i];
+                // ORDERING: relaxed — see the copy comment above.
+                std::array::from_fn(|w| f[w].load(Ordering::Relaxed))
+            })
+            .collect();
+        fence(Ordering::Acquire);
+        // ORDERING: relaxed — ordered after the copies by the fence above.
+        if self.version.load(Ordering::Relaxed) != v1 {
+            return Err(());
+        }
+        let frames = copy
+            .into_iter()
+            .map(|w| StackFrame {
+                // SAFETY: validated even version ⇒ the ptr/len words are a
+                // pair the owning thread stored together, and pushers only
+                // ever store `&'static str`s.
+                name: unsafe { crate::static_str(w[0], w[1]) },
+                // LOSSY: meta packs the category in the low byte by
+                // construction (`push`).
+                cat: Category::from_u8((w[2] & 0xff) as u8),
+                arg: w[2] >> 8,
+            })
+            .collect();
+        Ok((frames, depth > STACK_CAP))
+    }
+
+    /// Seqlock read with a bounded retry against concurrent mutation;
+    /// `None` when every attempt was torn.
+    fn sample(&self) -> Option<(Vec<StackFrame>, bool)> {
+        for _ in 0..8 {
+            if let Ok(s) = self.sample_once() {
+                return Some(s);
+            }
+        }
+        None
+    }
+}
+
+/// One decoded frame of a sampled thread stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackFrame {
+    /// Static span name (same string the trace ring records).
+    pub name: &'static str,
+    /// Span category; `Category::Stall` frames are the off-CPU buckets.
+    pub cat: Category,
+    /// Span payload (stall reason code, bytes, ...).
+    pub arg: u64,
+}
+
+/// One thread's sampled stack, outermost frame first.
+#[derive(Debug, Clone)]
+pub struct ThreadStack {
+    /// Trace-local thread id (same namespace as `Event::tid`).
+    pub tid: u64,
+    /// Logical node id (0 = compute, memnode ids offset +1).
+    pub node_id: u64,
+    /// Node label ("compute", "memnode", ...).
+    pub node_label: &'static str,
+    /// Open frames, outermost first; empty = the thread is registered but
+    /// between spans (on-CPU outside instrumentation, or idle).
+    pub frames: Vec<StackFrame>,
+    /// True when the live depth exceeded [`STACK_CAP`]; the innermost
+    /// frames are missing.
+    pub truncated: bool,
+}
+
+/// One whole-process sampling pass over every live registered thread.
+#[derive(Debug, Clone, Default)]
+pub struct StacksSample {
+    /// Consistent snapshots, one per live thread that yielded one.
+    pub stacks: Vec<ThreadStack>,
+    /// Threads whose stacks were torn on every read attempt this pass.
+    pub torn: u64,
+}
+
+pub(crate) fn stack_registry() -> &'static Mutex<Vec<Arc<LiveStackShared>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<LiveStackShared>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Snapshot every live registered thread's span stack (the profiler's
+/// sampling primitive). Dead threads are skipped and pruned; threads whose
+/// stack was mid-mutation on every retry are counted in `torn`.
+pub fn sample_stacks() -> StacksSample {
+    let stacks: Vec<Arc<LiveStackShared>> = {
+        let mut reg = stack_registry().lock().unwrap_or_else(|e| e.into_inner());
+        // ORDERING: acquire — pairs with `mark_dead`'s Release; a dead
+        // thread's final frames must not be resampled.
+        reg.retain(|s| s.alive.load(Ordering::Acquire) == 1);
+        reg.clone()
+    };
+    let mut out = StacksSample::default();
+    for s in stacks {
+        match s.sample() {
+            Some((frames, truncated)) => {
+                // SAFETY: labels are set once at thread startup from
+                // `&'static str`s (same contract as the ring labels).
+                let node_label = unsafe {
+                    crate::static_str(
+                        s.node_label_ptr.load(Ordering::Acquire),
+                        s.node_label_len.load(Ordering::Acquire),
+                    )
+                };
+                out.stacks.push(ThreadStack {
+                    tid: s.tid,
+                    // ORDERING: relaxed — plain integer label.
+                    node_id: s.node_id.load(Ordering::Relaxed),
+                    node_label,
+                    frames,
+                    truncated,
+                });
+            }
+            None => out.torn += 1,
+        }
+    }
+    out
+}
