@@ -51,6 +51,14 @@
 //!                 attribution in the output and JSON, plus a flamegraph
 //!                 folded file results/PROFILE_<system>.folded
 //!   --profile-hz  profiler sampling frequency                (default 997)
+//!   --timeline    time-resolved telemetry: a windowed sampler snapshots
+//!                 telemetry deltas every tick, the engine journals
+//!                 lifecycle events (flush/compaction/stall/switch), and a
+//!                 stall-episode analyzer reports the worst episodes. Adds
+//!                 a per-phase `timeline` block to the JSON and writes the
+//!                 full window series + episode table to
+//!                 results/TIMELINE_<system>.json
+//!   --timeline-tick-ms  sampler window length in millis       (default 250)
 //!   --metrics-addr      serve Prometheus text exposition on this address
 //!                       for the duration of the run (port 0 = ephemeral;
 //!                       the bound address is printed). Exposes the
@@ -100,6 +108,15 @@ fn engine_stall_micros(engine: &dyn dlsm_baselines::Engine) -> u64 {
 /// several phase boundaries.
 fn event_key(e: &dlsm_trace::Event) -> (u64, u64, u64, u64) {
     (e.trace_id, e.tid, e.span_id, e.ts_us)
+}
+
+/// The run's closed timeline (`--timeline`): the sampler's window series
+/// and the journal's folded stall episodes, throughput-annotated.
+struct RunTimeline {
+    frames: Vec<dlsm_timeline::WindowFrame>,
+    frames_dropped: u64,
+    episodes: Vec<dlsm_timeline::StallEpisode>,
+    tick_ms: u64,
 }
 
 /// Extra per-phase JSON facts a workload phase carries beyond the common
@@ -180,6 +197,8 @@ fn main() {
     // An off-round default frequency so the sampler never phase-locks with
     // millisecond-periodic engine work.
     let mut profile_hz = 997u64;
+    let mut timeline = false;
+    let mut timeline_tick_ms = dlsm_timeline::DEFAULT_TICK_MS;
     let mut metrics_addr: Option<String> = None;
     let mut metrics_hold_secs = 0u64;
     let mut mix_override: Option<OpMix> = None;
@@ -207,6 +226,11 @@ fn main() {
         }
         if args[i] == "--profile" {
             profiling = true;
+            i += 1;
+            continue;
+        }
+        if args[i] == "--timeline" {
+            timeline = true;
             i += 1;
             continue;
         }
@@ -239,6 +263,9 @@ fn main() {
             "--cores" => cores = value.parse().expect("--cores"),
             "--json" => json_path = Some(value),
             "--profile-hz" => profile_hz = value.parse().expect("--profile-hz"),
+            "--timeline-tick-ms" => {
+                timeline_tick_ms = value.parse().expect("--timeline-tick-ms")
+            }
             "--metrics-addr" => metrics_addr = Some(value),
             "--metrics-hold-secs" => metrics_hold_secs = value.parse().expect("--metrics-hold-secs"),
             other => {
@@ -297,6 +324,14 @@ fn main() {
         dlsm_trace::set_enabled(true);
         println!("tracing: enabled (flight-recorder rings, dumps under results/)");
     }
+    if timeline {
+        // Enable before the engine exists so even startup events land.
+        dlsm_timeline::set_enabled(true);
+        println!(
+            "timeline: enabled ({timeline_tick_ms} ms windows, engine event journal, \
+             episode report + results/TIMELINE_*.json)"
+        );
+    }
     let mut profiler = profiling.then(|| {
         assert!(profile_hz > 0, "--profile-hz must be positive");
         let period = std::time::Duration::from_secs_f64(1.0 / profile_hz as f64);
@@ -323,6 +358,38 @@ fn main() {
             cache_bytes.unwrap_or(dlsm_bench::setup::scaled_db_config(&spec).cache.capacity_bytes);
         println!("cache: {:.0} MiB budget (dLSM engines)", budget as f64 / (1 << 20) as f64);
     }
+    // The timeline sampler snapshots the engine's cumulative telemetry
+    // (with fabric traffic merged in) every tick and keeps per-window
+    // deltas; started before the first phase so window 0 covers it.
+    let mut sampler = timeline.then(|| {
+        let engine = std::sync::Arc::clone(&sc.engine);
+        let fabric = std::sync::Arc::clone(&sc.fabric);
+        let provider = Box::new(move || {
+            let mut s =
+                engine.telemetry().unwrap_or_else(dlsm_telemetry::TelemetrySnapshot::new);
+            let raw = fabric.stats().snapshot();
+            // Replace (not merge) the fabric rows: the fabric totals
+            // already include every channel, so merging any engine-side
+            // rows would double-count the traffic.
+            s.rdma = Verb::ALL
+                .iter()
+                .filter(|v| raw.ops(**v) > 0)
+                .map(|v| dlsm_telemetry::VerbTraffic {
+                    verb: v.name().to_string(),
+                    ops: raw.ops(*v),
+                    bytes: raw.bytes(*v),
+                })
+                .collect();
+            s
+        });
+        dlsm_timeline::TimelineSampler::start(
+            dlsm_timeline::TimelineConfig {
+                tick: std::time::Duration::from_millis(timeline_tick_ms.max(1)),
+                ..Default::default()
+            },
+            provider,
+        )
+    });
     // The exporter covers both sides of the fabric: the engine's per-shard
     // live gauges and every memory node's allocator/server series. A 250 ms
     // gauge sampler keeps scrapes O(copy) no matter how hot the run is.
@@ -335,6 +402,10 @@ fn main() {
         }
         if let Some(p) = &profiler {
             p.register_metrics(&reg);
+        }
+        if let Some(ts) = &sampler {
+            ts.register_metrics(&reg);
+            dlsm_timeline::register_journal_metrics(&reg);
         }
         let srv = dlsm_metrics::serve(reg, addr.as_str(), Some(std::time::Duration::from_millis(250)))
             .unwrap_or_else(|e| {
@@ -497,6 +568,23 @@ fn main() {
                 }
             }
         }
+        if timeline {
+            // The journal never wraps, so a phase-boundary collect sees
+            // every event posted so far; fold just for the progress line
+            // (the end-of-run fold is the authoritative one).
+            let recs = dlsm_timeline::journal().collect();
+            let eps = dlsm_timeline::fold_episodes(&recs);
+            let (count, stalled, worst) =
+                dlsm_timeline::phase_episode_summary(&eps, result.start_us, result.end_us());
+            if count > 0 {
+                println!(
+                    "  {:<22} timeline: {count} stall episode(s), {:.1} ms stalled, worst {:.1} ms",
+                    result.phase,
+                    stalled as f64 / 1e3,
+                    worst as f64 / 1e3,
+                );
+            }
+        }
         let cache_now = CacheCounters::sample(sc.engine.as_ref());
         let cache_delta = match (cache_now, cache_prev) {
             (Some(now), Some(prev)) => Some(now.delta(prev)),
@@ -567,14 +655,79 @@ fn main() {
         }
     }
 
+    // Close the timeline: stop the tick thread (capturing the final
+    // partial window), fold the journal into episodes, annotate them with
+    // window throughput, and render the doctor-style episode report. The
+    // stopped sampler stays alive (not taken) so its Weak-backed
+    // `dlsm_timeline_*` gauges keep serving through the --metrics-hold
+    // scrape window.
+    let run_timeline = sampler.as_mut().map(|s| {
+        s.stop();
+        let frames = s.frames();
+        let frames_dropped = s.frames_dropped();
+        let records = dlsm_timeline::journal().collect();
+        let mut episodes = dlsm_timeline::fold_episodes(&records);
+        dlsm_timeline::annotate_throughput(&mut episodes, &frames);
+        RunTimeline { frames, frames_dropped, episodes, tick_ms: timeline_tick_ms }
+    });
+    let timeline_report = run_timeline.as_ref().map(|tl| {
+        // Exemplar (trace id, nanos) pairs from every phase, so episode
+        // rows can be flagged when they hit a published p999 exemplar.
+        let exemplars: Vec<(u64, u64)> = results
+            .iter()
+            .flat_map(|(r, ..)| r.exemplars.iter().map(|e| (e.trace_id, e.value_ns)))
+            .collect();
+        let origin = results
+            .first()
+            .map(|(r, ..)| r.start_us)
+            .or_else(|| tl.frames.first().map(|f| f.start_us))
+            .unwrap_or(0);
+        dlsm_timeline::episode_report(&tl.episodes, &exemplars, origin, 5)
+    });
+    if let (Some(tl), Some(report)) = (&run_timeline, &timeline_report) {
+        if !trace {
+            // With tracing on the report rides inside the doctor dump
+            // below; don't print it twice.
+            print!("{report}");
+        }
+        let phases: Vec<dlsm_timeline::PhaseSpan> = results
+            .iter()
+            .map(|(r, ..)| dlsm_timeline::PhaseSpan {
+                name: r.phase.clone(),
+                start_us: r.start_us,
+                end_us: r.end_us(),
+            })
+            .collect();
+        let json = dlsm_timeline::write_timeline_json(
+            &tl.frames,
+            tl.frames_dropped,
+            &tl.episodes,
+            &phases,
+            tl.tick_ms,
+            engine_stall_micros(sc.engine.as_ref()),
+        );
+        let tl_path = format!("results/TIMELINE_{}.json", sanitize(&system));
+        let write = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write(&tl_path, json + "\n"));
+        match write {
+            Ok(()) => println!(
+                "wrote {tl_path} ({} windows, {} episodes)",
+                tl.frames.len(),
+                tl.episodes.len()
+            ),
+            Err(e) => eprintln!("failed to write {tl_path}: {e}"),
+        }
+    }
+
     let path = json_path.unwrap_or_else(|| format!("BENCH_{}.json", sanitize(&system)));
-    let json = run_json(&system, &spec, threads, scale, &sc, &results, &traffic);
+    let json =
+        run_json(&system, &spec, threads, scale, &sc, &results, &traffic, run_timeline.as_ref());
     match std::fs::write(&path, json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("failed to write {path}: {e}"),
     }
     if trace {
-        dump_traces(&system, &exemplar_events);
+        dump_traces(&system, &exemplar_events, timeline_report.as_deref());
     }
     if let Some(mut srv) = metrics_server {
         if metrics_hold_secs > 0 {
@@ -600,7 +753,11 @@ fn main() {
 /// slowest-traces cut — widened with every exemplar trace captured at
 /// phase boundaries, so each JSON exemplar resolves to a complete trace —
 /// and the plain-text stall-attribution report.
-fn dump_traces(system: &str, exemplar_events: &[dlsm_trace::Event]) {
+fn dump_traces(
+    system: &str,
+    exemplar_events: &[dlsm_trace::Event],
+    timeline_report: Option<&str>,
+) {
     dlsm_trace::set_enabled(false);
     let events = dlsm_trace::collect_events();
     let sys = sanitize(system);
@@ -625,7 +782,13 @@ fn dump_traces(system: &str, exemplar_events: &[dlsm_trace::Event]) {
         Err(e) => eprintln!("failed to write {slow_path}: {e}"),
     }
 
-    let report = dlsm_trace::doctor(&events);
+    let mut report = dlsm_trace::doctor(&events);
+    if let Some(tl) = timeline_report {
+        // Cumulative stall attribution above, time-resolved episodes below
+        // — one doctor file answers both "how much" and "when".
+        report.push('\n');
+        report.push_str(tl);
+    }
     let doc_path = format!("results/TRACE_{sys}_doctor.txt");
     if let Err(e) = std::fs::write(&doc_path, &report) {
         eprintln!("failed to write {doc_path}: {e}");
@@ -636,6 +799,7 @@ fn dump_traces(system: &str, exemplar_events: &[dlsm_trace::Event]) {
 /// The machine-readable run summary: configuration, per-phase throughput +
 /// latency quantiles + attributed RDMA traffic, global per-verb traffic,
 /// and the engine/server telemetry snapshots.
+#[allow(clippy::too_many_arguments)]
 fn run_json(
     system: &str,
     spec: &WorkloadSpec,
@@ -644,6 +808,7 @@ fn run_json(
     sc: &dlsm_bench::setup::Scenario,
     results: &[PhaseRow],
     traffic: &StatsSnapshot,
+    timeline: Option<&RunTimeline>,
 ) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
@@ -662,6 +827,12 @@ fn run_json(
         w.field_u64("threads", r.threads as u64);
         w.field_u64("ops", r.ops);
         w.field_f64("seconds", r.elapsed.as_secs_f64());
+        // Absolute clocks: wall time (unix millis) for offline alignment
+        // across runs, trace monotonic micros for joining windows/episodes.
+        w.field_u64("wall_start_ms", r.start_unix_ms);
+        w.field_u64("wall_end_ms", r.end_unix_ms());
+        w.field_u64("start_us", r.start_us);
+        w.field_u64("end_us", r.end_us());
         w.field_f64("mops", r.mops());
         w.key("latency");
         write_hist_json(&mut w, &r.lat);
@@ -687,6 +858,22 @@ fn run_json(
             w.field_u64("bytes_saved", c.bytes_saved);
             w.field_u64("evictions", c.evictions);
             w.field_u64("invalidations", c.invalidations);
+            w.end_object();
+        }
+        if let Some(tl) = timeline {
+            let (count, stalled, worst) =
+                dlsm_timeline::phase_episode_summary(&tl.episodes, r.start_us, r.end_us());
+            let windows = tl
+                .frames
+                .iter()
+                .filter(|f| f.start_us < r.end_us() && r.start_us < f.end_us)
+                .count() as u64;
+            w.key("timeline");
+            w.begin_object();
+            w.field_u64("windows", windows);
+            w.field_u64("stall_episodes", count);
+            w.field_f64("stalled_ms", stalled as f64 / 1e3);
+            w.field_f64("worst_stall_ms", worst as f64 / 1e3);
             w.end_object();
         }
         if let Some(wl) = info {

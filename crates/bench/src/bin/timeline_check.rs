@@ -1,0 +1,256 @@
+//! Validate the timeline artifact produced by `db_bench --timeline`
+//! (`TIMELINE_<sys>.json`):
+//!
+//! 1. the window series is well-formed — indices strictly increase, every
+//!    window spans forward in time (`end_us > start_us`), and consecutive
+//!    windows are contiguous (`next.start_us == prev.end_us`);
+//! 2. stall episodes reconcile with the engine — the sum of episode
+//!    `micros` matches the run's `engine_stall_micros` (the
+//!    `stall_imm_micros + stall_l0_micros` counter total) within
+//!    `--tolerance` (default 0.05). Journal drops can lose episodes, so
+//!    the tolerance absorbs bounded loss; with the engine reporting zero
+//!    stall time, any folded episode is a fabrication and fails;
+//! 3. the journal stayed within its drop budget — `journal.drops` must
+//!    not exceed `--max-drops` (default 0), and the accounting identity
+//!    `drops == max(0, attempts - capacity)` must hold exactly (the
+//!    write-once ring's invariant, see `dlsm-timeline`).
+//!
+//! CI runs this against the smoke-bench artifact; exit status is non-zero
+//! on any violation. A file with an empty window series fails: the caller
+//! asked for timeline validation, so a sampler that never ticked is a
+//! bug, not a pass.
+//!
+//! JSON parsing lives in [`dlsm_bench::json`], shared with `bench_diff`
+//! and the other artifact checkers.
+
+use dlsm_bench::json::{self, Json};
+
+fn read_num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{ctx}: missing numeric {key:?}"))
+}
+
+/// All checks against one TIMELINE json; returns a summary line on success.
+fn validate(text: &str, tolerance: f64, max_drops: u64) -> Result<String, String> {
+    let root = json::parse(text)?;
+
+    // 1. Window series: strictly increasing indices, forward spans,
+    //    contiguous edges — the sampler stamps each window's start from the
+    //    previous window's end, so any gap means frames were reordered or
+    //    fabricated.
+    let windows = root
+        .get("windows")
+        .and_then(Json::as_arr)
+        .ok_or("missing windows array")?;
+    if windows.is_empty() {
+        return Err("window series is empty (sampler never ticked?)".into());
+    }
+    let mut prev: Option<(u64, u64)> = None; // (index, end_us)
+    for (i, w) in windows.iter().enumerate() {
+        let ctx = format!("window {i}");
+        // LOSSY: monotonic micros and window indices are far below 2^53,
+        // exact in f64.
+        let index = read_num(w, "index", &ctx)? as u64;
+        let start = read_num(w, "start_us", &ctx)? as u64;
+        let end = read_num(w, "end_us", &ctx)? as u64;
+        if end <= start {
+            return Err(format!("{ctx}: empty or backwards span [{start}, {end}]"));
+        }
+        if let Some((pi, pe)) = prev {
+            if index <= pi {
+                return Err(format!("{ctx}: index {index} not after {pi}"));
+            }
+            if start != pe {
+                return Err(format!(
+                    "{ctx}: starts at {start} but previous window ended at {pe} (gap or overlap)"
+                ));
+            }
+        }
+        prev = Some((index, end));
+    }
+
+    // 2. Episode/counter reconciliation. Episodes are folded from journal
+    //    events that carry the exact micros added to the engine's stall
+    //    counters, so the sums agree exactly when nothing was dropped; the
+    //    tolerance absorbs bounded journal loss.
+    let engine_micros = read_num(&root, "engine_stall_micros", "root")? as u64;
+    let episodes = root
+        .get("episodes")
+        .and_then(Json::as_arr)
+        .ok_or("missing episodes array")?;
+    let mut episode_micros = 0u64;
+    for (i, ep) in episodes.iter().enumerate() {
+        let ctx = format!("episode {i}");
+        let micros = read_num(ep, "micros", &ctx)? as u64;
+        if micros == 0 {
+            return Err(format!("{ctx}: zero-duration episode"));
+        }
+        episode_micros += micros;
+    }
+    if engine_micros == 0 {
+        if episode_micros != 0 {
+            return Err(format!(
+                "engine reports no stall time but episodes sum to {episode_micros} us"
+            ));
+        }
+    } else {
+        let err = (episode_micros as f64 - engine_micros as f64).abs() / engine_micros as f64;
+        if err > tolerance {
+            return Err(format!(
+                "episodes sum to {episode_micros} us vs engine {engine_micros} us \
+                 ({:.1}% apart, tolerance {:.1}%)",
+                err * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+
+    // 3. Journal accounting: bounded, exactly-counted loss.
+    let journal = root.get("journal").ok_or("missing journal object")?;
+    let attempts = read_num(journal, "attempts", "journal")? as u64;
+    let capacity = read_num(journal, "capacity", "journal")? as u64;
+    let drops = read_num(journal, "drops", "journal")? as u64;
+    if drops != attempts.saturating_sub(capacity) {
+        return Err(format!(
+            "journal drop accounting broken: {attempts} attempts into {capacity} slots \
+             must drop exactly {}, recorded {drops}",
+            attempts.saturating_sub(capacity)
+        ));
+    }
+    if drops > max_drops {
+        return Err(format!("journal dropped {drops} events, budget {max_drops}"));
+    }
+
+    Ok(format!(
+        "{} contiguous windows, {} episodes ({episode_micros} us vs engine {engine_micros} us), \
+         journal {attempts}/{capacity} posts, {drops} drops",
+        windows.len(),
+        episodes.len(),
+    ))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut tolerance = 0.05;
+    let mut max_drops = 0u64;
+    let mut i = 0;
+    while i < args.len() {
+        fn value<T: std::str::FromStr>(args: &[String], i: usize, what: &str) -> T {
+            args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("timeline_check: {what} needs a number");
+                std::process::exit(2);
+            })
+        }
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                tolerance = value(&args, i, "--tolerance");
+            }
+            "--max-drops" => {
+                i += 1;
+                max_drops = value(&args, i, "--max-drops");
+            }
+            _ => files.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    let [path] = files.as_slice() else {
+        eprintln!("usage: timeline_check <TIMELINE.json> [--tolerance 0.05] [--max-drops 0]");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("timeline_check: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    match validate(&text, tolerance, max_drops) {
+        Ok(s) => println!("timeline_check: OK — {s}"),
+        Err(e) => {
+            eprintln!("timeline_check: INVALID — {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{
+      "tick_ms": 250,
+      "engine_stall_micros": 1000,
+      "journal": {"attempts": 10, "posted": 10, "drops": 0, "capacity": 65536},
+      "frames_dropped": 0,
+      "windows": [
+        {"index": 0, "start_us": 0, "end_us": 250000, "ops_per_sec": 10.0},
+        {"index": 1, "start_us": 250000, "end_us": 500000, "ops_per_sec": 12.0}
+      ],
+      "episodes": [
+        {"start_us": 100, "end_us": 700, "micros": 600, "reason": "imm_queue_full"},
+        {"start_us": 9000, "end_us": 9420, "micros": 420, "reason": "l0_limit"}
+      ]
+    }"#;
+
+    #[test]
+    fn accepts_consistent_artifact() {
+        let s = validate(GOOD, 0.05, 0).expect("must validate");
+        assert!(s.contains("2 contiguous windows"), "{s}");
+        assert!(s.contains("2 episodes"), "{s}");
+    }
+
+    #[test]
+    fn rejects_window_gaps_and_disorder() {
+        // Gap: window 1 starts after window 0 ends.
+        let gap = GOOD.replace(r#""start_us": 250000"#, r#""start_us": 260000"#);
+        let e = validate(&gap, 0.05, 0).unwrap_err();
+        assert!(e.contains("gap or overlap"), "{e}");
+        // Stale index on the second window.
+        let idx = GOOD.replace(r#""index": 1"#, r#""index": 0"#);
+        let e = validate(&idx, 0.05, 0).unwrap_err();
+        assert!(e.contains("not after"), "{e}");
+        // Backwards span.
+        let back = GOOD.replace(r#""end_us": 250000"#, r#""end_us": 0"#);
+        assert!(validate(&back, 0.05, 0).is_err());
+        // Empty series.
+        let empty = GOOD.replace(
+            r#"{"index": 0, "start_us": 0, "end_us": 250000, "ops_per_sec": 10.0},
+        {"index": 1, "start_us": 250000, "end_us": 500000, "ops_per_sec": 12.0}"#,
+            "",
+        );
+        let e = validate(&empty, 0.05, 0).unwrap_err();
+        assert!(e.contains("empty"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unreconciled_stall_time() {
+        // Episodes sum to 1020 us but the engine counted 2000.
+        let off = GOOD.replace(r#""engine_stall_micros": 1000"#, r#""engine_stall_micros": 2000"#);
+        let e = validate(&off, 0.05, 0).unwrap_err();
+        assert!(e.contains("apart"), "{e}");
+        // The same figures pass a loose-enough tolerance.
+        assert!(validate(&off, 0.50, 0).is_ok());
+        // Engine reports zero stall time: any episode is a fabrication.
+        let zero = GOOD.replace(r#""engine_stall_micros": 1000"#, r#""engine_stall_micros": 0"#);
+        let e = validate(&zero, 0.05, 0).unwrap_err();
+        assert!(e.contains("no stall time"), "{e}");
+        // Within 5%: 1020 vs 1000 = 2%.
+        assert!(validate(GOOD, 0.05, 0).is_ok());
+    }
+
+    #[test]
+    fn rejects_journal_violations() {
+        // Drops above budget (with consistent accounting).
+        let lossy = GOOD.replace(
+            r#""journal": {"attempts": 10, "posted": 10, "drops": 0, "capacity": 65536}"#,
+            r#""journal": {"attempts": 65539, "posted": 65536, "drops": 3, "capacity": 65536}"#,
+        );
+        let e = validate(&lossy, 0.05, 0).unwrap_err();
+        assert!(e.contains("budget"), "{e}");
+        assert!(validate(&lossy, 0.05, 3).is_ok());
+        // Broken accounting identity: drops claimed without overflow.
+        let bogus = GOOD.replace(r#""drops": 0"#, r#""drops": 5"#);
+        let e = validate(&bogus, 0.05, 10).unwrap_err();
+        assert!(e.contains("accounting"), "{e}");
+    }
+}

@@ -35,6 +35,20 @@ pub struct PhaseMetrics {
     /// run used `--profile` (the block predates nothing a gate needs — it
     /// is informational, like `cache`).
     pub profile: Option<ProfilePhaseMetrics>,
+    /// Stall-episode figures from the phase's `timeline` block; `None`
+    /// unless the run used `--timeline` (informational, like `profile`).
+    pub timeline: Option<TimelinePhaseMetrics>,
+}
+
+/// The per-phase stall-episode block `db_bench --timeline` emits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelinePhaseMetrics {
+    /// Stall episodes that *ended* inside the phase.
+    pub stall_episodes: u64,
+    /// Milliseconds writers spent stalled across those episodes.
+    pub stalled_ms: f64,
+    /// The worst single episode, milliseconds.
+    pub worst_stall_ms: f64,
 }
 
 /// The per-phase continuous-profiler block `db_bench --profile` emits.
@@ -116,6 +130,13 @@ impl BenchRun {
                     stall_fraction: c.get("stall_fraction").and_then(Json::as_num)?,
                 })
             });
+            let timeline = p.get("timeline").and_then(|c| {
+                Some(TimelinePhaseMetrics {
+                    stall_episodes: c.get("stall_episodes").and_then(Json::as_num)? as u64,
+                    stalled_ms: c.get("stalled_ms").and_then(Json::as_num)?,
+                    worst_stall_ms: c.get("worst_stall_ms").and_then(Json::as_num)?,
+                })
+            });
             out.push(PhaseMetrics {
                 phase: p
                     .get("phase")
@@ -129,6 +150,7 @@ impl BenchRun {
                 read_ops_per_op,
                 cache,
                 profile,
+                timeline,
             });
         }
         Ok(BenchRun { system, phases: out })
@@ -408,6 +430,46 @@ impl DiffReport {
                 out.push('\n');
             }
         }
+        // Stall episodes, warn-only like the sections above: a latency gate
+        // says the tail moved; these say whether writer stalls grew with it.
+        let timeline_rows: Vec<String> = self
+            .rows
+            .iter()
+            .filter_map(|r| {
+                let n = r.new.as_ref()?;
+                if r.base.timeline.is_none() && n.timeline.is_none() {
+                    return None;
+                }
+                let count = |p: Option<&TimelinePhaseMetrics>| match p {
+                    Some(t) => t.stall_episodes.to_string(),
+                    None => "—".to_string(),
+                };
+                let ms = |p: Option<&TimelinePhaseMetrics>,
+                          f: fn(&TimelinePhaseMetrics) -> f64| match p {
+                    Some(t) => format!("{:.1} ms", f(t)),
+                    None => "—".to_string(),
+                };
+                let b = r.base.timeline.as_ref();
+                let c = n.timeline.as_ref();
+                Some(format!(
+                    "  {}: episodes {} → {}, stalled {} → {}, worst {} → {}",
+                    r.phase,
+                    count(b),
+                    count(c),
+                    ms(b, |t| t.stalled_ms),
+                    ms(c, |t| t.stalled_ms),
+                    ms(b, |t| t.worst_stall_ms),
+                    ms(c, |t| t.worst_stall_ms),
+                ))
+            })
+            .collect();
+        if !timeline_rows.is_empty() {
+            out.push_str("stall episodes (informational):\n");
+            for row in timeline_rows {
+                out.push_str(&row);
+                out.push('\n');
+            }
+        }
         for u in &self.unmatched {
             out.push_str(&format!("note: phase {u} has no baseline counterpart\n"));
         }
@@ -448,6 +510,7 @@ mod tests {
                     read_ops_per_op: None,
                     cache: None,
                     profile: None,
+                    timeline: None,
                 })
                 .collect(),
         }
@@ -568,6 +631,52 @@ mod tests {
         // No profile data on either side: section absent.
         let plain = diff(&run(&[("a", 1.0, 1, 1)]), &run(&[("a", 1.0, 1, 1)]), 15.0);
         assert!(!plain.render().contains("profile time-share"), "{}", plain.render());
+    }
+
+    #[test]
+    fn timeline_deltas_parse_and_render_without_gating() {
+        let text = r#"{
+            "system": "dlsm",
+            "phases": [
+                {"phase": "randomfill", "ops": 1000, "mops": 0.5,
+                 "latency": {"p50_ns": 1000, "p99_ns": 2000},
+                 "timeline": {"windows": 12, "stall_episodes": 3,
+                              "stalled_ms": 41.5, "worst_stall_ms": 20.25},
+                 "rdma": {}}
+            ]
+        }"#;
+        let parsed = BenchRun::parse(text).unwrap();
+        let tl = parsed.phases[0].timeline.expect("timeline block parsed");
+        assert_eq!(tl.stall_episodes, 3);
+        assert!((tl.stalled_ms - 41.5).abs() < 1e-9);
+        assert!((tl.worst_stall_ms - 20.25).abs() < 1e-9);
+
+        let mut base = run(&[("randomfill", 1.0, 1000, 5000)]);
+        base.phases[0].timeline = Some(TimelinePhaseMetrics {
+            stall_episodes: 1,
+            stalled_ms: 2.0,
+            worst_stall_ms: 2.0,
+        });
+        let mut new = run(&[("randomfill", 1.0, 1000, 5000)]);
+        new.phases[0].timeline = Some(TimelinePhaseMetrics {
+            stall_episodes: 9,
+            stalled_ms: 310.0,
+            worst_stall_ms: 120.5,
+        });
+        let report = diff(&base, &new, 15.0);
+        assert!(!report.is_regression(), "timeline lines must never gate");
+        let text = report.render();
+        assert!(text.contains("stall episodes (informational)"), "{text}");
+        assert!(text.contains("episodes 1 → 9"), "{text}");
+        assert!(text.contains("stalled 2.0 ms → 310.0 ms"), "{text}");
+        assert!(text.contains("worst 2.0 ms → 120.5 ms"), "{text}");
+        // A timeline block on one side only still renders.
+        new.phases[0].timeline = None;
+        let half = diff(&base, &new, 15.0).render();
+        assert!(half.contains("episodes 1 → —"), "{half}");
+        // No timeline data on either side: section absent.
+        let plain = diff(&run(&[("a", 1.0, 1, 1)]), &run(&[("a", 1.0, 1, 1)]), 15.0);
+        assert!(!plain.render().contains("stall episodes"), "{}", plain.render());
     }
 
     #[test]

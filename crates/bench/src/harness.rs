@@ -30,6 +30,12 @@ pub struct PhaseResult {
     pub ops: u64,
     /// Wall-clock duration.
     pub elapsed: Duration,
+    /// Absolute wall-clock start of the measured window, unix millis —
+    /// aligns phases across processes/runs offline.
+    pub start_unix_ms: u64,
+    /// Measured-window start on the trace monotonic clock (micros) —
+    /// joins this phase against timeline windows and stall episodes.
+    pub start_us: u64,
     /// Per-op latency distribution (nanoseconds), merged across threads.
     pub lat: HistSnapshot,
     /// Tail exemplars (≥ p99 of this phase's distribution), slowest first:
@@ -66,6 +72,29 @@ impl PhaseResult {
     pub fn p99_us(&self) -> f64 {
         self.quantile_us(0.99)
     }
+
+    /// Absolute wall-clock end of the measured window, unix millis.
+    pub fn end_unix_ms(&self) -> u64 {
+        // LOSSY: phase durations are far below u64 millis.
+        self.start_unix_ms + self.elapsed.as_millis() as u64
+    }
+
+    /// Measured-window end on the trace monotonic clock (micros).
+    pub fn end_us(&self) -> u64 {
+        // LOSSY: phase durations are far below u64 micros.
+        self.start_us + self.elapsed.as_micros() as u64
+    }
+}
+
+/// Capture both absolute clocks at a measured window's start: the wall
+/// clock (unix millis) and the trace monotonic clock (micros).
+fn clock_now() -> (u64, u64) {
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        // LOSSY: unix millis fit u64 for ~585 My.
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    (unix_ms, dlsm_trace::now_us())
 }
 
 /// Merge per-thread histograms collected by a scoped-thread phase.
@@ -111,6 +140,7 @@ fn exemplar_cut(store: &ExemplarStore, lat: &HistSnapshot) -> Vec<Exemplar> {
 pub fn run_fill(engine: &dyn Engine, spec: &WorkloadSpec, threads: usize) -> PhaseResult {
     let label = phase_label(&Phase::RandomFill.name());
     let exemplars = ExemplarStore::default();
+    let (start_unix_ms, start_us) = clock_now();
     let t0 = Instant::now();
     let locals = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
@@ -141,6 +171,8 @@ pub fn run_fill(engine: &dyn Engine, spec: &WorkloadSpec, threads: usize) -> Pha
         threads,
         ops: spec.num_kv,
         elapsed: t0.elapsed(),
+        start_unix_ms,
+        start_us,
         exemplars: exemplar_cut(&exemplars, &lat),
         lat,
     }
@@ -157,6 +189,7 @@ pub fn run_random_read(
     let misses = AtomicU64::new(0);
     let label = phase_label(&Phase::RandomRead.name());
     let exemplars = ExemplarStore::default();
+    let (start_unix_ms, start_us) = clock_now();
     let t0 = Instant::now();
     let locals = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
@@ -207,6 +240,8 @@ pub fn run_random_read(
         threads,
         ops: ops_done,
         elapsed: t0.elapsed(),
+        start_unix_ms,
+        start_us,
         exemplars: exemplar_cut(&exemplars, &lat),
         lat,
     }
@@ -217,6 +252,7 @@ pub fn run_random_read(
 /// lives in the engine's own telemetry).
 pub fn run_scan(engine: &dyn Engine, expected: u64) -> PhaseResult {
     let _task = dlsm_trace::profile_span(phase_label(&Phase::ReadSeq.name()));
+    let (start_unix_ms, start_us) = clock_now();
     let t0 = Instant::now();
     let mut reader = engine.reader();
     let mut lat = LocalHist::new();
@@ -233,6 +269,8 @@ pub fn run_scan(engine: &dyn Engine, expected: u64) -> PhaseResult {
         threads: 1,
         ops: n,
         elapsed: t0.elapsed(),
+        start_unix_ms,
+        start_us,
         lat: lat.snapshot(),
         // One op total — a "tail" exemplar of a single sample says nothing.
         exemplars: Vec::new(),
@@ -250,6 +288,7 @@ pub fn run_mixed(
 ) -> PhaseResult {
     let label = phase_label(&Phase::Mixed { read_pct }.name());
     let exemplars = ExemplarStore::default();
+    let (start_unix_ms, start_us) = clock_now();
     let t0 = Instant::now();
     let locals = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
@@ -290,6 +329,8 @@ pub fn run_mixed(
         threads,
         ops: (ops / threads as u64) * threads as u64,
         elapsed: t0.elapsed(),
+        start_unix_ms,
+        start_us,
         exemplars: exemplar_cut(&exemplars, &lat),
         lat,
     }
@@ -375,7 +416,7 @@ pub fn run_workload(
     // Threads preload their partitions, then rendezvous; the measured
     // clock starts only when every thread is ready to issue traffic.
     let start_barrier = Barrier::new(threads);
-    let t0_cell = parking_lot::Mutex::new(None::<Instant>);
+    let t0_cell = parking_lot::Mutex::new(None::<(Instant, u64, u64)>);
     let label = phase_label(&cfg.name);
     let exemplars = ExemplarStore::default();
     let per = if duration.is_some() && ops == u64::MAX {
@@ -406,14 +447,17 @@ pub fn run_workload(
                         engine.wait_until_quiescent();
                     }
                     start_barrier.wait();
-                    let t0 = *t0_cell.lock().get_or_insert_with(Instant::now);
+                    let (t0, _, _) = *t0_cell.lock().get_or_insert_with(|| {
+                        let (ms, us) = clock_now();
+                        (Instant::now(), ms, us)
+                    });
                     drive(engine, spec, cfg, &mut part, per, duration, t0, exemplars)
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("workload worker")).collect::<Vec<_>>()
     });
-    let t0 = t0_cell.lock().expect("phase started");
+    let (t0, start_unix_ms, start_us) = t0_cell.lock().expect("phase started");
     let elapsed = t0.elapsed();
     let mut kind_counts = [0u64; 6];
     let mut violations = 0;
@@ -438,6 +482,8 @@ pub fn run_workload(
             threads,
             ops: kind_counts.iter().sum(),
             elapsed,
+            start_unix_ms,
+            start_us,
             exemplars: exemplar_cut(&exemplars, &lat),
             lat,
         },

@@ -239,6 +239,7 @@ impl Shared {
             }
         }
         DbStats::bump(&self.stats.switches);
+        dlsm_timeline::post(dlsm_timeline::EngineEvent::MemtableSwitch { mem_id: old.id });
         if !old.is_empty() {
             let order = self.retire_counter.fetch_add(1, Ordering::AcqRel);
             old.flush_order.store(order, Ordering::Release);
@@ -299,6 +300,9 @@ impl Shared {
         let reason = self.stall_reason();
         let _sp =
             dlsm_trace::span_arg(dlsm_trace::Category::Stall, "write_stall", reason.trace_arg());
+        // The matching StallEnd is posted by `note_stall` below, from this
+        // same thread, so episode folding pairs them by poster tid.
+        dlsm_timeline::post(dlsm_timeline::EngineEvent::StallBegin { reason: reason.trace_arg() });
         let t0 = Instant::now();
         let mut guard = self.stall_lock.lock();
         while !self.write_stall_check() {
@@ -1467,6 +1471,7 @@ fn flush_loop(shared: Arc<Shared>, rx: Receiver<Arc<MemTable>>) {
         // compaction may free space, and a starved dispatcher recovers.
         let mut attempts = 0u32;
         let _sp = dlsm_trace::span_arg(dlsm_trace::Category::Flush, "flush", mem.id);
+        dlsm_timeline::post(dlsm_timeline::EngineEvent::FlushStart { mem_id: mem.id });
         let out = loop {
             attempts += 1;
             let t_flush = Instant::now();
@@ -1518,6 +1523,10 @@ fn flush_loop(shared: Arc<Shared>, rx: Receiver<Arc<MemTable>>) {
             DbStats::add(&shared.stats.flush_bytes, out.extent.len);
             DbStats::add(&shared.stats.flush_tombstones, mem.tombstones());
         }
+        dlsm_timeline::post(dlsm_timeline::EngineEvent::FlushEnd {
+            mem_id: mem.id,
+            bytes: out.as_ref().map(|o| o.extent.len).unwrap_or(0),
+        });
         // Serialization ran in parallel; installation happens strictly in
         // MemTable retirement order (see `install_in_order`).
         let order = mem.flush_order.load(Ordering::Acquire);
@@ -1613,6 +1622,9 @@ fn compaction_loop(shared: Arc<Shared>) {
         let t_compact = Instant::now();
         let _sp =
             dlsm_trace::span_arg(dlsm_trace::Category::Compact, "compaction", job.level as u64);
+        dlsm_timeline::post(dlsm_timeline::EngineEvent::CompactionStart {
+            level: job.level as u64,
+        });
         let result = if shared.cfg.near_data_compaction {
             run_near_data(
                 &job,
@@ -1659,6 +1671,9 @@ fn compaction_loop(shared: Arc<Shared>) {
                     // reused.
                     for t in job.inputs_lo.iter().chain(job.inputs_hi.iter()) {
                         c.invalidate_table(t.id);
+                        dlsm_timeline::post(dlsm_timeline::EngineEvent::CacheInvalidate {
+                            table_id: t.id,
+                        });
                     }
                 }
                 shared.l0_count.store(v.level(0).len(), Ordering::Release);
@@ -1670,9 +1685,19 @@ fn compaction_loop(shared: Arc<Shared>) {
                     &shared.stats.compaction_bytes_out,
                     outcome.outputs.iter().map(|t| t.extent.len).sum::<u64>(),
                 );
+                dlsm_timeline::post(dlsm_timeline::EngineEvent::CompactionEnd {
+                    level: job.level as u64,
+                    bytes: outcome.outputs.iter().map(|t| t.extent.len).sum::<u64>(),
+                });
                 shared.notify_stall();
             }
             Err(e) => {
+                // Close the interval even on failure so episode overlap
+                // counting doesn't see a compaction running forever.
+                dlsm_timeline::post(dlsm_timeline::EngineEvent::CompactionEnd {
+                    level: job.level as u64,
+                    bytes: 0,
+                });
                 consecutive_failures += 1;
                 if consecutive_failures <= 3 || consecutive_failures.is_power_of_two() {
                     let alloc = shared.memnode.flush_alloc();

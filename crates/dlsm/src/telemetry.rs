@@ -101,6 +101,13 @@ impl DbTelemetry {
         // ORDERING: relaxed — event/total pair is read independently for averages; approximate by design.
         events.fetch_add(1, Ordering::Relaxed);
         total.fetch_add(micros, Ordering::Relaxed);
+        // The journaled episode carries the exact micros added to the
+        // counter above, so summed episode durations reconcile with the
+        // stall_*_micros deltas (timeline_check's invariant).
+        dlsm_timeline::post(dlsm_timeline::EngineEvent::StallEnd {
+            reason: reason.trace_arg(),
+            micros,
+        });
     }
 
     /// Freeze op histograms, breakdown histograms and counters. RDMA verb

@@ -1,0 +1,352 @@
+//! Stall-episode analyzer: folds `StallBegin`/`StallEnd` journal records
+//! into episodes with a start, an end, a cause, the flush/compaction
+//! activity they overlapped, and the throughput of the windows they span —
+//! plus a doctor-style report ranking the worst episodes.
+
+use crate::journal::{EngineEvent, JournalRecord};
+use crate::sampler::WindowFrame;
+
+/// One folded stall episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallEpisode {
+    /// Episode start, trace monotonic micros. Synthesized as
+    /// `end_us - micros` when the matching `StallBegin` was dropped.
+    pub start_us: u64,
+    /// Episode end (the `StallEnd` timestamp).
+    pub end_us: u64,
+    /// Stalled duration — the exact value the engine added to its
+    /// `stall_*_micros` counter, so episode sums reconcile with deltas.
+    pub micros: u64,
+    /// Stall reason (trace arg code: imm-queue or L0-limit).
+    pub reason: u64,
+    /// Trace id active on the stalled writer, 0 when none.
+    pub trace_id: u64,
+    /// Journal-local id of the stalled thread.
+    pub tid: u64,
+    /// Flushes whose [start, end] interval overlapped the episode.
+    pub concurrent_flushes: u64,
+    /// Compactions whose [start, end] interval overlapped the episode.
+    pub concurrent_compactions: u64,
+    /// Foreground throughput averaged over the windows the episode spans
+    /// (0.0 when no window data was available).
+    pub ops_per_sec: f64,
+}
+
+impl StallEpisode {
+    /// Human-readable reason name, matching the trace stall arg codes.
+    pub fn reason_name(&self) -> &'static str {
+        reason_name(self.reason)
+    }
+}
+
+/// Name for a stall reason arg code.
+pub fn reason_name(reason: u64) -> &'static str {
+    match reason {
+        dlsm_trace::STALL_IMM_QUEUE => "imm_queue_full",
+        dlsm_trace::STALL_L0_LIMIT => "l0_limit",
+        _ => "unknown",
+    }
+}
+
+/// A background-work interval (flush or compaction) recovered from
+/// start/end journal records, used for overlap counting.
+#[derive(Debug, Clone, Copy)]
+struct WorkInterval {
+    start_us: u64,
+    end_us: u64,
+}
+
+fn overlaps(i: &WorkInterval, start_us: u64, end_us: u64) -> bool {
+    i.start_us < end_us && start_us < i.end_us
+}
+
+/// Pair start/end records keyed by `key` into closed intervals; an
+/// unmatched start is treated as still open at `horizon_us`.
+fn pair_intervals(
+    records: &[JournalRecord],
+    horizon_us: u64,
+    classify: impl Fn(&EngineEvent) -> Option<(bool, u64)>,
+) -> Vec<WorkInterval> {
+    let mut open: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut out = Vec::new();
+    for r in records {
+        match classify(&r.event) {
+            Some((true, key)) => {
+                open.insert(key, r.ts_us);
+            }
+            Some((false, key)) => {
+                // An end without a begin (begin dropped) still yields a
+                // zero-length interval at the end timestamp.
+                let start = open.remove(&key).unwrap_or(r.ts_us);
+                out.push(WorkInterval { start_us: start, end_us: r.ts_us });
+            }
+            None => {}
+        }
+    }
+    for (_, start) in open {
+        out.push(WorkInterval { start_us: start, end_us: horizon_us });
+    }
+    out
+}
+
+/// Fold journal records into stall episodes. Records may arrive in post
+/// order (which is claim order, not timestamp order under concurrency);
+/// they are re-sorted by timestamp then sequence first. Begin/end pairs
+/// are matched per poster thread; a `StallEnd` whose begin was dropped
+/// synthesizes its start from the carried duration.
+pub fn fold_episodes(records: &[JournalRecord]) -> Vec<StallEpisode> {
+    let mut recs: Vec<&JournalRecord> = records.iter().collect();
+    recs.sort_by_key(|r| (r.ts_us, r.seq));
+    let horizon = recs.last().map(|r| r.ts_us).unwrap_or(0);
+
+    let flushes = pair_intervals(records, horizon, |e| match e {
+        EngineEvent::FlushStart { mem_id } => Some((true, *mem_id)),
+        EngineEvent::FlushEnd { mem_id, .. } => Some((false, *mem_id)),
+        _ => None,
+    });
+    let compactions = pair_intervals(records, horizon, |e| match e {
+        EngineEvent::CompactionStart { level } => Some((true, *level)),
+        EngineEvent::CompactionEnd { level, .. } => Some((false, *level)),
+        _ => None,
+    });
+
+    // Open StallBegin per (tid, reason): one thread stalls for one reason
+    // at a time, but keying by reason too keeps a dropped End harmless.
+    let mut open: std::collections::HashMap<(u64, u64), u64> = std::collections::HashMap::new();
+    let mut episodes = Vec::new();
+    for r in &recs {
+        match r.event {
+            EngineEvent::StallBegin { reason } => {
+                open.insert((r.tid, reason), r.ts_us);
+            }
+            EngineEvent::StallEnd { reason, micros } => {
+                let start = open
+                    .remove(&(r.tid, reason))
+                    .unwrap_or_else(|| r.ts_us.saturating_sub(micros));
+                let (start_us, end_us) = (start, r.ts_us);
+                episodes.push(StallEpisode {
+                    start_us,
+                    end_us,
+                    micros,
+                    reason,
+                    trace_id: r.trace_id,
+                    tid: r.tid,
+                    concurrent_flushes: flushes
+                        .iter()
+                        .filter(|i| overlaps(i, start_us, end_us.max(start_us + 1)))
+                        .count() as u64,
+                    concurrent_compactions: compactions
+                        .iter()
+                        .filter(|i| overlaps(i, start_us, end_us.max(start_us + 1)))
+                        .count() as u64,
+                    ops_per_sec: 0.0,
+                });
+            }
+            _ => {}
+        }
+    }
+    episodes
+}
+
+/// Fill each episode's `ops_per_sec` with the mean foreground throughput
+/// of the sampler windows it overlaps.
+pub fn annotate_throughput(episodes: &mut [StallEpisode], frames: &[WindowFrame]) {
+    for ep in episodes.iter_mut() {
+        let spanned: Vec<&WindowFrame> = frames
+            .iter()
+            .filter(|f| f.start_us < ep.end_us.max(ep.start_us + 1) && ep.start_us < f.end_us)
+            .collect();
+        if spanned.is_empty() {
+            continue;
+        }
+        let sum: f64 = spanned.iter().map(|f| f.ops_per_sec()).sum();
+        ep.ops_per_sec = sum / spanned.len() as f64;
+    }
+}
+
+/// Total stalled micros across episodes.
+pub fn total_stalled_micros(episodes: &[StallEpisode]) -> u64 {
+    episodes.iter().map(|e| e.micros).sum()
+}
+
+/// Render the "top N stall episodes" doctor table. `exemplars` are
+/// `(trace_id, nanos)` pairs from the p999 exemplar stores; when an
+/// episode's trace id is among them it is flagged as a p999 exemplar.
+/// `origin_us` anchors the start-offset column (run start on the trace
+/// monotonic clock).
+pub fn episode_report(
+    episodes: &[StallEpisode],
+    exemplars: &[(u64, u64)],
+    origin_us: u64,
+    top: usize,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let total_ms = total_stalled_micros(episodes) as f64 / 1e3;
+    let _ = writeln!(
+        out,
+        "stall episodes: {} total, {:.1} ms stalled",
+        episodes.len(),
+        total_ms
+    );
+    if episodes.is_empty() {
+        return out;
+    }
+    let mut ranked: Vec<&StallEpisode> = episodes.iter().collect();
+    ranked.sort_by_key(|e| std::cmp::Reverse(e.micros));
+    let _ = writeln!(
+        out,
+        "  {:>10}  {:>10}  {:<14}  {:>5}  {:>7}  {:>10}  trace",
+        "start(s)", "dur(ms)", "reason", "flush", "compact", "ops/s"
+    );
+    for ep in ranked.iter().take(top) {
+        let start_s = ep.start_us.saturating_sub(origin_us) as f64 / 1e6;
+        let exemplar = ep.trace_id != 0 && exemplars.iter().any(|(id, _)| *id == ep.trace_id);
+        let trace = if ep.trace_id == 0 {
+            "-".to_string()
+        } else if exemplar {
+            format!("{:#x} [p999 exemplar]", ep.trace_id)
+        } else {
+            format!("{:#x}", ep.trace_id)
+        };
+        let _ = writeln!(
+            out,
+            "  {:>10.3}  {:>10.2}  {:<14}  {:>5}  {:>7}  {:>10.0}  {}",
+            start_s,
+            ep.micros as f64 / 1e3,
+            ep.reason_name(),
+            ep.concurrent_flushes,
+            ep.concurrent_compactions,
+            ep.ops_per_sec,
+            trace
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, ts_us: u64, tid: u64, trace_id: u64, event: EngineEvent) -> JournalRecord {
+        JournalRecord { seq, ts_us, trace_id, tid, event }
+    }
+
+    #[test]
+    fn folds_paired_begin_end_per_thread() {
+        let recs = vec![
+            rec(0, 100, 1, 0xabc, EngineEvent::StallBegin { reason: dlsm_trace::STALL_IMM_QUEUE }),
+            rec(1, 150, 2, 0, EngineEvent::StallBegin { reason: dlsm_trace::STALL_L0_LIMIT }),
+            rec(2, 400, 1, 0xabc, EngineEvent::StallEnd {
+                reason: dlsm_trace::STALL_IMM_QUEUE,
+                micros: 300,
+            }),
+            rec(3, 500, 2, 0, EngineEvent::StallEnd {
+                reason: dlsm_trace::STALL_L0_LIMIT,
+                micros: 350,
+            }),
+        ];
+        let eps = fold_episodes(&recs);
+        assert_eq!(eps.len(), 2);
+        assert_eq!(eps[0].start_us, 100);
+        assert_eq!(eps[0].end_us, 400);
+        assert_eq!(eps[0].micros, 300);
+        assert_eq!(eps[0].reason_name(), "imm_queue_full");
+        assert_eq!(eps[0].trace_id, 0xabc);
+        assert_eq!(eps[1].tid, 2);
+        assert_eq!(eps[1].reason_name(), "l0_limit");
+        assert_eq!(total_stalled_micros(&eps), 650);
+    }
+
+    #[test]
+    fn synthesizes_start_when_begin_dropped() {
+        let recs = vec![rec(0, 1_000, 3, 0, EngineEvent::StallEnd {
+            reason: dlsm_trace::STALL_IMM_QUEUE,
+            micros: 250,
+        })];
+        let eps = fold_episodes(&recs);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].start_us, 750);
+        assert_eq!(eps[0].end_us, 1_000);
+    }
+
+    #[test]
+    fn counts_overlapping_flush_and_compaction() {
+        let recs = vec![
+            rec(0, 50, 9, 0, EngineEvent::FlushStart { mem_id: 1 }),
+            rec(1, 100, 1, 0, EngineEvent::StallBegin { reason: dlsm_trace::STALL_IMM_QUEUE }),
+            rec(2, 120, 8, 0, EngineEvent::CompactionStart { level: 0 }),
+            rec(3, 200, 9, 0, EngineEvent::FlushEnd { mem_id: 1, bytes: 4096 }),
+            rec(4, 300, 1, 0, EngineEvent::StallEnd {
+                reason: dlsm_trace::STALL_IMM_QUEUE,
+                micros: 200,
+            }),
+            // compaction left open: treated as running through the horizon
+            rec(5, 900, 7, 0, EngineEvent::FlushStart { mem_id: 2 }),
+            rec(6, 950, 7, 0, EngineEvent::FlushEnd { mem_id: 2, bytes: 1 }),
+        ];
+        let eps = fold_episodes(&recs);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].concurrent_flushes, 1, "second flush is after the episode");
+        assert_eq!(eps[0].concurrent_compactions, 1);
+    }
+
+    #[test]
+    fn annotates_throughput_from_spanned_windows() {
+        let mut eps = vec![StallEpisode {
+            start_us: 100,
+            end_us: 300,
+            micros: 200,
+            reason: dlsm_trace::STALL_IMM_QUEUE,
+            trace_id: 0,
+            tid: 1,
+            concurrent_flushes: 0,
+            concurrent_compactions: 0,
+            ops_per_sec: 0.0,
+        }];
+        let mk = |start_us: u64, end_us: u64, puts: u64| {
+            let mut f = WindowFrame { start_us, end_us, ..WindowFrame::default() };
+            f.ops[0] = puts;
+            f
+        };
+        // 1M us windows so ops/s == puts; episode spans the first two only.
+        let frames = vec![mk(0, 200, 10), mk(200, 400, 30), mk(400, 600, 1000)];
+        annotate_throughput(&mut eps, &frames);
+        // Window spans are 200 us => ops/s = puts / 200e-6.
+        let expect = (10.0 / 200e-6 + 30.0 / 200e-6) / 2.0;
+        assert!((eps[0].ops_per_sec - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn report_ranks_by_duration_and_flags_exemplars() {
+        let mut eps = Vec::new();
+        for (i, micros) in [(1u64, 100u64), (2, 900), (3, 400)] {
+            eps.push(StallEpisode {
+                start_us: 1_000 * i,
+                end_us: 1_000 * i + micros,
+                micros,
+                reason: dlsm_trace::STALL_L0_LIMIT,
+                trace_id: i,
+                tid: i,
+                concurrent_flushes: 0,
+                concurrent_compactions: 0,
+                ops_per_sec: 0.0,
+            });
+        }
+        let report = episode_report(&eps, &[(2, 5_000_000)], 0, 2);
+        assert!(report.contains("3 total"));
+        let lines: Vec<&str> = report.lines().collect();
+        // Header + column row + top-2 rows.
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains("0.90"), "worst episode first: {report}");
+        assert!(lines[2].contains("[p999 exemplar]"));
+        assert!(lines[3].contains("0.40"));
+    }
+
+    #[test]
+    fn empty_input_is_quiet() {
+        assert!(fold_episodes(&[]).is_empty());
+        let report = episode_report(&[], &[], 0, 5);
+        assert!(report.contains("0 total"));
+    }
+}

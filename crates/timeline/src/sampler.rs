@@ -1,0 +1,366 @@
+//! Windowed sampler: a tick thread that snapshots the engine's cumulative
+//! [`TelemetrySnapshot`] on a fixed cadence and folds consecutive snapshots
+//! into per-window delta frames (ops/s by op class, per-window p50/p99,
+//! stall micros by reason, fabric traffic, cache hit-rate).
+//!
+//! The frame ring is bounded: when full, the oldest frame is evicted and
+//! counted in `frames_dropped`, so a long soak run keeps the most recent
+//! history rather than growing without bound.
+
+use crate::DEFAULT_TICK_MS;
+use dlsm_metrics::MetricsRegistry;
+use dlsm_telemetry::{OpClass, TelemetrySnapshot};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration for [`TimelineSampler`].
+#[derive(Debug, Clone)]
+pub struct TimelineConfig {
+    /// Window length. Default 250 ms: fine enough to see a multi-hundred-ms
+    /// write stall as a dip, coarse enough that histogram-delta quantiles
+    /// have real mass in them.
+    pub tick: Duration,
+    /// Maximum retained frames. At the default tick this is ~17 min of
+    /// history; older frames are evicted and counted.
+    pub capacity: usize,
+}
+
+impl Default for TimelineConfig {
+    fn default() -> TimelineConfig {
+        TimelineConfig {
+            tick: Duration::from_millis(DEFAULT_TICK_MS),
+            capacity: 4096,
+        }
+    }
+}
+
+/// One completed sampling window: deltas between two consecutive cumulative
+/// telemetry snapshots, stamped with the monotonic clock from
+/// [`dlsm_trace::now_us`].
+#[derive(Debug, Clone, Default)]
+pub struct WindowFrame {
+    /// Zero-based index of the window since sampler start (monotone even
+    /// when old frames have been evicted from the ring).
+    pub index: u64,
+    /// Window start, microseconds on the trace monotonic clock.
+    pub start_us: u64,
+    /// Window end, microseconds on the trace monotonic clock.
+    pub end_us: u64,
+    /// Operations completed in the window, indexed by [`OpClass::ALL`].
+    pub ops: [u64; 6],
+    /// Per-window p50 latency (nanos) by op class, from histogram deltas.
+    pub p50_ns: [u64; 6],
+    /// Per-window p99 latency (nanos) by op class, from histogram deltas.
+    pub p99_ns: [u64; 6],
+    /// Stall micros accumulated in the window: `[imm_queue, l0_limit]`.
+    pub stall_us: [u64; 2],
+    /// RDMA verbs issued in the window (all verb kinds summed).
+    pub rdma_ops: u64,
+    /// RDMA bytes moved in the window.
+    pub rdma_bytes: u64,
+    /// Compute-side cache hits (block + extent) in the window.
+    pub cache_hits: u64,
+    /// Compute-side cache misses in the window.
+    pub cache_misses: u64,
+}
+
+impl WindowFrame {
+    /// Window span in seconds (floor of 1 us to avoid div-by-zero).
+    pub fn span_secs(&self) -> f64 {
+        (self.end_us.saturating_sub(self.start_us)).max(1) as f64 / 1e6
+    }
+
+    /// Total foreground+background ops completed in the window.
+    pub fn ops_total(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+
+    /// Foreground ops (put/get/scan — excludes flush and compaction RPC).
+    pub fn ops_foreground(&self) -> u64 {
+        self.ops[0] + self.ops[1] + self.ops[2] + self.ops[3]
+    }
+
+    /// Throughput over the window, counting foreground ops only.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops_foreground() as f64 / self.span_secs()
+    }
+
+    /// Fraction of the window's wall time spent write-stalled (sum of both
+    /// stall reasons over span; can exceed 1.0 with many stalled threads).
+    pub fn stall_share(&self) -> f64 {
+        let stalled = (self.stall_us[0] + self.stall_us[1]) as f64 / 1e6;
+        stalled / self.span_secs()
+    }
+
+    /// Cache hit rate in the window, or 0.0 when there were no lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Fold the delta between two cumulative snapshots into a frame.
+fn frame_from_delta(
+    index: u64,
+    start_us: u64,
+    end_us: u64,
+    cur: &TelemetrySnapshot,
+    prev: &TelemetrySnapshot,
+) -> WindowFrame {
+    let d = cur.delta(prev);
+    let mut f = WindowFrame {
+        index,
+        start_us,
+        end_us,
+        ..WindowFrame::default()
+    };
+    for (i, class) in OpClass::ALL.iter().enumerate() {
+        let h = d.op(*class);
+        f.ops[i] = h.count();
+        f.p50_ns[i] = h.p50();
+        f.p99_ns[i] = h.p99();
+    }
+    f.stall_us[0] = d.counter("stall_imm_micros");
+    f.stall_us[1] = d.counter("stall_l0_micros");
+    let (rops, rbytes) = d.rdma_total();
+    f.rdma_ops = rops;
+    f.rdma_bytes = rbytes;
+    f.cache_hits = d.counter("cache_block_hits") + d.counter("cache_extent_hits");
+    f.cache_misses = d.counter("cache_block_misses") + d.counter("cache_extent_misses");
+    f
+}
+
+struct SamplerShared {
+    frames: Mutex<std::collections::VecDeque<WindowFrame>>,
+    dropped: std::sync::atomic::AtomicU64,
+    stop: AtomicBool,
+    capacity: usize,
+}
+
+impl SamplerShared {
+    fn push(&self, f: WindowFrame) {
+        let mut g = self.frames.lock().unwrap();
+        if g.len() >= self.capacity {
+            g.pop_front();
+            // ORDERING: Relaxed — eviction counter, read only for reporting.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        g.push_back(f);
+    }
+}
+
+/// The tick thread plus its shared frame ring. Construct with
+/// [`TimelineSampler::start`]; stop explicitly with [`TimelineSampler::stop`]
+/// (also invoked on drop) to capture the final partial window.
+pub struct TimelineSampler {
+    shared: Arc<SamplerShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TimelineSampler {
+    /// Spawn the sampling thread. `provider` is called once per tick (from
+    /// the sampler thread only) and must return the engine's *cumulative*
+    /// telemetry snapshot, with RDMA traffic already merged in.
+    pub fn start(
+        cfg: TimelineConfig,
+        provider: Box<dyn Fn() -> TelemetrySnapshot + Send + Sync>,
+    ) -> TimelineSampler {
+        let shared = Arc::new(SamplerShared {
+            frames: Mutex::new(std::collections::VecDeque::new()),
+            dropped: std::sync::atomic::AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            capacity: cfg.capacity.max(1),
+        });
+        let th_shared = Arc::clone(&shared);
+        let tick = cfg.tick.max(Duration::from_millis(1));
+        let handle = std::thread::Builder::new()
+            .name("dlsm-timeline".into())
+            .spawn(move || {
+                let mut prev = provider();
+                let mut prev_us = dlsm_trace::now_us();
+                let mut index = 0u64;
+                loop {
+                    // Sleep in small chunks so stop() returns promptly even
+                    // with a multi-second tick.
+                    let mut slept = Duration::ZERO;
+                    while slept < tick {
+                        // ORDERING: Relaxed — stop flag, no data published
+                        // through it; the final frame is built from a fresh
+                        // provider() call below.
+                        if th_shared.stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let chunk = (tick - slept).min(Duration::from_millis(20));
+                        std::thread::sleep(chunk);
+                        slept += chunk;
+                    }
+                    let cur = provider();
+                    let now = dlsm_trace::now_us();
+                    // Skip degenerate (sub-tick) final windows with no ops,
+                    // but keep a partial window that saw traffic.
+                    let frame = frame_from_delta(index, prev_us, now, &cur, &prev);
+                    // ORDERING: Relaxed — see above.
+                    let stopping = th_shared.stop.load(Ordering::Relaxed);
+                    if !stopping || frame.ops_total() > 0 || now > prev_us {
+                        th_shared.push(frame);
+                        index += 1;
+                    }
+                    if stopping {
+                        break;
+                    }
+                    prev = cur;
+                    prev_us = now;
+                }
+            })
+            .expect("spawn dlsm-timeline sampler thread");
+        TimelineSampler {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the tick thread, capturing a final partial window. Idempotent.
+    pub fn stop(&mut self) {
+        // ORDERING: Relaxed — flag only; the join below synchronizes.
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// All retained frames, oldest first.
+    pub fn frames(&self) -> Vec<WindowFrame> {
+        self.shared.frames.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of frames evicted because the ring was full.
+    pub fn frames_dropped(&self) -> u64 {
+        // ORDERING: Relaxed — reporting read of a monotone counter.
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Export `dlsm_timeline_*` gauges describing the most recent completed
+    /// window. Uses a Weak so a dropped sampler stops exporting.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        let weak: Weak<SamplerShared> = Arc::downgrade(&self.shared);
+        registry.register(move |out: &mut dlsm_metrics::Sample| {
+            let Some(shared) = weak.upgrade() else { return };
+            let g = shared.frames.lock().unwrap();
+            out.gauge("dlsm_timeline_windows", g.len() as f64);
+            // ORDERING: Relaxed — reporting read.
+            out.gauge(
+                "dlsm_timeline_frames_dropped",
+                shared.dropped.load(Ordering::Relaxed) as f64,
+            );
+            if let Some(last) = g.back() {
+                out.gauge("dlsm_timeline_window_ops_per_sec", last.ops_per_sec());
+                out.gauge("dlsm_timeline_window_stall_share", last.stall_share());
+            }
+        });
+    }
+}
+
+impl Drop for TimelineSampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlsm_telemetry::{HistSnapshot, LocalHist};
+    use std::sync::atomic::AtomicU64;
+
+    fn snap_with(puts: u64, stall_imm: u64) -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::new();
+        let mut h = LocalHist::new();
+        for _ in 0..puts {
+            h.record(1_000);
+        }
+        let hs: HistSnapshot = h.snapshot();
+        s.ops[0] = hs;
+        s.set_counter("stall_imm_micros", stall_imm);
+        s
+    }
+
+    #[test]
+    fn frames_carry_deltas_not_cumulatives() {
+        let prev = snap_with(10, 100);
+        let cur = snap_with(25, 700);
+        let f = frame_from_delta(3, 1_000_000, 1_250_000, &cur, &prev);
+        assert_eq!(f.index, 3);
+        assert_eq!(f.ops[0], 15);
+        assert_eq!(f.stall_us, [600, 0]);
+        assert!((f.span_secs() - 0.25).abs() < 1e-9);
+        assert!((f.ops_per_sec() - 60.0).abs() < 1e-6);
+        assert!((f.stall_share() - 600e-6 / 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampler_produces_windows_and_stops() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&calls);
+        let provider = Box::new(move || {
+            let n = c2.fetch_add(1, Ordering::Relaxed);
+            snap_with(n * 5, n * 50)
+        });
+        let mut s = TimelineSampler::start(
+            TimelineConfig {
+                tick: Duration::from_millis(10),
+                capacity: 8,
+            },
+            provider,
+        );
+        std::thread::sleep(Duration::from_millis(80));
+        s.stop();
+        s.stop(); // idempotent
+        let frames = s.frames();
+        assert!(!frames.is_empty(), "expected at least one window");
+        for w in frames.windows(2) {
+            assert_eq!(w[0].end_us, w[1].start_us, "windows must be contiguous");
+            assert_eq!(w[0].index + 1, w[1].index);
+        }
+        for f in &frames {
+            assert_eq!(f.ops[0], 5, "each tick advances provider by 5 puts");
+            assert_eq!(f.stall_us[0], 50);
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_evictions() {
+        let shared = SamplerShared {
+            frames: Mutex::new(std::collections::VecDeque::new()),
+            dropped: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            capacity: 4,
+        };
+        for i in 0..10 {
+            shared.push(WindowFrame {
+                index: i,
+                ..WindowFrame::default()
+            });
+        }
+        let g = shared.frames.lock().unwrap();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.front().unwrap().index, 6);
+        assert_eq!(shared.dropped.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn cache_hit_rate_and_empty_window() {
+        let f = WindowFrame {
+            cache_hits: 30,
+            cache_misses: 10,
+            ..WindowFrame::default()
+        };
+        assert!((f.cache_hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(WindowFrame::default().cache_hit_rate(), 0.0);
+    }
+}

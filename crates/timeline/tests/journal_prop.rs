@@ -1,0 +1,129 @@
+//! Property tests for the engine event journal (ISSUE 9 satellite): under
+//! concurrent posters and a racing reader, a collected record is never a
+//! torn mixture of two posts, per-thread timestamps stay monotone, and
+//! drops are bounded and counted exactly.
+//!
+//! These run the real write-once seqlock over real OS threads; the
+//! exhaustive small-state interleaving proof for the same protocol lives
+//! in `crates/check/tests/model_journal.rs`.
+
+use dlsm_timeline::{EngineEvent, Journal};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Encode `(tid, seq)` into the event payload so a reader can verify a
+/// record's fields agree with each other: `mem_id` and `bytes` of a
+/// `FlushEnd` live in different slot words, so a cross-post mix is
+/// detectable.
+const SEQ_BITS: u64 = 20;
+
+fn tag(tid: u64, seq: u64) -> u64 {
+    (tid << SEQ_BITS) | seq
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `counts[t]` posts from each of up to 4 threads into a journal that
+    /// may be smaller than the total. While they run, a racing reader
+    /// keeps collecting. Afterwards:
+    /// * every collected record is internally consistent (ts, tid, and
+    ///   both payload words carry the same (tid, seq) tag);
+    /// * per poster thread, timestamps are strictly monotone in seq;
+    /// * `drops == attempts - capacity` exactly when over capacity, else 0;
+    /// * the quiescent collect holds exactly `min(attempts, capacity)`
+    ///   records, one per claimed slot.
+    #[test]
+    fn concurrent_posters_never_tear_and_drops_are_exact(
+        counts in prop::collection::vec(1usize..300, 1..=4),
+        cap in 1usize..600,
+    ) {
+        let journal = Arc::new(Journal::with_capacity(cap));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let reader = {
+            let journal = Arc::clone(&journal);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut torn = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    for r in journal.collect() {
+                        let (mem_id, bytes) = match r.event {
+                            EngineEvent::FlushEnd { mem_id, bytes } => (mem_id, bytes),
+                            other => {
+                                torn += 1;
+                                let _ = other;
+                                continue;
+                            }
+                        };
+                        // All four stamped fields must agree on (tid, seq).
+                        if mem_id != bytes
+                            || r.tid != mem_id >> SEQ_BITS
+                            || r.ts_us != mem_id
+                        {
+                            torn += 1;
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+                torn
+            })
+        };
+
+        let posters: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .map(|(t, &n)| {
+                let journal = Arc::clone(&journal);
+                std::thread::spawn(move || {
+                    let tid = t as u64 + 1;
+                    for seq in 0..n as u64 {
+                        let v = tag(tid, seq);
+                        // ts_us == tag keeps per-thread timestamps strictly
+                        // monotone in seq, which the checks below rely on.
+                        journal.post_at(v, 0, tid, EngineEvent::FlushEnd {
+                            mem_id: v,
+                            bytes: v,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for p in posters {
+            p.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let torn = reader.join().unwrap();
+        prop_assert_eq!(torn, 0, "racing reader saw torn/foreign records");
+
+        let attempts: u64 = counts.iter().map(|&n| n as u64).sum();
+        prop_assert_eq!(journal.attempts(), attempts);
+        prop_assert_eq!(journal.drops(), attempts.saturating_sub(cap as u64));
+
+        let records = journal.collect();
+        prop_assert_eq!(records.len() as u64, attempts.min(cap as u64),
+            "quiescent collect must drain every claimed slot");
+
+        // Internal consistency + per-thread monotonicity after quiescence.
+        let mut last_seq: std::collections::HashMap<u64, u64> = Default::default();
+        for r in &records {
+            let (mem_id, bytes) = match r.event {
+                EngineEvent::FlushEnd { mem_id, bytes } => (mem_id, bytes),
+                other => panic!("foreign event {other:?}"),
+            };
+            prop_assert_eq!(mem_id, bytes);
+            prop_assert_eq!(r.ts_us, mem_id);
+            prop_assert_eq!(r.tid, mem_id >> SEQ_BITS);
+            let seq = mem_id & ((1 << SEQ_BITS) - 1);
+            if let Some(prev) = last_seq.get(&r.tid) {
+                // collect() returns ticket order; a thread's own posts
+                // claim tickets in program order, so its seqs (== its ts)
+                // must be strictly increasing.
+                prop_assert!(seq > *prev,
+                    "tid {} not monotone: seq {} after {}", r.tid, seq, prev);
+            }
+            last_seq.insert(r.tid, seq);
+        }
+    }
+}
