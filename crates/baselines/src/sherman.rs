@@ -119,6 +119,9 @@ impl Sherman {
         let idx = self.index.read();
         let (sep, &leaf) = idx
             .range::<[u8], _>((std::ops::Bound::Unbounded, std::ops::Bound::Included(key)))
+            // The separator map is seeded with the empty key at startup and
+            // separators are never removed, so an Unbounded..=key range is
+            // PANIC-SAFE: next_back() always yields at least that sentinel.
             .next_back()
             .expect("separator map always holds the empty key");
         (sep.clone(), leaf)
@@ -132,6 +135,8 @@ impl Sherman {
 
     /// Front version of a leaf image.
     fn front_version(buf: &[u8]) -> u64 {
+        // PANIC-SAFE: leaf buffers are always allocated at self.leaf_size
+        // (>= HEADER + TAIL), so the 8-byte version slice cannot be short.
         u64::from_le_bytes(buf[VERSION_OFF..VERSION_OFF + 8].try_into().expect("version"))
     }
 
@@ -149,6 +154,8 @@ impl Sherman {
     }
 
     fn parse(&self, buf: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        // PANIC-SAFE: fixed-size leaf images guarantee the 4-byte count word
+        // exists; entry bounds past it are checked with explicit errors below.
         let count = u32::from_le_bytes(
             buf[COUNT_OFF..COUNT_OFF + 4].try_into().expect("count word"),
         ) as usize;
@@ -201,6 +208,9 @@ impl Sherman {
             if qp.compare_swap(addr, 0, 1)? == 0 {
                 return Ok(());
             }
+            // HOTPATH: Sherman's global on-chip lock *is* a remote spin lock;
+            // spinning here reproduces the baseline faithfully (ROADMAP item 3
+            // covers the dLSM-side wait refactor, not the baselines).
             std::thread::yield_now();
         }
     }

@@ -29,7 +29,15 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Poison-tolerant lock: a thread that panicked while holding a shard lock
+/// leaves at worst an approximate S3-FIFO state (freq counters, queue
+/// order), never a correctness problem — and the read hot path must not
+/// turn someone else's panic into its own.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Per-entry bookkeeping overhead charged against the byte budget
 /// (map slot + queue slot + `Arc` header, roughly).
@@ -305,7 +313,7 @@ impl Pool {
 
     /// Look up `key`; a hit bumps the entry's saturating frequency counter.
     fn get(&self, key: CacheKey) -> Option<Arc<Vec<u8>>> {
-        let mut inner = self.shard_for(key_hash(key)).inner.lock().unwrap();
+        let mut inner = plock(&self.shard_for(key_hash(key)).inner);
         let entry = inner.map.get_mut(&key)?;
         entry.freq = (entry.freq + 1).min(FREQ_MAX);
         Some(Arc::clone(&entry.data))
@@ -313,7 +321,7 @@ impl Pool {
 
     /// Whether `key` is resident, without touching frequency or stats.
     fn peek(&self, key: CacheKey) -> Option<Arc<Vec<u8>>> {
-        let inner = self.shard_for(key_hash(key)).inner.lock().unwrap();
+        let inner = plock(&self.shard_for(key_hash(key)).inner);
         inner.map.get(&key).map(|e| Arc::clone(&e.data))
     }
 
@@ -325,7 +333,7 @@ impl Pool {
             return false;
         }
         let hash = key_hash(key);
-        let mut inner = self.shard_for(hash).inner.lock().unwrap();
+        let mut inner = plock(&self.shard_for(hash).inner);
         if inner.map.contains_key(&key) {
             return false; // racing fill already admitted it
         }
@@ -383,6 +391,7 @@ impl Pool {
                     inner.main_bytes += charge;
                     inner.main.push_back(key);
                 } else {
+                    // PANIC-SAFE: get_mut above just proved the key is mapped.
                     let entry = inner.map.remove(&key).unwrap();
                     inner.small_bytes -= entry.charge;
                     self.forget(entry.charge, &self.evictions);
@@ -403,6 +412,7 @@ impl Pool {
                     entry.freq -= 1;
                     inner.main.push_back(key);
                 } else {
+                    // PANIC-SAFE: get_mut above just proved the key is mapped.
                     let entry = inner.map.remove(&key).unwrap();
                     inner.main_bytes -= entry.charge;
                     self.forget(entry.charge, &self.evictions);
@@ -435,7 +445,7 @@ impl Pool {
     /// extent promotion, where the "key" never entered the cache proper.
     fn ghost_heat(&self, hash: u64) -> u32 {
         let shard = self.shard_for(hash);
-        let mut inner = shard.inner.lock().unwrap();
+        let mut inner = plock(&shard.inner);
         match inner.ghost.get_mut(&hash) {
             Some(heat) => {
                 *heat = heat.saturating_add(1);
@@ -457,14 +467,14 @@ impl Pool {
 
     /// Drop the ghost entry for `hash` (after a successful promotion).
     fn clear_ghost(&self, hash: u64) {
-        let mut inner = self.shard_for(hash).inner.lock().unwrap();
+        let mut inner = plock(&self.shard_for(hash).inner);
         inner.ghost.remove(&hash);
     }
 
     /// Purge every entry belonging to `table` from every shard.
     fn remove_table(&self, table: u64) {
         for shard in &self.shards {
-            let mut inner = shard.inner.lock().unwrap();
+            let mut inner = plock(&shard.inner);
             let victims: Vec<CacheKey> =
                 inner.map.keys().filter(|k| k.table == table).copied().collect();
             if victims.is_empty() {
@@ -579,7 +589,7 @@ impl ReadCache {
     }
 
     fn is_dead(&self, table: u64) -> bool {
-        self.dead.lock().unwrap().contains(table)
+        plock(&self.dead).contains(table)
     }
 
     /// Look up a data block / record of `table` at `offset`. A hit also
@@ -724,7 +734,7 @@ impl ReadCache {
         // in which case its own post-insert re-check (see `block_admit`)
         // observes the mark and undoes it. Either way no entry of `table`
         // survives once both calls return.
-        self.dead.lock().unwrap().mark(table);
+        plock(&self.dead).mark(table);
         self.blocks.remove_table(table);
         self.extents.remove_table(table);
     }

@@ -17,6 +17,7 @@
 //!
 //! See DESIGN.md §9 "Correctness tooling" for how to write a model test.
 
+pub mod analyze;
 mod exec;
 mod explore;
 pub mod lint;

@@ -54,17 +54,19 @@ impl fmt::Display for Finding {
 }
 
 /// Per-line split of a source file: executable code with comments/strings
-/// blanked out, and the comment text found on that line.
-struct MaskedSource {
-    code: Vec<String>,
-    comments: Vec<String>,
+/// blanked out, and the comment text found on that line. Shared with the
+/// call-graph analyzer (`crate::analyze`), which reuses the same masking so
+/// a string containing `lock(` or `unwrap(` never produces a fact.
+pub(crate) struct MaskedSource {
+    pub(crate) code: Vec<String>,
+    pub(crate) comments: Vec<String>,
 }
 
 /// Strip comments and string/char literals, preserving line structure.
 /// Handles nested block comments, raw strings, and the char-vs-lifetime
 /// ambiguity (heuristically: `'x'` / `'\x'` is a char literal, anything else
 /// after `'` is a lifetime).
-fn mask(src: &str) -> MaskedSource {
+pub(crate) fn mask(src: &str) -> MaskedSource {
     let b: Vec<char> = src.chars().collect();
     let mut code = vec![String::new()];
     let mut comments = vec![String::new()];
@@ -196,12 +198,12 @@ fn mask(src: &str) -> MaskedSource {
     MaskedSource { code, comments }
 }
 
-fn is_ident_char(c: char) -> bool {
+pub(crate) fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
 /// Does `line` contain `word` bounded by non-identifier characters?
-fn has_word(line: &str, word: &str) -> bool {
+pub(crate) fn has_word(line: &str, word: &str) -> bool {
     let chars: Vec<char> = line.chars().collect();
     let w: Vec<char> = word.chars().collect();
     if w.is_empty() || chars.len() < w.len() {
@@ -222,7 +224,7 @@ fn has_word(line: &str, word: &str) -> bool {
 }
 
 /// Lines (0-based) covered by `#[cfg(test)] mod ... { ... }` regions.
-fn test_region_mask(code: &[String]) -> Vec<bool> {
+pub(crate) fn test_region_mask(code: &[String]) -> Vec<bool> {
     let mut masked = vec![false; code.len()];
     let mut li = 0;
     while li < code.len() {
@@ -265,7 +267,7 @@ fn test_region_mask(code: &[String]) -> Vec<bool> {
     masked
 }
 
-fn tag_in_window(comments: &[String], line: usize, tag: &str, window: usize) -> bool {
+pub(crate) fn tag_in_window(comments: &[String], line: usize, tag: &str, window: usize) -> bool {
     let lo = line.saturating_sub(window);
     comments[lo..=line].iter().any(|c| c.contains(tag))
 }

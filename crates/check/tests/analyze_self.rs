@@ -1,0 +1,430 @@
+//! The analyzer, turned on itself: the workspace must analyze clean, each
+//! rule must fire on a synthetic straw-man (and stay silent on its waived
+//! twin), masking must survive adversarial strings/comments, and the call
+//! graph must resolve trait methods and cross-crate calls. LOCKFABRIC in
+//! particular has zero findings in the real workspace, so the straw-man
+//! here is the only proof the rule can fire at all.
+
+use std::path::{Path, PathBuf};
+
+use dlsm_check::analyze::{
+    analyze_sources, analyze_workspace, baseline_counts, ratchet, to_json, Analysis, Rule,
+};
+
+fn repo_root() -> &'static Path {
+    // crates/check -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap()
+}
+
+/// Run the analyzer over in-memory fixture files.
+fn analyze(files: &[(&str, &str)]) -> Analysis {
+    let sources: Vec<(PathBuf, String)> =
+        files.iter().map(|(p, s)| (PathBuf::from(p), (*s).to_string())).collect();
+    analyze_sources(&sources)
+}
+
+/// `cargo run --bin dlsm_analyze` must exit 0 on this workspace; this is
+/// the same analysis in test form so `cargo test` alone enforces the gate.
+#[test]
+fn workspace_analyzes_clean() {
+    let a = analyze_workspace(repo_root()).expect("analyze workspace");
+    assert!(
+        a.findings.is_empty(),
+        "unwaived analyzer findings in workspace:\n{}",
+        a.findings.iter().map(|f| format!("  {f}\n")).collect::<String>()
+    );
+    // The analyzer only means something if it actually resolved the
+    // workspace: entry points present, call graph non-trivial.
+    assert!(a.entry_points.len() >= 10, "entry points: {:?}", a.entry_points);
+    assert!(a.functions > 500, "functions: {}", a.functions);
+    assert!(a.edges > 1000, "edges: {}", a.edges);
+    assert!(a.reachable_functions > 100, "reachable: {}", a.reachable_functions);
+}
+
+// ---------------------------------------------------------------------------
+// Straw-men: each rule fires on an injected violation, and the identical
+// code with the waiver tag is reported as waived instead.
+
+#[test]
+fn hotpath_straw_man_is_caught() {
+    let src = "\
+pub struct Db;
+impl Db {
+    pub fn put(&self) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+";
+    let a = analyze(&[("crates/fake/src/lib.rs", src)]);
+    assert_eq!(a.count(Rule::Hotpath), 1, "{:?}", a.findings);
+    let f = &a.findings[0];
+    assert_eq!(f.line, 4);
+    assert_eq!(f.func, "Db::put");
+    assert!(f.what.contains("sleep"), "{}", f.what);
+    assert_eq!(f.path, ["Db::put"], "path should start at the entry point");
+}
+
+#[test]
+fn hotpath_waiver_twin_is_waived() {
+    let src = "\
+pub struct Db;
+impl Db {
+    pub fn put(&self) {
+        // HOTPATH: straw-man waiver.
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+";
+    let a = analyze(&[("crates/fake/src/lib.rs", src)]);
+    assert_eq!(a.count(Rule::Hotpath), 0, "{:?}", a.findings);
+    assert_eq!(a.waived_count(Rule::Hotpath), 1);
+}
+
+/// A blocking primitive in a function no entry point reaches is not a
+/// HOTPATH finding — reachability is the whole point.
+#[test]
+fn hotpath_ignores_unreachable_blocking() {
+    let src = "\
+pub fn background_tick() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+";
+    let a = analyze(&[("crates/fake/src/lib.rs", src)]);
+    assert_eq!(a.count(Rule::Hotpath), 0, "{:?}", a.findings);
+}
+
+/// LOCKFABRIC: a fabric verb posted while a Mutex guard is live. The real
+/// workspace has zero of these, so this fixture is the proof the rule can
+/// fire. The fixture defines its own `QueuePair::post_read` (same shape as
+/// rdma-sim's) so the fabric seed resolves.
+const LOCKFABRIC_FIXTURE: &str = "\
+pub struct QueuePair;
+impl QueuePair {
+    pub fn post_read(&mut self, n: u64) -> u64 { n }
+}
+pub struct Conn {
+    mu: std::sync::Mutex<u32>,
+    qp: QueuePair,
+}
+impl Conn {
+    pub fn ship(&mut self) {
+        let g = self.mu.lock();
+        self.qp.post_read(7);
+        drop(g);
+    }
+}
+";
+
+#[test]
+fn lockfabric_straw_man_is_caught() {
+    let a = analyze(&[("crates/fake/src/lib.rs", LOCKFABRIC_FIXTURE)]);
+    assert_eq!(a.count(Rule::LockFabric), 1, "{:?}", a.findings);
+    let f = &a.findings[0];
+    assert_eq!(f.line, 12);
+    assert_eq!(f.func, "Conn::ship");
+    assert!(f.what.contains("post_read"), "{}", f.what);
+}
+
+#[test]
+fn lockfabric_waiver_twin_is_waived() {
+    let src = LOCKFABRIC_FIXTURE.replace(
+        "        self.qp.post_read(7);",
+        "        // LOCKFABRIC: straw-man waiver.\n        self.qp.post_read(7);",
+    );
+    let a = analyze(&[("crates/fake/src/lib.rs", &src)]);
+    assert_eq!(a.count(Rule::LockFabric), 0, "{:?}", a.findings);
+    assert_eq!(a.waived_count(Rule::LockFabric), 1);
+}
+
+/// Dropping the guard before the fabric op clears the violation.
+#[test]
+fn lockfabric_released_guard_is_clean() {
+    let src = LOCKFABRIC_FIXTURE.replace(
+        "        let g = self.mu.lock();\n        self.qp.post_read(7);\n        drop(g);",
+        "        let g = self.mu.lock();\n        drop(g);\n        self.qp.post_read(7);",
+    );
+    assert_ne!(src, LOCKFABRIC_FIXTURE, "replacement must apply");
+    let a = analyze(&[("crates/fake/src/lib.rs", &src)]);
+    assert_eq!(a.count(Rule::LockFabric), 0, "{:?}", a.findings);
+}
+
+/// The fabric taint is transitive: calling a helper that posts a verb while
+/// holding a lock is just as much a stall bomb as posting directly.
+#[test]
+fn lockfabric_flags_fabric_transitive_calls() {
+    let src = "\
+pub struct QueuePair;
+impl QueuePair {
+    pub fn post_read(&mut self, n: u64) -> u64 { n }
+}
+pub struct Conn {
+    mu: std::sync::Mutex<u32>,
+    qp: QueuePair,
+}
+impl Conn {
+    fn flush_one(&mut self) {
+        self.qp.post_read(7);
+    }
+    pub fn ship(&mut self) {
+        let g = self.mu.lock();
+        self.flush_one();
+        drop(g);
+    }
+}
+";
+    let a = analyze(&[("crates/fake/src/lib.rs", src)]);
+    assert_eq!(a.count(Rule::LockFabric), 1, "{:?}", a.findings);
+    assert_eq!(a.findings[0].func, "Conn::ship");
+    assert!(a.findings[0].what.contains("flush_one"), "{}", a.findings[0].what);
+}
+
+#[test]
+fn panicpath_straw_man_is_caught() {
+    let src = "\
+pub struct Db;
+impl Db {
+    pub fn put(&self, v: Option<u32>) -> u32 {
+        v.unwrap()
+    }
+}
+";
+    let a = analyze(&[("crates/fake/src/lib.rs", src)]);
+    assert_eq!(a.count(Rule::PanicPath), 1, "{:?}", a.findings);
+    let f = &a.findings[0];
+    assert_eq!(f.line, 4);
+    assert!(f.what.contains("unwrap"), "{}", f.what);
+}
+
+#[test]
+fn panicpath_waiver_twin_is_waived() {
+    let src = "\
+pub struct Db;
+impl Db {
+    pub fn put(&self, v: Option<u32>) -> u32 {
+        // PANIC-SAFE: straw-man waiver.
+        v.unwrap()
+    }
+}
+";
+    let a = analyze(&[("crates/fake/src/lib.rs", src)]);
+    assert_eq!(a.count(Rule::PanicPath), 0, "{:?}", a.findings);
+    assert_eq!(a.waived_count(Rule::PanicPath), 1);
+}
+
+/// Panic macros count too, and the entry-point path is reported through the
+/// intermediate frame.
+#[test]
+fn panicpath_macro_reports_call_path() {
+    let src = "\
+pub struct Db;
+impl Db {
+    pub fn put(&self) {
+        helper();
+    }
+}
+fn helper() {
+    panic!(\"boom\");
+}
+";
+    let a = analyze(&[("crates/fake/src/lib.rs", src)]);
+    assert_eq!(a.count(Rule::PanicPath), 1, "{:?}", a.findings);
+    let f = &a.findings[0];
+    assert_eq!(f.func, "helper");
+    assert_eq!(f.path, ["Db::put", "helper"]);
+}
+
+// ---------------------------------------------------------------------------
+// Masking and test-region edge cases.
+
+/// Blocking/panic tokens inside strings and comments are not facts.
+#[test]
+fn masked_regions_produce_no_findings() {
+    let src = "\
+pub struct Db;
+impl Db {
+    pub fn put(&self) -> &'static str {
+        // This comment mentions sleep( and unwrap( and panic!(.
+        \"std::thread::sleep(self.mu.lock().unwrap())\"
+    }
+}
+";
+    let a = analyze(&[("crates/fake/src/lib.rs", src)]);
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+    assert!(a.waivers.is_empty(), "{:?}", a.waivers);
+}
+
+/// `#[cfg(test)]` regions are excluded from the fact base entirely: a
+/// violating helper that only exists under test never resolves.
+#[test]
+fn test_regions_are_excluded() {
+    let src = "\
+pub struct Db;
+impl Db {
+    pub fn put(&self) {
+        tick();
+    }
+}
+#[cfg(test)]
+mod tests {
+    pub fn tick() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        panic!(\"test-only\");
+    }
+}
+";
+    let a = analyze(&[("crates/fake/src/lib.rs", src)]);
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+}
+
+// ---------------------------------------------------------------------------
+// Call-graph resolution.
+
+/// Trait methods resolve through the implementing type: `impl T for S`
+/// hangs the method off `S`, and a receiver typed `S` finds it.
+#[test]
+fn trait_methods_resolve_via_impl_type() {
+    let src = "\
+pub trait Sink {
+    fn emit(&self);
+}
+pub struct Spinner;
+impl Sink for Spinner {
+    fn emit(&self) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+pub struct Db {
+    out: Spinner,
+}
+impl Db {
+    pub fn put(&self) {
+        self.out.emit();
+    }
+}
+";
+    let a = analyze(&[("crates/fake/src/lib.rs", src)]);
+    assert_eq!(a.count(Rule::Hotpath), 1, "{:?}", a.findings);
+    let f = &a.findings[0];
+    assert_eq!(f.func, "Spinner::emit");
+    assert_eq!(f.path, ["Db::put", "Spinner::emit"]);
+}
+
+/// Calls resolve across crate boundaries: a typed receiver defined in one
+/// crate finds its methods in another, and the entry path crosses over.
+#[test]
+fn cross_crate_calls_resolve() {
+    let fake = "\
+pub struct Db {
+    conn: Conn,
+}
+impl Db {
+    pub fn put(&self) {
+        self.conn.send();
+    }
+}
+";
+    let other = "\
+pub struct Conn;
+impl Conn {
+    pub fn send(&self) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+";
+    let a = analyze(&[
+        ("crates/fake/src/lib.rs", fake),
+        ("crates/other/src/lib.rs", other),
+    ]);
+    assert_eq!(a.count(Rule::Hotpath), 1, "{:?}", a.findings);
+    assert_eq!(a.findings[0].func, "Conn::send");
+    assert_eq!(a.findings[0].path, ["Db::put", "Conn::send"]);
+}
+
+/// Workspace-unique free functions resolve bare calls across crates.
+#[test]
+fn unique_free_fn_resolves_across_crates() {
+    let fake = "\
+pub struct Db;
+impl Db {
+    pub fn put(&self) {
+        backoff_once();
+    }
+}
+";
+    let other = "\
+pub fn backoff_once() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+";
+    let a = analyze(&[
+        ("crates/fake/src/lib.rs", fake),
+        ("crates/other/src/util.rs", other),
+    ]);
+    assert_eq!(a.count(Rule::Hotpath), 1, "{:?}", a.findings);
+    assert_eq!(a.findings[0].path, ["Db::put", "backoff_once"]);
+}
+
+// ---------------------------------------------------------------------------
+// Ratchet: the CI contract.
+
+#[test]
+fn ratchet_accepts_equal_and_rejects_regression() {
+    let clean = "\
+pub struct Db;
+impl Db {
+    pub fn put(&self) {}
+}
+";
+    let dirty = "\
+pub struct Db;
+impl Db {
+    pub fn put(&self, v: Option<u32>) -> u32 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        v.unwrap()
+    }
+}
+";
+    let a_clean = analyze(&[("crates/fake/src/lib.rs", clean)]);
+    let a_dirty = analyze(&[("crates/fake/src/lib.rs", dirty)]);
+    assert_eq!(a_dirty.count(Rule::Hotpath), 1);
+    assert_eq!(a_dirty.count(Rule::PanicPath), 1);
+
+    let baseline_clean = to_json(&a_clean);
+    let baseline_dirty = to_json(&a_dirty);
+    let counts = baseline_counts(&baseline_dirty).expect("parse baseline");
+    assert_eq!(counts.get("HOTPATH"), Some(&1));
+    assert_eq!(counts.get("PANICPATH"), Some(&1));
+    assert_eq!(counts.get("LOCKFABRIC"), Some(&0));
+
+    // Same findings vs. same baseline: OK.
+    assert!(ratchet(&a_dirty, &baseline_dirty).is_ok());
+    // New findings vs. a clean baseline: regression.
+    let err = ratchet(&a_dirty, &baseline_clean).expect_err("must regress");
+    assert!(err.contains("HOTPATH"), "{err}");
+    assert!(err.contains("PANICPATH"), "{err}");
+    // Fewer findings than baseline: OK (and the report nudges re-baselining).
+    let ok = ratchet(&a_clean, &baseline_dirty).expect("shrinking is fine");
+    assert!(ok.contains("HOTPATH"), "{ok}");
+}
+
+/// The committed baseline must match what the workspace produces right now:
+/// drift in either direction means `results/ANALYZE_dlsm.json` was not
+/// regenerated alongside the change that moved the counts.
+#[test]
+fn committed_baseline_matches_workspace() {
+    let root = repo_root();
+    let baseline = std::fs::read_to_string(root.join("results/ANALYZE_dlsm.json"))
+        .expect("committed baseline results/ANALYZE_dlsm.json");
+    let a = analyze_workspace(root).expect("analyze workspace");
+    ratchet(&a, &baseline).expect("workspace regressed vs committed baseline");
+    let counts = baseline_counts(&baseline).expect("parse committed baseline");
+    for rule in Rule::ALL {
+        assert_eq!(
+            counts.get(rule.slug()).copied().unwrap_or(u64::MAX),
+            a.count(rule) as u64,
+            "committed baseline count for {} is stale — regenerate with \
+             `cargo run -p dlsm-check --bin dlsm_analyze -- --json results/ANALYZE_dlsm.json`",
+            rule.slug()
+        );
+    }
+}

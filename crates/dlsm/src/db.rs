@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dlsm_memnode::RpcClient;
+use rdma_sim::QueuePair;
 use dlsm_sstable::byte_addr::{TableGet, TableMeta};
 use dlsm_sstable::coding::{get_len_prefixed, get_u32, get_u64, put_len_prefixed, put_u32, put_u64};
 use dlsm_sstable::key::{SeqNo, ValueType};
@@ -309,6 +310,9 @@ impl Shared {
             if self.stopping.load(Ordering::Acquire) {
                 return Err(DbError::ShuttingDown);
             }
+            // HOTPATH: write stall is the intended backpressure point (paper
+            // Sec. X-C); writers must park until flush/compaction frees room.
+            // ROADMAP item 3 tracks making the wakeup edge-triggered.
             self.stall_cv.wait_for(&mut guard, Duration::from_millis(2));
         }
         drop(guard);
@@ -328,10 +332,12 @@ impl Shared {
         if n == 0 {
             return Ok(crate::batch::BatchCommit { first_seq: 0, count: 0 });
         }
-        assert!(
-            n < self.cfg.seq_range_width.max(2),
-            "batch of {n} entries exceeds the MemTable sequence-range width"
-        );
+        if n >= self.cfg.seq_range_width.max(2) {
+            return Err(DbError::InvalidArgument(format!(
+                "batch of {n} entries exceeds the MemTable sequence-range width {}",
+                self.cfg.seq_range_width
+            )));
+        }
         let _sp = dlsm_trace::span_arg(dlsm_trace::Category::Db, "write_batch", n);
         let t0 = Instant::now();
         self.wait_for_write_room()?;
@@ -590,10 +596,19 @@ impl Db {
     }
 
     /// A thread-local read handle with its own queue pair (or RPC client,
-    /// for the two-sided data path).
+    /// for the two-sided data path). Fails only if the fabric refuses a new
+    /// connection to the memnode (e.g. during a partition window).
+    pub fn try_reader(&self) -> Result<DbReader> {
+        let channel = self.shared.read_channel()?;
+        Ok(DbReader { shared: Arc::clone(&self.shared), channel })
+    }
+
+    /// Infallible convenience wrapper over [`Db::try_reader`] for benches,
+    /// examples, and tests that run against a healthy fabric.
     pub fn reader(&self) -> DbReader {
-        let channel = self.shared.read_channel().expect("reader channel");
-        DbReader { shared: Arc::clone(&self.shared), channel }
+        // PANIC-SAFE: convenience API; connection setup was already proven
+        // possible by Db::open, and data-path code uses try_reader().
+        self.try_reader().expect("reader channel")
     }
 
     /// Pin a consistent snapshot (Sec. V-B: the pinned metadata pins every
@@ -1321,6 +1336,8 @@ impl DbReader {
                     }
                     let (off, len) = match &f.table.meta {
                         MetaKind::ByteAddr(meta) => meta.index.record(f.expected_index),
+                        // PANIC-SAFE: wave construction above only enqueues
+                        // byte-addressable tables; block tables resolve inline.
                         MetaKind::Block(..) => unreachable!("block fetches resolve inline"),
                     };
                     debug_assert_eq!(len, f.buf.len());
@@ -1345,6 +1362,7 @@ impl DbReader {
                     }
                     let (off, len) = match &f.table.meta {
                         MetaKind::ByteAddr(meta) => meta.index.record(f.expected_index),
+                        // PANIC-SAFE: same wave invariant as the one-sided arm.
                         MetaKind::Block(..) => unreachable!(),
                     };
                     debug_assert_eq!(len, f.buf.len());
@@ -1356,6 +1374,7 @@ impl DbReader {
             }
             // Parse the fetched records.
             for f in wave {
+                // PANIC-SAFE: waves hold byte-addr fetches only (see above).
                 let MetaKind::ByteAddr(meta) = &f.table.meta else { unreachable!() };
                 let expected_key = meta.index.key(f.expected_index);
                 let buf = Arc::new(f.buf);
@@ -1421,36 +1440,32 @@ fn flush_loop(shared: Arc<Shared>, rx: Receiver<Arc<MemTable>>) {
     // Profiler task root: samples of this thread — including idle recv
     // waits between flushes — attribute to the flush worker.
     let _task = dlsm_trace::profile_span("flush_worker");
-    let mut qp;
-    let mut rpc;
+    // Owned connection, built exactly once: no Option, no expect() in the
+    // flush loop (dlsm_analyze PANICPATH hygiene).
+    enum FlushConn {
+        TwoSided(Box<RpcClient>),
+        OneSided(QueuePair),
+    }
     let two_sided = shared.cfg.data_path == DataPath::TwoSidedRpc;
-    if two_sided {
-        qp = None;
-        rpc = RpcClient::new(
+    let mut conn = if two_sided {
+        match RpcClient::new(
             shared.ctx.fabric(),
             shared.ctx.node(),
             shared.memnode.node_id(),
             shared.cfg.flush_buf_size + (64 << 10),
-        )
-        .map(|c| {
-            c.with_policy(shared.cfg.rpc_retry)
-                .with_net_stats(Arc::clone(&shared.telemetry.net))
-        })
-        .ok();
-        if rpc.is_none() {
-            return;
+        ) {
+            Ok(c) => FlushConn::TwoSided(Box::new(
+                c.with_policy(shared.cfg.rpc_retry)
+                    .with_net_stats(Arc::clone(&shared.telemetry.net)),
+            )),
+            Err(_) => return,
         }
     } else {
-        rpc = None;
-        qp = shared
-            .ctx
-            .fabric()
-            .create_qp(shared.ctx.node().id(), shared.memnode.node_id())
-            .ok();
-        if qp.is_none() {
-            return;
+        match shared.ctx.fabric().create_qp(shared.ctx.node().id(), shared.memnode.node_id()) {
+            Ok(qp) => FlushConn::OneSided(qp),
+            Err(_) => return,
         }
-    }
+    };
     loop {
         let mem = match rx.recv_timeout(Duration::from_millis(20)) {
             Ok(m) => m,
@@ -1475,10 +1490,9 @@ fn flush_loop(shared: Arc<Shared>, rx: Receiver<Arc<MemTable>>) {
         let out = loop {
             attempts += 1;
             let t_flush = Instant::now();
-            let mut transport = if two_sided {
-                FlushTransport::TwoSided(rpc.as_mut().expect("rpc client"))
-            } else {
-                FlushTransport::OneSided(qp.as_mut().expect("queue pair"))
+            let mut transport = match &mut conn {
+                FlushConn::TwoSided(rpc) => FlushTransport::TwoSided(rpc),
+                FlushConn::OneSided(qp) => FlushTransport::OneSided(qp),
             };
             match flush_memtable(
                 &mem,

@@ -117,6 +117,9 @@ pub enum DbError {
     },
     /// The database is shutting down.
     ShuttingDown,
+    /// The caller passed an argument the engine cannot serve (e.g. a write
+    /// batch wider than the MemTable sequence-range width).
+    InvalidArgument(String),
 }
 
 impl std::fmt::Display for DbError {
@@ -129,6 +132,7 @@ impl std::fmt::Display for DbError {
                 write!(f, "out of remote memory ({requested} bytes requested)")
             }
             DbError::ShuttingDown => write!(f, "database is shutting down"),
+            DbError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
         }
     }
 }

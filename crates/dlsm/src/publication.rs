@@ -78,8 +78,12 @@ impl Publication {
         while self.upto.load(Ordering::Acquire) <= seq {
             spins += 1;
             if spins.is_multiple_of(16) {
+                // HOTPATH: read-your-writes publication wait; gaps close in
+                // nanoseconds (a racing writer's store), so spinning beats a
+                // parked wait. ROADMAP item 3 tracks bounding the spin.
                 std::thread::yield_now();
             } else {
+                // HOTPATH: same publication wait (see above).
                 std::hint::spin_loop();
             }
         }

@@ -112,12 +112,20 @@ impl ShardedDb {
         self.shard_for(key).delete(key)
     }
 
-    /// A read handle holding one reader per shard.
-    pub fn reader(&self) -> ShardedReader {
-        ShardedReader {
-            readers: self.shards.iter().map(Db::reader).collect(),
+    /// A read handle holding one reader per shard. Fails if any shard's
+    /// fabric connection is refused (see [`Db::try_reader`]).
+    pub fn try_reader(&self) -> Result<ShardedReader> {
+        Ok(ShardedReader {
+            readers: self.shards.iter().map(Db::try_reader).collect::<Result<_>>()?,
             lambda: self.shards.len(),
-        }
+        })
+    }
+
+    /// Infallible convenience wrapper over [`ShardedDb::try_reader`].
+    pub fn reader(&self) -> ShardedReader {
+        // PANIC-SAFE: convenience API mirroring Db::reader; data-path code
+        // uses try_reader().
+        self.try_reader().expect("sharded reader channels")
     }
 
     /// Merged telemetry across all shards: histograms merge pointwise,

@@ -268,6 +268,8 @@ impl RpcClient {
                 if self.policy.reconnect_after != 0 && attempt >= self.policy.reconnect_after {
                     let _ = self.reconnect();
                 }
+                // HOTPATH: retry backoff only runs after an attempt already
+                // timed out — latency is dominated by the loss, not the sleep.
                 std::thread::sleep(self.policy.backoff_for(attempt - 1));
             }
             match self.attempt(&encoded, req_id, timeout) {
@@ -307,8 +309,11 @@ impl RpcClient {
             }
             spins += 1;
             if spins.is_multiple_of(64) {
+                // HOTPATH: two-sided RPC completion is flag-polled like a real
+                // RNIC doorbell; event-driven wakeups are ROADMAP item 3.
                 std::thread::yield_now();
             } else {
+                // HOTPATH: same doorbell poll (see above).
                 std::hint::spin_loop();
             }
         }
@@ -318,8 +323,10 @@ impl RpcClient {
     fn read_reply(&self, expect: u64) -> Result<Option<Vec<u8>>> {
         let mut head = [0u8; ReplyFrame::HEADER];
         self.local.local_read(0, &mut head)?;
-        let len = u32::from_le_bytes(head[0..4].try_into().expect("4B")) as usize;
-        let req_id = u64::from_le_bytes(head[4..12].try_into().expect("8B"));
+        let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
+        let req_id = u64::from_le_bytes([
+            head[4], head[5], head[6], head[7], head[8], head[9], head[10], head[11],
+        ]);
         if len + ReplyFrame::HEADER + 8 > self.reply_len as usize {
             return Err(MemNodeError::BadMessage(format!("reply length {len} out of range")));
         }
@@ -436,7 +443,9 @@ impl RpcClient {
                     if self.policy.reconnect_after != 0 && attempt >= self.policy.reconnect_after {
                         let _ = self.reconnect();
                     }
-                    std::thread::sleep(self.policy.backoff_for(attempt - 1));
+                    // HOTPATH: retry backoff only runs after an attempt already
+                // timed out — latency is dominated by the loss, not the sleep.
+                std::thread::sleep(self.policy.backoff_for(attempt - 1));
                 }
                 match self.compact_attempt(&wire, req_id, &cell, attempt_timeout) {
                     Err(MemNodeError::Timeout) => continue,

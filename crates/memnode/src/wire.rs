@@ -131,6 +131,8 @@ fn bad(e: dlsm_sstable::SstError) -> MemNodeError {
 /// bounded far below 4 GiB (arena sizes, extent counts, key lengths), so an
 /// overflow here is a logic bug, not an input condition.
 fn put_len32(out: &mut Vec<u8>, len: usize) {
+    // PANIC-SAFE: see above — a >4 GiB wire length is a logic bug; truncating
+    // it silently would corrupt the frame for the peer.
     put_u32(out, u32::try_from(len).expect("wire length exceeds u32"));
 }
 

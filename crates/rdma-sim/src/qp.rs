@@ -31,15 +31,20 @@ pub fn spin_until(t: Instant) {
             return;
         }
         let remaining = t - now;
+        // This *is* the simulated NIC — modelled fabric latency is realised
+        // by waiting out the deadline. Not an engine stall; ROADMAP item 3
+        // concerns the engine's own waits, not the simulator clock.
         if remaining > SPIN_WINDOW {
+            // HOTPATH: simulated-NIC clock wait (see above).
             std::thread::sleep(remaining - SPIN_WINDOW);
         } else {
             spins += 1;
             if spins.is_multiple_of(64) {
-                // On core-starved hosts a pure spin would stall the very
-                // thread whose progress we are waiting on.
+                // HOTPATH: same clock wait; yielding keeps core-starved
+                // hosts from stalling the completing thread.
                 std::thread::yield_now();
             } else {
+                // HOTPATH: same clock wait (see above).
                 std::hint::spin_loop();
             }
         }
@@ -74,6 +79,7 @@ impl CompletionQueue {
         while out.len() < max {
             match self.pending.front() {
                 Some(c) if c.completed_at <= now => {
+                    // PANIC-SAFE: front() just returned Some under &mut self.
                     out.push(self.pending.pop_front().expect("front exists"));
                 }
                 _ => break,
@@ -382,6 +388,8 @@ impl QueuePair {
                     if Instant::now() >= deadline {
                         return Err(RdmaError::RecvTimeout);
                     }
+                    // HOTPATH: CQ spin-poll mirrors real ibv_poll_cq usage;
+                    // event-driven completion channels are ROADMAP item 3.
                     std::thread::yield_now();
                 }
             }

@@ -77,6 +77,7 @@ pub struct StatsSnapshot {
 
 impl StatsSnapshot {
     fn idx(verb: Verb) -> usize {
+        // PANIC-SAFE: Verb::ALL enumerates every Verb variant by construction.
         Verb::ALL.iter().position(|&v| v == verb).expect("verb in ALL")
     }
 

@@ -48,10 +48,15 @@ impl Arena {
     /// Panics if `cap` is zero or exceeds `u32::MAX` (offsets are 32-bit).
     pub fn with_capacity(cap: usize) -> Arena {
         let cap = cap.max(16).next_multiple_of(8);
+        // PANIC-SAFE: documented constructor contract (see # Panics); arena
+        // sizes come from DbConfig, not from user data. Allocation failure
+        // has no recovery at this layer.
         assert!(cap <= u32::MAX as usize, "arena capacity must fit in u32 offsets");
+        // PANIC-SAFE: (cap <= u32::MAX, align 8) is always a valid Layout.
         let layout = Layout::from_size_align(cap, 8).expect("arena layout");
         // SAFETY: non-zero size. Zeroed so atomic link words start as null.
         let ptr = unsafe { alloc_zeroed(layout) };
+        // PANIC-SAFE: aborting on OOM matches std collection behaviour.
         assert!(!ptr.is_null(), "arena allocation of {cap} bytes failed");
         Arena { ptr, cap, pos: AtomicUsize::new(8) }
     }

@@ -53,6 +53,8 @@ impl<C: Comparator> SkipList<C> {
     /// values. Inserting beyond capacity returns [`ArenaFull`].
     pub fn with_capacity(cmp: C, capacity: usize) -> SkipList<C> {
         let arena = Arena::with_capacity(capacity + 256);
+        // PANIC-SAFE: the +256 slack above guarantees the head node (fixed,
+        // ~100 bytes) always fits in a fresh arena.
         let head = Self::alloc_node_in(&arena, MAX_HEIGHT, 0, 0, 0, 0)
             .expect("arena sized for at least the head node");
         SkipList { arena, cmp, head, max_height: AtomicUsize::new(1), len: AtomicUsize::new(0) }

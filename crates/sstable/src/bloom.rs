@@ -17,6 +17,7 @@ fn bloom_hash(data: &[u8]) -> u32 {
     let mut h = SEED ^ (data.len() as u32).wrapping_mul(M);
     let mut chunks = data.chunks_exact(4);
     for c in &mut chunks {
+        // PANIC-SAFE: chunks_exact(4) yields exactly 4-byte slices.
         let w = u32::from_le_bytes(c.try_into().expect("4 bytes"));
         h = h.wrapping_add(w).wrapping_mul(M);
         h ^= h >> 16;

@@ -24,6 +24,7 @@ pub fn get_u32(buf: &[u8], off: usize) -> Result<u32> {
     let b: [u8; 4] = buf
         .get(off..off + 4)
         .ok_or_else(|| SstError::Corrupt(format!("u32 at {off} out of range")))?
+        // PANIC-SAFE: the checked get() above proves the slice is 4 bytes.
         .try_into()
         .expect("4-byte slice");
     Ok(u32::from_le_bytes(b))
@@ -35,6 +36,7 @@ pub fn get_u64(buf: &[u8], off: usize) -> Result<u64> {
     let b: [u8; 8] = buf
         .get(off..off + 8)
         .ok_or_else(|| SstError::Corrupt(format!("u64 at {off} out of range")))?
+        // PANIC-SAFE: the checked get() above proves the slice is 8 bytes.
         .try_into()
         .expect("8-byte slice");
     Ok(u64::from_le_bytes(b))

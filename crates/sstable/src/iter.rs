@@ -141,15 +141,21 @@ impl<I: ForwardIter> ForwardIter for MergingIter<I> {
         self.current.is_some()
     }
 
+    // ForwardIter's contract (like LevelDB's Iterator) is that key(),
+    // value(), and next() are only called while valid() — i.e. current is
+    // Some. Callers in the scan/compaction paths all check valid() first.
     fn key(&self) -> &[u8] {
+        // PANIC-SAFE: valid()-before-use contract, as above.
         self.children[self.current.expect("valid")].key()
     }
 
     fn value(&self) -> &[u8] {
+        // PANIC-SAFE: valid()-before-use contract, as above.
         self.children[self.current.expect("valid")].value()
     }
 
     fn next(&mut self) -> Result<()> {
+        // PANIC-SAFE: valid()-before-use contract, as above.
         let cur = self.current.expect("valid");
         self.children[cur].next()?;
         self.find_smallest();

@@ -111,6 +111,8 @@ pub fn split(ikey: &[u8]) -> Option<(&[u8], SeqNo, ValueType)> {
         return None;
     }
     let (user, trailer) = ikey.split_at(ikey.len() - TRAILER_LEN);
+    // PANIC-SAFE: split_at with the length check above yields exactly
+    // TRAILER_LEN (8) trailer bytes.
     let t = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
     let vt = ValueType::from_u8((t & 0xFF) as u8)?;
     Some((user, t >> 8, vt))
@@ -125,6 +127,8 @@ pub fn compare_internal(a: &[u8], b: &[u8]) -> Ordering {
     let (ub, tb) = b.split_at(b.len() - TRAILER_LEN);
     match ua.cmp(ub) {
         Ordering::Equal => {
+            // PANIC-SAFE: both trailers are TRAILER_LEN (8) bytes — internal
+            // keys shorter than the trailer never reach comparison.
             let na = u64::from_le_bytes(ta.try_into().expect("trailer"));
             let nb = u64::from_le_bytes(tb.try_into().expect("trailer"));
             nb.cmp(&na) // descending: newest (largest seq) first

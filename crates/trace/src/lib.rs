@@ -484,9 +484,12 @@ impl RecState {
                 self.tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
             }
             let ring = Arc::new(RingShared::new(self.tid, self.node_id, self.node_label));
+            // PANIC-SAFE: registry mutex is only ever locked for push/iterate;
+            // poisoning means a panic is already unwinding this process.
             registry().lock().unwrap().push(ring.clone());
             self.ring = Some(ring);
         }
+        // PANIC-SAFE: the branch above just stored Some.
         self.ring.as_ref().expect("just created")
     }
 
@@ -501,6 +504,7 @@ impl RecState {
             stack::stack_registry().lock().unwrap_or_else(|e| e.into_inner()).push(live.clone());
             self.live = Some(live);
         }
+        // PANIC-SAFE: the branch above just stored Some.
         self.live.as_ref().expect("just created")
     }
 
